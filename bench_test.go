@@ -1,0 +1,365 @@
+// Package sst's top-level benchmark harness regenerates every experiment
+// table/figure of the reproduced SST studies. Each benchmark runs the full
+// study and prints the corresponding table once; `go test -bench=.` is the
+// repository's "reproduce the paper" entry point.
+//
+// Experiment index (see DESIGN.md for sources and EXPERIMENTS.md for
+// paper-vs-measured):
+//
+//	BenchmarkFig10MemTech       E1: app performance vs memory technology
+//	BenchmarkFig11PowerCost     E2: power & cost efficiency vs technology
+//	BenchmarkFig12IssueWidth    E3: efficiency vs issue width
+//	BenchmarkFig9NetDegradation E4: injection-bandwidth degradation
+//	BenchmarkFig13PIM           E5: PIM vs conventional (novel architecture)
+//	BenchmarkFig14ParallelSpeedup E6: parallel simulator scaling
+//	BenchmarkFig3MemSpeed       E7: memory-speed phase sensitivity
+package sst_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"sst/internal/core"
+	"sst/internal/dnoc"
+	"sst/internal/noc"
+	"sst/internal/par"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+var (
+	sweepApps   = []string{"hpccg", "lulesh"}
+	sweepTechs  = []string{"ddr2-800", "ddr3-1333", "gddr5-4000"}
+	sweepWidths = []int{1, 2, 4, 8}
+)
+
+// printOnce renders each distinct table a single time, however many
+// benchmark iterations run.
+var printedTables sync.Map
+
+func printOnce(t *stats.Table) {
+	if _, loaded := printedTables.LoadOrStore(t.Title, true); loaded {
+		return
+	}
+	fmt.Fprintln(os.Stdout)
+	t.Render(os.Stdout)
+}
+
+// fullSweep runs the shared Fig. 10/11/12 design-space sweep.
+func fullSweep(b *testing.B) *core.DSEGrid {
+	b.Helper()
+	grid, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return grid
+}
+
+// BenchmarkFig10MemTech regenerates Fig. 10: application performance with
+// DDR2/DDR3/GDDR5 across issue widths. Expected shape: GDDR5 26-47% faster
+// than DDR3 on Lulesh and 32-41% on HPCCG; DDR2 slowest everywhere.
+func BenchmarkFig10MemTech(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grid := fullSweep(b)
+		tab := core.Fig10Table(grid, sweepApps, sweepTechs, sweepWidths, "ddr3-1333")
+		printOnce(tab)
+		verifyFig10(b, grid)
+	}
+}
+
+func verifyFig10(b *testing.B, grid *core.DSEGrid) {
+	b.Helper()
+	for _, app := range sweepApps {
+		for _, w := range sweepWidths {
+			ddr2 := grid.Find(app, "ddr2-800", w).Result.Seconds
+			ddr3 := grid.Find(app, "ddr3-1333", w).Result.Seconds
+			gddr5 := grid.Find(app, "gddr5-4000", w).Result.Seconds
+			if !(gddr5 < ddr3 && ddr3 < ddr2) {
+				b.Errorf("Fig10 %s w%d ordering broken: ddr2=%.4g ddr3=%.4g gddr5=%.4g",
+					app, w, ddr2, ddr3, gddr5)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11PowerCost regenerates Fig. 11: power and cost with
+// different memory systems. Expected shape: DDR3's perf/W beats or matches
+// GDDR5, with the largest advantage at narrow widths; perf/$ crosses over
+// (DDR3 wins narrow, GDDR5 competitive at 8-wide).
+func BenchmarkFig11PowerCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grid := fullSweep(b)
+		tab := core.Fig11Table(grid, sweepApps, sweepTechs, sweepWidths)
+		printOnce(tab)
+		// Shape check: DDR3 perf/W >= GDDR5 perf/W at width 1.
+		for _, app := range sweepApps {
+			d := grid.Find(app, "ddr3-1333", 1).Result.PerfPerWatt()
+			g := grid.Find(app, "gddr5-4000", 1).Result.PerfPerWatt()
+			if d <= g {
+				b.Errorf("Fig11 %s: DDR3 perf/W %.4g should beat GDDR5 %.4g at width 1", app, d, g)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12IssueWidth regenerates Fig. 12: cost and power efficiency
+// for different processor issue widths. The width sweep runs on GDDR5 so
+// the memory system does not wall off the width effect (on DDR3 the wide
+// cores are bandwidth-bound and barely separate). Expected shape: wider is
+// faster sublinearly (paper: +78% at 8-wide) but superlinearly hungrier
+// (paper: +123% power); 1-2 wide cores win perf/W and 2-4 wide win perf/$.
+func BenchmarkFig12IssueWidth(b *testing.B) {
+	const tech = "gddr5-4000"
+	for i := 0; i < b.N; i++ {
+		grid, err := core.MemTechWidthSweep(sweepApps, []string{tech}, sweepWidths, core.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab := core.Fig12Table(grid, sweepApps, tech, sweepWidths)
+		printOnce(tab)
+		for _, app := range sweepApps {
+			r1 := grid.Find(app, tech, 1).Result
+			r8 := grid.Find(app, tech, 8).Result
+			if r8.Seconds >= r1.Seconds {
+				b.Errorf("Fig12 %s: 8-wide not faster than 1-wide", app)
+			}
+			if r8.Budget.AvgPowerW() <= r1.Budget.AvgPowerW() {
+				b.Errorf("Fig12 %s: 8-wide not hungrier than 1-wide", app)
+			}
+			if r8.PerfPerWatt() >= r1.PerfPerWatt() {
+				b.Errorf("Fig12 %s: power efficiency should favor narrow cores", app)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9NetDegradation regenerates Fig. 9: application slowdown at
+// 1, 1/2, 1/4 and 1/8 network injection bandwidth on a torus. Expected
+// shape: CTH/SAGE-like large-message apps slow >2x at 1/8 bandwidth;
+// Charon-like small-message apps are essentially flat.
+func BenchmarkFig9NetDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultNetStudy()
+		tab, slow, err := core.NetDegradationStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		last := len(cfg.Fractions) - 1
+		if s := slow["cth"][last]; s < 2 {
+			b.Errorf("Fig9: CTH slowdown at 1/8 bw = %.2f, want > 2", s)
+		}
+		if s := slow["charon"][last]; s > 1.1 {
+			b.Errorf("Fig9: Charon slowdown at 1/8 bw = %.2f, want ~1", s)
+		}
+		// The power conclusion the paper draws from Fig. 9.
+		ptab, best, err := core.NetPowerStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(ptab)
+		if best["charon"] == 0 {
+			b.Error("Fig9 power: Charon should save energy on a slower network")
+		}
+		if best["cth"] == last {
+			b.Error("Fig9 power: CTH should not prefer the slowest network")
+		}
+	}
+}
+
+// BenchmarkFig13PIM runs the novel-architecture study the SC'06 poster
+// headlines: a PIM-style multithreaded near-memory node vs a conventional
+// cache-based node. Expected shape: PIM wins on irregular low-locality
+// GUPS, loses on cache-friendly FEA.
+func BenchmarkFig13PIM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, results, err := core.PIMStudy([]string{"gups", "stream", "fea"}, core.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		for _, r := range results {
+			switch r.App {
+			case "gups":
+				if r.PIMSpeedup() < 1.2 {
+					b.Errorf("PIM should win GUPS: speedup %.2f", r.PIMSpeedup())
+				}
+			case "fea":
+				if r.PIMSpeedup() > 1 {
+					b.Errorf("PIM should lose FEA: speedup %.2f", r.PIMSpeedup())
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig14ParallelSpeedup runs the parallel-simulator scaling study:
+// one multi-node model partitioned over 1..8 ranks. On a multi-core host
+// the wall time drops with ranks; on a single-core host (like this
+// repository's CI sandbox) the study instead bounds synchronization
+// overhead. Determinism and sequential-equivalence are asserted in
+// internal/par's tests.
+func BenchmarkFig14ParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, wall, err := core.ParallelScalingStudy([]int{1, 2, 4, 8}, 16, 2*sim.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		// Overhead bound: the 8-rank run must stay within 2x of the
+		// 1-rank run even on a single-core host.
+		if wall[8] > 2*wall[1] {
+			b.Errorf("parallel overhead too high: 8 ranks %.3fs vs 1 rank %.3fs", wall[8], wall[1])
+		}
+	}
+}
+
+// BenchmarkFig3MemSpeed regenerates the memory-speed sensitivity study:
+// DDR3-800 vs DDR3-1066 vs DDR3-1333 on the FEA-like and solver phases.
+// Expected shape: the solver slows as memory slows; FEA is flat.
+func BenchmarkFig3MemSpeed(b *testing.B) {
+	grades := []string{"ddr3-800", "ddr3-1066", "ddr3-1333"}
+	for i := 0; i < b.N; i++ {
+		tab, rel, err := core.MemSpeedStudy(grades, core.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		if rel["hpccg"]["ddr3-800"] < 1.1 {
+			b.Errorf("Fig3: solver insensitive to memory speed: %.3f", rel["hpccg"]["ddr3-800"])
+		}
+		if rel["fea"]["ddr3-800"] > 1.05 {
+			b.Errorf("Fig3: FEA sensitive to memory speed: %.3f", rel["fea"]["ddr3-800"])
+		}
+	}
+}
+
+// BenchmarkFig2CoreScaling regenerates the cores-per-node study: fixed
+// total work split over 1-8 cores sharing one memory system. Expected
+// shape: the bandwidth-bound solver's parallel efficiency decays with core
+// count while the compute-bound FEA phase scales nearly ideally.
+func BenchmarkFig2CoreScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, eff, err := core.CoreScalingStudy([]string{"fea", "hpccg"}, []int{1, 2, 4, 8}, core.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		if eff["fea"][8] < 0.7 {
+			b.Errorf("Fig2: FEA efficiency at 8 cores = %.2f, want near-ideal", eff["fea"][8])
+		}
+		if eff["hpccg"][8] > eff["fea"][8]*0.9 {
+			b.Errorf("Fig2: solver efficiency (%.2f) should fall well below FEA (%.2f)",
+				eff["hpccg"][8], eff["fea"][8])
+		}
+	}
+}
+
+// BenchmarkFig4CacheRates regenerates the cache-behavior comparison:
+// the FEA phase is L1-resident; the solver streams with weak outer-level
+// locality.
+func BenchmarkFig4CacheRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, res, err := core.CacheStudy(core.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		if res["fea"].L1HitRate < 0.99 {
+			b.Errorf("Fig4: FEA L1 hit rate = %.3f, want ~1", res["fea"].L1HitRate)
+		}
+		if res["fea"].MemBytes > res["hpccg"].MemBytes/10 {
+			b.Errorf("Fig4: FEA DRAM traffic (%d B) should be tiny next to the solver's (%d B)",
+				res["fea"].MemBytes, res["hpccg"].MemBytes)
+		}
+	}
+}
+
+// BenchmarkFig15DistNetwork runs the distributed-network study: the same
+// 64-node torus traffic simulated over 1-8 parallel ranks. Per-message
+// delivery times are independent of the partitioning (asserted exactly in
+// internal/dnoc's tests); here the study reports wall time per rank count
+// and asserts the message count is invariant.
+func BenchmarkFig15DistNetwork(b *testing.B) {
+	topo, err := noc.NewTorus3D(8, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := noc.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		tab := stats.NewTable("Distributed network simulation: 64-node torus over parallel ranks",
+			"ranks", "messages", "wall_ms")
+		var want uint64
+		for _, nranks := range []int{1, 2, 4, 8} {
+			runner, err := par.NewRunner(nranks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := dnoc.New(runner, topo, cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for n := 0; n < topo.NumNodes(); n++ {
+				d.NIC(n).SetReceiver(func(int, int, any) {})
+			}
+			for n := 0; n < topo.NumNodes(); n++ {
+				node := n
+				eng := runner.Rank(d.RankOfNode(n)).Engine()
+				for m := 0; m < 24; m++ {
+					mm := m
+					eng.ScheduleAt(sim.Time(node*977+mm*31000)*sim.Nanosecond, sim.PrioLink, func(any) {
+						d.NIC(node).Send((node*13+5)%topo.NumNodes(), 4096+node, nil, nil)
+					}, nil)
+				}
+			}
+			start := time.Now()
+			if _, err := runner.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+			wall := time.Since(start)
+			if want == 0 {
+				want = d.Messages()
+			}
+			if d.Messages() != want {
+				b.Fatalf("rank count changed message count: %d vs %d", d.Messages(), want)
+			}
+			tab.AddRow(nranks, d.Messages(), float64(wall.Microseconds())/1e3)
+		}
+		printOnce(tab)
+	}
+}
+
+// BenchmarkFig5SolverScaling regenerates the weak-scaling comparison of
+// solver communication patterns: the unpreconditioned CG iteration (two
+// reductions) against a multilevel-preconditioned iteration that sends
+// ~40% more messages per rank. Expected shape: both lose weak-scaling
+// efficiency as rank count grows (the all-reduce log(P) term), and the
+// ML variant falls off faster — the study's explanation for why miniFE
+// tracked ILU-preconditioned Charon but not ML.
+func BenchmarkFig5SolverScaling(b *testing.B) {
+	ranks := []int{4, 8, 16, 32, 64}
+	for i := 0; i < b.N; i++ {
+		tab, eff, err := core.WeakScalingStudy(ranks, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(tab)
+		last := len(ranks) - 1
+		if eff["cg"][last] >= 1 {
+			b.Errorf("Fig5: CG efficiency at %d ranks = %.3f, want < 1", ranks[last], eff["cg"][last])
+		}
+		if eff["ml"][last] >= eff["cg"][last] {
+			b.Errorf("Fig5: ML (%.3f) should scale worse than CG (%.3f)",
+				eff["ml"][last], eff["cg"][last])
+		}
+		// Efficiency decays monotonically-ish with scale for both.
+		for _, name := range []string{"cg", "ml"} {
+			if eff[name][last] > eff[name][0] {
+				b.Errorf("Fig5: %s efficiency rising with scale: %v", name, eff[name])
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command sst-asm assembles, disassembles and executes SR1 programs — the
+// execution-driven front-end's ISA.
+//
+// Usage:
+//
+//	sst-asm [-run] [-max N] [-regs] program.s
+//
+// Without -run the assembled program is disassembled to stdout. With -run
+// the program executes functionally (no timing) for at most -max
+// instructions and reports the retired count; -regs also dumps nonzero
+// registers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sst/internal/isa"
+)
+
+func main() {
+	var (
+		runFlag  = flag.Bool("run", false, "execute the program functionally")
+		maxFlag  = flag.Uint64("max", 100_000_000, "instruction budget for -run")
+		regsFlag = flag.Bool("regs", false, "dump nonzero registers after -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sst-asm [-run] [-max N] [-regs] program.s")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *runFlag, *maxFlag, *regsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "sst-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, execute bool, maxInstrs uint64, dumpRegs bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if !execute {
+		text, err := prog.Disassemble()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		if len(prog.Labels) > 0 {
+			fmt.Println("\nlabels:")
+			for name, addr := range prog.Labels {
+				fmt.Printf("  %-16s %#x\n", name, addr)
+			}
+		}
+		return nil
+	}
+	m := isa.NewMachine(prog)
+	n, err := m.Run(maxInstrs)
+	if err != nil {
+		return err
+	}
+	status := "halted"
+	if !m.Halted() {
+		status = "budget exhausted"
+	}
+	fmt.Printf("%s after %d instructions (pc=%#x)\n", status, n, m.PC)
+	if dumpRegs {
+		for r := 1; r < 32; r++ {
+			if v := m.Reg(r); v != 0 {
+				fmt.Printf("  r%-2d = %#x (%d)\n", r, v, int64(v))
+			}
+		}
+	}
+	return nil
+}

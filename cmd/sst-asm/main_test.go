@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAsmDisassemble(t *testing.T) {
+	path := writeProg(t, "addi r1, r0, 7\nend: halt")
+	if err := run(path, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsmExecute(t *testing.T) {
+	path := writeProg(t, "addi r1, r0, 7\nhalt")
+	if err := run(path, true, 100, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsmBudgetExhausted(t *testing.T) {
+	path := writeProg(t, "loop: b loop")
+	if err := run(path, true, 10, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	if err := run("/nonexistent.s", false, 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeProg(t, "bogus r1")
+	if err := run(path, false, 0, false); err == nil {
+		t.Error("bad program assembled")
+	}
+}

@@ -1,0 +1,93 @@
+// Command sst-dse runs the design-space exploration sweeps of the SST
+// studies — memory technology × issue width with power and cost axes — and
+// prints the Fig. 10/11/12 tables.
+//
+// Usage:
+//
+//	sst-dse [-apps hpccg,lulesh] [-techs ddr2-800,ddr3-1333,gddr5-4000]
+//	        [-widths 1,2,4,8] [-scale full|small] [-table all|fig10|fig11|fig12]
+//	        [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sst/internal/core"
+	"sst/internal/stats"
+)
+
+func main() {
+	var (
+		appsFlag   = flag.String("apps", "hpccg,lulesh", "comma-separated miniapps")
+		techsFlag  = flag.String("techs", "ddr2-800,ddr3-1333,gddr5-4000", "memory technologies")
+		widthsFlag = flag.String("widths", "1,2,4,8", "issue widths")
+		scaleFlag  = flag.String("scale", "full", "problem scale: full or small")
+		tableFlag  = flag.String("table", "all", "which table: all, fig10, fig11, fig12")
+		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if err := run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, *csvFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "sst-dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV bool) error {
+	apps := strings.Split(appsFlag, ",")
+	techs := strings.Split(techsFlag, ",")
+	var widths []int
+	for _, w := range strings.Split(widthsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad width %q", w)
+		}
+		widths = append(widths, v)
+	}
+	scale := core.Full
+	switch scaleFlag {
+	case "full":
+	case "small":
+		scale = core.Small
+	default:
+		return fmt.Errorf("bad scale %q", scaleFlag)
+	}
+
+	grid, err := core.MemTechWidthSweep(apps, techs, widths, scale)
+	if err != nil {
+		return err
+	}
+	emit := func(t *stats.Table) {
+		if asCSV {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	baseline := techs[0]
+	for _, t := range techs {
+		if strings.HasPrefix(t, "ddr3") {
+			baseline = t
+			break
+		}
+	}
+	switch tableFlag {
+	case "all":
+		emit(core.Fig10Table(grid, apps, techs, widths, baseline))
+		emit(core.Fig11Table(grid, apps, techs, widths))
+		emit(core.Fig12Table(grid, apps, techs[len(techs)-1], widths))
+	case "fig10":
+		emit(core.Fig10Table(grid, apps, techs, widths, baseline))
+	case "fig11":
+		emit(core.Fig11Table(grid, apps, techs, widths))
+	case "fig12":
+		emit(core.Fig12Table(grid, apps, techs[len(techs)-1], widths))
+	default:
+		return fmt.Errorf("bad table %q", tableFlag)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command sst-net runs the network injection-bandwidth degradation study
+// (the Fig. 9 experiment): application communication proxies on a simulated
+// 3D torus at a series of injection-bandwidth operating points.
+//
+// Usage:
+//
+//	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sst/internal/core"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.Int("nodes", 32, "system size (torus nodes)")
+		stepsFlag = flag.Int("steps", 6, "application timesteps")
+		fracFlag  = flag.String("fractions", "1,0.5,0.25,0.125", "injection bandwidth fractions")
+		csvFlag   = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+	if err := run(*nodesFlag, *stepsFlag, *fracFlag, *csvFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "sst-net:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, steps int, fracFlag string, asCSV bool) error {
+	cfg := core.NetStudyConfig{Nodes: nodes, Steps: steps}
+	for _, f := range strings.Split(fracFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("bad fraction %q", f)
+		}
+		cfg.Fractions = append(cfg.Fractions, v)
+	}
+	table, _, err := core.NetDegradationStudy(cfg)
+	if err != nil {
+		return err
+	}
+	ptable, _, err := core.NetPowerStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		table.RenderCSV(os.Stdout)
+		ptable.RenderCSV(os.Stdout)
+	} else {
+		table.Render(os.Stdout)
+		fmt.Println()
+		ptable.Render(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestNetStudySmall(t *testing.T) {
+	if err := run(8, 2, "1,0.5", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(8, 2, "1", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetStudyBadFractions(t *testing.T) {
+	if err := run(8, 2, "1,zero", false); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if err := run(8, 2, "2.5", false); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}

@@ -1,0 +1,224 @@
+// Command sst-trace records and replays instruction traces — the
+// trace-driven leg of the front-end/back-end split. A slow execution-driven
+// run (or any workload kernel) is captured once into a compact binary
+// trace; the trace then replays through any timing configuration at full
+// simulator speed.
+//
+// Usage:
+//
+//	sst-trace record -workload daxpy -o trace.bin
+//	sst-trace info   -i trace.bin
+//	sst-trace replay -i trace.bin [-width 4] [-memlat 60ns]
+//
+// Workloads: the SR1 program library (daxpy, dot, chase, fib) and the
+// kernel proxies (hpccg, lulesh, stencil, stream, gups, fea).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sst/internal/cpu"
+	"sst/internal/frontend"
+	"sst/internal/mem"
+	"sst/internal/sim"
+	"sst/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sst-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sst-trace record|info|replay [flags]")
+	os.Exit(2)
+}
+
+// openWorkload builds a stream for a named workload.
+func openWorkload(name string, n int) (frontend.Stream, func(), error) {
+	switch name {
+	case "daxpy":
+		s, err := workload.DAXPYProgram(n).Stream(0)
+		return s, nil, err
+	case "dot":
+		s, err := workload.DotProductProgram(n).Stream(0)
+		return s, nil, err
+	case "chase":
+		s, err := workload.PointerChaseProgram(n, 4*n).Stream(0)
+		return s, nil, err
+	case "fib":
+		s, err := workload.FibonacciProgram(n).Stream(0)
+		return s, nil, err
+	case "hpccg":
+		k := workload.HPCCG(minInt(n, 32), 1).Stream()
+		return k, k.Close, nil
+	case "lulesh":
+		k := workload.Lulesh(n, 1).Stream()
+		return k, k.Close, nil
+	case "stencil":
+		k := workload.Stencil(minInt(n, 48), 1).Stream()
+		return k, k.Close, nil
+	case "stream":
+		k := workload.STREAMTriad(n, 1).Stream()
+		return k, k.Close, nil
+	case "gups":
+		k := workload.GUPS(64<<20, n, 1).Stream()
+		return k, k.Close, nil
+	case "fea":
+		k := workload.FEA(n, 1).Stream()
+		return k, k.Close, nil
+	case "minimd":
+		k := workload.MiniMD(n, 16, 1, 1).Stream()
+		return k, k.Close, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("workload", "daxpy", "workload to record")
+	n := fs.Int("n", 1024, "workload size parameter")
+	out := fs.String("o", "trace.bin", "output trace file")
+	maxOps := fs.Uint64("max", 0, "truncate after N operations (0 = all)")
+	fs.Parse(args)
+
+	stream, closer, err := openWorkload(*wl, *n)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer()
+	}
+	if *maxOps > 0 {
+		stream = &frontend.LimitStream{Inner: stream, N: *maxOps}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := frontend.NewTraceWriter(f)
+	var op frontend.Op
+	for stream.Next(&op) {
+		if err := w.Write(&op); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d operations from %s into %s\n", w.N(), *wl, *out)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "trace.bin", "input trace file")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := frontend.NewTraceStream(f)
+	cs := &frontend.CountingStream{Inner: r}
+	var op frontend.Op
+	for cs.Next(&op) {
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	fmt.Printf("%s: %d operations\n", *in, cs.Total())
+	for c := frontend.Class(0); int(c) < frontend.NumClasses(); c++ {
+		if n := cs.Counts[c]; n > 0 {
+			fmt.Printf("  %-7s %10d (%.1f%%)\n", c, n, 100*float64(n)/float64(cs.Total()))
+		}
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "trace.bin", "input trace file")
+	width := fs.Int("width", 4, "core issue width")
+	freqStr := fs.String("freq", "2GHz", "core frequency")
+	memLat := fs.String("memlat", "60ns", "memory latency")
+	l1Size := fs.String("l1", "32KB", "L1 size (\"0\" disables)")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stream := frontend.NewTraceStream(f)
+
+	freq, err := sim.ParseHz(*freqStr)
+	if err != nil {
+		return err
+	}
+	lat, err := sim.ParseTime(*memLat)
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine()
+	clock := sim.NewClock(engine, freq)
+	var lower mem.Device = mem.NewSimpleMemory(engine, "mem", lat, 20e9, nil)
+	if *l1Size != "0" {
+		sz := 32 << 10
+		if _, err := fmt.Sscanf(strings.ToUpper(*l1Size), "%dKB", &sz); err == nil {
+			sz <<= 10
+		}
+		l1, err := mem.NewCache(engine, mem.CacheConfig{
+			Name: "l1", SizeBytes: sz, LineBytes: 64, Assoc: 4,
+			HitLatency: freq.CycleTime(2), MSHRs: 16, WriteBack: true,
+			PrefetchNextLine: true, PrefetchDegree: 2,
+		}, lower, nil)
+		if err != nil {
+			return err
+		}
+		lower = l1
+	}
+	cfg := cpu.DefaultConfig("cpu", *width)
+	cfg.Freq = freq
+	c, err := cpu.NewSuperscalar(engine, clock, cfg, stream, lower, nil)
+	if err != nil {
+		return err
+	}
+	c.Start(func() {})
+	engine.RunAll()
+	if stream.Err() != nil {
+		return stream.Err()
+	}
+	fmt.Printf("replayed %d operations in %v simulated (%d cycles, IPC %.3f)\n",
+		c.Retired(), engine.Now(), c.Cycles(), c.IPC())
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordInfoReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.bin")
+	if err := record([]string{"-workload", "daxpy", "-n", "64", "-o", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := info([]string{"-i", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-i", trace, "-width", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-i", trace, "-l1", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordKernelWithLimit(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "k.bin")
+	if err := record([]string{"-workload", "stream", "-n", "256", "-max", "500", "-o", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := info([]string{"-i", trace}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordUnknownWorkload(t *testing.T) {
+	if err := record([]string{"-workload", "doom", "-o", filepath.Join(t.TempDir(), "x.bin")}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestInfoMissingFile(t *testing.T) {
+	if err := info([]string{"-i", "/nonexistent.bin"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestOpenWorkloadAll(t *testing.T) {
+	for _, w := range []string{"daxpy", "dot", "chase", "fib", "hpccg", "lulesh", "stencil", "stream", "gups", "fea", "minimd"} {
+		s, closer, err := openWorkload(w, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if s == nil {
+			t.Fatalf("%s: nil stream", w)
+		}
+		if closer != nil {
+			closer()
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Command sst runs a simulation described by an Abstract Machine Model
+// (AMM) JSON file and reports results. Machine files (a node architecture
+// plus a workload) and system files (a topology, network parameters and a
+// communication profile) are both accepted; the file's shape selects the
+// mode.
+//
+// Usage:
+//
+//	sst -config machine.json [-stats] [-csv]
+//	sst -system system.json
+//
+// See configs/ for examples of both formats and internal/config for the
+// full schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sst/internal/config"
+	"sst/internal/core"
+	"sst/internal/noc"
+	"sst/internal/sim"
+	"sst/internal/stats"
+	"sst/internal/workload"
+)
+
+func main() {
+	var (
+		cfgPath   = flag.String("config", "", "machine config JSON")
+		sysPath   = flag.String("system", "", "system config JSON")
+		dumpStats = flag.Bool("stats", false, "dump every component statistic")
+		asCSV     = flag.Bool("csv", false, "emit statistics as CSV")
+		timeline  = flag.String("timeline", "", "write a DRAM-traffic time series CSV to this file")
+		samplePd  = flag.String("sample-period", "10us", "timeline sampling period")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *cfgPath != "":
+		err = run(*cfgPath, *dumpStats, *asCSV, *timeline, *samplePd)
+	case *sysPath != "":
+		err = runSystem(*sysPath)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sst:", err)
+		os.Exit(1)
+	}
+}
+
+// runSystem executes a multi-node communication-profile simulation.
+func runSystem(path string) error {
+	sys, err := config.LoadSystemFile(path)
+	if err != nil {
+		return err
+	}
+	topo, err := sys.Topo.Build()
+	if err != nil {
+		return err
+	}
+	netCfg, err := sys.Net.ToNetConfig()
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine()
+	net, err := noc.NewNetwork(engine, "net", topo, netCfg, nil)
+	if err != nil {
+		return err
+	}
+	var profile workload.CommProfile
+	switch sys.App {
+	case "cth":
+		profile = workload.CTHProfile
+	case "sage":
+		profile = workload.SAGEProfile
+	case "charon":
+		profile = workload.CharonProfile
+	case "xnobel":
+		profile = workload.XNOBELProfile
+	default:
+		return fmt.Errorf("unknown app %q", sys.App)
+	}
+	if sys.Steps > 0 {
+		profile.Steps = sys.Steps
+	}
+	ranks := sys.Ranks
+	if ranks == 0 {
+		ranks = topo.NumNodes()
+	}
+	app, err := workload.NewApp(engine, profile.Name, net, profile.Scripts(ranks))
+	if err != nil {
+		return err
+	}
+	app.Start(nil)
+	engine.RunAll()
+	if !app.Done() {
+		return fmt.Errorf("application deadlocked at %v", engine.Now())
+	}
+	energy := net.Energy(noc.DefaultPowerParams())
+	fmt.Printf("system:          %s (%s, %d ranks)\n", sys.Name, topo.Name(), ranks)
+	fmt.Printf("app:             %s, %d steps\n", profile.Name, profile.Steps)
+	fmt.Printf("simulated time:  %.3f ms\n", app.Elapsed().Seconds()*1e3)
+	fmt.Printf("messages:        %d (%.2f MB)\n", ranks*profile.Steps, float64(net.BytesDelivered())/1e6)
+	fmt.Printf("mean msg latency: %.2f us\n", net.MessageLatencyMean()/1e6)
+	fmt.Printf("max recv wait:   %.3f ms\n", app.MaxWaitTime().Seconds()*1e3)
+	fmt.Printf("link utilization: mean %.3f, hottest %.3f\n", net.LinkUtilization(), net.HottestLinkUtilization())
+	fmt.Printf("network energy:  %.3f J (%.2f W provisioned static)\n", energy.TotalJ(), energy.StaticW)
+	return nil
+}
+
+func run(cfgPath string, dumpStats, asCSV bool, timeline, samplePd string) error {
+	cfg, err := config.LoadMachineFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	node, err := core.BuildNode(cfg)
+	if err != nil {
+		return err
+	}
+	var sampler *stats.Sampler
+	if timeline != "" {
+		period, err := sim.ParseTime(samplePd)
+		if err != nil {
+			return err
+		}
+		sampler = stats.NewSampler(node.Reg, "dram.bytes", "dram.row_hits", "cpu.0.retired")
+		sampler.Every(node.Sim.Engine(), period, 100_000)
+	}
+	res, err := node.Run()
+	if err != nil {
+		return err
+	}
+	if sampler != nil {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		sampler.WriteCSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeline:       %d samples -> %s\\n", sampler.N(), timeline)
+	}
+	fmt.Printf("machine:        %s\n", res.Name)
+	fmt.Printf("simulated time: %.6f ms\n", res.Seconds*1e3)
+	fmt.Printf("retired ops:    %d (%d flops)\n", res.Retired, res.Flops)
+	fmt.Printf("aggregate IPC:  %.3f\n", res.IPC)
+	if res.L1HitRate > 0 {
+		fmt.Printf("L1 hit rate:    %.4f\n", res.L1HitRate)
+	}
+	if res.L2HitRate > 0 {
+		fmt.Printf("L2 hit rate:    %.4f\n", res.L2HitRate)
+	}
+	fmt.Printf("DRAM traffic:   %.2f MB at %.2f GB/s (row hit %.3f)\n",
+		float64(res.MemBytes)/1e6, res.MemBandwidth/1e9, res.MemRowHitRate)
+	fmt.Printf("node power:     %.2f W (core %.3f J, mem %.3f J)\n",
+		res.Budget.AvgPowerW(), res.Budget.CoreEnergyJ, res.Budget.MemEnergyJ)
+	fmt.Printf("node cost:      $%.0f (die %.1f mm²)\n", res.Budget.TotalCostUSD(), res.AreaMM2)
+	if res.TempC > 0 {
+		fmt.Printf("die temperature: %.1f C (node MTBF %.2g h)\n", res.TempC, res.MTBFHours)
+	}
+	if dumpStats {
+		fmt.Println()
+		if asCSV {
+			node.Reg.WriteCSV(os.Stdout)
+		} else {
+			node.Reg.Dump(os.Stdout)
+		}
+	}
+	return nil
+}

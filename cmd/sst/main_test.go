@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testMachine = `{
+  "name": "cli-test",
+  "node": {
+    "cpu": {"kind": "superscalar", "freq": "2GHz", "width": 2},
+    "l1": {"size": "32KB", "assoc": 4, "hit_lat": 2},
+    "memory": {"preset": "ddr3-1333"}
+  },
+  "workload": {"kind": "stream", "n": 512, "iters": 1}
+}`
+
+func TestRunMachineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte(testMachine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, false, "", "10us"); err != nil {
+		t.Fatal(err)
+	}
+	tl := filepath.Join(dir, "timeline.csv")
+	if err := run(path, true, true, tl, "1us"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("timeline empty")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent.json", false, false, "", "1us"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	os.WriteFile(path, []byte(`{"name":"x"}`), 0o644)
+	if err := run(path, false, false, "", "1us"); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+const testSystem = `{
+  "name": "cli-sys",
+  "topology": {"kind": "torus", "x": 2, "y": 2, "z": 2},
+  "network": {"link_bw": 3.2e9, "inject_bw": 3.2e9, "link_lat": "100ns", "router_lat": "50ns"},
+  "app": "charon",
+  "steps": 2
+}`
+
+func TestRunSystemFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(testSystem), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSystem(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSystemMissing(t *testing.T) {
+	if err := runSystem("/nonexistent.json"); err == nil {
+		t.Fatal("missing system accepted")
+	}
+}

@@ -1,0 +1,11 @@
+# sum.s — sum the integers 1..100 into r1, store at `out`.
+        addi r1, r0, 0          # sum
+        addi r2, r0, 1          # i
+        addi r3, r0, 101        # limit
+loop:   add  r1, r1, r2
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        li   r4, out
+        sd   r1, 0(r4)
+        halt
+        .word out, 0

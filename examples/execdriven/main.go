@@ -1,0 +1,94 @@
+// Execdriven: the front-end/back-end split in action.
+//
+// One SR1 program (a pointer chase — dependent loads that no prefetcher
+// can help) is executed on three different processor back-ends over the
+// same memory hierarchy. The architectural result is identical every time
+// (the interpreter defines the semantics); only the timing differs — which
+// is the whole idea of separating functional front-ends from timing
+// back-ends.
+//
+// Run with: go run ./examples/execdriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sst/internal/cpu"
+	"sst/internal/frontend"
+	"sst/internal/mem"
+	"sst/internal/sim"
+	"sst/internal/workload"
+)
+
+func main() {
+	prog := workload.PointerChaseProgram(2048, 16384)
+
+	type backend struct {
+		name  string
+		build func(e *sim.Engine, c *sim.Clock, s frontend.Stream, m mem.Device) (cpu.Core, error)
+	}
+	backends := []backend{
+		{"in-order scalar", func(e *sim.Engine, c *sim.Clock, s frontend.Stream, m mem.Device) (cpu.Core, error) {
+			return cpu.NewInOrder(e, c, cpu.DefaultConfig("inorder", 1), s, m, nil)
+		}},
+		{"4-wide superscalar", func(e *sim.Engine, c *sim.Clock, s frontend.Stream, m mem.Device) (cpu.Core, error) {
+			return cpu.NewSuperscalar(e, c, cpu.DefaultConfig("wide", 4), s, m, nil)
+		}},
+		{"8-thread PIM core", func(e *sim.Engine, c *sim.Clock, s frontend.Stream, m mem.Device) (cpu.Core, error) {
+			// One real program thread plus synthetic siblings: the
+			// threaded core interleaves them to hide the chase's
+			// latency.
+			streams := []frontend.Stream{s}
+			for i := 0; i < 7; i++ {
+				cfg, err := frontend.Profile("irregular", 20000, uint64(i))
+				if err != nil {
+					return nil, err
+				}
+				cfg.Base = uint64(i+1) << 32
+				sib, err := frontend.NewSynthetic(cfg)
+				if err != nil {
+					return nil, err
+				}
+				streams = append(streams, sib)
+			}
+			pc := cpu.Config{Name: "pim", Freq: sim.GHz, Threads: 8}
+			return cpu.NewThreaded(e, c, pc, streams, m, nil)
+		}},
+	}
+
+	fmt.Println("pointer chase (16384 dependent loads) on three back-ends:")
+	for _, be := range backends {
+		stream, err := prog.Stream(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := sim.NewEngine()
+		clock := sim.NewClock(engine, 2*sim.GHz)
+		lower := mem.NewSimpleMemory(engine, "mem", 80*sim.Nanosecond, 0, nil)
+		l1, err := mem.NewCache(engine, mem.CacheConfig{
+			Name: "l1", SizeBytes: 8 << 10, LineBytes: 64, Assoc: 2,
+			HitLatency: sim.Nanosecond, MSHRs: 8, WriteBack: true,
+		}, lower, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core, err := be.build(engine, clock, stream, l1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core.Start(func() {})
+		engine.RunAll()
+		if err := stream.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if err := prog.Check(stream.Machine()); err != nil {
+			log.Fatalf("%s: wrong answer: %v", be.name, err)
+		}
+		fmt.Printf("  %-20s %8.3f ms simulated, %7d ops retired, aggregate IPC %.3f  (answer verified)\n",
+			be.name, engine.Now().Seconds()*1e3, core.Retired(), core.IPC())
+	}
+	fmt.Println("\nsame program, same answer, three different machines — only time changed.")
+	fmt.Println("(the PIM core also retired ~140k ops of sibling-thread work while the")
+	fmt.Println("chase was stalled on memory — that is the latency tolerance it sells.)")
+}

@@ -1,0 +1,63 @@
+// Memtech: the design-space exploration workflow — which memory technology
+// should a node use, and how wide should its core be?
+//
+// This example runs the SST study's sweep (DDR2/DDR3/GDDR5 × issue widths)
+// on the HPCCG and Lulesh miniapps at a reduced problem size, then prints
+// the three views the study drew conclusions from: raw performance,
+// power/cost efficiency, and the width-scaling frontier. The full-size
+// version of this experiment is `go test -bench 'Fig10|Fig11|Fig12'` or
+// the sst-dse command.
+//
+// Run with: go run ./examples/memtech
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sst/internal/core"
+)
+
+func main() {
+	apps := []string{"hpccg", "lulesh"}
+	techs := []string{"ddr2-800", "ddr3-1333", "gddr5-4000"}
+	widths := []int{1, 4}
+
+	fmt.Println("sweeping", len(apps)*len(techs)*len(widths), "design points (reduced size)...")
+	grid, err := core.MemTechWidthSweep(apps, techs, widths, core.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	core.Fig10Table(grid, apps, techs, widths, "ddr3-1333").Render(os.Stdout)
+	fmt.Println()
+	core.Fig11Table(grid, apps, techs, widths).Render(os.Stdout)
+	fmt.Println()
+	core.Fig12Table(grid, apps, "gddr5-4000", widths).Render(os.Stdout)
+
+	// Draw the study's conclusion programmatically: best perf, best
+	// perf/W and best perf/$ can be three different designs.
+	for _, app := range apps {
+		var fastest, efficient, cheapest *core.DSEPoint
+		for i := range grid.Points {
+			p := &grid.Points[i]
+			if p.App != app {
+				continue
+			}
+			if fastest == nil || p.Result.Seconds < fastest.Result.Seconds {
+				fastest = p
+			}
+			if efficient == nil || p.Result.PerfPerWatt() > efficient.Result.PerfPerWatt() {
+				efficient = p
+			}
+			if cheapest == nil || p.Result.PerfPerDollar() > cheapest.Result.PerfPerDollar() {
+				cheapest = p
+			}
+		}
+		fmt.Printf("\n%s: fastest = %s/w%d, best perf/W = %s/w%d, best perf/$ = %s/w%d\n",
+			app, fastest.Tech, fastest.Width,
+			efficient.Tech, efficient.Width,
+			cheapest.Tech, cheapest.Width)
+	}
+}

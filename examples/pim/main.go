@@ -1,0 +1,49 @@
+// PIM: exploring a novel architecture — the SC'06 poster's headline use
+// case.
+//
+// This example compares two node designs on three workloads:
+//
+//   - conventional: a 4-wide superscalar core with L1/L2 caches and
+//     prefetchers over DDR3 — wins whenever SRAM can capture the working
+//     set or streams are predictable.
+//   - PIM: sixteen fine-grained hardware threads on a lightweight scalar
+//     pipeline placed at the memory with no caches — wins when accesses are
+//     irregular and latency must be tolerated rather than avoided.
+//
+// Run with: go run ./examples/pim
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sst/internal/core"
+)
+
+func main() {
+	table, results, err := core.PIMStudy([]string{"gups", "stream", "fea"}, core.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table.Render(os.Stdout)
+	fmt.Println()
+	for _, r := range results {
+		verdict := "conventional wins"
+		if r.PIMSpeedup() > 1 {
+			verdict = "PIM wins"
+		}
+		fmt.Printf("%-7s %s (%.1fx)\n", r.App+":", verdict, max1(r.PIMSpeedup()))
+	}
+	fmt.Println("\nshape: PIM tolerates GUPS's dependent random accesses with thread-level")
+	fmt.Println("parallelism; the conventional machine's caches and prefetchers dominate")
+	fmt.Println("on anything with locality. Simulation lets you find that crossover before")
+	fmt.Println("building either machine — the point of the toolkit.")
+}
+
+func max1(s float64) float64 {
+	if s < 1 && s > 0 {
+		return 1 / s
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module sst
+
+go 1.22

@@ -1,0 +1,262 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"os"
+
+	"sst/internal/dram"
+	"sst/internal/mem"
+	"sst/internal/sim"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"64", 64}, {"64B", 64}, {"32KB", 32 << 10}, {"4MB", 4 << 20},
+		{"2GB", 2 << 30}, {"8K", 8 << 10}, {" 1 MB ", 1 << 20},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "KB", "-4KB", "3TB", "x"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestCPUSpecConversion(t *testing.T) {
+	s := CPUSpec{Kind: "superscalar", Freq: "2.5GHz", Width: 4, Predictor: 512}
+	cfg, err := s.ToCoreConfig("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Freq != 2_500_000_000 || cfg.Width != 4 || cfg.PredictorEntries != 512 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := (CPUSpec{Kind: "quantum", Freq: "1GHz"}).ToCoreConfig("c"); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := (CPUSpec{Kind: "inorder"}).ToCoreConfig("c"); err == nil {
+		t.Error("missing freq accepted")
+	}
+	if _, err := (CPUSpec{Freq: "1GHz"}).ToCoreConfig("c"); err == nil {
+		t.Error("missing kind accepted")
+	}
+}
+
+func TestCacheSpecConversion(t *testing.T) {
+	s := CacheSpec{Size: "32KB", Assoc: 4, HitLat: 2, MSHRs: 8, Repl: "fifo", Policy: "writethrough"}
+	cfg, err := s.ToCacheConfig("l1", 2*sim.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SizeBytes != 32<<10 || cfg.LineBytes != 64 || cfg.Repl != mem.FIFO || cfg.WriteBack {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.HitLatency != sim.Nanosecond {
+		t.Fatalf("hit latency = %v, want 1ns (2 cycles at 2GHz)", cfg.HitLatency)
+	}
+	if _, err := (CacheSpec{Size: "32KB", Assoc: 4, Repl: "clairvoyant"}).ToCacheConfig("l1", sim.GHz); err == nil {
+		t.Error("bad replacement accepted")
+	}
+	if _, err := (CacheSpec{Size: "x", Assoc: 4}).ToCacheConfig("l1", sim.GHz); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestMemSpecConversion(t *testing.T) {
+	s := MemSpec{Preset: "gddr5-4000", Channels: 4, Scheduler: "fcfs"}
+	cfg, err := s.ToDRAMConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channels != 4 || cfg.Scheduler != dram.FCFS {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if s.Capacity() != 16 {
+		t.Fatal("default capacity")
+	}
+	if (MemSpec{CapacityGB: 8}).Capacity() != 8 {
+		t.Fatal("explicit capacity")
+	}
+	if _, err := (MemSpec{Preset: "rambus"}).ToDRAMConfig(); err == nil {
+		t.Error("bad preset accepted")
+	}
+	if _, err := (MemSpec{Preset: "ddr3-1333", Scheduler: "magic"}).ToDRAMConfig(); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+}
+
+const sampleMachine = `{
+  "name": "test-node",
+  "node": {
+    "cores": 2,
+    "cpu": {"kind": "superscalar", "freq": "2GHz", "width": 4},
+    "l1": {"size": "32KB", "assoc": 4, "hit_lat": 2},
+    "l2": {"size": "512KB", "assoc": 8, "hit_lat": 10},
+    "memory": {"preset": "ddr3-1333", "channels": 2}
+  },
+  "workload": {"kind": "hpccg", "n": 8, "iters": 1}
+}`
+
+func TestLoadMachine(t *testing.T) {
+	m, err := LoadMachine(strings.NewReader(sampleMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "test-node" || m.Node.Cores != 2 || m.Workload.N != 8 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestLoadMachineRejectsUnknownFields(t *testing.T) {
+	src := strings.Replace(sampleMachine, `"name"`, `"nmae"`, 1)
+	if _, err := LoadMachine(strings.NewReader(src)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	m, _ := LoadMachine(strings.NewReader(sampleMachine))
+	m.Node.L1 = nil // L2 without L1
+	if err := m.Validate(); err == nil {
+		t.Error("L2 without L1 accepted")
+	}
+	m, _ = LoadMachine(strings.NewReader(sampleMachine))
+	m.Workload.Kind = "nope"
+	if err := m.Validate(); err == nil {
+		t.Error("bad workload accepted")
+	}
+	m, _ = LoadMachine(strings.NewReader(sampleMachine))
+	m.Name = ""
+	if err := m.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	m, _ = LoadMachine(strings.NewReader(sampleMachine))
+	m.Node.Cores = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative cores accepted")
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w := WorkloadSpec{Kind: "hpccg"}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.N != 16 || w.Iters != 1 {
+		t.Fatalf("defaults: %+v", w)
+	}
+	w = WorkloadSpec{Kind: "synthetic"}
+	if err := w.Validate(); err == nil {
+		t.Error("synthetic without profile accepted")
+	}
+	w = WorkloadSpec{Kind: "synthetic", Profile: "stream"}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Ops == 0 {
+		t.Error("synthetic ops default missing")
+	}
+}
+
+func TestTopoSpecBuild(t *testing.T) {
+	cases := []TopoSpec{
+		{Kind: "mesh2d", X: 4, Y: 4},
+		{Kind: "torus", X: 4, Y: 4, Z: 2},
+		{Kind: "torus", X: 4, Y: 4}, // z defaults to 1
+		{Kind: "fattree", Edges: 4, NodesPerEdge: 4, Cores: 4},
+		{Kind: "crossbar", N: 16},
+		{Kind: "hypercube", N: 4},
+		{Kind: "butterfly", Switches: 4, Radix: 4},
+	}
+	for _, c := range cases {
+		if _, err := c.Build(); err != nil {
+			t.Errorf("%+v: %v", c, err)
+		}
+	}
+	if _, err := (TopoSpec{Kind: "hypercube"}).Build(); err == nil {
+		t.Error("bad topology accepted")
+	}
+}
+
+const sampleSystem = `{
+  "name": "test-sys",
+  "topology": {"kind": "torus", "x": 4, "y": 4, "z": 2},
+  "network": {"link_bw": 3.2e9, "inject_bw": 3.2e9, "link_lat": "100ns", "router_lat": "50ns"},
+  "app": "cth",
+  "steps": 4
+}`
+
+func TestLoadSystem(t *testing.T) {
+	s, err := LoadSystem(strings.NewReader(sampleSystem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test-sys" || s.App != "cth" {
+		t.Fatalf("s = %+v", s)
+	}
+	net, err := s.Net.ToNetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.LinkLatency != 100*sim.Nanosecond || net.RouterLatency != 50*sim.Nanosecond {
+		t.Fatalf("net = %+v", net)
+	}
+	topo, err := s.Topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 32 {
+		t.Fatalf("nodes = %d", topo.NumNodes())
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	s, _ := LoadSystem(strings.NewReader(sampleSystem))
+	s.App = "doom"
+	if err := s.Validate(); err == nil {
+		t.Error("bad app accepted")
+	}
+	s, _ = LoadSystem(strings.NewReader(sampleSystem))
+	s.Net.LinkLat = "soon"
+	if err := s.Validate(); err == nil {
+		t.Error("bad latency accepted")
+	}
+	if _, err := LoadSystem(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	mp := dir + "/m.json"
+	if err := writeFile(mp, sampleMachine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMachineFile(mp); err != nil {
+		t.Fatal(err)
+	}
+	sp := dir + "/s.json"
+	if err := writeFile(sp, sampleSystem); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSystemFile(sp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMachineFile(dir + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"sst/internal/config"
+	"sst/internal/stats"
+)
+
+// Scale sets experiment problem sizes; Small keeps unit tests fast, Full is
+// used by the benchmark harness.
+type Scale int
+
+const (
+	// Small shrinks problems to smoke-test size.
+	Small Scale = iota
+	// Full runs the benchmark-harness sizes.
+	Full
+)
+
+// SweepMachine builds the standard design-space-exploration node used by
+// the Fig. 10–12 studies: a superscalar core of the given width over
+// 32 KiB L1 and 512 KiB L2 caches and two channels of the given memory
+// technology, running the given miniapp.
+func SweepMachine(app, tech string, width int, scale Scale) *config.MachineConfig {
+	wl := config.WorkloadSpec{Kind: app, Iters: 1}
+	switch app {
+	case "hpccg":
+		if scale == Full {
+			wl.N = 18
+		} else {
+			wl.N = 6
+		}
+	case "lulesh":
+		if scale == Full {
+			wl.N = 16384
+		} else {
+			wl.N = 768
+		}
+	case "stencil":
+		if scale == Full {
+			wl.N = 16
+			wl.Iters = 2
+		} else {
+			wl.N = 8
+		}
+	case "stream", "fea":
+		if scale == Full {
+			wl.N = 8192
+			wl.Iters = 2
+		} else {
+			wl.N = 1024
+		}
+	case "gups":
+		if scale == Full {
+			wl.N = 30000
+		} else {
+			wl.N = 4000
+		}
+	case "minimd":
+		if scale == Full {
+			wl.N = 4096
+		} else {
+			wl.N = 512
+		}
+	}
+	return &config.MachineConfig{
+		Name: fmt.Sprintf("%s-%s-w%d", app, tech, width),
+		Node: config.NodeSpec{
+			Cores: 1,
+			CPU: config.CPUSpec{
+				Kind: "superscalar", Freq: "3.2GHz", Width: width,
+				Predictor: 1024, LoadQ: 8 * width, StoreQ: 8 * width,
+			},
+			L1:  &config.CacheSpec{Size: "32KB", Assoc: 4, HitLat: 2, MSHRs: 16, Prefetch: true, PrefetchDeg: 2},
+			L2:  &config.CacheSpec{Size: "256KB", Assoc: 8, HitLat: 10, MSHRs: 32, Prefetch: true, PrefetchDeg: 8},
+			Mem: config.MemSpec{Preset: tech, Channels: 1, CapacityGB: 4},
+		},
+		Workload: wl,
+	}
+}
+
+// RunMachine builds and runs one machine config.
+func RunMachine(cfg *config.MachineConfig) (*NodeResult, error) {
+	n, err := BuildNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run()
+}
+
+// DSEPoint is one (app, tech, width) sample of the design space.
+type DSEPoint struct {
+	App    string
+	Tech   string
+	Width  int
+	Result *NodeResult
+}
+
+// DSEGrid is the full sweep result.
+type DSEGrid struct {
+	Points []DSEPoint
+}
+
+// Find returns the point for (app, tech, width), or nil.
+func (g *DSEGrid) Find(app, tech string, width int) *DSEPoint {
+	for i := range g.Points {
+		p := &g.Points[i]
+		if p.App == app && p.Tech == tech && p.Width == width {
+			return p
+		}
+	}
+	return nil
+}
+
+// MemTechWidthSweep runs the cross product of apps × technologies × widths
+// — the single sweep behind Figs. 10, 11 and 12.
+func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale) (*DSEGrid, error) {
+	g := &DSEGrid{}
+	for _, app := range apps {
+		for _, tech := range techs {
+			for _, w := range widths {
+				res, err := RunMachine(SweepMachine(app, tech, w, scale))
+				if err != nil {
+					return nil, fmt.Errorf("core: sweep %s/%s/w%d: %w", app, tech, w, err)
+				}
+				g.Points = append(g.Points, DSEPoint{App: app, Tech: tech, Width: w, Result: res})
+			}
+		}
+	}
+	return g, nil
+}
+
+// Fig10Table renders application performance by memory technology: runtime
+// and speedup relative to the DDR3 baseline at each width.
+func Fig10Table(g *DSEGrid, apps, techs []string, widths []int, baseline string) *stats.Table {
+	t := stats.NewTable("Fig 10: application performance with different memory systems",
+		"app", "width", "tech", "runtime_ms", "speedup_vs_"+baseline)
+	for _, app := range apps {
+		for _, w := range widths {
+			base := g.Find(app, baseline, w)
+			for _, tech := range techs {
+				p := g.Find(app, tech, w)
+				if p == nil || base == nil {
+					continue
+				}
+				t.AddRow(app, w, tech, p.Result.Seconds*1e3,
+					base.Result.Seconds/p.Result.Seconds)
+			}
+		}
+	}
+	return t
+}
+
+// Fig11Table renders power and cost efficiency by memory technology.
+func Fig11Table(g *DSEGrid, apps, techs []string, widths []int) *stats.Table {
+	t := stats.NewTable("Fig 11: power and cost with different memory systems",
+		"app", "width", "tech", "node_watts", "perf_per_watt", "node_cost_usd", "perf_per_dollar")
+	for _, app := range apps {
+		for _, w := range widths {
+			for _, tech := range techs {
+				p := g.Find(app, tech, w)
+				if p == nil {
+					continue
+				}
+				r := p.Result
+				t.AddRow(app, w, tech, r.Budget.AvgPowerW(),
+					r.PerfPerWatt(), r.Budget.TotalCostUSD(), r.PerfPerDollar())
+			}
+		}
+	}
+	return t
+}
+
+// Fig12Table renders issue-width scaling on a fixed memory technology:
+// speedup, power and the efficiency metrics, all relative to width 1.
+func Fig12Table(g *DSEGrid, apps []string, tech string, widths []int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Fig 12: cost and power efficiency vs issue width (%s)", tech),
+		"app", "width", "speedup", "power_ratio", "perf_per_watt", "perf_per_dollar", "area_mm2")
+	for _, app := range apps {
+		base := g.Find(app, tech, widths[0])
+		if base == nil {
+			continue
+		}
+		for _, w := range widths {
+			p := g.Find(app, tech, w)
+			if p == nil {
+				continue
+			}
+			r := p.Result
+			t.AddRow(app, w,
+				base.Result.Seconds/r.Seconds,
+				r.Budget.AvgPowerW()/base.Result.Budget.AvgPowerW(),
+				r.PerfPerWatt(), r.PerfPerDollar(), r.AreaMM2)
+		}
+	}
+	return t
+}
+
+// MemSpeedStudy runs the Fig. 3 analogue: FEA-like (compute-bound) and
+// CG-solver (bandwidth-bound) phases across DDR3 speed grades, reporting
+// runtime relative to the fastest grade. The expected shape: the solver
+// slows as memory slows, the assembly phase barely moves.
+func MemSpeedStudy(grades []string, scale Scale) (*stats.Table, map[string]map[string]float64, error) {
+	apps := []string{"fea", "hpccg"}
+	t := stats.NewTable("Fig 3: effect of memory speed on FEA and solver phases",
+		"phase", "memory", "runtime_ms", "relative_to_fastest")
+	rel := map[string]map[string]float64{}
+	for _, app := range apps {
+		rel[app] = map[string]float64{}
+		var fastest float64
+		results := map[string]*NodeResult{}
+		for _, gr := range grades {
+			res, err := RunMachine(SweepMachine(app, gr, 4, scale))
+			if err != nil {
+				return nil, nil, err
+			}
+			results[gr] = res
+		}
+		fastest = results[grades[len(grades)-1]].Seconds
+		for _, gr := range grades {
+			r := results[gr]
+			rel[app][gr] = r.Seconds / fastest
+			t.AddRow(app, gr, r.Seconds*1e3, r.Seconds/fastest)
+		}
+	}
+	return t, rel, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"sst/internal/noc"
+	"sst/internal/sim"
+	"sst/internal/stats"
+	"sst/internal/workload"
+)
+
+// NetStudyConfig parameterizes the Fig. 9 injection-bandwidth degradation
+// study.
+type NetStudyConfig struct {
+	// Nodes is the machine size (a 3D-torus-shaped system, like the
+	// XT5 testbed).
+	Nodes int
+	// Fractions are the injection-bandwidth operating points (1, 1/2,
+	// 1/4, 1/8 in the study).
+	Fractions []float64
+	// Steps scales the proxies' timestep counts.
+	Steps int
+}
+
+// DefaultNetStudy mirrors the proof-of-concept study's shape at a
+// simulation-friendly size.
+func DefaultNetStudy() NetStudyConfig {
+	return NetStudyConfig{
+		Nodes:     32,
+		Fractions: []float64{1, 0.5, 0.25, 0.125},
+		Steps:     6,
+	}
+}
+
+// netStudyProfiles returns the four application proxies.
+func netStudyProfiles() []workload.CommProfile {
+	return []workload.CommProfile{
+		workload.CTHProfile,
+		workload.SAGEProfile,
+		workload.XNOBELProfile,
+		workload.CharonProfile,
+	}
+}
+
+// torusFor picks a near-cubic 3D torus for n nodes.
+func torusFor(n int) (*noc.Torus3D, error) {
+	best := [3]int{n, 1, 1}
+	for x := 1; x*x*x <= n*4; x++ {
+		if n%x != 0 {
+			continue
+		}
+		rest := n / x
+		for y := x; y*y <= rest*2; y++ {
+			if rest%y != 0 {
+				continue
+			}
+			z := rest / y
+			if x*y*z == n {
+				best = [3]int{x, y, z}
+			}
+		}
+	}
+	return noc.NewTorus3D(best[0], best[1], best[2])
+}
+
+// RunNetPoint executes one (profile, bandwidth fraction) cell and returns
+// the simulated runtime plus the network (for power/utilization analysis).
+func RunNetPoint(p workload.CommProfile, nodes, steps int, fraction float64) (sim.Time, *noc.Network, error) {
+	topo, err := torusFor(nodes)
+	if err != nil {
+		return 0, nil, err
+	}
+	engine := sim.NewEngine()
+	cfg := noc.DefaultConfig()
+	cfg.InjectionBandwidth *= fraction
+	net, err := noc.NewNetwork(engine, "net", topo, cfg, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.Steps = steps
+	app, err := workload.NewApp(engine, p.Name, net, p.Scripts(nodes))
+	if err != nil {
+		return 0, nil, err
+	}
+	app.Start(nil)
+	engine.RunAll()
+	if !app.Done() {
+		return 0, nil, fmt.Errorf("core: net study %s deadlocked", p.Name)
+	}
+	return app.Elapsed(), net, nil
+}
+
+// NetDegradationStudy reproduces Fig. 9: for each application proxy,
+// runtime at each injection-bandwidth fraction relative to full bandwidth.
+// It returns the table and the slowdown map [app][fraction index].
+func NetDegradationStudy(cfg NetStudyConfig) (*stats.Table, map[string][]float64, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("Fig 9: application slowdown vs injection bandwidth (%d-node torus)", cfg.Nodes),
+		"app", "bw_fraction", "runtime_ms", "slowdown_vs_full")
+	slow := map[string][]float64{}
+	for _, p := range netStudyProfiles() {
+		var full sim.Time
+		for i, f := range cfg.Fractions {
+			elapsed, _, err := RunNetPoint(p, cfg.Nodes, cfg.Steps, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				full = elapsed
+			}
+			s := float64(elapsed) / float64(full)
+			slow[p.Name] = append(slow[p.Name], s)
+			t.AddRow(p.Name, f, elapsed.Seconds()*1e3, s)
+		}
+	}
+	return t, slow, nil
+}
+
+// NetPowerStudy extends the degradation study with the power trade the
+// paper draws from it: assuming a system with an equal power split between
+// CPU, memory and network at full bandwidth, how does total system ENERGY
+// move when the network is down-provisioned? Latency-bound apps save
+// energy (same runtime, cheaper network); bandwidth-bound apps lose (the
+// runtime increase outweighs the network saving) — "the most energy
+// efficient configuration would in fact be the one with full bandwidth."
+func NetPowerStudy(cfg NetStudyConfig) (*stats.Table, map[string]int, error) {
+	t := stats.NewTable(
+		"Network power trade-off: system energy vs injection bandwidth (equal CPU/mem/net split at full bw)",
+		"app", "bw_fraction", "slowdown", "net_power_frac", "system_power_frac", "system_energy_frac")
+	best := map[string]int{}
+	for _, p := range netStudyProfiles() {
+		var full sim.Time
+		bestEnergy := 0.0
+		for i, f := range cfg.Fractions {
+			elapsed, _, err := RunNetPoint(p, cfg.Nodes, cfg.Steps, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				full = elapsed
+			}
+			slowdown := float64(elapsed) / float64(full)
+			// Network static power scales with provisioned
+			// bandwidth; CPU and memory power are unchanged.
+			sysPower := 2.0/3 + f/3
+			sysEnergy := sysPower * slowdown
+			if i == 0 || sysEnergy < bestEnergy {
+				bestEnergy = sysEnergy
+				best[p.Name] = i
+			}
+			t.AddRow(p.Name, f, slowdown, f, sysPower, sysEnergy)
+		}
+	}
+	return t, best, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sst/internal/par"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// The parallel-simulation study exercises the poster's scalability claim:
+// the same multi-node model is partitioned over 1..N ranks and the host
+// wall-clock time per simulated event is measured. On a multi-core host the
+// windows execute concurrently; on any host the study also verifies that
+// partitioning leaves the event count unchanged (determinism is covered by
+// internal/par's tests).
+
+// latticeNode is a self-driving model node: it burns host CPU per event
+// (standing in for component model code) and exchanges messages with its
+// ring neighbor at every lookahead interval.
+type latticeNode struct {
+	name     string
+	out      *sim.Port
+	received uint64
+	sink     float64
+}
+
+func (l *latticeNode) Name() string { return l.name }
+
+func (l *latticeNode) recv(payload any) {
+	l.received++
+}
+
+// BuildLattice partitions `nodes` ring-connected nodes over the runner and
+// starts their event chains: each node processes one compute event per
+// eventSpacing and one neighbor message per linkLatency.
+func BuildLattice(r *par.Runner, nodes int, eventSpacing, linkLatency sim.Time) ([]*latticeNode, error) {
+	nranks := r.NumRanks()
+	type half struct{ a, b *sim.Port }
+	halves := make([]half, nodes)
+	for i := 0; i < nodes; i++ {
+		ra := i % nranks
+		rb := ((i + 1) % nodes) % nranks
+		a, b, err := r.Connect(fmt.Sprintf("lat%d", i), linkLatency, ra, rb)
+		if err != nil {
+			return nil, err
+		}
+		halves[i] = half{a, b}
+	}
+	out := make([]*latticeNode, nodes)
+	for i := 0; i < nodes; i++ {
+		n := &latticeNode{name: fmt.Sprintf("node%d", i), out: halves[i].a}
+		halves[(i-1+nodes)%nodes].b.SetHandler(n.recv)
+		rk := r.Rank(i % nranks)
+		rk.Add(n)
+		eng := rk.Engine()
+		node := n
+		var work sim.Handler
+		sends := sim.Time(0)
+		work = func(any) {
+			for k := 0; k < 60; k++ {
+				node.sink += float64(k) * 1.0000001
+			}
+			sends += eventSpacing
+			if sends >= linkLatency {
+				sends = 0
+				node.out.Send(node.received)
+			}
+			eng.Schedule(eventSpacing, work, nil)
+		}
+		eng.Schedule(sim.Time(i%7), work, nil)
+	}
+	return out, nil
+}
+
+// ParallelScalingStudy runs the lattice at each rank count for the given
+// simulated horizon, reporting host wall time, simulated events and
+// events/second. It returns the table and wall seconds per rank count.
+func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time) (*stats.Table, map[int]float64, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("Parallel simulation scaling: %d-node model, %v horizon", nodes, horizon),
+		"ranks", "events", "wall_ms", "events_per_sec", "speedup_vs_1rank")
+	wall := map[int]float64{}
+	var base float64
+	var baseEvents uint64
+	for _, nr := range rankCounts {
+		r, err := par.NewRunner(nr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := BuildLattice(r, nodes, 2*sim.Nanosecond, 2*sim.Microsecond); err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		events, err := r.Run(horizon)
+		if err != nil {
+			return nil, nil, err
+		}
+		w := time.Since(start).Seconds()
+		wall[nr] = w
+		if nr == rankCounts[0] {
+			base = w
+			baseEvents = events
+		}
+		if events != baseEvents {
+			return nil, nil, fmt.Errorf("core: partitioning changed event count: %d vs %d", events, baseEvents)
+		}
+		t.AddRow(nr, events, w*1e3, float64(events)/w, base/w)
+	}
+	return t, wall, nil
+}

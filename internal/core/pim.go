@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"sst/internal/config"
+	"sst/internal/stats"
+)
+
+// The PIM study — the poster's "exploring novel architectures" headline —
+// compares a conventional wide cache-based core against a
+// processing-in-memory design point: many fine-grained hardware threads on
+// a lightweight scalar pipeline sitting close to a high-bank-parallelism
+// memory with no cache hierarchy. The expected shape: PIM wins on
+// low-locality workloads (GUPS) by tolerating latency with thread-level
+// parallelism, and loses on cache-friendly workloads where the conventional
+// machine's SRAM does the work.
+
+// ConventionalMachine is the cache-based reference node.
+func ConventionalMachine(app string, scale Scale) *config.MachineConfig {
+	m := SweepMachine(app, "ddr3-1333", 4, scale)
+	m.Name = fmt.Sprintf("conventional-%s", app)
+	return m
+}
+
+// PIMMachine is the near-memory design point: a 1 GHz, 16-thread scalar
+// core with no caches on the same DRAM technology (near-memory placement is
+// modelled by higher bank parallelism and no cache detour).
+func PIMMachine(app string, scale Scale) *config.MachineConfig {
+	base := SweepMachine(app, "ddr3-1333", 1, scale)
+	return &config.MachineConfig{
+		Name: fmt.Sprintf("pim-%s", app),
+		Node: config.NodeSpec{
+			Cores: 1,
+			CPU: config.CPUSpec{
+				Kind: "threaded", Freq: "1GHz", Threads: 16,
+			},
+			// No caches: loads go straight at memory.
+			Mem: config.MemSpec{Preset: "ddr3-1333", Channels: 4},
+		},
+		Workload: base.Workload,
+	}
+}
+
+// PIMStudyResult holds one workload's comparison.
+type PIMStudyResult struct {
+	App          string
+	Conventional *NodeResult
+	PIM          *NodeResult
+}
+
+// PIMSpeedup returns conventional-runtime / PIM-runtime (>1 means the PIM
+// node is faster).
+func (r PIMStudyResult) PIMSpeedup() float64 {
+	if r.PIM.Seconds == 0 {
+		return 0
+	}
+	return r.Conventional.Seconds / r.PIM.Seconds
+}
+
+// PIMStudy runs the comparison over the given workloads.
+func PIMStudy(apps []string, scale Scale) (*stats.Table, []PIMStudyResult, error) {
+	t := stats.NewTable("PIM vs conventional: exploring a novel architecture",
+		"app", "conventional_ms", "pim_ms", "pim_speedup", "conv_l1_hit")
+	var out []PIMStudyResult
+	for _, app := range apps {
+		conv, err := RunMachine(ConventionalMachine(app, scale))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: pim study %s conventional: %w", app, err)
+		}
+		pim, err := RunMachine(PIMMachine(app, scale))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: pim study %s pim: %w", app, err)
+		}
+		r := PIMStudyResult{App: app, Conventional: conv, PIM: pim}
+		out = append(out, r)
+		t.AddRow(app, conv.Seconds*1e3, pim.Seconds*1e3, r.PIMSpeedup(), conv.L1HitRate)
+	}
+	return t, out, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"sst/internal/stats"
+)
+
+// CoreScalingStudy is the Fig. 2 analogue: hold total work fixed, vary the
+// number of cores sharing one node's memory system, and report parallel
+// efficiency (T1 / (n·Tn)). Memory-bandwidth-bound phases (the solver)
+// lose efficiency as cores contend for DRAM; compute-bound phases (the
+// FEA-like assembly) scale nearly ideally — the effect the original
+// cores-per-node methodology measures.
+func CoreScalingStudy(apps []string, coreCounts []int, scale Scale) (*stats.Table, map[string]map[int]float64, error) {
+	t := stats.NewTable("Fig 2: effect of cores per node on solver and FEA phases",
+		"phase", "cores", "runtime_ms", "speedup", "efficiency")
+	eff := map[string]map[int]float64{}
+	for _, app := range apps {
+		eff[app] = map[int]float64{}
+		var t1 float64
+		for _, cores := range coreCounts {
+			cfg := SweepMachine(app, "ddr3-1333", 4, scale)
+			cfg.Name = fmt.Sprintf("%s-%dc", app, cores)
+			cfg.Node.Cores = cores
+			res, err := RunMachine(cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: scaling %s/%d: %w", app, cores, err)
+			}
+			if cores == coreCounts[0] {
+				t1 = res.Seconds * float64(coreCounts[0])
+			}
+			speedup := t1 / res.Seconds
+			e := speedup / float64(cores)
+			eff[app][cores] = e
+			t.AddRow(app, cores, res.Seconds*1e3, speedup, e)
+		}
+	}
+	return t, eff, nil
+}
+
+// CacheStudy is the Fig. 4 analogue: L1/L2 hit rates of the FEA-like and
+// solver phases. The assembly phase lives in L1; the solver streams and
+// shows much weaker outer-level locality.
+func CacheStudy(scale Scale) (*stats.Table, map[string]*NodeResult, error) {
+	t := stats.NewTable("Fig 4: cache behavior of the FEA and solver phases",
+		"phase", "l1_hit_rate", "l2_hit_rate", "dram_MB")
+	out := map[string]*NodeResult{}
+	for _, app := range []string{"fea", "hpccg"} {
+		cfg := SweepMachine(app, "ddr3-1333", 4, scale)
+		// Measure raw locality: the stream prefetcher would convert the
+		// solver's compulsory misses into hits and mask the contrast.
+		cfg.Node.L1.Prefetch = false
+		cfg.Node.L2.Prefetch = false
+		res, err := RunMachine(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[app] = res
+		t.AddRow(app, res.L1HitRate, res.L2HitRate, float64(res.MemBytes)/1e6)
+	}
+	return t, out, nil
+}

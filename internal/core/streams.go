@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sst/internal/frontend"
+	"sst/internal/workload"
+)
+
+// offsetStream relocates a stream's memory accesses, giving each core or
+// thread a private address-space partition.
+type offsetStream struct {
+	inner frontend.Stream
+	off   uint64
+}
+
+func (o *offsetStream) Next(op *frontend.Op) bool {
+	if !o.inner.Next(op) {
+		return false
+	}
+	if op.Class == frontend.ClassLoad || op.Class == frontend.ClassStore {
+		op.Addr += o.off
+	}
+	return true
+}
+
+// unitOffset spaces per-unit partitions 8 GiB apart.
+const unitOffset = 1 << 33
+
+// buildStreams constructs one stream per hardware thread per core,
+// partitioning the configured workload across all units so total work stays
+// roughly constant as parallelism varies.
+func (n *NodeModel) buildStreams() ([][]frontend.Stream, error) {
+	cfg := n.Cfg
+	cores := cfg.Node.Cores
+	threads := 1
+	if cfg.Node.CPU.Kind == "threaded" {
+		threads = cfg.Node.CPU.Threads
+		if threads <= 0 {
+			threads = 1
+		}
+	}
+	units := cores * threads
+	out := make([][]frontend.Stream, cores)
+	for c := 0; c < cores; c++ {
+		out[c] = make([]frontend.Stream, threads)
+		for t := 0; t < threads; t++ {
+			u := c*threads + t
+			s, closer, err := n.buildUnitStream(u, units)
+			if err != nil {
+				n.Close()
+				return nil, err
+			}
+			if closer != nil {
+				n.closer = append(n.closer, closer)
+			}
+			if cfg.MaxOps > 0 {
+				s = &frontend.LimitStream{Inner: s, N: cfg.MaxOps / uint64(units)}
+			}
+			out[c][t] = s
+		}
+	}
+	return out, nil
+}
+
+// splitDim shrinks a cubic dimension so units sub-problems total the
+// original volume.
+func splitDim(n, units int) int {
+	d := int(math.Round(float64(n) / math.Cbrt(float64(units))))
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// splitCount divides a 1-D extent.
+func splitCount(n, units int) int {
+	d := n / units
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// buildUnitStream creates unit u's share of the workload.
+func (n *NodeModel) buildUnitStream(u, units int) (frontend.Stream, func(), error) {
+	w := n.Cfg.Workload
+	off := uint64(u) * unitOffset
+	wrap := func(k *workload.Kernel) (frontend.Stream, func(), error) {
+		ks := k.Stream()
+		return &offsetStream{inner: ks, off: off}, ks.Close, nil
+	}
+	switch w.Kind {
+	case "hpccg":
+		return wrap(workload.HPCCG(splitDim(w.N, units), w.Iters))
+	case "stencil":
+		return wrap(workload.Stencil(splitDim(w.N, units), w.Iters))
+	case "lulesh":
+		return wrap(workload.Lulesh(splitCount(w.N, units), w.Iters))
+	case "stream":
+		return wrap(workload.STREAMTriad(splitCount(w.N, units), w.Iters))
+	case "fea":
+		return wrap(workload.FEA(splitCount(w.N, units), w.Iters))
+	case "gups":
+		table := uint64(64 << 20) // 64 MiB table per unit
+		return wrap(workload.GUPS(table, splitCount(w.N, units)*w.Iters, w.Seed+uint64(u)))
+	case "minimd":
+		return wrap(workload.MiniMD(splitCount(w.N, units), 16, w.Iters, w.Seed+uint64(u)))
+	case "synthetic":
+		cfg, err := frontend.Profile(w.Profile, w.Ops/uint64(units), w.Seed+uint64(u))
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Base = off
+		s, err := frontend.NewSynthetic(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown workload kind %q", w.Kind)
+	}
+}

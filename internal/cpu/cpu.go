@@ -1,0 +1,181 @@
+// Package cpu implements gosst's processor timing back-ends. Each back-end
+// consumes any frontend.Stream and issues memory operations into a
+// mem.Device, so front-ends (execution-driven, trace, synthetic, kernel)
+// and memory hierarchies compose freely — the Structural Simulation
+// Toolkit's central modularity claim.
+//
+// Three fidelity points are provided:
+//
+//   - InOrder:      scalar, blocking; the baseline embedded-class core
+//   - Superscalar:  configurable issue width with register scoreboarding,
+//     non-blocking loads and a branch predictor — the knob the design-space
+//     exploration studies sweep
+//   - Threaded:     a PIM-style fine-grained multithreaded lightweight core
+//     that tolerates memory latency with thread-level parallelism instead
+//     of caches (the poster's "novel architecture" class)
+package cpu
+
+import (
+	"fmt"
+
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// Config parameterizes a core back-end.
+type Config struct {
+	Name string
+	Freq sim.Hz
+	// Width is the issue width (Superscalar only; others are scalar).
+	Width int
+	// IntLat and FloatLat are execution latencies in cycles.
+	IntLat   sim.Cycle
+	FloatLat sim.Cycle
+	// BranchPenalty is the flush bubble on a mispredict.
+	BranchPenalty sim.Cycle
+	// LoadQ and StoreQ bound outstanding memory operations.
+	LoadQ  int
+	StoreQ int
+	// PredictorEntries sizes the 2-bit branch predictor table; 0 means
+	// perfect prediction.
+	PredictorEntries int
+	// ROB sizes the out-of-order window (OoO only); 0 defaults to
+	// 32*Width, a typical window-to-width ratio.
+	ROB int
+	// Threads is the hardware thread count (Threaded only).
+	Threads int
+}
+
+// Validate fills defaults and checks invariants.
+func (c *Config) Validate() error {
+	if c.Freq == 0 {
+		return fmt.Errorf("cpu %s: zero frequency", c.Name)
+	}
+	if c.Width <= 0 {
+		c.Width = 1
+	}
+	if c.IntLat == 0 {
+		c.IntLat = 1
+	}
+	if c.FloatLat == 0 {
+		c.FloatLat = 4
+	}
+	if c.BranchPenalty == 0 {
+		c.BranchPenalty = 8
+	}
+	if c.LoadQ <= 0 {
+		c.LoadQ = 8
+	}
+	if c.StoreQ <= 0 {
+		c.StoreQ = 8
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.ROB <= 0 {
+		c.ROB = 32 * c.Width
+	}
+	if c.PredictorEntries < 0 || c.PredictorEntries&(c.PredictorEntries-1) != 0 {
+		return fmt.Errorf("cpu %s: predictor entries %d not a power of two", c.Name, c.PredictorEntries)
+	}
+	return nil
+}
+
+// DefaultConfig returns a sensible 2 GHz core of the given issue width.
+func DefaultConfig(name string, width int) Config {
+	return Config{
+		Name: name, Freq: 2 * sim.GHz, Width: width,
+		IntLat: 1, FloatLat: 4, BranchPenalty: 10,
+		LoadQ: 4 * width, StoreQ: 4 * width,
+		PredictorEntries: 1024,
+	}
+}
+
+// Core is the interface harnesses drive: Start arms the core on its clock;
+// onDone fires (once) when the stream is exhausted and all memory
+// operations have drained.
+type Core interface {
+	sim.Component
+	Start(onDone func())
+	Done() bool
+	// Retired returns committed operation count; Cycles the core-clock
+	// cycles elapsed while running.
+	Retired() uint64
+	Cycles() sim.Cycle
+	// IPC is Retired()/Cycles().
+	IPC() float64
+}
+
+// coreStats bundles the statistics every back-end keeps.
+type coreStats struct {
+	retired     *stats.Counter
+	cycles      *stats.Counter
+	stallDep    *stats.Counter
+	stallMem    *stats.Counter
+	stallBubble *stats.Counter
+	mispredicts *stats.Counter
+	branches    *stats.Counter
+	loads       *stats.Counter
+	stores      *stats.Counter
+	flops       *stats.Counter
+	sleeps      *stats.Counter
+}
+
+func newCoreStats(scope *stats.Scope) coreStats {
+	return coreStats{
+		retired:     scope.Counter("retired"),
+		cycles:      scope.Counter("cycles"),
+		stallDep:    scope.Counter("stall_dep"),
+		stallMem:    scope.Counter("stall_mem"),
+		stallBubble: scope.Counter("stall_bubble"),
+		mispredicts: scope.Counter("mispredicts"),
+		branches:    scope.Counter("branches"),
+		loads:       scope.Counter("loads"),
+		stores:      scope.Counter("stores"),
+		flops:       scope.Counter("flops"),
+		sleeps:      scope.Counter("sleeps"),
+	}
+}
+
+// predictor is a classic table of 2-bit saturating counters, indexed by
+// word PC. A nil predictor predicts perfectly.
+type predictor struct {
+	table []uint8
+	mask  uint64
+}
+
+func newPredictor(entries int) *predictor {
+	if entries == 0 {
+		return nil
+	}
+	p := &predictor{table: make([]uint8, entries), mask: uint64(entries - 1)}
+	for i := range p.table {
+		p.table[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+// predict returns the predicted direction and updates state with the actual
+// outcome, reporting whether the prediction was wrong.
+func (p *predictor) mispredicted(pc uint64, taken bool) bool {
+	if p == nil {
+		return false
+	}
+	idx := (pc >> 2) & p.mask
+	ctr := p.table[idx]
+	pred := ctr >= 2
+	if taken && ctr < 3 {
+		p.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		p.table[idx] = ctr - 1
+	}
+	return pred != taken
+}
+
+// scope returns a stats scope, inventing a private registry when nil.
+func ensureScope(scope *stats.Scope, name string) *stats.Scope {
+	if scope != nil {
+		return scope
+	}
+	return stats.NewRegistry().Scope(name)
+}

@@ -1,0 +1,418 @@
+package cpu
+
+import (
+	"testing"
+
+	"sst/internal/frontend"
+	"sst/internal/isa"
+	"sst/internal/mem"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// rig bundles a simulation, a memory and a stats registry for core tests.
+type rig struct {
+	engine *sim.Engine
+	clock  *sim.Clock
+	mem    *mem.SimpleMemory
+	reg    *stats.Registry
+}
+
+func newRig(t testing.TB, memLatency sim.Time) *rig {
+	t.Helper()
+	e := sim.NewEngine()
+	return &rig{
+		engine: e,
+		clock:  sim.NewClock(e, 2*sim.GHz),
+		mem:    mem.NewSimpleMemory(e, "mem", memLatency, 0, nil),
+		reg:    stats.NewRegistry(),
+	}
+}
+
+func intStream(n int) frontend.Stream {
+	ops := make([]frontend.Op, n)
+	for i := range ops {
+		ops[i] = frontend.Op{Class: frontend.ClassInt, Dst: uint8(1 + i%8)}
+	}
+	return &frontend.SliceStream{Ops: ops}
+}
+
+func runCore(t testing.TB, r *rig, c Core) {
+	t.Helper()
+	finished := false
+	c.Start(func() { finished = true })
+	r.engine.RunAll()
+	if !finished || !c.Done() {
+		t.Fatalf("core %s never finished (done=%v)", c.Name(), c.Done())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := Config{Name: "c"}
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	cfg = Config{Name: "c", Freq: sim.GHz, PredictorEntries: 3}
+	if err := cfg.Validate(); err == nil {
+		t.Error("non-power-of-two predictor accepted")
+	}
+	cfg = DefaultConfig("c", 4)
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+	if cfg.Width != 4 || cfg.LoadQ != 16 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestInOrderIntIPC(t *testing.T) {
+	r := newRig(t, 0)
+	c, err := NewInOrder(r.engine, r.clock, Config{Name: "c", Freq: 2 * sim.GHz, IntLat: 1}, intStream(1000), r.mem, r.reg.Scope("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCore(t, r, c)
+	if c.Retired() != 1000 {
+		t.Fatalf("retired = %d", c.Retired())
+	}
+	if ipc := c.IPC(); ipc < 0.95 || ipc > 1.05 {
+		t.Errorf("scalar int IPC = %.3f, want ~1", ipc)
+	}
+}
+
+func TestInOrderLoadsBlock(t *testing.T) {
+	// 100ns memory at 2GHz = 200 cycles per load; blocking core IPC
+	// collapses accordingly.
+	r := newRig(t, 100*sim.Nanosecond)
+	ops := make([]frontend.Op, 100)
+	for i := range ops {
+		ops[i] = frontend.Op{Class: frontend.ClassLoad, Addr: uint64(i * 64), Size: 8, Dst: 1}
+	}
+	c, _ := NewInOrder(r.engine, r.clock, Config{Name: "c", Freq: 2 * sim.GHz}, &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+	runCore(t, r, c)
+	if ipc := c.IPC(); ipc > 0.01 {
+		t.Errorf("blocking-load IPC = %.4f, expected ~1/200", ipc)
+	}
+	// The core must sleep during stalls, not spin: the engine should
+	// have handled far fewer events than elapsed cycles.
+	if c.Cycles() < 100*190 {
+		t.Errorf("cycles = %d, want ~20000", c.Cycles())
+	}
+}
+
+func TestInOrderFloatLatency(t *testing.T) {
+	r := newRig(t, 0)
+	ops := make([]frontend.Op, 100)
+	for i := range ops {
+		ops[i] = frontend.Op{Class: frontend.ClassFloat, Dst: 1}
+	}
+	c, _ := NewInOrder(r.engine, r.clock, Config{Name: "c", Freq: 2 * sim.GHz, FloatLat: 4}, &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+	runCore(t, r, c)
+	if ipc := c.IPC(); ipc < 0.2 || ipc > 0.3 {
+		t.Errorf("scalar float IPC = %.3f, want ~0.25", ipc)
+	}
+}
+
+func TestSuperscalarWidthScaling(t *testing.T) {
+	// Independent int ops: IPC should approach the width.
+	ipcAt := func(width int) float64 {
+		r := newRig(t, 0)
+		ops := make([]frontend.Op, 4000)
+		for i := range ops {
+			// No dependences: distinct destination registers, no
+			// sources.
+			ops[i] = frontend.Op{Class: frontend.ClassInt, Dst: uint8(1 + i%30)}
+		}
+		cfg := DefaultConfig("c", width)
+		c, err := NewSuperscalar(r.engine, r.clock, cfg, &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCore(t, r, c)
+		return c.IPC()
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		ipc := ipcAt(w)
+		if ipc < float64(w)*0.9 || ipc > float64(w)*1.05 {
+			t.Errorf("width %d: IPC = %.2f, want ~%d", w, ipc, w)
+		}
+	}
+}
+
+func TestSuperscalarDependenceChainSerializes(t *testing.T) {
+	r := newRig(t, 0)
+	// Each op reads the previous op's destination: IPC pinned to ~1
+	// regardless of width.
+	ops := make([]frontend.Op, 2000)
+	for i := range ops {
+		dst := uint8(1 + i%2)
+		src := uint8(1 + (i+1)%2)
+		ops[i] = frontend.Op{Class: frontend.ClassInt, Dst: dst, Src1: src}
+	}
+	c, _ := NewSuperscalar(r.engine, r.clock, DefaultConfig("c", 8), &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+	runCore(t, r, c)
+	if ipc := c.IPC(); ipc > 1.1 {
+		t.Errorf("dependence chain IPC = %.2f on 8-wide, want ~1", ipc)
+	}
+}
+
+func TestSuperscalarMemoryLevelParallelism(t *testing.T) {
+	// Independent loads with a deep load queue: total time must be far
+	// below loads x latency (MLP), unlike the blocking core.
+	lat := 100 * sim.Nanosecond
+	run := func(width, lq int) sim.Time {
+		r := newRig(t, lat)
+		ops := make([]frontend.Op, 256)
+		for i := range ops {
+			ops[i] = frontend.Op{Class: frontend.ClassLoad, Addr: uint64(i * 64), Size: 8, Dst: uint8(1 + i%30)}
+		}
+		cfg := DefaultConfig("c", width)
+		cfg.LoadQ = lq
+		c, _ := NewSuperscalar(r.engine, r.clock, cfg, &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+		runCore(t, r, c)
+		return r.engine.Now()
+	}
+	wide := run(4, 16)
+	narrow := run(1, 1)
+	if wide*4 > narrow {
+		t.Errorf("MLP: 16-deep LQ took %v, 1-deep took %v; want >= 4x gap", wide, narrow)
+	}
+}
+
+func TestSuperscalarWAWThroughLoads(t *testing.T) {
+	// A load writes r1; a younger int op overwrites r1; a consumer of r1
+	// must see the int op's (fast) readiness, not wait for the load.
+	// With a stale-tag bug the consumer would deadlock or mis-time.
+	r := newRig(t, 1*sim.Microsecond)
+	ops := []frontend.Op{
+		{Class: frontend.ClassLoad, Addr: 0, Size: 8, Dst: 1},
+		{Class: frontend.ClassInt, Dst: 1},
+		{Class: frontend.ClassInt, Src1: 1, Dst: 2},
+		{Class: frontend.ClassInt, Dst: 3},
+	}
+	c, _ := NewSuperscalar(r.engine, r.clock, DefaultConfig("c", 1), &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+	runCore(t, r, c)
+	if c.Retired() != 4 {
+		t.Fatalf("retired = %d", c.Retired())
+	}
+}
+
+func TestSuperscalarBranchMispredicts(t *testing.T) {
+	r := newRig(t, 0)
+	// Alternating taken/not-taken at one PC defeats a 2-bit counter.
+	ops := make([]frontend.Op, 2000)
+	for i := range ops {
+		ops[i] = frontend.Op{Class: frontend.ClassBranch, PC: 0x100, Taken: i%2 == 0}
+	}
+	cfg := DefaultConfig("c", 4)
+	c, _ := NewSuperscalar(r.engine, r.clock, cfg, &frontend.SliceStream{Ops: ops}, r.mem, r.reg.Scope("c"))
+	runCore(t, r, c)
+	if c.Mispredicts() < 500 {
+		t.Errorf("mispredicts = %d, expected many on alternating pattern", c.Mispredicts())
+	}
+	if ipc := c.IPC(); ipc > 0.5 {
+		t.Errorf("IPC = %.2f despite heavy mispredicts", ipc)
+	}
+
+	// Perfect predictor (0 entries): full speed.
+	r2 := newRig(t, 0)
+	cfg2 := DefaultConfig("c", 4)
+	cfg2.PredictorEntries = 0
+	ops2 := make([]frontend.Op, len(ops))
+	copy(ops2, ops)
+	c2, _ := NewSuperscalar(r2.engine, r2.clock, cfg2, &frontend.SliceStream{Ops: ops2}, r2.mem, nil)
+	runCore(t, r2, c2)
+	if c2.Mispredicts() != 0 {
+		t.Errorf("perfect predictor mispredicted %d times", c2.Mispredicts())
+	}
+}
+
+func TestSuperscalarExecStreamIntegration(t *testing.T) {
+	// End-to-end: assemble a vector-sum program, run it on the
+	// superscalar core over a cache over memory; verify both the
+	// architectural result and that timing statistics accumulated.
+	src := `
+		li   r5, 4096       # base
+		addi r6, r0, 0      # i
+		addi r7, r0, 512    # n
+		addi r8, r0, 0      # sum
+	loop:
+		slli r9, r6, 3
+		add  r9, r9, r5
+		ld   r10, 0(r9)
+		add  r8, r8, r10
+		addi r6, r6, 1
+		blt  r6, r7, loop
+		li   r11, 32768
+		sd   r8, 0(r11)
+		halt
+	`
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := isa.NewMachine(p)
+	// Seed the array with 1s.
+	for i := 0; i < 512; i++ {
+		m.Store(4096+uint64(i*8), 8, 1)
+	}
+	r := newRig(t, 20*sim.Nanosecond)
+	cache, err := mem.NewCache(r.engine, mem.CacheConfig{
+		Name: "l1", SizeBytes: 8 << 10, LineBytes: 64, Assoc: 2,
+		HitLatency: 1 * sim.Nanosecond, MSHRs: 8, WriteBack: true,
+	}, r.mem, r.reg.Scope("l1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := frontend.NewExecStream(m, 0)
+	c, err := NewSuperscalar(r.engine, r.clock, DefaultConfig("cpu", 2), stream, cache, r.reg.Scope("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCore(t, r, c)
+	if stream.Err() != nil {
+		t.Fatal(stream.Err())
+	}
+	if got := m.Load(32768, 8); got != 512 {
+		t.Fatalf("program result = %d, want 512", got)
+	}
+	if c.Retired() < 512*6 {
+		t.Errorf("retired = %d, want >= %d", c.Retired(), 512*6)
+	}
+	if cache.Hits() == 0 || cache.Misses() == 0 {
+		t.Errorf("cache untouched: hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+	// 512 sequential 8B loads = 64 lines: misses should be ~64.
+	if cache.Misses() > 80 {
+		t.Errorf("cache misses = %d, want ~64", cache.Misses())
+	}
+}
+
+func TestThreadedLatencyTolerance(t *testing.T) {
+	// All-load streams against slow memory: 8 threads should overlap
+	// latencies and beat 1 thread by several times.
+	lat := 200 * sim.Nanosecond
+	run := func(threads int) sim.Time {
+		r := newRig(t, lat)
+		var streams []frontend.Stream
+		perThread := 512 / threads
+		for ti := 0; ti < threads; ti++ {
+			ops := make([]frontend.Op, perThread)
+			for i := range ops {
+				ops[i] = frontend.Op{Class: frontend.ClassLoad, Addr: uint64((ti*perThread + i) * 64), Size: 8, Dst: 1}
+			}
+			streams = append(streams, &frontend.SliceStream{Ops: ops})
+		}
+		cfg := Config{Name: "pim", Freq: sim.GHz, Threads: threads}
+		c, err := NewThreaded(r.engine, r.clock, cfg, streams, r.mem, r.reg.Scope("pim"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCore(t, r, c)
+		if c.Retired() != 512 {
+			t.Fatalf("retired = %d", c.Retired())
+		}
+		return r.engine.Now()
+	}
+	t1 := run(1)
+	t8 := run(8)
+	if t8*4 > t1 {
+		t.Errorf("8 threads took %v vs 1 thread %v; want >= 4x speedup", t8, t1)
+	}
+}
+
+func TestThreadedRoundRobinFairness(t *testing.T) {
+	r := newRig(t, 0)
+	mkStream := func(n int) frontend.Stream {
+		ops := make([]frontend.Op, n)
+		for i := range ops {
+			ops[i] = frontend.Op{Class: frontend.ClassInt}
+		}
+		return &frontend.SliceStream{Ops: ops}
+	}
+	streams := []frontend.Stream{mkStream(100), mkStream(100), mkStream(100), mkStream(100)}
+	cfg := Config{Name: "pim", Freq: sim.GHz, Threads: 4}
+	c, _ := NewThreaded(r.engine, r.clock, cfg, streams, r.mem, r.reg.Scope("pim"))
+	runCore(t, r, c)
+	if c.Retired() != 400 {
+		t.Fatalf("retired = %d", c.Retired())
+	}
+	// One shared issue slot: 400 ops need ~400 cycles.
+	if cy := c.Cycles(); cy < 395 || cy > 450 {
+		t.Errorf("cycles = %d, want ~400", cy)
+	}
+}
+
+func TestThreadedStoresDrainBeforeDone(t *testing.T) {
+	r := newRig(t, 500*sim.Nanosecond)
+	ops := []frontend.Op{{Class: frontend.ClassStore, Addr: 0, Size: 8}}
+	cfg := Config{Name: "pim", Freq: sim.GHz, Threads: 1, StoreQ: 2}
+	c, _ := NewThreaded(r.engine, r.clock, cfg, []frontend.Stream{&frontend.SliceStream{Ops: ops}}, r.mem, nil)
+	runCore(t, r, c)
+	if r.engine.Now() < 500*sim.Nanosecond {
+		t.Errorf("finished at %v, before the posted store drained", r.engine.Now())
+	}
+}
+
+func TestThreadedEmptyStreams(t *testing.T) {
+	r := newRig(t, 0)
+	cfg := Config{Name: "pim", Freq: sim.GHz}
+	c, _ := NewThreaded(r.engine, r.clock, cfg, nil, r.mem, nil)
+	done := false
+	c.Start(func() { done = true })
+	r.engine.RunAll()
+	if !done {
+		t.Fatal("empty core never completed")
+	}
+}
+
+func TestPredictor(t *testing.T) {
+	p := newPredictor(16)
+	// Train taken at one PC.
+	for i := 0; i < 4; i++ {
+		p.mispredicted(0x40, true)
+	}
+	if p.mispredicted(0x40, true) {
+		t.Error("trained predictor mispredicted")
+	}
+	if !p.mispredicted(0x40, false) {
+		t.Error("direction change not mispredicted")
+	}
+	var nilPred *predictor
+	if nilPred.mispredicted(0, true) {
+		t.Error("nil (perfect) predictor mispredicted")
+	}
+}
+
+func TestCoreInterfaceCompliance(t *testing.T) {
+	var _ Core = (*InOrder)(nil)
+	var _ Core = (*Superscalar)(nil)
+	var _ Core = (*Threaded)(nil)
+}
+
+func BenchmarkSuperscalarSimSpeed(b *testing.B) {
+	r := newRig(b, 50*sim.Nanosecond)
+	cfg, err := frontend.Profile("compute", uint64(b.N), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := frontend.NewSynthetic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := mem.NewCache(r.engine, mem.CacheConfig{
+		Name: "l1", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4,
+		HitLatency: sim.Nanosecond, MSHRs: 8, WriteBack: true,
+	}, r.mem, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewSuperscalar(r.engine, r.clock, DefaultConfig("c", 4), s, cache, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	c.Start(func() {})
+	r.engine.RunAll()
+}

@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"sst/internal/frontend"
+	"sst/internal/mem"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// InOrder is a scalar, blocking core: one operation per cycle, loads stall
+// the pipeline until data returns, stores are posted through a small store
+// queue. It is the simplest timing model and the baseline against which
+// latency tolerance (caches, multithreading) is measured.
+type InOrder struct {
+	cfg    Config
+	clock  *sim.Clock
+	engine *sim.Engine
+	stream frontend.Stream
+	memory mem.Device
+	pred   *predictor
+	st     coreStats
+
+	op         frontend.Op
+	haveOp     bool
+	bubble     sim.Cycle
+	waiting    bool // blocked on an outstanding load
+	storesOut  int
+	running    bool
+	done       bool
+	onDone     func()
+	startCycle sim.Cycle
+	endCycle   sim.Cycle
+}
+
+// NewInOrder builds the core. scope may be nil.
+func NewInOrder(engine *sim.Engine, clock *sim.Clock, cfg Config, stream frontend.Stream, memory mem.Device, scope *stats.Scope) (*InOrder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &InOrder{
+		cfg:    cfg,
+		clock:  clock,
+		engine: engine,
+		stream: stream,
+		memory: memory,
+		pred:   newPredictor(cfg.PredictorEntries),
+		st:     newCoreStats(ensureScope(scope, cfg.Name)),
+	}
+	return c, nil
+}
+
+// Name implements sim.Component.
+func (c *InOrder) Name() string { return c.cfg.Name }
+
+// Start arms the core.
+func (c *InOrder) Start(onDone func()) {
+	c.onDone = onDone
+	c.startCycle = c.clock.NextCycle()
+	c.wake()
+}
+
+func (c *InOrder) wake() {
+	if c.running || c.done {
+		return
+	}
+	c.running = true
+	c.clock.Register(c.tick)
+}
+
+func (c *InOrder) sleep() bool {
+	c.running = false
+	c.st.sleeps.Inc()
+	return false
+}
+
+func (c *InOrder) tick(cycle sim.Cycle) bool {
+	c.st.cycles.Inc()
+	if c.bubble > 0 {
+		c.bubble--
+		c.st.stallBubble.Inc()
+		return true
+	}
+	if c.waiting {
+		// Spurious tick between wake scheduling and data return.
+		c.st.stallMem.Inc()
+		return true
+	}
+	if !c.haveOp {
+		if !c.stream.Next(&c.op) {
+			return c.finish(cycle)
+		}
+		c.haveOp = true
+	}
+	op := &c.op
+	switch op.Class {
+	case frontend.ClassLoad:
+		c.st.loads.Inc()
+		c.haveOp = false
+		c.waiting = true
+		c.st.retired.Inc()
+		c.memory.Access(mem.Read, op.Addr, int(op.Size), func() {
+			c.waiting = false
+			c.wake()
+		})
+		return c.sleep()
+	case frontend.ClassStore:
+		if c.storesOut >= c.cfg.StoreQ {
+			c.st.stallMem.Inc()
+			return true
+		}
+		c.st.stores.Inc()
+		c.storesOut++
+		addr, size := op.Addr, int(op.Size)
+		c.memory.Access(mem.Write, addr, size, func() { c.storesOut-- })
+	case frontend.ClassBranch:
+		c.st.branches.Inc()
+		if c.pred.mispredicted(op.PC, op.Taken) {
+			c.st.mispredicts.Inc()
+			c.bubble = c.cfg.BranchPenalty
+		}
+	case frontend.ClassFloat:
+		c.st.flops.Inc()
+		c.bubble = c.cfg.FloatLat - 1
+	case frontend.ClassInt:
+		c.bubble = c.cfg.IntLat - 1
+	}
+	c.st.retired.Inc()
+	c.haveOp = false
+	return true
+}
+
+func (c *InOrder) finish(cycle sim.Cycle) bool {
+	if c.storesOut > 0 {
+		// Drain the store queue before declaring completion.
+		c.st.stallMem.Inc()
+		return true
+	}
+	c.done = true
+	c.running = false
+	c.endCycle = cycle
+	if c.onDone != nil {
+		done := c.onDone
+		c.onDone = nil
+		done()
+	}
+	return false
+}
+
+// Done reports stream exhaustion.
+func (c *InOrder) Done() bool { return c.done }
+
+// Retired returns committed operations.
+func (c *InOrder) Retired() uint64 { return c.st.retired.Count() }
+
+// Cycles returns core cycles consumed while running (sleep cycles during
+// memory stalls count, since the core was occupied).
+func (c *InOrder) Cycles() sim.Cycle {
+	if c.done {
+		return c.endCycle - c.startCycle
+	}
+	return c.clock.Cycle() - c.startCycle
+}
+
+// IPC returns retired operations per cycle.
+func (c *InOrder) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Retired()) / float64(cy)
+}

@@ -1,0 +1,239 @@
+package cpu
+
+import (
+	"sst/internal/frontend"
+	"sst/internal/mem"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// regInfinity marks a register whose producing load is still in flight.
+const regInfinity = ^sim.Cycle(0)
+
+// Superscalar is a W-wide, in-order-issue core with register scoreboarding,
+// non-blocking loads (a load queue decouples issue from the memory system)
+// and a 2-bit branch predictor. Wider configurations extract more ILP and
+// more memory-level parallelism — the behavior the issue-width studies
+// sweep.
+//
+// The model is deliberately not a full out-of-order machine: SST's fast
+// processor models trade reorder-buffer fidelity for speed, and the
+// design-space conclusions (memory boundedness vs. width, superlinear
+// power) do not depend on OoO bookkeeping.
+type Superscalar struct {
+	cfg    Config
+	clock  *sim.Clock
+	engine *sim.Engine
+	stream frontend.Stream
+	memory mem.Device
+	pred   *predictor
+	st     coreStats
+
+	// Scoreboard: regReady[r] is the cycle r's value becomes available;
+	// regTag[r] identifies the newest writer so a stale load completion
+	// doesn't release a register a younger instruction owns (WAW).
+	regReady [32]sim.Cycle
+	regTag   [32]uint64
+	nextTag  uint64
+
+	op         frontend.Op
+	haveOp     bool
+	bubble     sim.Cycle
+	loadsOut   int
+	storesOut  int
+	running    bool
+	done       bool
+	streamDry  bool
+	onDone     func()
+	startCycle sim.Cycle
+	endCycle   sim.Cycle
+}
+
+// NewSuperscalar builds the core. scope may be nil.
+func NewSuperscalar(engine *sim.Engine, clock *sim.Clock, cfg Config, stream frontend.Stream, memory mem.Device, scope *stats.Scope) (*Superscalar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Superscalar{
+		cfg:    cfg,
+		clock:  clock,
+		engine: engine,
+		stream: stream,
+		memory: memory,
+		pred:   newPredictor(cfg.PredictorEntries),
+		st:     newCoreStats(ensureScope(scope, cfg.Name)),
+	}
+	return c, nil
+}
+
+// Name implements sim.Component.
+func (c *Superscalar) Name() string { return c.cfg.Name }
+
+// Start arms the core.
+func (c *Superscalar) Start(onDone func()) {
+	c.onDone = onDone
+	c.startCycle = c.clock.NextCycle()
+	c.wake()
+}
+
+func (c *Superscalar) wake() {
+	if c.running || c.done {
+		return
+	}
+	c.running = true
+	c.clock.Register(c.tick)
+}
+
+func (c *Superscalar) sleep() bool {
+	c.running = false
+	c.st.sleeps.Inc()
+	return false
+}
+
+// ready reports whether register r holds its value by the given cycle.
+func (c *Superscalar) ready(r uint8, cycle sim.Cycle) bool {
+	return r == 0 || c.regReady[r] <= cycle
+}
+
+// setWriter claims register r for a new producer available at readyAt.
+func (c *Superscalar) setWriter(r uint8, readyAt sim.Cycle) uint64 {
+	if r == 0 {
+		return 0
+	}
+	c.nextTag++
+	c.regTag[r] = c.nextTag
+	c.regReady[r] = readyAt
+	return c.nextTag
+}
+
+func (c *Superscalar) tick(cycle sim.Cycle) bool {
+	c.st.cycles.Inc()
+	if c.bubble > 0 {
+		c.bubble--
+		c.st.stallBubble.Inc()
+		return true
+	}
+	issued := 0
+	blockedOnMem := false
+	for issued < c.cfg.Width {
+		if !c.haveOp {
+			if c.streamDry || !c.stream.Next(&c.op) {
+				c.streamDry = true
+				break
+			}
+			c.haveOp = true
+		}
+		op := &c.op
+		// In-order issue: sources must be ready.
+		if !c.ready(op.Src1, cycle) || !c.ready(op.Src2, cycle) {
+			c.st.stallDep.Inc()
+			// If the blocking producer is an in-flight load, the
+			// core can sleep; a fixed-latency producer resolves
+			// within a few cycles of ticking.
+			if (op.Src1 != 0 && c.regReady[op.Src1] == regInfinity) ||
+				(op.Src2 != 0 && c.regReady[op.Src2] == regInfinity) {
+				blockedOnMem = true
+			}
+			break
+		}
+		switch op.Class {
+		case frontend.ClassLoad:
+			if c.loadsOut >= c.cfg.LoadQ {
+				c.st.stallMem.Inc()
+				blockedOnMem = true
+				goto out
+			}
+			c.st.loads.Inc()
+			c.loadsOut++
+			tag := c.setWriter(op.Dst, regInfinity)
+			dst := op.Dst
+			c.memory.Access(mem.Read, op.Addr, int(op.Size), func() {
+				c.loadsOut--
+				if dst != 0 && c.regTag[dst] == tag {
+					c.regReady[dst] = c.clock.NextCycle() + 1
+				}
+				c.wake()
+			})
+		case frontend.ClassStore:
+			if c.storesOut >= c.cfg.StoreQ {
+				c.st.stallMem.Inc()
+				blockedOnMem = true
+				goto out
+			}
+			c.st.stores.Inc()
+			c.storesOut++
+			c.memory.Access(mem.Write, op.Addr, int(op.Size), func() {
+				c.storesOut--
+				c.wake()
+			})
+		case frontend.ClassBranch:
+			c.st.branches.Inc()
+			if c.pred.mispredicted(op.PC, op.Taken) {
+				c.st.mispredicts.Inc()
+				c.bubble = c.cfg.BranchPenalty
+				c.st.retired.Inc()
+				c.haveOp = false
+				return true // flush: stop issuing this cycle
+			}
+		case frontend.ClassFloat:
+			c.st.flops.Inc()
+			c.setWriter(op.Dst, cycle+c.cfg.FloatLat)
+		case frontend.ClassInt:
+			c.setWriter(op.Dst, cycle+c.cfg.IntLat)
+		}
+		c.st.retired.Inc()
+		c.haveOp = false
+		issued++
+	}
+out:
+	if c.streamDry && !c.haveOp {
+		return c.finish(cycle)
+	}
+	// Sleep when no forward progress is possible until a memory response.
+	if issued == 0 && blockedOnMem && (c.loadsOut > 0 || c.storesOut > 0) {
+		return c.sleep()
+	}
+	return true
+}
+
+func (c *Superscalar) finish(cycle sim.Cycle) bool {
+	if c.loadsOut > 0 || c.storesOut > 0 {
+		c.st.stallMem.Inc()
+		return c.sleep() // completions wake us to re-check
+	}
+	c.done = true
+	c.running = false
+	c.endCycle = cycle
+	if c.onDone != nil {
+		done := c.onDone
+		c.onDone = nil
+		done()
+	}
+	return false
+}
+
+// Done reports stream exhaustion and memory drain.
+func (c *Superscalar) Done() bool { return c.done }
+
+// Retired returns committed operations.
+func (c *Superscalar) Retired() uint64 { return c.st.retired.Count() }
+
+// Cycles returns core cycles from Start to completion.
+func (c *Superscalar) Cycles() sim.Cycle {
+	if c.done {
+		return c.endCycle - c.startCycle
+	}
+	return c.clock.Cycle() - c.startCycle
+}
+
+// IPC returns retired operations per cycle.
+func (c *Superscalar) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Retired()) / float64(cy)
+}
+
+// Mispredicts exposes the mispredict count for predictor studies.
+func (c *Superscalar) Mispredicts() uint64 { return c.st.mispredicts.Count() }

@@ -1,0 +1,237 @@
+package cpu
+
+import (
+	"sst/internal/frontend"
+	"sst/internal/mem"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// Threaded is a fine-grained multithreaded, PIM-style lightweight core: T
+// hardware threads share one scalar issue slot, rotating round-robin among
+// ready threads every cycle. A thread that issues a load blocks until the
+// data returns while the other threads keep the pipe full — latency
+// tolerance through thread-level parallelism instead of caches, the
+// processing-in-memory design point the SST poster targets.
+type Threaded struct {
+	cfg    Config
+	clock  *sim.Clock
+	engine *sim.Engine
+	memory mem.Device
+	st     coreStats
+
+	threads    []*hwThread
+	rr         int
+	running    bool
+	done       bool
+	onDone     func()
+	live       int
+	startCycle sim.Cycle
+	endCycle   sim.Cycle
+}
+
+// hwThread is one hardware context.
+type hwThread struct {
+	stream    frontend.Stream
+	op        frontend.Op
+	haveOp    bool
+	readyAt   sim.Cycle
+	waiting   bool // outstanding load
+	storesOut int
+	dry       bool
+}
+
+// NewThreaded builds the core with one stream per hardware thread.
+// scope may be nil.
+func NewThreaded(engine *sim.Engine, clock *sim.Clock, cfg Config, streams []frontend.Stream, memory mem.Device, scope *stats.Scope) (*Threaded, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Threaded{
+		cfg:    cfg,
+		clock:  clock,
+		engine: engine,
+		memory: memory,
+		st:     newCoreStats(ensureScope(scope, cfg.Name)),
+	}
+	for _, s := range streams {
+		c.threads = append(c.threads, &hwThread{stream: s})
+	}
+	c.live = len(c.threads)
+	return c, nil
+}
+
+// Name implements sim.Component.
+func (c *Threaded) Name() string { return c.cfg.Name }
+
+// Threads returns the hardware thread count.
+func (c *Threaded) Threads() int { return len(c.threads) }
+
+// Start arms the core.
+func (c *Threaded) Start(onDone func()) {
+	c.onDone = onDone
+	c.startCycle = c.clock.NextCycle()
+	if c.live == 0 {
+		c.done = true
+		c.endCycle = c.startCycle
+		onDone()
+		return
+	}
+	c.wake()
+}
+
+func (c *Threaded) wake() {
+	if c.running || c.done {
+		return
+	}
+	c.running = true
+	c.clock.Register(c.tick)
+}
+
+func (c *Threaded) tick(cycle sim.Cycle) bool {
+	c.st.cycles.Inc()
+	n := len(c.threads)
+	anyBlocked := false
+	for i := 0; i < n; i++ {
+		t := c.threads[(c.rr+i)%n]
+		if t.dry && !t.haveOp {
+			continue
+		}
+		if t.waiting || t.readyAt > cycle {
+			anyBlocked = true
+			continue
+		}
+		if !t.haveOp {
+			if !t.stream.Next(&t.op) {
+				t.dry = true
+				if t.storesOut == 0 {
+					c.live--
+				} else {
+					anyBlocked = true
+				}
+				continue
+			}
+			t.haveOp = true
+		}
+		c.rr = (c.rr + i + 1) % n
+		c.issue(t, cycle)
+		if c.live == 0 {
+			return c.finish(cycle)
+		}
+		return true
+	}
+	if c.live == 0 {
+		return c.finish(cycle)
+	}
+	if anyBlocked {
+		// All remaining threads are waiting on memory or latency;
+		// sleep if every block is memory (completions wake us),
+		// otherwise keep ticking for the fixed-latency ones.
+		allMem := true
+		for _, t := range c.threads {
+			if t.dry && t.storesOut == 0 {
+				continue
+			}
+			if !t.waiting && t.storesOut == 0 && t.readyAt > cycle {
+				allMem = false
+				break
+			}
+		}
+		if allMem {
+			c.st.stallMem.Inc()
+			return c.sleep()
+		}
+		c.st.stallDep.Inc()
+	}
+	return true
+}
+
+func (c *Threaded) issue(t *hwThread, cycle sim.Cycle) {
+	op := &t.op
+	t.haveOp = false
+	switch op.Class {
+	case frontend.ClassLoad:
+		c.st.loads.Inc()
+		t.waiting = true
+		c.memory.Access(mem.Read, op.Addr, int(op.Size), func() {
+			t.waiting = false
+			t.readyAt = c.clock.NextCycle()
+			c.wake()
+		})
+	case frontend.ClassStore:
+		if t.storesOut >= c.cfg.StoreQ {
+			// Re-take the op next cycle.
+			t.haveOp = true
+			t.readyAt = cycle + 1
+			c.st.stallMem.Inc()
+			return
+		}
+		c.st.stores.Inc()
+		t.storesOut++
+		c.memory.Access(mem.Write, op.Addr, int(op.Size), func() {
+			t.storesOut--
+			if t.dry && t.storesOut == 0 {
+				c.live--
+				if c.live == 0 {
+					c.wake()
+				}
+			}
+		})
+		t.readyAt = cycle + 1
+	case frontend.ClassBranch:
+		c.st.branches.Inc()
+		// No speculation: a taken branch costs the redirect penalty.
+		if op.Taken {
+			t.readyAt = cycle + 2
+		} else {
+			t.readyAt = cycle + 1
+		}
+	case frontend.ClassFloat:
+		c.st.flops.Inc()
+		t.readyAt = cycle + c.cfg.FloatLat
+	default:
+		t.readyAt = cycle + c.cfg.IntLat
+	}
+	c.st.retired.Inc()
+}
+
+func (c *Threaded) sleep() bool {
+	c.running = false
+	c.st.sleeps.Inc()
+	return false
+}
+
+func (c *Threaded) finish(cycle sim.Cycle) bool {
+	c.done = true
+	c.running = false
+	c.endCycle = cycle
+	if c.onDone != nil {
+		done := c.onDone
+		c.onDone = nil
+		done()
+	}
+	return false
+}
+
+// Done reports all threads exhausted and drained.
+func (c *Threaded) Done() bool { return c.done }
+
+// Retired returns committed operations across all threads.
+func (c *Threaded) Retired() uint64 { return c.st.retired.Count() }
+
+// Cycles returns core cycles from Start to completion.
+func (c *Threaded) Cycles() sim.Cycle {
+	if c.done {
+		return c.endCycle - c.startCycle
+	}
+	return c.clock.Cycle() - c.startCycle
+}
+
+// IPC returns retired operations per cycle.
+func (c *Threaded) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Retired()) / float64(cy)
+}

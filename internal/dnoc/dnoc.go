@@ -1,0 +1,321 @@
+// Package dnoc runs an interconnection-network model distributed over the
+// parallel runtime: routers are partitioned across par ranks, packets
+// crossing a partition boundary travel through the runner's deterministic
+// mailboxes, and per-hop timing is computed identically to the sequential
+// noc.Network — so a distributed simulation produces the same per-message
+// latencies as a single-engine one. This is the Structural Simulation
+// Toolkit's headline parallel use case: the network is both the simulated
+// system and the natural partitioning dimension.
+//
+// The conservative lookahead is the per-hop latency (link + router): a
+// packet leaving rank A can never affect rank B sooner than that, exactly
+// the property SST's conservative core exploits.
+package dnoc
+
+import (
+	"fmt"
+
+	"sst/internal/noc"
+	"sst/internal/par"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// packet mirrors noc's wormhole-approximated transfer unit.
+type packet struct {
+	src, dst int
+	size     int
+	msgSize  int
+	last     bool
+	payload  any
+	sentAt   sim.Time
+	hops     int
+}
+
+// xfer is the cross-rank payload: a packet plus the router to continue at.
+type xfer struct {
+	p      *packet
+	router int
+}
+
+// dlink is one directed link's serialization state, owned by the source
+// router's rank.
+type dlink struct {
+	freeAt sim.Time
+	bytes  uint64
+}
+
+// Network is the distributed interconnect.
+type Network struct {
+	runner *par.Runner
+	topo   noc.Topology
+	cfg    noc.NetConfig
+	part   []int // router -> rank
+
+	links map[[2]int]*dlink
+	// xmit[a][b] is the sending port of the a→b rank channel.
+	xmit map[int]map[int]*sim.Port
+	nics []*NIC
+
+	// Per-rank stats registries keep rank goroutines from sharing
+	// counters; Totals() merges after the run.
+	regs     []*stats.Registry
+	messages []*stats.Counter
+	bytes    []*stats.Counter
+	msgLat   []*stats.Histogram
+}
+
+// New builds the distributed network on the runner. partition maps each
+// router to a rank; nil partitions round-robin.
+func New(runner *par.Runner, topo noc.Topology, cfg noc.NetConfig, partition func(router int) int) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LinkLatency+cfg.RouterLatency == 0 {
+		return nil, fmt.Errorf("dnoc: zero per-hop latency leaves no lookahead")
+	}
+	if partition == nil {
+		partition = func(r int) int { return r % runner.NumRanks() }
+	}
+	d := &Network{
+		runner: runner,
+		topo:   topo,
+		cfg:    cfg,
+		links:  make(map[[2]int]*dlink),
+		xmit:   make(map[int]map[int]*sim.Port),
+	}
+	d.part = make([]int, topo.NumRouters())
+	for r := range d.part {
+		rank := partition(r)
+		if rank < 0 || rank >= runner.NumRanks() {
+			return nil, fmt.Errorf("dnoc: router %d partitioned to invalid rank %d", r, rank)
+		}
+		d.part[r] = rank
+	}
+	for _, l := range topo.Links() {
+		d.links[[2]int{l[0], l[1]}] = &dlink{}
+		d.links[[2]int{l[1], l[0]}] = &dlink{}
+	}
+	// One mailbox channel per ordered rank pair that any link crosses.
+	hopLat := cfg.LinkLatency + cfg.RouterLatency
+	ensure := func(a, b int) error {
+		if a == b {
+			return nil
+		}
+		if d.xmit[a] == nil {
+			d.xmit[a] = make(map[int]*sim.Port)
+		}
+		if d.xmit[a][b] != nil {
+			return nil
+		}
+		pa, pb, err := runner.Connect(fmt.Sprintf("dnoc-%d-%d", a, b), hopLat, a, b)
+		if err != nil {
+			return err
+		}
+		// Only a→b traffic uses this channel; the reverse direction
+		// has its own.
+		pb.SetHandler(func(payload any) {
+			x := payload.(xfer)
+			d.arrive(x.p, x.router)
+		})
+		pa.SetHandler(func(any) {})
+		d.xmit[a][b] = pa
+		return nil
+	}
+	for _, l := range topo.Links() {
+		ra, rb := d.part[l[0]], d.part[l[1]]
+		if err := ensure(ra, rb); err != nil {
+			return nil, err
+		}
+		if err := ensure(rb, ra); err != nil {
+			return nil, err
+		}
+	}
+	// NIC→router is local (node attaches on its router's rank), but the
+	// first hop may cross; packets enter at the source router, so no
+	// extra channels are needed beyond router links.
+	d.nics = make([]*NIC, topo.NumNodes())
+	for i := range d.nics {
+		d.nics[i] = &NIC{net: d, node: i, rank: d.part[topo.RouterOf(i)]}
+	}
+	d.regs = make([]*stats.Registry, runner.NumRanks())
+	d.messages = make([]*stats.Counter, runner.NumRanks())
+	d.bytes = make([]*stats.Counter, runner.NumRanks())
+	d.msgLat = make([]*stats.Histogram, runner.NumRanks())
+	for i := range d.regs {
+		d.regs[i] = stats.NewRegistry()
+		sc := d.regs[i].Scope(fmt.Sprintf("dnoc.%d", i))
+		d.messages[i] = sc.Counter("messages")
+		d.bytes[i] = sc.Counter("bytes")
+		d.msgLat[i] = sc.Histogram("latency_ps")
+	}
+	return d, nil
+}
+
+// Topology returns the simulated topology.
+func (d *Network) Topology() noc.Topology { return d.topo }
+
+// RankOfNode returns the rank a node's NIC lives on; traffic generators
+// must schedule that node's sends on that rank's engine.
+func (d *Network) RankOfNode(node int) int { return d.part[d.topo.RouterOf(node)] }
+
+// NIC returns node i's interface.
+func (d *Network) NIC(i int) *NIC { return d.nics[i] }
+
+// Messages returns total delivered messages across ranks (call after the
+// run completes).
+func (d *Network) Messages() uint64 {
+	var n uint64
+	for _, c := range d.messages {
+		n += c.Count()
+	}
+	return n
+}
+
+// BytesDelivered returns total payload bytes delivered.
+func (d *Network) BytesDelivered() uint64 {
+	var n uint64
+	for _, c := range d.bytes {
+		n += c.Count()
+	}
+	return n
+}
+
+// MeanLatencyPs returns the byte-weighted mean message latency.
+func (d *Network) MeanLatencyPs() float64 {
+	var sum float64
+	var n uint64
+	for _, h := range d.msgLat {
+		sum += h.Mean() * float64(h.N())
+		n += h.N()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func serialize(size int, bw float64) sim.Time {
+	t := sim.Time(float64(size) / bw * float64(sim.Second))
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// engineOf returns the engine owning router r.
+func (d *Network) engineOf(r int) *sim.Engine {
+	return d.runner.Rank(d.part[r]).Engine()
+}
+
+// hop forwards the packet from router r on r's own rank.
+func (d *Network) hop(p *packet, r int) {
+	nxt := d.topo.Route(r, p.dst)
+	if nxt < 0 {
+		d.deliver(p)
+		return
+	}
+	l := d.links[[2]int{r, nxt}]
+	if l == nil {
+		panic(fmt.Sprintf("dnoc: route %d->%d without a link", r, nxt))
+	}
+	eng := d.engineOf(r)
+	now := eng.Now()
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	ser := serialize(p.size, d.cfg.LinkBandwidth)
+	l.freeAt = start + ser
+	l.bytes += uint64(p.size)
+	p.hops++
+	arrive := start + ser + d.cfg.LinkLatency + d.cfg.RouterLatency
+	if d.part[nxt] == d.part[r] {
+		eng.ScheduleAt(arrive, sim.PrioLink, func(any) { d.hop(p, nxt) }, nil)
+		return
+	}
+	// Cross-rank: channel latency covers link+router; any queueing and
+	// serialization ride as extra delay.
+	port := d.xmit[d.part[r]][d.part[nxt]]
+	port.SendDelayed(arrive-now-(d.cfg.LinkLatency+d.cfg.RouterLatency), xfer{p: p, router: nxt})
+}
+
+// arrive continues a packet on its new rank.
+func (d *Network) arrive(p *packet, router int) {
+	d.hop(p, router)
+}
+
+// deliver completes a packet at its destination NIC (on the local rank).
+func (d *Network) deliver(p *packet) {
+	nic := d.nics[p.dst]
+	if !p.last {
+		return
+	}
+	rank := nic.rank
+	d.messages[rank].Inc()
+	d.bytes[rank].Add(uint64(p.msgSize))
+	d.msgLat[rank].Observe(uint64(d.engineOf(d.topo.RouterOf(p.dst)).Now() - p.sentAt))
+	if nic.recv != nil {
+		nic.recv(p.src, p.msgSize, p.payload)
+	}
+}
+
+// NIC is a node's interface on its home rank. Send must be invoked from an
+// event executing on that rank (the runner's partitioning rule).
+type NIC struct {
+	net    *Network
+	node   int
+	rank   int
+	freeAt sim.Time
+	recv   func(src, size int, payload any)
+}
+
+// Node returns the NIC's node id; Rank its home partition.
+func (nc *NIC) Node() int { return nc.node }
+func (nc *NIC) Rank() int { return nc.rank }
+
+// SetReceiver installs the delivery callback (runs on the destination
+// node's rank).
+func (nc *NIC) SetReceiver(fn func(src, size int, payload any)) { nc.recv = fn }
+
+// Send mirrors noc.NIC.Send: injection-bandwidth-limited segmentation into
+// the fabric at the node's source router.
+func (nc *NIC) Send(dst, size int, payload any, onSent func()) {
+	d := nc.net
+	eng := d.runner.Rank(nc.rank).Engine()
+	now := eng.Now()
+	if size <= 0 {
+		size = 1
+	}
+	remaining := size
+	injectAt := now
+	if nc.freeAt > injectAt {
+		injectAt = nc.freeAt
+	}
+	srcRouter := d.topo.RouterOf(nc.node)
+	for remaining > 0 {
+		pk := remaining
+		if pk > d.cfg.MaxPacketBytes {
+			pk = d.cfg.MaxPacketBytes
+		}
+		remaining -= pk
+		p := &packet{
+			src: nc.node, dst: dst, size: pk,
+			last: remaining == 0, sentAt: now, msgSize: size,
+		}
+		if p.last {
+			p.payload = payload
+		}
+		injectAt += serialize(pk, d.cfg.InjectionBandwidth)
+		at := injectAt + d.cfg.LinkLatency
+		if nc.node == dst {
+			eng.ScheduleAt(at, sim.PrioLink, func(any) { d.deliver(p) }, nil)
+			continue
+		}
+		eng.ScheduleAt(at, sim.PrioLink, func(any) { d.hop(p, srcRouter) }, nil)
+	}
+	nc.freeAt = injectAt
+	if onSent != nil {
+		eng.ScheduleAt(injectAt, sim.PrioLink, func(any) { onSent() }, nil)
+	}
+}

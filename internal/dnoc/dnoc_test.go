@@ -1,0 +1,198 @@
+package dnoc
+
+import (
+	"testing"
+
+	"sst/internal/noc"
+	"sst/internal/par"
+	"sst/internal/sim"
+)
+
+// trafficPlan is a deterministic staggered traffic pattern: node i sends
+// msgs messages to (i*7+3) mod N at distinct times so no two packets tie on
+// a link (tie ordering may legitimately differ between sequential and
+// distributed runs; everything else must match exactly).
+type send struct {
+	at   sim.Time
+	src  int
+	dst  int
+	size int
+	id   int
+}
+
+func plan(nodes, msgs int) []send {
+	var out []send
+	id := 0
+	for i := 0; i < nodes; i++ {
+		for m := 0; m < msgs; m++ {
+			out = append(out, send{
+				at:   sim.Time(i)*977*sim.Nanosecond + sim.Time(m)*31*sim.Microsecond,
+				src:  i,
+				dst:  (i*7 + 3) % nodes,
+				size: 1000 + 64*i + m,
+				id:   id,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// runSequential executes the plan on a plain noc.Network and returns
+// per-message delivery times.
+func runSequential(t *testing.T, topo noc.Topology, cfg noc.NetConfig, sends []send) []sim.Time {
+	t.Helper()
+	engine := sim.NewEngine()
+	n, err := noc.NewNetwork(engine, "net", topo, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]sim.Time, len(sends))
+	for i := 0; i < topo.NumNodes(); i++ {
+		n.NIC(i).SetReceiver(func(src, size int, payload any) {
+			out[payload.(int)] = engine.Now()
+		})
+	}
+	for _, s := range sends {
+		s := s
+		engine.ScheduleAt(s.at, sim.PrioLink, func(any) {
+			n.NIC(s.src).Send(s.dst, s.size, s.id, nil)
+		}, nil)
+	}
+	engine.RunAll()
+	return out
+}
+
+// runDistributed executes the same plan over nranks.
+func runDistributed(t *testing.T, topo noc.Topology, cfg noc.NetConfig, sends []send, nranks int) []sim.Time {
+	t.Helper()
+	runner, err := par.NewRunner(nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(runner, topo, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]sim.Time, len(sends))
+	for i := 0; i < topo.NumNodes(); i++ {
+		i := i
+		eng := runner.Rank(d.RankOfNode(i)).Engine()
+		d.NIC(i).SetReceiver(func(src, size int, payload any) {
+			out[payload.(int)] = eng.Now()
+		})
+	}
+	for _, s := range sends {
+		s := s
+		eng := runner.Rank(d.RankOfNode(s.src)).Engine()
+		eng.ScheduleAt(s.at, sim.PrioLink, func(any) {
+			d.NIC(s.src).Send(s.dst, s.size, s.id, nil)
+		}, nil)
+	}
+	if _, err := runner.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Messages(); got != uint64(len(sends)) {
+		t.Fatalf("delivered %d/%d messages", got, len(sends))
+	}
+	return out
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	topo, err := noc.NewTorus3D(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := noc.DefaultConfig()
+	sends := plan(topo.NumNodes(), 4)
+	seq := runSequential(t, topo, cfg, sends)
+	for _, nranks := range []int{1, 2, 4, 8} {
+		dist := runDistributed(t, topo, cfg, sends, nranks)
+		for i := range seq {
+			if seq[i] == 0 {
+				t.Fatalf("sequential message %d undelivered", i)
+			}
+			if dist[i] != seq[i] {
+				t.Fatalf("nranks=%d: message %d delivered at %v distributed vs %v sequential",
+					nranks, i, dist[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestDistributedDeterminism(t *testing.T) {
+	topo, _ := noc.NewTorus3D(4, 2, 1)
+	cfg := noc.DefaultConfig()
+	sends := plan(topo.NumNodes(), 6)
+	a := runDistributed(t, topo, cfg, sends, 4)
+	b := runDistributed(t, topo, cfg, sends, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("message %d nondeterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDistributedFatTree(t *testing.T) {
+	topo, _ := noc.NewFatTree(4, 4, 4)
+	cfg := noc.DefaultConfig()
+	sends := plan(topo.NumNodes(), 2)
+	seq := runSequential(t, topo, cfg, sends)
+	dist := runDistributed(t, topo, cfg, sends, 3)
+	for i := range seq {
+		if dist[i] != seq[i] {
+			t.Fatalf("fat tree message %d: %v vs %v", i, dist[i], seq[i])
+		}
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	runner, _ := par.NewRunner(2)
+	topo, _ := noc.NewMesh2D(2, 2)
+	cfg := noc.DefaultConfig()
+	cfg.LinkLatency, cfg.RouterLatency = 0, 0
+	if _, err := New(runner, topo, cfg, nil); err == nil {
+		t.Error("zero lookahead accepted")
+	}
+	cfg = noc.DefaultConfig()
+	if _, err := New(runner, topo, cfg, func(int) int { return 99 }); err == nil {
+		t.Error("invalid partition accepted")
+	}
+	bad := noc.NetConfig{}
+	if _, err := New(runner, topo, bad, nil); err == nil {
+		t.Error("invalid net config accepted")
+	}
+}
+
+func TestDistributedAccessors(t *testing.T) {
+	runner, _ := par.NewRunner(2)
+	topo, _ := noc.NewMesh2D(4, 1)
+	d, err := New(runner, topo, noc.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Topology() != topo {
+		t.Error("topology accessor")
+	}
+	if d.NIC(1).Node() != 1 || d.NIC(1).Rank() != 1 {
+		t.Error("nic accessors")
+	}
+	if d.RankOfNode(2) != 0 {
+		t.Errorf("rank of node 2 = %d", d.RankOfNode(2))
+	}
+	// Loopback send on a live runner.
+	got := false
+	d.NIC(0).SetReceiver(func(src, size int, payload any) { got = src == 0 })
+	runner.Rank(0).Engine().Schedule(0, func(any) {
+		d.NIC(0).Send(0, 64, nil, nil)
+	}, nil)
+	if _, err := runner.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("loopback failed")
+	}
+	if d.BytesDelivered() != 64 || d.MeanLatencyPs() <= 0 {
+		t.Error("stats roll-up")
+	}
+}

@@ -1,0 +1,359 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+func newMem(t testing.TB, cfg Config) (*sim.Engine, *Memory) {
+	t.Helper()
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	m, err := New(e, "mem", cfg, reg.Scope("mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func TestValidate(t *testing.T) {
+	bad := DDR3_1333
+	bad.RowBytes = 100 // not a multiple of line size
+	if err := bad.Validate(); err == nil {
+		t.Error("bad row size accepted")
+	}
+	bad = DDR3_1333
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = DDR3_1333
+	bad.LineBytes = 48
+	e := sim.NewEngine()
+	if _, err := New(e, "m", bad, nil); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	for name, cfg := range Presets() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestPreset(t *testing.T) {
+	if _, err := Preset("ddr3-1333"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preset("sdram-66"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	c := DDR3_1333.WithChannels(4).WithScheduler(FCFS).WithMapping(MapSequential)
+	if c.Channels != 4 || c.Scheduler != FCFS || c.Mapping != MapSequential {
+		t.Fatal("With* builders broken")
+	}
+}
+
+func TestIdleReadLatency(t *testing.T) {
+	e, m := newMem(t, DDR3_1333)
+	var done sim.Time
+	m.Access(0, false, func() { done = e.Now() })
+	e.RunAll()
+	want := m.cfg.IdleLatency()
+	if done != want {
+		t.Fatalf("idle read latency = %v, want %v", done, want)
+	}
+}
+
+func TestRowHitsSequentialStream(t *testing.T) {
+	// Consecutive lines with interleaved mapping rotate across banks;
+	// after the first lap every access is a row hit.
+	e, m := newMem(t, DDR3_1333)
+	const n = 512
+	doneCount := 0
+	for i := 0; i < n; i++ {
+		m.Access(uint64(i*64), false, func() { doneCount++ })
+	}
+	e.RunAll()
+	if doneCount != n {
+		t.Fatalf("completed %d/%d", doneCount, n)
+	}
+	if hr := m.RowHitRate(); hr < 0.9 {
+		t.Errorf("streaming row hit rate = %.2f, want > 0.9", hr)
+	}
+}
+
+func TestRowConflictsRandomStream(t *testing.T) {
+	e, m := newMem(t, DDR3_1333)
+	rng := sim.NewRNG(1)
+	const n = 512
+	for i := 0; i < n; i++ {
+		m.Access(rng.Uint64n(1<<30)&^63, false, nil)
+	}
+	e.RunAll()
+	if hr := m.RowHitRate(); hr > 0.5 {
+		t.Errorf("random row hit rate = %.2f, expected low", hr)
+	}
+	if m.rowConflicts.Count() == 0 {
+		t.Error("no row conflicts on random traffic")
+	}
+}
+
+func TestStreamingBandwidth(t *testing.T) {
+	// A deep sequential stream should achieve a large fraction of peak.
+	e, m := newMem(t, DDR3_1333)
+	const n = 4096
+	next := 0
+	var issue func()
+	outstanding := 0
+	issue = func() {
+		for outstanding < 32 && next < n {
+			addr := uint64(next * 64)
+			next++
+			outstanding++
+			m.Access(addr, false, func() {
+				outstanding--
+				issue()
+			})
+		}
+	}
+	issue()
+	e.RunAll()
+	achieved := float64(n*64) / e.Now().Seconds()
+	peak := m.cfg.PeakBandwidth()
+	if achieved < 0.5*peak {
+		t.Errorf("streaming bandwidth %.2f GB/s < 50%% of peak %.2f GB/s",
+			achieved/1e9, peak/1e9)
+	}
+}
+
+func TestBandwidthOrderingAcrossTechnologies(t *testing.T) {
+	// The core premise of the Fig. 10 study: achieved streaming bandwidth
+	// must order DDR2 < DDR3 < GDDR5.
+	run := func(cfg Config) float64 {
+		e, m := newMem(t, cfg)
+		const n = 2048
+		next, outstanding := 0, 0
+		var issue func()
+		issue = func() {
+			for outstanding < 32 && next < n {
+				addr := uint64(next * 64)
+				next++
+				outstanding++
+				m.Access(addr, false, func() { outstanding--; issue() })
+			}
+		}
+		issue()
+		e.RunAll()
+		return float64(n*64) / e.Now().Seconds()
+	}
+	ddr2 := run(DDR2_800)
+	ddr3 := run(DDR3_1333)
+	gddr5 := run(GDDR5_4000)
+	if !(ddr2 < ddr3 && ddr3 < gddr5) {
+		t.Errorf("bandwidth ordering broken: ddr2=%.1f ddr3=%.1f gddr5=%.1f GB/s",
+			ddr2/1e9, ddr3/1e9, gddr5/1e9)
+	}
+	if gddr5 < 2*ddr3 {
+		t.Errorf("gddr5 %.1f GB/s should be well over 2x ddr3 %.1f GB/s", gddr5/1e9, ddr3/1e9)
+	}
+}
+
+func TestFRFCFSBeatsFCFS(t *testing.T) {
+	// Interleave two streams: one hammering a single row, one touching a
+	// conflicting row in the same bank. FR-FCFS should finish sooner.
+	pattern := func() []uint64 {
+		var addrs []uint64
+		lineStride := uint64(64 * 1 * 8) // same channel+bank (1ch cfg: stride = 64*nbanks... use mapping: bank repeats every nbk lines)
+		rowSpan := lineStride * 128      // 8KB row / 64B = 128 lines per row
+		for i := uint64(0); i < 64; i++ {
+			addrs = append(addrs, i%4*lineStride*0+i*0+0+i%2*rowSpan*3+(i/2)*lineStride)
+		}
+		return addrs
+	}
+	run := func(s SchedulerKind) sim.Time {
+		cfg := DDR3_1333.WithScheduler(s)
+		e, m := newMem(t, cfg)
+		for _, a := range pattern() {
+			m.Access(a, false, nil)
+		}
+		e.RunAll()
+		return e.Now()
+	}
+	fcfs := run(FCFS)
+	frfcfs := run(FRFCFS)
+	if frfcfs > fcfs {
+		t.Errorf("FR-FCFS (%v) slower than FCFS (%v)", frfcfs, fcfs)
+	}
+}
+
+func TestPostedWrites(t *testing.T) {
+	e, m := newMem(t, DDR3_1333)
+	for i := 0; i < 16; i++ {
+		m.Access(uint64(i*64), true, nil)
+	}
+	e.RunAll()
+	if m.writes.Count() != 16 {
+		t.Fatalf("writes = %d", m.writes.Count())
+	}
+	if m.bytes.Count() != 16*64 {
+		t.Fatalf("bytes = %d", m.bytes.Count())
+	}
+}
+
+func TestRefreshSelfDisarms(t *testing.T) {
+	// One access arms refresh; the queue must drain on its own (refresh
+	// must not keep the simulation alive forever).
+	e, m := newMem(t, DDR3_1333)
+	m.Access(0, false, nil)
+	e.RunAll() // would hang/never return if refresh re-armed forever
+	if m.refreshes.Count() == 0 {
+		t.Error("no refresh fired")
+	}
+	if e.Now() > 10*m.cfg.TREFI {
+		t.Errorf("refresh kept rescheduling until %v", e.Now())
+	}
+}
+
+func TestRefreshDelaysAccess(t *testing.T) {
+	cfg := DDR3_1333
+	e, m := newMem(t, cfg)
+	// Arm refresh with an initial access, then access just after a
+	// refresh fires: should see tRFC delay.
+	m.Access(0, false, nil)
+	var lat sim.Time
+	e.Schedule(cfg.TREFI+sim.Nanosecond, func(any) {
+		start := e.Now()
+		m.Access(0, false, func() { lat = e.Now() - start })
+	}, nil)
+	e.RunAll()
+	if lat <= cfg.IdleLatency() {
+		t.Errorf("post-refresh latency %v not above idle %v", lat, cfg.IdleLatency())
+	}
+}
+
+func TestMappingPartitions(t *testing.T) {
+	// Address mapping property: distinct lines within one row span map to
+	// the same (ch,bank,row) iff their row-relative index matches, and
+	// the mapping covers all banks/channels uniformly.
+	cfg := DDR3_1333.WithChannels(2)
+	_, m := newMem(t, cfg)
+	fn := func(raw uint32) bool {
+		addr := uint64(raw) * 64
+		ch, bk, _ := m.mapAddr(addr)
+		return ch >= 0 && ch < cfg.Channels && bk >= 0 && bk < cfg.BanksPerChannel
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+	// Uniform coverage over a contiguous region.
+	counts := make(map[[2]int]int)
+	for i := 0; i < 1024; i++ {
+		ch, bk, _ := m.mapAddr(uint64(i * 64))
+		counts[[2]int{ch, bk}]++
+	}
+	want := 1024 / (cfg.Channels * cfg.BanksPerChannel)
+	for k, c := range counts {
+		if c != want {
+			t.Fatalf("mapping skew at %v: %d, want %d", k, c, want)
+		}
+	}
+}
+
+func TestSequentialMappingRowLocality(t *testing.T) {
+	cfg := DDR3_1333.WithMapping(MapSequential)
+	_, m := newMem(t, cfg)
+	ch0, bk0, row0 := m.mapAddr(0)
+	ch1, bk1, row1 := m.mapAddr(64)
+	if ch0 != ch1 || bk0 != bk1 || row0 != row1 {
+		t.Fatal("sequential mapping: consecutive lines should share a row")
+	}
+	_, _, rowN := m.mapAddr(uint64(cfg.RowBytes))
+	_, bkN, _ := m.mapAddr(uint64(cfg.RowBytes))
+	if bkN == bk0 && rowN == row0 {
+		t.Fatal("sequential mapping: next row span should move bank or row")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	e, m := newMem(t, DDR3_1333)
+	m.Access(0, false, nil)
+	e.RunAll()
+	wantMin := m.cfg.Energy.ActivateJ + m.cfg.Energy.PerByteJ*64
+	if m.DynamicEnergyJ() < wantMin {
+		t.Errorf("dynamic energy %.3g < activate+transfer %.3g", m.DynamicEnergyJ(), wantMin)
+	}
+	if m.EnergyJ() <= m.DynamicEnergyJ() {
+		t.Error("total energy missing background component")
+	}
+	if m.AvgPowerW() <= 0 {
+		t.Error("average power not positive")
+	}
+}
+
+func TestPeakBandwidthFormula(t *testing.T) {
+	got := DDR3_1333.PeakBandwidth()
+	want := 2.0 * 666e6 * 8 // DDR, 8 bytes wide
+	if got != want {
+		t.Fatalf("peak = %v, want %v", got, want)
+	}
+	if DDR3_1333.WithChannels(2).PeakBandwidth() != 2*want {
+		t.Fatal("channel scaling broken")
+	}
+}
+
+func TestQueueDepthAndStats(t *testing.T) {
+	e, m := newMem(t, DDR3_1333)
+	for i := 0; i < 64; i++ {
+		m.Access(uint64(i)*1<<20, false, nil)
+	}
+	if m.QueueDepth() == 0 {
+		t.Error("queue empty immediately after burst enqueue")
+	}
+	e.RunAll()
+	if m.QueueDepth() != 0 {
+		t.Errorf("queue depth %d after drain", m.QueueDepth())
+	}
+	if m.reads.Count() != 64 {
+		t.Errorf("reads = %d", m.reads.Count())
+	}
+	if m.AchievedBandwidth() <= 0 {
+		t.Error("achieved bandwidth not positive")
+	}
+}
+
+func TestSchedulerKindString(t *testing.T) {
+	if FCFS.String() != "fcfs" || FRFCFS.String() != "fr-fcfs" {
+		t.Fatal("scheduler names")
+	}
+	if MapInterleave.String() != "interleave" || MapSequential.String() != "sequential" {
+		t.Fatal("mapping names")
+	}
+	if SchedulerKind(9).String() == "" || MappingKind(9).String() == "" {
+		t.Fatal("unknown kind strings empty")
+	}
+}
+
+func BenchmarkDRAMRandomAccess(b *testing.B) {
+	e := sim.NewEngine()
+	m, err := New(e, "mem", DDR3_1333, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	b.ReportAllocs()
+	outstanding := 0
+	i := 0
+	var issue func()
+	issue = func() {
+		for outstanding < 16 && i < b.N {
+			i++
+			outstanding++
+			m.Access(rng.Uint64n(1<<30)&^63, false, func() { outstanding--; issue() })
+		}
+	}
+	issue()
+	e.RunAll()
+}

@@ -1,0 +1,108 @@
+package frontend
+
+// ChainStream concatenates streams: when one ends, the next begins. It
+// models multi-phase applications (assemble, then solve; compute, then
+// communicate) whose phases have distinct statistical signatures — the
+// phase structure the miniapp validation studies measure separately.
+type ChainStream struct {
+	Streams []Stream
+	idx     int
+	// Boundaries records the op index at which each phase ended, for
+	// phase-attributed analysis.
+	Boundaries []uint64
+	count      uint64
+}
+
+// Next implements Stream.
+func (c *ChainStream) Next(op *Op) bool {
+	for c.idx < len(c.Streams) {
+		if c.Streams[c.idx].Next(op) {
+			c.count++
+			return true
+		}
+		c.Boundaries = append(c.Boundaries, c.count)
+		c.idx++
+	}
+	return false
+}
+
+// Phase returns the index of the stream currently being drawn from.
+func (c *ChainStream) Phase() int { return c.idx }
+
+// RepeatStream replays a finite generator N times by rebuilding it from a
+// factory — synthetic iteration structure without buffering the stream.
+type RepeatStream struct {
+	// Build constructs iteration i's stream.
+	Build func(i int) Stream
+	// N is the iteration count.
+	N   int
+	i   int
+	cur Stream
+}
+
+// Next implements Stream.
+func (r *RepeatStream) Next(op *Op) bool {
+	for {
+		if r.cur == nil {
+			if r.i >= r.N {
+				return false
+			}
+			r.cur = r.Build(r.i)
+			r.i++
+		}
+		if r.cur.Next(op) {
+			return true
+		}
+		r.cur = nil
+	}
+}
+
+// InterleaveStream round-robins over several streams, k ops at a time —
+// a crude software-pipelining model where independent work from parallel
+// loop nests mixes in the dynamic stream.
+type InterleaveStream struct {
+	Streams []Stream
+	// Chunk is how many ops to draw from one stream before rotating
+	// (default 1).
+	Chunk int
+	idx   int
+	used  int
+	live  []bool
+	init  bool
+}
+
+// Next implements Stream.
+func (s *InterleaveStream) Next(op *Op) bool {
+	if !s.init {
+		s.live = make([]bool, len(s.Streams))
+		for i := range s.live {
+			s.live[i] = true
+		}
+		if s.Chunk <= 0 {
+			s.Chunk = 1
+		}
+		s.init = true
+	}
+	n := len(s.Streams)
+	for tries := 0; tries < n; {
+		if !s.live[s.idx] {
+			s.idx = (s.idx + 1) % n
+			s.used = 0
+			tries++
+			continue
+		}
+		if s.Streams[s.idx].Next(op) {
+			s.used++
+			if s.used >= s.Chunk {
+				s.idx = (s.idx + 1) % n
+				s.used = 0
+			}
+			return true
+		}
+		s.live[s.idx] = false
+		s.idx = (s.idx + 1) % n
+		s.used = 0
+		tries++
+	}
+	return false
+}

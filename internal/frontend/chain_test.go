@@ -1,0 +1,128 @@
+package frontend
+
+import "testing"
+
+func sliceOf(class Class, n int) *SliceStream {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Class: class}
+	}
+	return &SliceStream{Ops: ops}
+}
+
+func TestChainStreamPhases(t *testing.T) {
+	c := &ChainStream{Streams: []Stream{
+		sliceOf(ClassFloat, 3),
+		sliceOf(ClassLoad, 2),
+	}}
+	var got []Class
+	var op Op
+	for c.Next(&op) {
+		got = append(got, op.Class)
+	}
+	want := []Class{ClassFloat, ClassFloat, ClassFloat, ClassLoad, ClassLoad}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if len(c.Boundaries) != 2 || c.Boundaries[0] != 3 || c.Boundaries[1] != 5 {
+		t.Fatalf("boundaries = %v", c.Boundaries)
+	}
+	if c.Phase() != 2 {
+		t.Fatalf("final phase = %d", c.Phase())
+	}
+}
+
+func TestChainStreamEmptyPhases(t *testing.T) {
+	c := &ChainStream{Streams: []Stream{
+		sliceOf(ClassInt, 0),
+		sliceOf(ClassInt, 2),
+		sliceOf(ClassInt, 0),
+	}}
+	var op Op
+	n := 0
+	for c.Next(&op) {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestRepeatStream(t *testing.T) {
+	r := &RepeatStream{
+		Build: func(i int) Stream {
+			// Iteration i contributes i+1 ops.
+			return sliceOf(ClassInt, i+1)
+		},
+		N: 4,
+	}
+	var op Op
+	n := 0
+	for r.Next(&op) {
+		n++
+	}
+	if n != 1+2+3+4 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+}
+
+func TestRepeatStreamZero(t *testing.T) {
+	r := &RepeatStream{Build: func(int) Stream { return sliceOf(ClassInt, 5) }, N: 0}
+	var op Op
+	if r.Next(&op) {
+		t.Fatal("zero repeats produced ops")
+	}
+}
+
+func TestInterleaveStreamRoundRobin(t *testing.T) {
+	s := &InterleaveStream{Streams: []Stream{
+		sliceOf(ClassInt, 3),
+		sliceOf(ClassFloat, 3),
+	}}
+	var got []Class
+	var op Op
+	for s.Next(&op) {
+		got = append(got, op.Class)
+	}
+	want := []Class{ClassInt, ClassFloat, ClassInt, ClassFloat, ClassInt, ClassFloat}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveStreamUnevenAndChunked(t *testing.T) {
+	s := &InterleaveStream{
+		Streams: []Stream{sliceOf(ClassInt, 5), sliceOf(ClassFloat, 1)},
+		Chunk:   2,
+	}
+	var got []Class
+	var op Op
+	for s.Next(&op) {
+		got = append(got, op.Class)
+	}
+	if len(got) != 6 {
+		t.Fatalf("total = %d", len(got))
+	}
+	// First two from stream 0, then stream 1 (which dries), rest stream 0.
+	if got[0] != ClassInt || got[1] != ClassInt || got[2] != ClassFloat {
+		t.Fatalf("chunk order: %v", got)
+	}
+}
+
+func TestInterleaveStreamAllEmpty(t *testing.T) {
+	s := &InterleaveStream{Streams: []Stream{sliceOf(ClassInt, 0), sliceOf(ClassInt, 0)}}
+	var op Op
+	if s.Next(&op) {
+		t.Fatal("empty interleave produced ops")
+	}
+}

@@ -1,0 +1,90 @@
+package frontend
+
+import (
+	"sst/internal/isa"
+)
+
+// ExecStream is the execution-driven front-end: it interprets an SR1
+// program and emits one Op per retired instruction. Addresses and branch
+// outcomes are therefore exact, including data-dependent behavior no trace
+// or synthetic model can reproduce.
+type ExecStream struct {
+	m   *isa.Machine
+	max uint64
+	err error
+}
+
+// NewExecStream wraps a machine. maxInstrs of 0 means unbounded (until
+// HALT).
+func NewExecStream(m *isa.Machine, maxInstrs uint64) *ExecStream {
+	if maxInstrs == 0 {
+		maxInstrs = ^uint64(0)
+	}
+	return &ExecStream{m: m, max: maxInstrs}
+}
+
+// Machine exposes the underlying interpreter (for result inspection).
+func (e *ExecStream) Machine() *isa.Machine { return e.m }
+
+// Err returns the first interpreter error, if any; the stream ends when one
+// occurs.
+func (e *ExecStream) Err() error { return e.err }
+
+// Next implements Stream.
+func (e *ExecStream) Next(op *Op) bool {
+	if e.err != nil || e.m.Halted() || e.m.Instret >= e.max {
+		return false
+	}
+	info, err := e.m.Step()
+	if err != nil {
+		e.err = err
+		return false
+	}
+	if e.m.Halted() && info.Instr.Op == isa.HALT {
+		return false
+	}
+	*op = opFromStep(info)
+	return true
+}
+
+// opFromStep maps an interpreter StepInfo onto a stream Op.
+func opFromStep(info isa.StepInfo) Op {
+	in := info.Instr
+	op := Op{
+		PC:   info.PC,
+		Dst:  in.Rd,
+		Src1: in.Rs1,
+		Src2: in.Rs2,
+	}
+	switch {
+	case in.Op.IsLoad():
+		op.Class = ClassLoad
+		op.Addr = info.MemAddr
+		op.Size = uint8(info.MemSize)
+		op.Src2 = 0
+	case in.Op.IsStore():
+		op.Class = ClassStore
+		op.Addr = info.MemAddr
+		op.Size = uint8(info.MemSize)
+		// Stores read rd (data) and rs1 (base); they write nothing.
+		op.Src2 = in.Rd
+		op.Dst = 0
+	case in.Op.IsBranch():
+		op.Class = ClassBranch
+		op.Taken = info.Taken
+		if in.Op == isa.JAL {
+			op.Src1, op.Src2 = 0, 0
+		}
+	case in.Op.IsFloat():
+		op.Class = ClassFloat
+		if in.Op == isa.FMADD {
+			// FMADD also reads its destination.
+		}
+	case in.Op == isa.NOP:
+		op.Class = ClassNop
+		op.Dst, op.Src1, op.Src2 = 0, 0, 0
+	default:
+		op.Class = ClassInt
+	}
+	return op
+}

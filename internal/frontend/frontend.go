@@ -1,0 +1,139 @@
+// Package frontend decouples *what* a processor executes from *how fast* it
+// executes — the Structural Simulation Toolkit's front-end/back-end split.
+// A front-end produces a Stream of dynamic operations; any timing back-end
+// in internal/cpu can consume any Stream:
+//
+//   - ExecStream:      execution-driven, interpreting SR1 programs
+//   - SyntheticStream: stochastic instruction mix with tunable locality
+//   - TraceStream:     replay of a recorded binary trace
+//   - KernelStream:    instrumented Go kernels (the miniapp drivers)
+package frontend
+
+import "fmt"
+
+// Class is the execution class of one dynamic operation.
+type Class uint8
+
+const (
+	// ClassInt is integer ALU work.
+	ClassInt Class = iota
+	// ClassFloat is floating-point work.
+	ClassFloat
+	// ClassLoad reads memory.
+	ClassLoad
+	// ClassStore writes memory.
+	ClassStore
+	// ClassBranch may redirect control flow.
+	ClassBranch
+	// ClassNop consumes an issue slot only.
+	ClassNop
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFloat:
+		return "float"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// NumClasses reports how many operation classes exist (for stat arrays).
+func NumClasses() int { return int(numClasses) }
+
+// Op is one dynamic instruction delivered to a timing back-end.
+//
+// Register numbers drive dependence tracking in superscalar back-ends;
+// register 0 means "no dependence" (SR1's hardwired zero register has the
+// same property, so ExecStream passes registers through unchanged).
+type Op struct {
+	Class Class
+	PC    uint64
+	// Addr and Size describe the memory access of loads and stores.
+	Addr uint64
+	Size uint8
+	// Taken is meaningful for ClassBranch.
+	Taken bool
+	// Dst, Src1, Src2 are architectural register numbers (0 = none).
+	Dst, Src1, Src2 uint8
+}
+
+// Stream produces dynamic operations. Next fills *op and reports whether an
+// operation was produced; false means the stream ended. Streams are not
+// safe for concurrent use; each core owns its stream.
+type Stream interface {
+	Next(op *Op) bool
+}
+
+// CountingStream wraps a Stream and counts operations by class.
+type CountingStream struct {
+	Inner  Stream
+	Counts [numClasses]uint64
+}
+
+// Next implements Stream.
+func (c *CountingStream) Next(op *Op) bool {
+	if !c.Inner.Next(op) {
+		return false
+	}
+	c.Counts[op.Class]++
+	return true
+}
+
+// Total returns the number of operations seen.
+func (c *CountingStream) Total() uint64 {
+	var t uint64
+	for _, n := range c.Counts {
+		t += n
+	}
+	return t
+}
+
+// LimitStream truncates a stream after N operations.
+type LimitStream struct {
+	Inner Stream
+	N     uint64
+	seen  uint64
+}
+
+// Next implements Stream.
+func (l *LimitStream) Next(op *Op) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.Inner.Next(op) {
+		return false
+	}
+	l.seen++
+	return true
+}
+
+// SliceStream replays a fixed slice of operations; mainly for tests.
+type SliceStream struct {
+	Ops []Op
+	pos int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(op *Op) bool {
+	if s.pos >= len(s.Ops) {
+		return false
+	}
+	*op = s.Ops[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the slice stream.
+func (s *SliceStream) Reset() { s.pos = 0 }

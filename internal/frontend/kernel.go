@@ -1,0 +1,153 @@
+package frontend
+
+// KernelStream turns an instrumented Go function into an operation stream:
+// the kernel runs in its own goroutine and emits operations through an
+// Emitter; the consumer pulls them batch-by-batch. This is how the miniapp
+// proxies in internal/workload drive the timing models with realistic
+// address streams without being written in SR1 assembly.
+//
+// The kernel goroutine is strictly rate-limited by the consumer (bounded
+// channel), and Close tears it down if the consumer stops early.
+type KernelStream struct {
+	out  chan []Op
+	stop chan struct{}
+	cur  []Op
+	pos  int
+	done bool
+}
+
+// batchSize balances channel crossings against buffering latency.
+const batchSize = 4096
+
+// Emitter is the kernel-side handle for producing operations.
+type Emitter struct {
+	batch []Op
+	out   chan<- []Op
+	stop  <-chan struct{}
+	pc    uint64
+	// aborted is set once the consumer has gone away.
+	aborted bool
+}
+
+// Emit queues one operation. It returns false once the consumer has closed
+// the stream; kernels should return promptly when that happens.
+func (e *Emitter) Emit(op Op) bool {
+	if e.aborted {
+		return false
+	}
+	e.pc += 4
+	if op.PC == 0 {
+		op.PC = e.pc
+	}
+	e.batch = append(e.batch, op)
+	if len(e.batch) >= batchSize {
+		return e.flush()
+	}
+	return true
+}
+
+func (e *Emitter) flush() bool {
+	if len(e.batch) == 0 {
+		return !e.aborted
+	}
+	b := e.batch
+	e.batch = make([]Op, 0, batchSize)
+	select {
+	case e.out <- b:
+		return true
+	case <-e.stop:
+		e.aborted = true
+		return false
+	}
+}
+
+// Convenience emitters used heavily by workload kernels.
+
+// Load emits an 8-byte load.
+func (e *Emitter) Load(addr uint64) bool {
+	return e.Emit(Op{Class: ClassLoad, Addr: addr, Size: 8})
+}
+
+// Store emits an 8-byte store.
+func (e *Emitter) Store(addr uint64) bool {
+	return e.Emit(Op{Class: ClassStore, Addr: addr, Size: 8})
+}
+
+// Flops emits n floating-point operations.
+func (e *Emitter) Flops(n int) bool {
+	for i := 0; i < n; i++ {
+		if !e.Emit(Op{Class: ClassFloat}) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ints emits n integer operations.
+func (e *Emitter) Ints(n int) bool {
+	for i := 0; i < n; i++ {
+		if !e.Emit(Op{Class: ClassInt}) {
+			return false
+		}
+	}
+	return true
+}
+
+// Branch emits one branch with the given outcome.
+func (e *Emitter) Branch(taken bool) bool {
+	return e.Emit(Op{Class: ClassBranch, Taken: taken})
+}
+
+// NewKernelStream starts fn in a goroutine. fn must return when Emit
+// reports false.
+func NewKernelStream(fn func(*Emitter)) *KernelStream {
+	k := &KernelStream{
+		out:  make(chan []Op, 4),
+		stop: make(chan struct{}),
+	}
+	em := &Emitter{
+		batch: make([]Op, 0, batchSize),
+		out:   k.out,
+		stop:  k.stop,
+	}
+	go func() {
+		defer close(k.out)
+		fn(em)
+		em.flush()
+	}()
+	return k
+}
+
+// Next implements Stream.
+func (k *KernelStream) Next(op *Op) bool {
+	if k.done {
+		return false
+	}
+	for k.pos >= len(k.cur) {
+		b, ok := <-k.out
+		if !ok {
+			k.done = true
+			return false
+		}
+		k.cur, k.pos = b, 0
+	}
+	*op = k.cur[k.pos]
+	k.pos++
+	return true
+}
+
+// Close releases the kernel goroutine if the consumer stops early. It is
+// idempotent and safe after natural exhaustion.
+func (k *KernelStream) Close() {
+	if k.stop != nil {
+		select {
+		case <-k.stop:
+		default:
+			close(k.stop)
+		}
+		// Drain so the producer's in-flight send unblocks.
+		for range k.out {
+		}
+		k.done = true
+	}
+}

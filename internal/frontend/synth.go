@@ -1,0 +1,207 @@
+package frontend
+
+import (
+	"fmt"
+
+	"sst/internal/sim"
+)
+
+// SynthConfig parameterizes the stochastic front-end: an instruction mix,
+// a two-level memory locality model, and a dependence-distance model. This
+// is the poster's "statistical" front-end: it reproduces a workload's
+// aggregate behavior without its code.
+type SynthConfig struct {
+	// Mix gives the fraction of each class; they are normalized, so any
+	// positive weights work. Branch/Nop may be zero.
+	IntFrac    float64
+	FloatFrac  float64
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+
+	// N is the number of operations to produce.
+	N uint64
+
+	// Memory model: a fraction HotFrac of accesses fall in a hot working
+	// set of HotBytes; the rest are spread over ColdBytes. Within each
+	// region, StrideBytes of 0 means uniform random; otherwise accesses
+	// stream with the given stride (a typical HPC unit-stride pattern).
+	HotFrac     float64
+	HotBytes    uint64
+	ColdBytes   uint64
+	StrideBytes uint64
+	// Base offsets the generated addresses (e.g. per-core partitions).
+	Base uint64
+
+	// TakenFrac is the probability a branch is taken.
+	TakenFrac float64
+
+	// DepDist is the mean distance (in ops) between an op and the
+	// producer of its source registers; small values serialize
+	// execution, large values expose ILP. Zero disables dependence
+	// generation (all sources register 0).
+	DepDist float64
+
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c *SynthConfig) Validate() error {
+	sum := c.IntFrac + c.FloatFrac + c.LoadFrac + c.StoreFrac + c.BranchFrac
+	if sum <= 0 {
+		return fmt.Errorf("frontend: synthetic mix has no positive weights")
+	}
+	if c.HotFrac < 0 || c.HotFrac > 1 {
+		return fmt.Errorf("frontend: HotFrac %v outside [0,1]", c.HotFrac)
+	}
+	if (c.LoadFrac > 0 || c.StoreFrac > 0) && c.HotBytes == 0 && c.ColdBytes == 0 {
+		return fmt.Errorf("frontend: memory ops requested but no address space configured")
+	}
+	return nil
+}
+
+// SyntheticStream generates a random operation stream per a SynthConfig.
+type SyntheticStream struct {
+	cfg             SynthConfig
+	rng             *sim.RNG
+	n               uint64
+	cum             [5]float64 // cumulative mix: int, float, load, store, branch
+	hotPos, coldPos uint64
+	regTick         uint8
+}
+
+// NewSynthetic builds a synthetic stream. The configuration is validated.
+func NewSynthetic(cfg SynthConfig) (*SyntheticStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SyntheticStream{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	w := [5]float64{cfg.IntFrac, cfg.FloatFrac, cfg.LoadFrac, cfg.StoreFrac, cfg.BranchFrac}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	acc := 0.0
+	for i, v := range w {
+		acc += v / sum
+		s.cum[i] = acc
+	}
+	return s, nil
+}
+
+// Next implements Stream.
+func (s *SyntheticStream) Next(op *Op) bool {
+	if s.n >= s.cfg.N {
+		return false
+	}
+	s.n++
+	*op = Op{PC: 0x1000 + s.n*4}
+	u := s.rng.Float64()
+	switch {
+	case u < s.cum[0]:
+		op.Class = ClassInt
+	case u < s.cum[1]:
+		op.Class = ClassFloat
+	case u < s.cum[2]:
+		op.Class = ClassLoad
+		op.Addr, op.Size = s.nextAddr(), 8
+	case u < s.cum[3]:
+		op.Class = ClassStore
+		op.Addr, op.Size = s.nextAddr(), 8
+	default:
+		op.Class = ClassBranch
+		op.Taken = s.rng.Bool(s.cfg.TakenFrac)
+	}
+	s.assignRegs(op)
+	return true
+}
+
+// nextAddr draws from the two-level locality model.
+func (s *SyntheticStream) nextAddr() uint64 {
+	hot := s.rng.Bool(s.cfg.HotFrac) && s.cfg.HotBytes > 0
+	region, pos := s.cfg.ColdBytes, &s.coldPos
+	if hot {
+		region, pos = s.cfg.HotBytes, &s.hotPos
+	}
+	if region == 0 {
+		region, pos = s.cfg.HotBytes, &s.hotPos
+	}
+	var a uint64
+	if s.cfg.StrideBytes == 0 {
+		a = s.rng.Uint64n(region)
+	} else {
+		a = *pos % region
+		*pos += s.cfg.StrideBytes
+	}
+	base := s.cfg.Base
+	if !hot {
+		base += s.cfg.HotBytes // cold region sits above the hot one
+	}
+	return base + a
+}
+
+// assignRegs synthesizes register dependences: each op's destination cycles
+// through r1..r30 and sources point back ~DepDist ops.
+func (s *SyntheticStream) assignRegs(op *Op) {
+	if s.cfg.DepDist <= 0 {
+		return
+	}
+	s.regTick++
+	if s.regTick >= 30 {
+		s.regTick = 1
+	}
+	dst := s.regTick
+	back := func() uint8 {
+		d := uint64(s.rng.Exp(s.cfg.DepDist)) + 1
+		if d > 29 {
+			d = 29
+		}
+		r := int(dst) - int(d)
+		for r < 1 {
+			r += 29
+		}
+		return uint8(r)
+	}
+	switch op.Class {
+	case ClassStore:
+		op.Src1, op.Src2 = back(), back()
+	case ClassBranch:
+		op.Src1, op.Src2 = back(), back()
+	default:
+		op.Dst = dst
+		op.Src1, op.Src2 = back(), back()
+	}
+}
+
+// Mixes returns a SynthConfig resembling a named workload profile. These
+// profiles correspond to the application classes in the network/memory
+// studies: bandwidth-bound streaming, compute-bound, and latency-bound
+// irregular.
+func Profile(name string, n uint64, seed uint64) (SynthConfig, error) {
+	switch name {
+	case "stream":
+		// STREAM-like: unit-stride loads/stores over a large array.
+		return SynthConfig{
+			IntFrac: 0.2, FloatFrac: 0.25, LoadFrac: 0.35, StoreFrac: 0.15, BranchFrac: 0.05,
+			N: n, HotFrac: 0, ColdBytes: 64 << 20, StrideBytes: 8,
+			TakenFrac: 0.95, DepDist: 8, Seed: seed,
+		}, nil
+	case "compute":
+		// Dense compute: mostly FP with a small hot working set.
+		return SynthConfig{
+			IntFrac: 0.25, FloatFrac: 0.55, LoadFrac: 0.12, StoreFrac: 0.03, BranchFrac: 0.05,
+			N: n, HotFrac: 0.95, HotBytes: 16 << 10, ColdBytes: 8 << 20, StrideBytes: 8,
+			TakenFrac: 0.9, DepDist: 4, Seed: seed,
+		}, nil
+	case "irregular":
+		// Pointer-chasing/GUPS-like: random accesses over a huge table.
+		return SynthConfig{
+			IntFrac: 0.35, FloatFrac: 0.05, LoadFrac: 0.45, StoreFrac: 0.1, BranchFrac: 0.05,
+			N: n, HotFrac: 0.05, HotBytes: 32 << 10, ColdBytes: 512 << 20, StrideBytes: 0,
+			TakenFrac: 0.5, DepDist: 2, Seed: seed,
+		}, nil
+	default:
+		return SynthConfig{}, fmt.Errorf("frontend: unknown profile %q", name)
+	}
+}

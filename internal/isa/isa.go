@@ -1,0 +1,282 @@
+// Package isa defines SR1, gosst's small RISC instruction set, together
+// with a binary encoder/decoder, a two-pass assembler, a disassembler and a
+// functional interpreter.
+//
+// SR1 exists so the simulator has an execution-driven front-end: real
+// programs with real data-dependent control flow and addresses, rather than
+// only traces and synthetic streams. It is deliberately minimal — 32
+// general registers also used for floating point (bit-pattern aliased),
+// fixed 32-bit instruction words, load/store architecture.
+package isa
+
+import "fmt"
+
+// Opcode enumerates SR1 operations.
+type Opcode uint8
+
+const (
+	NOP Opcode = iota
+	HALT
+
+	// R-type integer: rd = rs1 op rs2.
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT  // set if rs1 < rs2 (signed)
+	SLTU // set if rs1 < rs2 (unsigned)
+
+	// I-type integer: rd = rs1 op imm (sign-extended 16-bit).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI // rd = imm << 16 (rs1 ignored)
+
+	// R-type floating point (registers hold float64 bit patterns).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMADD // rd = rd + rs1*rs2 (fused accumulate)
+	FSLT  // rd = 1 if f(rs1) < f(rs2)
+	CVTIF // rd = float64(int64(rs1))
+	CVTFI // rd = int64(float64(rs1))
+
+	// Memory: address = rs1 + imm.
+	LD // 8-byte load
+	LW // 4-byte load (sign-extended)
+	LB // 1-byte load (sign-extended)
+	SD // 8-byte store (stores rd)
+	SW // 4-byte store
+	SB // 1-byte store
+
+	// Control: branches compare rs1, rs2; target = pc + 4*imm.
+	BEQ
+	BNE
+	BLT
+	BGE
+	JAL  // rd = pc+4; pc += 4*imm21
+	JALR // rd = pc+4; pc = rs1 + imm
+
+	numOpcodes
+)
+
+// Format describes an opcode's operand shape.
+type Format uint8
+
+const (
+	// FormatNone has no operands (nop, halt).
+	FormatNone Format = iota
+	// FormatR is "op rd, rs1, rs2".
+	FormatR
+	// FormatI is "op rd, rs1, imm".
+	FormatI
+	// FormatLoad is "op rd, imm(rs1)".
+	FormatLoad
+	// FormatStore is "op rd, imm(rs1)" (rd is the source).
+	FormatStore
+	// FormatBranch is "op rs1, rs2, target".
+	FormatBranch
+	// FormatJ is "op rd, target".
+	FormatJ
+	// FormatLUI is "op rd, imm".
+	FormatLUI
+)
+
+// opInfo is the per-opcode metadata table driving the assembler,
+// disassembler and interpreter dispatch.
+type opInfo struct {
+	name   string
+	format Format
+	// memBytes is the access size for loads/stores, 0 otherwise.
+	memBytes uint8
+	// isFloat marks floating-point execution class.
+	isFloat bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	NOP:   {"nop", FormatNone, 0, false},
+	HALT:  {"halt", FormatNone, 0, false},
+	ADD:   {"add", FormatR, 0, false},
+	SUB:   {"sub", FormatR, 0, false},
+	MUL:   {"mul", FormatR, 0, false},
+	DIV:   {"div", FormatR, 0, false},
+	REM:   {"rem", FormatR, 0, false},
+	AND:   {"and", FormatR, 0, false},
+	OR:    {"or", FormatR, 0, false},
+	XOR:   {"xor", FormatR, 0, false},
+	SLL:   {"sll", FormatR, 0, false},
+	SRL:   {"srl", FormatR, 0, false},
+	SRA:   {"sra", FormatR, 0, false},
+	SLT:   {"slt", FormatR, 0, false},
+	SLTU:  {"sltu", FormatR, 0, false},
+	ADDI:  {"addi", FormatI, 0, false},
+	ANDI:  {"andi", FormatI, 0, false},
+	ORI:   {"ori", FormatI, 0, false},
+	XORI:  {"xori", FormatI, 0, false},
+	SLLI:  {"slli", FormatI, 0, false},
+	SRLI:  {"srli", FormatI, 0, false},
+	SRAI:  {"srai", FormatI, 0, false},
+	SLTI:  {"slti", FormatI, 0, false},
+	LUI:   {"lui", FormatLUI, 0, false},
+	FADD:  {"fadd", FormatR, 0, true},
+	FSUB:  {"fsub", FormatR, 0, true},
+	FMUL:  {"fmul", FormatR, 0, true},
+	FDIV:  {"fdiv", FormatR, 0, true},
+	FMADD: {"fmadd", FormatR, 0, true},
+	FSLT:  {"fslt", FormatR, 0, true},
+	CVTIF: {"cvtif", FormatR, 0, true},
+	CVTFI: {"cvtfi", FormatR, 0, true},
+	LD:    {"ld", FormatLoad, 8, false},
+	LW:    {"lw", FormatLoad, 4, false},
+	LB:    {"lb", FormatLoad, 1, false},
+	SD:    {"sd", FormatStore, 8, false},
+	SW:    {"sw", FormatStore, 4, false},
+	SB:    {"sb", FormatStore, 1, false},
+	BEQ:   {"beq", FormatBranch, 0, false},
+	BNE:   {"bne", FormatBranch, 0, false},
+	BLT:   {"blt", FormatBranch, 0, false},
+	BGE:   {"bge", FormatBranch, 0, false},
+	JAL:   {"jal", FormatJ, 0, false},
+	JALR:  {"jalr", FormatI, 0, false},
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if o < numOpcodes {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Opcode) Valid() bool { return o < numOpcodes }
+
+// Info accessors.
+
+// Format returns the operand shape.
+func (o Opcode) Format() Format { return opTable[o].format }
+
+// MemBytes returns the memory access size (0 for non-memory ops).
+func (o Opcode) MemBytes() int { return int(opTable[o].memBytes) }
+
+// IsLoad reports whether o reads memory.
+func (o Opcode) IsLoad() bool { return o == LD || o == LW || o == LB }
+
+// IsStore reports whether o writes memory.
+func (o Opcode) IsStore() bool { return o == SD || o == SW || o == SB }
+
+// IsFloat reports whether o executes in the floating-point class.
+func (o Opcode) IsFloat() bool { return opTable[o].isFloat }
+
+// IsBranch reports whether o may redirect control flow.
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE, JAL, JALR:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op           Opcode
+	Rd, Rs1, Rs2 uint8
+	Imm          int32 // sign-extended immediate (16-bit, or 21-bit for JAL)
+}
+
+// Word encodes the instruction into a 32-bit word:
+//
+//	[31:26] opcode  [25:21] rd  [20:16] rs1  [15:11] rs2 / imm[15:11]
+//	[15:0] imm16 (I/branch forms)   [20:0] imm21 (JAL)
+func (i Instr) Word() uint32 {
+	w := uint32(i.Op) << 26
+	switch i.Op.Format() {
+	case FormatJ:
+		w |= uint32(i.Rd&31) << 21
+		w |= uint32(i.Imm) & 0x1fffff
+	case FormatR:
+		w |= uint32(i.Rd&31) << 21
+		w |= uint32(i.Rs1&31) << 16
+		w |= uint32(i.Rs2&31) << 11
+	case FormatBranch:
+		w |= uint32(i.Rs1&31) << 21
+		w |= uint32(i.Rs2&31) << 16
+		w |= uint32(i.Imm) & 0xffff
+	case FormatNone:
+	default: // I, Load, Store, LUI
+		w |= uint32(i.Rd&31) << 21
+		w |= uint32(i.Rs1&31) << 16
+		w |= uint32(i.Imm) & 0xffff
+	}
+	return w
+}
+
+// Decode splits a 32-bit word back into an Instr. Unknown opcodes yield an
+// error.
+func Decode(w uint32) (Instr, error) {
+	op := Opcode(w >> 26)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d in %#08x", uint8(op), w)
+	}
+	var in Instr
+	in.Op = op
+	switch op.Format() {
+	case FormatJ:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Imm = signExtend(w&0x1fffff, 21)
+	case FormatR:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Rs1 = uint8(w >> 16 & 31)
+		in.Rs2 = uint8(w >> 11 & 31)
+	case FormatBranch:
+		in.Rs1 = uint8(w >> 21 & 31)
+		in.Rs2 = uint8(w >> 16 & 31)
+		in.Imm = signExtend(w&0xffff, 16)
+	case FormatNone:
+	default:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Rs1 = uint8(w >> 16 & 31)
+		in.Imm = signExtend(w&0xffff, 16)
+	}
+	return in, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op.Format() {
+	case FormatNone:
+		return i.Op.String()
+	case FormatR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case FormatI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case FormatLoad, FormatStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case FormatBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case FormatLUI:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	default:
+		return fmt.Sprintf("%s ?", i.Op)
+	}
+}

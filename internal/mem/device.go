@@ -1,0 +1,149 @@
+// Package mem implements gosst's on-node memory hierarchy: set-associative
+// caches with MSHRs and pluggable replacement, write-back/write-through
+// policies, an optional next-line prefetcher, MESI coherence over a snooping
+// bus, and adapters that bridge the hierarchy onto the DRAM timing model.
+//
+// Within a node the hierarchy uses direct-call ports with event-scheduled
+// completions (SST's fast "memHierarchy" coupling); only cross-node traffic
+// pays for full link events.
+package mem
+
+import (
+	"fmt"
+
+	"sst/internal/dram"
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// Op distinguishes access kinds moving down the hierarchy.
+type Op uint8
+
+const (
+	// Read requests data (load or instruction fetch).
+	Read Op = iota
+	// Write stores data.
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Device is anything that accepts memory accesses: a cache, a bus, a DRAM
+// adapter, or a fixed-latency test memory. done fires when the access
+// completes; it may be nil for posted writes. Access must be called from
+// within the simulation (i.e. during an event), never from outside.
+type Device interface {
+	Access(op Op, addr uint64, size int, done func())
+}
+
+// SimpleMemory is a fixed-latency, bandwidth-limited memory device used in
+// unit tests and as an abstract machine model's "perfect" memory.
+type SimpleMemory struct {
+	name    string
+	engine  *sim.Engine
+	latency sim.Time
+	// perByte throttles throughput: each byte occupies the device for
+	// this long. Zero means infinite bandwidth.
+	perByte sim.Time
+	freeAt  sim.Time
+
+	reads, writes *stats.Counter
+	bytes         *stats.Counter
+}
+
+// NewSimpleMemory builds a fixed-latency memory. bytesPerSecond of 0 means
+// unlimited bandwidth.
+func NewSimpleMemory(engine *sim.Engine, name string, latency sim.Time, bytesPerSecond float64, scope *stats.Scope) *SimpleMemory {
+	m := &SimpleMemory{name: name, engine: engine, latency: latency}
+	if bytesPerSecond > 0 {
+		m.perByte = sim.Time(float64(sim.Second) / bytesPerSecond)
+		if m.perByte == 0 {
+			m.perByte = 1
+		}
+	}
+	if scope == nil {
+		scope = stats.NewRegistry().Scope(name)
+	}
+	m.reads = scope.Counter("reads")
+	m.writes = scope.Counter("writes")
+	m.bytes = scope.Counter("bytes")
+	return m
+}
+
+// Name returns the component name.
+func (m *SimpleMemory) Name() string { return m.name }
+
+// Access implements Device.
+func (m *SimpleMemory) Access(op Op, addr uint64, size int, done func()) {
+	if op == Read {
+		m.reads.Inc()
+	} else {
+		m.writes.Inc()
+	}
+	m.bytes.Add(uint64(size))
+	now := m.engine.Now()
+	start := now
+	if m.freeAt > start {
+		start = m.freeAt
+	}
+	occupancy := m.perByte * sim.Time(size)
+	m.freeAt = start + occupancy
+	if done != nil {
+		m.engine.ScheduleAt(start+occupancy+m.latency, sim.PrioLink, func(any) { done() }, nil)
+	}
+}
+
+// DRAMDevice adapts a dram.Memory to the Device interface, splitting
+// arbitrary-size accesses into line transfers and completing when the last
+// line finishes.
+type DRAMDevice struct {
+	Mem *dram.Memory
+}
+
+// Access implements Device.
+func (d *DRAMDevice) Access(op Op, addr uint64, size int, done func()) {
+	line := uint64(d.Mem.Config().LineBytes)
+	first := addr &^ (line - 1)
+	last := (addr + uint64(size) - 1) &^ (line - 1)
+	if size <= 0 {
+		last = first
+	}
+	n := int((last-first)/line) + 1
+	if done == nil {
+		for a := first; ; a += line {
+			d.Mem.Access(a, op == Write, nil)
+			if a == last {
+				break
+			}
+		}
+		return
+	}
+	remaining := n
+	sub := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	for a := first; ; a += line {
+		d.Mem.Access(a, op == Write, sub)
+		if a == last {
+			break
+		}
+	}
+}
+
+// deviceName returns a diagnostic name for error messages.
+func deviceName(d Device) string {
+	switch v := d.(type) {
+	case interface{ Name() string }:
+		return v.Name()
+	default:
+		return fmt.Sprintf("%T", d)
+	}
+}

@@ -1,0 +1,97 @@
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube is a D-dimensional binary hypercube: 2^D routers, one node
+// each, neighbors differ in exactly one address bit. E-cube routing fixes
+// differing bits lowest-first, which is deterministic and deadlock-free —
+// the classic massively-parallel topology (nCUBE, early Crays).
+type Hypercube struct {
+	D int
+}
+
+// NewHypercube validates the dimension.
+func NewHypercube(d int) (*Hypercube, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("noc: hypercube dimension %d out of range [1,20]", d)
+	}
+	return &Hypercube{D: d}, nil
+}
+
+func (h *Hypercube) Name() string       { return fmt.Sprintf("hypercube-%d", h.D) }
+func (h *Hypercube) NumRouters() int    { return 1 << h.D }
+func (h *Hypercube) NumNodes() int      { return 1 << h.D }
+func (h *Hypercube) RouterOf(n int) int { return n }
+func (h *Hypercube) Diameter() int      { return h.D }
+
+func (h *Hypercube) Links() [][2]int {
+	var ls [][2]int
+	for r := 0; r < h.NumRouters(); r++ {
+		for d := 0; d < h.D; d++ {
+			peer := r ^ (1 << d)
+			if r < peer {
+				ls = append(ls, [2]int{r, peer})
+			}
+		}
+	}
+	return ls
+}
+
+// Route implements e-cube (dimension-order) routing: correct the lowest
+// differing bit.
+func (h *Hypercube) Route(r, dstNode int) int {
+	dst := h.RouterOf(dstNode)
+	diff := r ^ dst
+	if diff == 0 {
+		return -1
+	}
+	return r ^ (1 << uint(bits.TrailingZeros(uint(diff))))
+}
+
+// Butterfly is a k-ary 2-level indirect network approximated in the
+// router-graph model: stage-0 switches own the nodes, stage-1 switches
+// provide the shuffle; like the fat tree, a destination hash picks the
+// middle switch deterministically.
+type Butterfly struct {
+	// Switches per stage; nodes = Switches * Radix.
+	Switches, Radix int
+}
+
+// NewButterfly validates the shape.
+func NewButterfly(switches, radix int) (*Butterfly, error) {
+	if switches <= 0 || radix <= 0 {
+		return nil, fmt.Errorf("noc: butterfly %d/%d invalid", switches, radix)
+	}
+	return &Butterfly{Switches: switches, Radix: radix}, nil
+}
+
+func (b *Butterfly) Name() string       { return fmt.Sprintf("butterfly-%ds-%dr", b.Switches, b.Radix) }
+func (b *Butterfly) NumRouters() int    { return 2 * b.Switches }
+func (b *Butterfly) NumNodes() int      { return b.Switches * b.Radix }
+func (b *Butterfly) RouterOf(n int) int { return n / b.Radix }
+func (b *Butterfly) Diameter() int      { return 2 }
+
+func (b *Butterfly) Links() [][2]int {
+	var ls [][2]int
+	for s := 0; s < b.Switches; s++ {
+		for m := 0; m < b.Switches; m++ {
+			ls = append(ls, [2]int{s, b.Switches + m})
+		}
+	}
+	return ls
+}
+
+// Route: up to the hash-selected middle switch, then down.
+func (b *Butterfly) Route(r, dstNode int) int {
+	dstSwitch := b.RouterOf(dstNode)
+	if r < b.Switches {
+		if r == dstSwitch {
+			return -1
+		}
+		return b.Switches + dstNode%b.Switches
+	}
+	return dstSwitch
+}

@@ -1,0 +1,263 @@
+package noc
+
+import (
+	"fmt"
+
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// NetConfig sets the physical parameters of a network.
+type NetConfig struct {
+	// LinkBandwidth is router-to-router bandwidth, bytes/s.
+	LinkBandwidth float64
+	// LinkLatency is the wire/pipeline latency per hop.
+	LinkLatency sim.Time
+	// RouterLatency is the per-hop arbitration/switching delay.
+	RouterLatency sim.Time
+	// InjectionBandwidth is the node-to-router (NIC) bandwidth, bytes/s.
+	// This is the knob the bandwidth-degradation study scales down.
+	InjectionBandwidth float64
+	// MaxPacketBytes segments messages; 0 defaults to 4 KiB.
+	MaxPacketBytes int
+}
+
+// Validate fills defaults and checks ranges.
+func (c *NetConfig) Validate() error {
+	if c.LinkBandwidth <= 0 || c.InjectionBandwidth <= 0 {
+		return fmt.Errorf("noc: bandwidths must be positive")
+	}
+	if c.MaxPacketBytes == 0 {
+		c.MaxPacketBytes = 4 << 10
+	}
+	if c.MaxPacketBytes < 64 {
+		return fmt.Errorf("noc: packet size %d too small", c.MaxPacketBytes)
+	}
+	return nil
+}
+
+// DefaultConfig resembles a mid-2000s MPP interconnect: 3.2 GB/s links,
+// 100 ns hop latency.
+func DefaultConfig() NetConfig {
+	return NetConfig{
+		LinkBandwidth:      3.2e9,
+		LinkLatency:        100 * sim.Nanosecond,
+		RouterLatency:      50 * sim.Nanosecond,
+		InjectionBandwidth: 3.2e9,
+		MaxPacketBytes:     4 << 10,
+	}
+}
+
+// packet is one wormhole-approximated transfer unit.
+type packet struct {
+	src, dst int
+	size     int // this packet's bytes
+	msgSize  int // whole message's bytes (reported on the last packet)
+	last     bool
+	payload  any
+	sentAt   sim.Time
+	hops     int
+}
+
+// dlink is a directed link's serialization state.
+type dlink struct {
+	freeAt sim.Time
+	busy   uint64 // accumulated occupancy, ps
+	bytes  uint64
+}
+
+// Network is a complete interconnect instance: topology + routers + links +
+// NICs. It is driven entirely by the simulation engine.
+type Network struct {
+	name   string
+	engine *sim.Engine
+	topo   Topology
+	cfg    NetConfig
+
+	// links[a] maps next-router b to the a→b directed link.
+	links []map[int]*dlink
+	nics  []*NIC
+
+	packets  *stats.Counter
+	messages *stats.Counter
+	bytes    *stats.Counter
+	msgLat   *stats.Histogram
+	hopHist  *stats.Histogram
+}
+
+// NewNetwork builds the network. scope may be nil.
+func NewNetwork(engine *sim.Engine, name string, topo Topology, cfg NetConfig, scope *stats.Scope) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{name: name, engine: engine, topo: topo, cfg: cfg}
+	n.links = make([]map[int]*dlink, topo.NumRouters())
+	for i := range n.links {
+		n.links[i] = make(map[int]*dlink)
+	}
+	for _, l := range topo.Links() {
+		a, b := l[0], l[1]
+		n.links[a][b] = &dlink{}
+		n.links[b][a] = &dlink{}
+	}
+	n.nics = make([]*NIC, topo.NumNodes())
+	for i := range n.nics {
+		n.nics[i] = &NIC{net: n, node: i}
+	}
+	if scope == nil {
+		scope = stats.NewRegistry().Scope(name)
+	}
+	n.packets = scope.Counter("packets")
+	n.messages = scope.Counter("messages")
+	n.bytes = scope.Counter("bytes")
+	n.msgLat = scope.Histogram("message_latency_ps")
+	n.hopHist = scope.Histogram("hops")
+	return n, nil
+}
+
+// Name returns the component name.
+func (n *Network) Name() string { return n.name }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Config returns the network configuration.
+func (n *Network) Config() NetConfig { return n.cfg }
+
+// NIC returns node i's network interface.
+func (n *Network) NIC(i int) *NIC { return n.nics[i] }
+
+// MessageLatencyMean returns the average end-to-end message latency (ps).
+func (n *Network) MessageLatencyMean() float64 { return n.msgLat.Mean() }
+
+// BytesDelivered returns total payload bytes delivered.
+func (n *Network) BytesDelivered() uint64 { return n.bytes.Count() }
+
+// serialize computes the occupancy of size bytes at bw bytes/s.
+func serialize(size int, bw float64) sim.Time {
+	t := sim.Time(float64(size) / bw * float64(sim.Second))
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// hop forwards a packet from router r; -1 routes deliver to the NIC.
+func (n *Network) hop(p *packet, r int) {
+	nxt := n.topo.Route(r, p.dst)
+	if nxt < 0 {
+		n.deliver(p)
+		return
+	}
+	l := n.links[r][nxt]
+	if l == nil {
+		panic(fmt.Sprintf("noc: topology %s routed %d->%d without a link", n.topo.Name(), r, nxt))
+	}
+	now := n.engine.Now()
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	ser := serialize(p.size, n.cfg.LinkBandwidth)
+	l.freeAt = start + ser
+	l.busy += uint64(ser)
+	l.bytes += uint64(p.size)
+	p.hops++
+	arrive := start + ser + n.cfg.LinkLatency + n.cfg.RouterLatency
+	n.engine.ScheduleAt(arrive, sim.PrioLink, func(any) { n.hop(p, nxt) }, nil)
+}
+
+// deliver hands a packet to the destination NIC.
+func (n *Network) deliver(p *packet) {
+	n.packets.Inc()
+	nic := n.nics[p.dst]
+	if p.last {
+		n.messages.Inc()
+		n.bytes.Add(uint64(p.msgSize))
+		n.msgLat.Observe(uint64(n.engine.Now() - p.sentAt))
+		n.hopHist.Observe(uint64(p.hops))
+		nic.received++
+		if nic.recv != nil {
+			nic.recv(p.src, p.msgSize, p.payload)
+		}
+	}
+}
+
+// NIC is a node's network interface: an injection-bandwidth-limited port
+// into the fabric plus a receive callback.
+type NIC struct {
+	net    *Network
+	node   int
+	freeAt sim.Time
+	recv   func(src, size int, payload any)
+
+	sent     uint64
+	received uint64
+}
+
+// Node returns the NIC's node id.
+func (nc *NIC) Node() int { return nc.node }
+
+// SetReceiver installs the message-delivery callback. Messages between the
+// same (src,dst) pair arrive in send order (deterministic routing + FIFO
+// links).
+func (nc *NIC) SetReceiver(fn func(src, size int, payload any)) { nc.recv = fn }
+
+// Sent and Received count completed messages.
+func (nc *NIC) Sent() uint64     { return nc.sent }
+func (nc *NIC) Received() uint64 { return nc.received }
+
+// Send transmits size payload bytes to dst. onSent (optional) fires when
+// the last byte has been injected (the send buffer is free); the payload is
+// delivered to dst's receiver when the last packet arrives.
+func (nc *NIC) Send(dst, size int, payload any, onSent func()) {
+	if dst < 0 || dst >= len(nc.net.nics) {
+		panic(fmt.Sprintf("noc: send to invalid node %d", dst))
+	}
+	n := nc.net
+	now := n.engine.Now()
+	nc.sent++
+	if size <= 0 {
+		size = 1
+	}
+	remaining := size
+	injectAt := now
+	if nc.freeAt > injectAt {
+		injectAt = nc.freeAt
+	}
+	srcRouter := n.topo.RouterOf(nc.node)
+	for remaining > 0 {
+		pk := min(remaining, n.cfg.MaxPacketBytes)
+		remaining -= pk
+		p := &packet{
+			src: nc.node, dst: dst, size: pk,
+			last: remaining == 0, sentAt: now,
+			msgSize: size,
+		}
+		if p.last {
+			p.payload = payload
+		}
+		ser := serialize(pk, n.cfg.InjectionBandwidth)
+		injectAt += ser
+		// The packet enters the first router after its injection
+		// serialization plus the NIC link latency.
+		at := injectAt + n.cfg.LinkLatency
+		if nc.node == dst {
+			// Loopback: skip the fabric.
+			n.engine.ScheduleAt(at, sim.PrioLink, func(any) { n.deliver(p) }, nil)
+			continue
+		}
+		n.engine.ScheduleAt(at, sim.PrioLink, func(any) { n.hop(p, srcRouter) }, nil)
+	}
+	nc.freeAt = injectAt
+	if onSent != nil {
+		n.engine.ScheduleAt(injectAt, sim.PrioLink, func(any) { onSent() }, nil)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+// Package par is gosst's parallel discrete-event runtime: conservative,
+// barrier-synchronized PDES in the Structural Simulation Toolkit mold.
+//
+// The model graph is partitioned into ranks, each with its own sequential
+// sim.Engine running in its own goroutine. Ranks only interact over links,
+// and every cross-rank link has a declared nonzero latency, so the minimum
+// cross-rank latency is a safe conservative lookahead: all ranks may
+// advance through a window of that width without seeing each other's
+// events. At each window barrier the runtime exchanges mailboxes, merging
+// remote events in (time, source rank, sequence) order so a parallel run is
+// bit-for-bit deterministic and independent of goroutine scheduling.
+package par
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sst/internal/sim"
+)
+
+// remoteEvent is one payload crossing a rank boundary.
+type remoteEvent struct {
+	time    sim.Time
+	srcRank int
+	seq     uint64
+	dst     *sim.Port
+	payload any
+}
+
+// rank is one partition: an engine plus per-destination outboxes.
+type rank struct {
+	id       int
+	sim      *sim.Simulation
+	outboxes [][]remoteEvent // indexed by destination rank
+	sendSeq  uint64
+	handled  uint64
+}
+
+// Runner coordinates the ranks.
+type Runner struct {
+	ranks      []*rank
+	lookahead  sim.Time
+	crossLinks int
+	now        sim.Time
+	running    bool
+}
+
+// NewRunner creates nranks empty partitions.
+func NewRunner(nranks int) (*Runner, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("par: need at least one rank")
+	}
+	r := &Runner{lookahead: sim.TimeInfinity}
+	for i := 0; i < nranks; i++ {
+		rk := &rank{id: i, sim: sim.New(), outboxes: make([][]remoteEvent, nranks)}
+		r.ranks = append(r.ranks, rk)
+	}
+	return r, nil
+}
+
+// NumRanks returns the partition count.
+func (r *Runner) NumRanks() int { return len(r.ranks) }
+
+// Rank returns partition i's simulation container; build that rank's
+// components against it.
+func (r *Runner) Rank(i int) *sim.Simulation { return r.ranks[i].sim }
+
+// Now returns the global window base time.
+func (r *Runner) Now() sim.Time { return r.now }
+
+// Lookahead returns the synchronization window (min cross-rank latency).
+func (r *Runner) Lookahead() sim.Time {
+	if r.crossLinks == 0 {
+		return 0
+	}
+	return r.lookahead
+}
+
+// Connect creates a link of the given latency between rankA and rankB,
+// returning the port on each side. Same-rank connections are ordinary
+// local links; cross-rank connections must have nonzero latency, which
+// feeds the runner's lookahead.
+func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.Port, *sim.Port, error) {
+	if rankA < 0 || rankA >= len(r.ranks) || rankB < 0 || rankB >= len(r.ranks) {
+		return nil, nil, fmt.Errorf("par: link %q connects invalid ranks %d,%d", name, rankA, rankB)
+	}
+	if rankA == rankB {
+		a, b := r.ranks[rankA].sim.Connect(name, latency)
+		return a, b, nil
+	}
+	if latency == 0 {
+		return nil, nil, fmt.Errorf("par: cross-rank link %q needs nonzero latency (it is the lookahead)", name)
+	}
+	// The link object nominally lives on rankA's engine, but delivery is
+	// fully intercepted, so the home engine is never used for sends.
+	a, b := sim.Connect(r.ranks[rankA].sim.Engine(), name, latency)
+	r.crossLinks++
+	if latency < r.lookahead {
+		r.lookahead = latency
+	}
+	ra, rb := r.ranks[rankA], r.ranks[rankB]
+	a.Link().SetDeliver(func(from *sim.Port, delay sim.Time, payload any) {
+		src, dstRank, dstPort := ra, rb.id, b
+		if from == b {
+			src, dstRank, dstPort = rb, ra.id, a
+		}
+		src.sendSeq++
+		src.outboxes[dstRank] = append(src.outboxes[dstRank], remoteEvent{
+			time:    src.sim.Engine().Now() + delay,
+			srcRank: src.id,
+			seq:     src.sendSeq,
+			dst:     dstPort,
+			payload: payload,
+		})
+	})
+	return a, b, nil
+}
+
+// Run advances the whole model until the given time (or until globally
+// idle), returning total events handled. Events scheduled exactly at
+// `until` are not processed (windows are half-open), so event counts match
+// across rank counts. With one rank Run degenerates to a sequential run
+// with no synchronization overhead.
+func (r *Runner) Run(until sim.Time) (uint64, error) {
+	if len(r.ranks) == 1 && r.crossLinks == 0 {
+		end := until
+		if end != sim.TimeInfinity {
+			end = until - 1
+		}
+		n := r.ranks[0].sim.Engine().Run(end)
+		r.now = until
+		if until == sim.TimeInfinity {
+			r.now = r.ranks[0].sim.Engine().Now()
+		}
+		return n, nil
+	}
+	if r.crossLinks > 0 && (r.lookahead == 0 || r.lookahead == sim.TimeInfinity) {
+		return 0, fmt.Errorf("par: no usable lookahead")
+	}
+	window := r.lookahead
+	if r.crossLinks == 0 {
+		// Independent ranks: run each to completion in parallel.
+		window = until - r.now
+		if until == sim.TimeInfinity {
+			window = sim.TimeInfinity - 1 - r.now
+		}
+	}
+	// Persistent workers for this Run call: one goroutine per rank,
+	// handed a horizon per window. This keeps per-window cost to a pair
+	// of channel operations instead of goroutine churn.
+	work := make([]chan sim.Time, len(r.ranks))
+	var wg sync.WaitGroup
+	for i, rk := range r.ranks {
+		work[i] = make(chan sim.Time)
+		go func(rk *rank, ch <-chan sim.Time) {
+			for horizon := range ch {
+				if horizon == sim.TimeInfinity {
+					rk.handled = rk.sim.Engine().Run(horizon)
+				} else {
+					rk.handled = rk.sim.Engine().Run(horizon - 1)
+				}
+				wg.Done()
+			}
+		}(rk, work[i])
+	}
+	defer func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}()
+
+	var total uint64
+	for {
+		horizon := r.now + window
+		if horizon > until || horizon < r.now {
+			horizon = until
+		}
+		// Parallel phase: each rank runs its events strictly below
+		// the horizon.
+		wg.Add(len(r.ranks))
+		for i := range r.ranks {
+			work[i] <- horizon
+		}
+		wg.Wait()
+		// Exchange phase: merge mailboxes deterministically.
+		moved := 0
+		for dst := range r.ranks {
+			var in []remoteEvent
+			for _, src := range r.ranks {
+				if len(src.outboxes[dst]) > 0 {
+					in = append(in, src.outboxes[dst]...)
+					src.outboxes[dst] = src.outboxes[dst][:0]
+				}
+			}
+			if len(in) == 0 {
+				continue
+			}
+			moved += len(in)
+			sort.Slice(in, func(i, j int) bool {
+				a, b := in[i], in[j]
+				if a.time != b.time {
+					return a.time < b.time
+				}
+				if a.srcRank != b.srcRank {
+					return a.srcRank < b.srcRank
+				}
+				return a.seq < b.seq
+			})
+			eng := r.ranks[dst].sim.Engine()
+			for _, ev := range in {
+				ev := ev
+				eng.ScheduleAt(ev.time, sim.PrioLink, func(any) { ev.dst.Deliver(ev.payload) }, nil)
+			}
+		}
+		for _, rk := range r.ranks {
+			total += rk.handled
+		}
+		r.now = horizon
+		// Termination: global idle (no pending events anywhere, nothing
+		// exchanged) or the requested time reached.
+		if r.now >= until {
+			break
+		}
+		if moved == 0 {
+			// Nothing in flight: either globally idle (stop) or
+			// fast-forward to the next pending event so sparse
+			// models don't crawl window by window.
+			next := sim.TimeInfinity
+			for _, rk := range r.ranks {
+				if t := rk.sim.Engine().NextEventTime(); t < next {
+					next = t
+				}
+			}
+			if next == sim.TimeInfinity {
+				break
+			}
+			if next > r.now {
+				r.now = next
+			}
+		}
+	}
+	return total, nil
+}
+
+// RunAll advances until the model is globally idle.
+func (r *Runner) RunAll() (uint64, error) { return r.Run(sim.TimeInfinity) }
+
+// Finish runs every rank's component Finish hooks.
+func (r *Runner) Finish() {
+	for _, rk := range r.ranks {
+		rk.sim.Finish()
+	}
+}

@@ -1,0 +1,140 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostParams models silicon manufacturing cost: dies per wafer from die
+// area, yield from defect density (negative-binomial/Murphy model), plus
+// packaging and test. This is the IC-Knowledge-style model the design-space
+// study used for its performance-per-dollar axis.
+type CostParams struct {
+	// WaferDiameterMM is the wafer size (300 for a 300 mm line).
+	WaferDiameterMM float64
+	// WaferCostUSD is the processed-wafer cost.
+	WaferCostUSD float64
+	// DefectsPerMM2 is the defect density D0.
+	DefectsPerMM2 float64
+	// ClusterAlpha is the defect clustering parameter (negative
+	// binomial); 3 is typical.
+	ClusterAlpha float64
+	// PackageTestUSD is added per good die.
+	PackageTestUSD float64
+	// Markup converts manufacturing cost to market price (vendors sell
+	// silicon at several times cost); applied by DieCostUSD.
+	Markup float64
+}
+
+// DefaultCostParams resembles a mature mid-2000s 300 mm process.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		WaferDiameterMM: 300,
+		WaferCostUSD:    3500,
+		DefectsPerMM2:   0.002, // 0.2 per cm²
+		ClusterAlpha:    3,
+		PackageTestUSD:  10,
+		Markup:          8,
+	}
+}
+
+// Validate checks ranges.
+func (c *CostParams) Validate() error {
+	if c.WaferDiameterMM <= 0 || c.WaferCostUSD <= 0 {
+		return fmt.Errorf("power: wafer parameters must be positive")
+	}
+	if c.ClusterAlpha <= 0 {
+		c.ClusterAlpha = 3
+	}
+	if c.Markup <= 0 {
+		c.Markup = 1
+	}
+	return nil
+}
+
+// DiesPerWafer uses the standard geometric approximation: usable dies fall
+// off both with area and with edge loss.
+func (c CostParams) DiesPerWafer(dieAreaMM2 float64) float64 {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	d := c.WaferDiameterMM
+	n := math.Pi*d*d/4/dieAreaMM2 - math.Pi*d/math.Sqrt(2*dieAreaMM2)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Yield returns the fraction of good dies for the given area
+// (negative-binomial model: (1 + A·D0/α)^-α).
+func (c CostParams) Yield(dieAreaMM2 float64) float64 {
+	return math.Pow(1+dieAreaMM2*c.DefectsPerMM2/c.ClusterAlpha, -c.ClusterAlpha)
+}
+
+// DieCostUSD returns the market price of one good die: manufacturing cost
+// (wafer amortized over good dies, plus package/test) times the markup.
+func (c CostParams) DieCostUSD(dieAreaMM2 float64) float64 {
+	dies := c.DiesPerWafer(dieAreaMM2)
+	if dies <= 0 {
+		return math.Inf(1)
+	}
+	good := dies * c.Yield(dieAreaMM2)
+	if good <= 0 {
+		return math.Inf(1)
+	}
+	markup := c.Markup
+	if markup <= 0 {
+		markup = 1
+	}
+	return (c.WaferCostUSD/good + c.PackageTestUSD) * markup
+}
+
+// MemoryCostUSD prices a memory subsystem.
+func MemoryCostUSD(dollarsPerGB float64, capacityGB float64) float64 {
+	return dollarsPerGB * capacityGB
+}
+
+// NodeBudget aggregates a whole node's power and cost for
+// efficiency-frontier reports.
+type NodeBudget struct {
+	CoreEnergyJ float64
+	MemEnergyJ  float64
+	Seconds     float64
+
+	ChipCostUSD float64
+	MemCostUSD  float64
+}
+
+// TotalEnergyJ returns core + memory energy.
+func (b NodeBudget) TotalEnergyJ() float64 { return b.CoreEnergyJ + b.MemEnergyJ }
+
+// AvgPowerW returns average node power over the run.
+func (b NodeBudget) AvgPowerW() float64 {
+	if b.Seconds == 0 {
+		return 0
+	}
+	return b.TotalEnergyJ() / b.Seconds
+}
+
+// TotalCostUSD returns chip + memory cost.
+func (b NodeBudget) TotalCostUSD() float64 { return b.ChipCostUSD + b.MemCostUSD }
+
+// PerfPerWatt converts a work metric (e.g. ops or iterations per second)
+// into work per watt.
+func (b NodeBudget) PerfPerWatt(workPerSecond float64) float64 {
+	p := b.AvgPowerW()
+	if p == 0 {
+		return 0
+	}
+	return workPerSecond / p
+}
+
+// PerfPerDollar converts a work metric into work per dollar of hardware.
+func (b NodeBudget) PerfPerDollar(workPerSecond float64) float64 {
+	c := b.TotalCostUSD()
+	if c == 0 {
+		return 0
+	}
+	return workPerSecond / c
+}

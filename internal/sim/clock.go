@@ -1,0 +1,104 @@
+package sim
+
+// ClockHandler is called once per tick with the current cycle number.
+// Returning false unregisters the handler; it may be re-registered later
+// with Clock.Register. Components that stall for long periods should
+// deregister and re-register rather than spin, which keeps idle components
+// free on the event queue.
+type ClockHandler func(cycle Cycle) bool
+
+// Clock turns the engine's continuous picosecond timeline into a discrete
+// cycle domain at a fixed frequency. Many components may share one clock;
+// a tick is a single engine event regardless of how many handlers are
+// registered, and handlers run in registration order for determinism.
+//
+// Cycle-to-time conversion is exact (128-bit intermediate), so a 2.9 GHz
+// clock does not drift against a 1333 MHz memory clock over billions of
+// cycles.
+type Clock struct {
+	engine   *Engine
+	freq     Hz
+	cycle    Cycle
+	handlers []ClockHandler
+	armed    bool
+	prio     Priority
+}
+
+// NewClock creates a clock at freq driven by engine. The clock stays dormant
+// until its first handler is registered.
+func NewClock(engine *Engine, freq Hz) *Clock {
+	if freq == 0 {
+		panic("sim: zero-frequency clock")
+	}
+	return &Clock{engine: engine, freq: freq, prio: PrioClock}
+}
+
+// Freq returns the clock frequency.
+func (c *Clock) Freq() Hz { return c.freq }
+
+// Cycle returns the number of ticks delivered so far.
+func (c *Clock) Cycle() Cycle { return c.cycle }
+
+// Period returns the nominal tick duration (rounded to a picosecond).
+func (c *Clock) Period() Time { return c.freq.Period() }
+
+// NextCycle returns the cycle number of the first tick at or after the
+// engine's current time. Used by components waking from a stall to convert
+// a resume time into a cycle count.
+func (c *Clock) NextCycle() Cycle {
+	n := c.freq.CyclesIn(c.engine.Now())
+	if c.freq.CycleTime(n) < c.engine.Now() {
+		n++
+	}
+	return n
+}
+
+// Register adds h to the tick list and arms the clock if it was dormant.
+// The first tick delivered to a newly armed clock is the next cycle boundary
+// at or after the current time.
+func (c *Clock) Register(h ClockHandler) {
+	if h == nil {
+		panic("sim: Register with nil clock handler")
+	}
+	c.handlers = append(c.handlers, h)
+	c.arm()
+}
+
+func (c *Clock) arm() {
+	if c.armed || len(c.handlers) == 0 {
+		return
+	}
+	c.armed = true
+	if c.cycle < c.NextCycle() {
+		c.cycle = c.NextCycle()
+	}
+	c.engine.ScheduleAt(c.freq.CycleTime(c.cycle), c.prio, c.tick, nil)
+}
+
+// tick delivers one cycle to every registered handler, dropping handlers
+// that return false, then re-arms for the next cycle if any remain.
+// Handlers registered from within a tick are preserved but first run on the
+// following cycle.
+func (c *Clock) tick(any) {
+	n := len(c.handlers)
+	j := 0
+	for i := 0; i < n; i++ {
+		h := c.handlers[i]
+		if h(c.cycle) {
+			c.handlers[j] = h
+			j++
+		}
+	}
+	// Handlers appended during the tick sit at indices >= n; keep them.
+	j += copy(c.handlers[j:], c.handlers[n:])
+	for i := j; i < len(c.handlers); i++ {
+		c.handlers[i] = nil
+	}
+	c.handlers = c.handlers[:j]
+	c.cycle++
+	c.armed = false
+	if len(c.handlers) > 0 {
+		c.armed = true
+		c.engine.ScheduleAt(c.freq.CycleTime(c.cycle), c.prio, c.tick, nil)
+	}
+}

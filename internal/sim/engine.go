@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Engine is a sequential discrete-event scheduler. It owns simulated time:
+// components schedule work in the future and the engine invokes handlers in
+// deterministic (time, priority, insertion) order.
+//
+// An Engine is not safe for concurrent use; the parallel runtime in
+// internal/par gives each rank its own Engine and synchronizes between them.
+type Engine struct {
+	now     Time
+	seq     uint64
+	q       eventQueue
+	stopped bool
+
+	// handled counts events dispatched since construction.
+	handled uint64
+
+	// pool recycles event structs to keep the hot loop allocation-free.
+	pool sync.Pool
+
+	// onIdle, if set, is consulted when the local queue empties or the
+	// local horizon is reached; the parallel runtime uses it to block for
+	// remote events. It returns false when the simulation should stop.
+	onIdle func() bool
+
+	// horizon bounds how far this engine may advance before onIdle must
+	// be consulted again. TimeInfinity for purely sequential runs.
+	horizon Time
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{horizon: TimeInfinity}
+	e.pool.New = func() any { return new(event) }
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Handled returns the number of events dispatched so far.
+func (e *Engine) Handled() uint64 { return e.handled }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.q.Len() }
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// TimeInfinity when the queue is empty. The parallel runtime uses it to
+// fast-forward across globally idle windows.
+func (e *Engine) NextEventTime() Time {
+	ev := e.q.Peek()
+	if ev == nil {
+		return TimeInfinity
+	}
+	return ev.time
+}
+
+// Schedule arranges for fn(payload) to run after delay, with default link
+// priority ordering among same-time events.
+func (e *Engine) Schedule(delay Time, fn Handler, payload any) {
+	e.SchedulePrio(delay, PrioLink, fn, payload)
+}
+
+// SchedulePrio arranges for fn(payload) to run after delay at the given
+// same-timestamp priority.
+func (e *Engine) SchedulePrio(delay Time, prio Priority, fn Handler, payload any) {
+	if fn == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	t := e.now + delay
+	if t < e.now {
+		t = TimeInfinity // overflow clamps to the end of time
+	}
+	e.push(t, prio, fn, payload)
+}
+
+// ScheduleAt is SchedulePrio with an absolute timestamp. Scheduling into
+// the past is a programming error and panics: it would silently violate
+// causality.
+func (e *Engine) ScheduleAt(t Time, prio Priority, fn Handler, payload any) {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil handler")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.push(t, prio, fn, payload)
+}
+
+func (e *Engine) push(t Time, prio Priority, fn Handler, payload any) {
+	ev := e.pool.Get().(*event)
+	ev.time, ev.prio, ev.seq, ev.fn, ev.payload = t, prio, e.seq, fn, payload
+	e.seq++
+	e.q.Push(ev)
+}
+
+// Stop makes the current Run return after the in-flight handler completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last Run.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// setIdleHook installs the parallel runtime's blocking hook. Internal to
+// the sim/par pair.
+func (e *Engine) setIdleHook(h func() bool) { e.onIdle = h }
+
+// setHorizon bounds event dispatch: events at or beyond t stay queued until
+// the horizon is raised. Internal to the sim/par pair.
+func (e *Engine) setHorizon(t Time) { e.horizon = t }
+
+// Step dispatches the single earliest event. It reports false when the
+// queue is empty or the engine was stopped.
+func (e *Engine) Step() bool {
+	if e.stopped {
+		return false
+	}
+	ev := e.q.Pop()
+	if ev == nil {
+		return false
+	}
+	e.dispatch(ev)
+	return true
+}
+
+func (e *Engine) dispatch(ev *event) {
+	if ev.time < e.now {
+		panic(fmt.Sprintf("sim: time ran backwards: %v -> %v", e.now, ev.time))
+	}
+	e.now = ev.time
+	fn, payload := ev.fn, ev.payload
+	ev.fn, ev.payload = nil, nil
+	e.pool.Put(ev)
+	e.handled++
+	fn(payload)
+}
+
+// Run dispatches events until the queue drains, Stop is called, or the next
+// event lies strictly after until. It returns the number of events handled
+// during this call. On return the engine's clock rests at the time of the
+// last handled event (or `until` if the queue drained earlier and `until`
+// is finite).
+func (e *Engine) Run(until Time) uint64 {
+	e.stopped = false
+	start := e.handled
+	for !e.stopped {
+		ev := e.q.Peek()
+		for ev == nil || ev.time >= e.horizon {
+			if e.onIdle == nil || !e.onIdle() {
+				goto done
+			}
+			ev = e.q.Peek()
+		}
+		if ev.time > until {
+			break
+		}
+		e.q.Pop()
+		e.dispatch(ev)
+	}
+done:
+	if until != TimeInfinity && e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.handled - start
+}
+
+// RunAll dispatches events until the queue is exhausted or Stop is called.
+func (e *Engine) RunAll() uint64 { return e.Run(TimeInfinity) }

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	rec := func(v int) Handler {
+		return func(any) { got = append(got, v) }
+	}
+	e.Schedule(30, rec(3), nil)
+	e.Schedule(10, rec(1), nil)
+	e.Schedule(20, rec(2), nil)
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimePriority(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.SchedulePrio(10, PrioLink, func(any) { got = append(got, "link") }, nil)
+	e.SchedulePrio(10, PrioClock, func(any) { got = append(got, "clock") }, nil)
+	e.SchedulePrio(10, PrioLate, func(any) { got = append(got, "late") }, nil)
+	e.RunAll()
+	if len(got) != 3 || got[0] != "clock" || got[1] != "link" || got[2] != "late" {
+		t.Fatalf("priority order = %v", got)
+	}
+}
+
+func TestEngineFIFOAtSameTimePrio(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		v := i
+		e.Schedule(5, func(any) { got = append(got, v) }, nil)
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("insertion order broken at %d: got %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func(any) { fired++ }, nil)
+	e.Schedule(100, func(any) { fired++ }, nil)
+	n := e.Run(50)
+	if n != 1 || fired != 1 {
+		t.Fatalf("Run(50) handled %d events (fired=%d), want 1", n, fired)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %v, want 50 (idle advance to horizon)", e.Now())
+	}
+	e.Run(200)
+	if fired != 2 {
+		t.Errorf("second event not fired")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i, func(any) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		}, nil)
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("handled %d events after Stop, want 3", count)
+	}
+	// Run resumes after a Stop.
+	e.RunAll()
+	if count != 10 {
+		t.Fatalf("handled %d events total, want 10", count)
+	}
+}
+
+func TestEngineScheduleFromHandler(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse Handler
+	recurse = func(any) {
+		depth++
+		if depth < 64 {
+			e.Schedule(1, recurse, nil)
+		}
+	}
+	e.Schedule(1, recurse, nil)
+	e.RunAll()
+	if depth != 64 {
+		t.Fatalf("depth = %d, want 64", depth)
+	}
+	if e.Now() != 64 {
+		t.Fatalf("Now = %v, want 64", e.Now())
+	}
+}
+
+func TestEngineScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func(any) {}, nil)
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt into the past did not panic")
+		}
+	}()
+	e.ScheduleAt(10, PrioLink, func(any) {}, nil)
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule with nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil, nil)
+}
+
+func TestEngineOverflowClamps(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(any) {}, nil)
+	e.RunAll()
+	// now == 5; delay near max must clamp, not wrap to the past.
+	e.Schedule(TimeInfinity-2, func(any) {}, nil)
+	if ev := e.q.Peek(); ev.time != TimeInfinity {
+		t.Fatalf("overflowing delay scheduled at %v, want clamp to infinity", ev.time)
+	}
+}
+
+func TestEnginePayload(t *testing.T) {
+	e := NewEngine()
+	var got any
+	e.Schedule(1, func(p any) { got = p }, 42)
+	e.RunAll()
+	if got != 42 {
+		t.Fatalf("payload = %v, want 42", got)
+	}
+}
+
+// TestEventQueueProperty checks, for random schedules, that the queue pops
+// events in exactly sorted (time, prio, seq) order.
+func TestEventQueueProperty(t *testing.T) {
+	type key struct {
+		t    Time
+		prio Priority
+		seq  int
+	}
+	fn := func(times []uint16, prios []int8) bool {
+		var q eventQueue
+		var keys []key
+		for i, tv := range times {
+			var p Priority
+			if i < len(prios) {
+				p = Priority(prios[i])
+			}
+			q.Push(&event{time: Time(tv), prio: p, seq: uint64(i)})
+			keys = append(keys, key{Time(tv), p, i})
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			return a.seq < b.seq
+		})
+		for _, k := range keys {
+			ev := q.Pop()
+			if ev == nil || ev.time != k.t || ev.prio != k.prio || ev.seq != uint64(k.seq) {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineHandledCount(t *testing.T) {
+	e := NewEngine()
+	for i := Time(1); i <= 5; i++ {
+		e.Schedule(i, func(any) {}, nil)
+	}
+	if n := e.RunAll(); n != 5 {
+		t.Fatalf("RunAll handled %d, want 5", n)
+	}
+	if e.Handled() != 5 {
+		t.Fatalf("Handled() = %d, want 5", e.Handled())
+	}
+}
+
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	h := func(any) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%64), h, nil)
+		if e.Pending() > 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkEngineHotLoop(b *testing.B) {
+	// Self-rescheduling event: the steady-state cost of one event.
+	e := NewEngine()
+	n := 0
+	var h Handler
+	h = func(any) {
+		n++
+		if n < b.N {
+			e.Schedule(1, h, nil)
+		}
+	}
+	e.Schedule(1, h, nil)
+	b.ResetTimer()
+	b.ReportAllocs()
+	e.RunAll()
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "fmt"
+
+// Port is one endpoint of a Link. Components send payloads out of their own
+// port; the payload arrives at the peer port's handler after the link
+// latency.
+type Port struct {
+	name    string
+	link    *Link
+	peer    *Port
+	handler Handler
+	prio    Priority
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Link returns the link this port belongs to, or nil when unconnected.
+func (p *Port) Link() *Link { return p.link }
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Deliver invokes the port's handler directly at the current time. It is
+// used by the parallel runtime when draining cross-rank mailboxes; normal
+// components use Send on the peer instead.
+func (p *Port) Deliver(payload any) {
+	if p.handler == nil {
+		panic(fmt.Sprintf("sim: port %q has no handler", p.name))
+	}
+	p.handler(payload)
+}
+
+// SetHandler installs the function invoked when a payload arrives at this
+// port. It must be set before the peer sends.
+func (p *Port) SetHandler(h Handler) { p.handler = h }
+
+// Connected reports whether the port has been wired to a link.
+func (p *Port) Connected() bool { return p.link != nil }
+
+// Latency returns the latency of the attached link.
+func (p *Port) Latency() Time {
+	if p.link == nil {
+		return 0
+	}
+	return p.link.latency
+}
+
+// Send delivers payload to the peer port after the link latency.
+func (p *Port) Send(payload any) { p.SendDelayed(0, payload) }
+
+// SendDelayed delivers payload to the peer port after the link latency plus
+// extra time (modelling serialization or queuing at the sender).
+func (p *Port) SendDelayed(extra Time, payload any) {
+	l := p.link
+	if l == nil {
+		panic(fmt.Sprintf("sim: send on unconnected port %q", p.name))
+	}
+	if l.deliver != nil {
+		l.deliver(p, l.latency+extra, payload)
+		return
+	}
+	peer := p.peer
+	if peer.handler == nil {
+		panic(fmt.Sprintf("sim: port %q has no handler (send from %q)", peer.name, p.name))
+	}
+	l.engine.SchedulePrio(l.latency+extra, peer.prio, peer.handler, payload)
+}
+
+// Link is a bidirectional, latency-bearing connection between two ports.
+// Nonzero latency is what allows the parallel engine to run the two sides
+// in different ranks: the latency is conservative lookahead.
+type Link struct {
+	name    string
+	engine  *Engine
+	latency Time
+	a, b    Port
+
+	// deliver, when installed by the parallel runtime, routes sends
+	// through rank mailboxes instead of the local engine.
+	deliver func(from *Port, delay Time, payload any)
+}
+
+// Connect creates a link with the given latency and returns its two ports.
+func Connect(engine *Engine, name string, latency Time) (*Port, *Port) {
+	l := &Link{name: name, engine: engine, latency: latency}
+	l.a = Port{name: name + ".a", link: l, prio: PrioLink}
+	l.b = Port{name: name + ".b", link: l, prio: PrioLink}
+	l.a.peer = &l.b
+	l.b.peer = &l.a
+	return &l.a, &l.b
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Latency returns the link's one-way latency.
+func (l *Link) Latency() Time { return l.latency }
+
+// SetDeliver installs a custom delivery function. Used by internal/par to
+// route cross-rank traffic; payload delivery order remains deterministic
+// because the parallel runtime merges by (time, source rank, sequence).
+func (l *Link) SetDeliver(fn func(from *Port, delay Time, payload any)) { l.deliver = fn }
+
+// Ports returns the two endpoints of the link.
+func (l *Link) Ports() (*Port, *Port) { return &l.a, &l.b }

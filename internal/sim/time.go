@@ -1,0 +1,197 @@
+// Package sim implements the discrete-event simulation kernel at the heart
+// of gosst: picosecond-resolution simulated time, a deterministic event
+// queue, clocks, and latency-bearing links between components.
+//
+// The kernel mirrors the structure of the Structural Simulation Toolkit's
+// core: components never call each other's timing models directly across
+// link boundaries; instead they exchange events over links whose latency is
+// known up front. That latency is what the parallel engine (internal/par)
+// later exploits as conservative lookahead.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Time is a point in (or duration of) simulated time, in picoseconds.
+//
+// A uint64 of picoseconds covers about 213 days of simulated time, far
+// beyond any architectural simulation horizon, while keeping every clock
+// arithmetic operation exact and branch-free.
+type Time uint64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// TimeInfinity sorts after every reachable simulation time.
+const TimeInfinity Time = ^Time(0)
+
+// String renders a Time using the largest unit that keeps the value exact,
+// e.g. "3ns", "250ps", "1.5us" is rendered as "1500ns".
+func (t Time) String() string {
+	switch {
+	case t == TimeInfinity:
+		return "inf"
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t%Millisecond == 0:
+		return fmt.Sprintf("%dms", t/Millisecond)
+	case t%Microsecond == 0:
+		return fmt.Sprintf("%dus", t/Microsecond)
+	case t%Nanosecond == 0:
+		return fmt.Sprintf("%dns", t/Nanosecond)
+	default:
+		return fmt.Sprintf("%dps", uint64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Cycle is a count of clock ticks of some Clock.
+type Cycle uint64
+
+// Hz is a clock frequency in cycles per second.
+type Hz uint64
+
+// Common frequencies.
+const (
+	KHz Hz = 1_000
+	MHz Hz = 1_000_000
+	GHz Hz = 1_000_000_000
+)
+
+const picosPerSecond = 1_000_000_000_000
+
+// Period returns the duration of one cycle at frequency f, rounded down to
+// a whole picosecond. Use CycleTime for drift-free cycle→time conversion.
+func (f Hz) Period() Time {
+	if f == 0 {
+		return TimeInfinity
+	}
+	return Time(picosPerSecond / uint64(f))
+}
+
+// CycleTime returns the exact time of cycle n at frequency f
+// (n * 1e12 / f), computed with a 128-bit intermediate so multi-gigahertz
+// clocks do not drift over long simulations.
+func (f Hz) CycleTime(n Cycle) Time {
+	if f == 0 {
+		return TimeInfinity
+	}
+	hi, lo := bits.Mul64(uint64(n), picosPerSecond)
+	if hi >= uint64(f) {
+		return TimeInfinity // overflow: beyond representable simulated time
+	}
+	q, _ := bits.Div64(hi, lo, uint64(f))
+	return Time(q)
+}
+
+// CyclesIn returns how many whole cycles at frequency f fit in duration d.
+func (f Hz) CyclesIn(d Time) Cycle {
+	hi, lo := bits.Mul64(uint64(d), uint64(f))
+	if hi >= picosPerSecond {
+		return Cycle(^uint64(0))
+	}
+	q, _ := bits.Div64(hi, lo, picosPerSecond)
+	return Cycle(q)
+}
+
+// String renders the frequency in the largest exact unit.
+func (f Hz) String() string {
+	switch {
+	case f == 0:
+		return "0Hz"
+	case f%GHz == 0:
+		return fmt.Sprintf("%dGHz", f/GHz)
+	case f%MHz == 0:
+		return fmt.Sprintf("%dMHz", f/MHz)
+	case f%KHz == 0:
+		return fmt.Sprintf("%dkHz", f/KHz)
+	default:
+		return fmt.Sprintf("%dHz", uint64(f))
+	}
+}
+
+// ParseTime parses a duration string such as "10ns", "2.5us", "100ps" or
+// "1ms" into a Time. A bare number is interpreted as picoseconds.
+func ParseTime(s string) (Time, error) {
+	v, unit, err := splitNumUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad time %q: %w", s, err)
+	}
+	var scale Time
+	switch strings.ToLower(unit) {
+	case "", "ps":
+		scale = Picosecond
+	case "ns":
+		scale = Nanosecond
+	case "us", "µs":
+		scale = Microsecond
+	case "ms":
+		scale = Millisecond
+	case "s":
+		scale = Second
+	default:
+		return 0, fmt.Errorf("sim: bad time %q: unknown unit %q", s, unit)
+	}
+	return Time(v*float64(scale) + 0.5), nil
+}
+
+// ParseHz parses a frequency string such as "2.9GHz", "800MHz" or "1333MHz".
+// A bare number is interpreted as Hz.
+func ParseHz(s string) (Hz, error) {
+	v, unit, err := splitNumUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad frequency %q: %w", s, err)
+	}
+	var scale Hz
+	switch strings.ToLower(unit) {
+	case "", "hz":
+		scale = 1
+	case "khz":
+		scale = KHz
+	case "mhz":
+		scale = MHz
+	case "ghz":
+		scale = GHz
+	default:
+		return 0, fmt.Errorf("sim: bad frequency %q: unknown unit %q", s, unit)
+	}
+	return Hz(v*float64(scale) + 0.5), nil
+}
+
+func splitNumUnit(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if (c >= '0' && c <= '9') || c == '.' {
+			break
+		}
+		i--
+	}
+	num, unit := s[:i], strings.TrimSpace(s[i:])
+	if num == "" {
+		return 0, "", fmt.Errorf("missing number")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, "", err
+	}
+	if v < 0 {
+		return 0, "", fmt.Errorf("negative value")
+	}
+	return v, unit, nil
+}

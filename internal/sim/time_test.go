@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{250 * Picosecond, "250ps"},
+		{3 * Nanosecond, "3ns"},
+		{1500 * Nanosecond, "1500ns"},
+		{2 * Microsecond, "2us"},
+		{5 * Millisecond, "5ms"},
+		{7 * Second, "7s"},
+		{TimeInfinity, "inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestHzString(t *testing.T) {
+	cases := []struct {
+		in   Hz
+		want string
+	}{
+		{0, "0Hz"},
+		{2900 * MHz, "2900MHz"},
+		{3 * GHz, "3GHz"},
+		{1333 * MHz, "1333MHz"},
+		{32 * KHz, "32kHz"},
+		{7, "7Hz"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Hz(%d).String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	if got := (1 * GHz).Period(); got != Nanosecond {
+		t.Errorf("1GHz period = %v, want 1ns", got)
+	}
+	if got := (2 * GHz).Period(); got != 500*Picosecond {
+		t.Errorf("2GHz period = %v, want 500ps", got)
+	}
+	if got := Hz(0).Period(); got != TimeInfinity {
+		t.Errorf("0Hz period = %v, want inf", got)
+	}
+}
+
+func TestCycleTimeExact(t *testing.T) {
+	// At 3 GHz the period is 333.33ps; naive integer-period scheduling
+	// drifts by 1ns every 1000 cycles. CycleTime must stay exact.
+	f := 3 * GHz
+	if got := f.CycleTime(3_000_000_000); got != Second {
+		t.Errorf("3e9 cycles at 3GHz = %v, want 1s", got)
+	}
+	if got := f.CycleTime(3); got != Nanosecond {
+		t.Errorf("3 cycles at 3GHz = %v, want 1ns", got)
+	}
+}
+
+func TestCycleTimeMonotonic(t *testing.T) {
+	f := Hz(2_900_000_000) // 2.9 GHz — non-integral period
+	prev := Time(0)
+	for n := Cycle(1); n < 10_000; n++ {
+		cur := f.CycleTime(n)
+		if cur < prev {
+			t.Fatalf("CycleTime not monotonic at n=%d: %v < %v", n, cur, prev)
+		}
+		if d := cur - prev; d != 344 && d != 345 {
+			t.Fatalf("2.9GHz inter-cycle gap %d at n=%d, want 344 or 345 ps", d, n)
+		}
+		prev = cur
+	}
+}
+
+func TestCyclesInInvertsCycleTime(t *testing.T) {
+	fn := func(freqRaw uint32, nRaw uint32) bool {
+		f := Hz(uint64(freqRaw%4_000_000)*1000 + 1) // up to ~4 GHz
+		n := Cycle(nRaw % 1_000_000)
+		tm := f.CycleTime(n)
+		got := f.CyclesIn(tm)
+		// Both conversions floor, so got may undercount n by one, but
+		// tm always falls within [CycleTime(got), CycleTime(got+1)] —
+		// the invariant Clock.NextCycle depends on.
+		return got <= n && f.CycleTime(got) <= tm && f.CycleTime(got+1) >= tm
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"10ns", 10 * Nanosecond},
+		{"2.5us", 2500 * Nanosecond},
+		{"100ps", 100 * Picosecond},
+		{"1ms", Millisecond},
+		{"1s", Second},
+		{"42", 42 * Picosecond},
+		{" 7 ns ", 7 * Nanosecond},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if err != nil {
+			t.Errorf("ParseTime(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTime(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "ns", "-3ns", "3lightyears"} {
+		if _, err := ParseTime(bad); err == nil {
+			t.Errorf("ParseTime(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseHz(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Hz
+	}{
+		{"2.9GHz", 2_900_000_000},
+		{"800MHz", 800 * MHz},
+		{"1333MHz", 1333 * MHz},
+		{"100", 100},
+		{"32kHz", 32_000},
+	}
+	for _, c := range cases {
+		got, err := ParseHz(c.in)
+		if err != nil {
+			t.Errorf("ParseHz(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseHz(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseHz("fast"); err == nil {
+		t.Error("ParseHz(\"fast\") succeeded, want error")
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Errorf("500ms = %v s, want 0.5", got)
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders experiment results as an aligned text table or CSV — the
+// output format of every benchmark harness in this repository.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// Cell returns the cell at (row, col) or "" when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	sb.Reset()
+	for i := range t.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], cell)
+			} else {
+				sb.WriteString(cell + "  ")
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+// RenderCSV writes the table as CSV with the title as a comment line.
+func (t *Table) RenderCSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"sst/internal/frontend"
+	"sst/internal/sim"
+)
+
+// MiniMD builds a molecular-dynamics force-computation proxy (the Mantevo
+// miniMD pattern): for each atom, walk its neighbor list (sequential index
+// loads), gather each neighbor's position (spatially local but irregular),
+// compute the Lennard-Jones pair interaction, and accumulate the force.
+// The signature workload characteristics: a gather-dominated inner loop
+// with moderate arithmetic intensity and neighbor locality that rewards
+// caches but defeats simple stride prefetchers.
+func MiniMD(atoms, neighbors, iters int, seed uint64) *Kernel {
+	n := uint64(atoms)
+	k := uint64(neighbors)
+	const (
+		posBytes   = 24 // x,y,z doubles
+		forceBytes = 24
+	)
+	// Per pair: 1 index load + 3 position loads + ~12 flops; per atom: 3
+	// position loads + 3 force stores.
+	flops := uint64(iters) * n * k * 12
+	bytes := uint64(iters) * n * (k*(8+posBytes) + posBytes + forceBytes)
+	run := func(e *frontend.Emitter) {
+		rng := sim.NewRNG(seed)
+		// Precompute the neighbor lists once (deterministic): neighbor
+		// indices cluster around each atom, as spatial sorting gives.
+		nbr := make([]uint64, n*k)
+		for i := uint64(0); i < n; i++ {
+			for j := uint64(0); j < k; j++ {
+				// Neighbors within a +/-64-atom window.
+				d := int64(rng.Uint64n(129)) - 64
+				t := int64(i) + d
+				if t < 0 {
+					t += int64(n)
+				}
+				nbr[i*k+j] = uint64(t) % n
+			}
+		}
+		const (
+			baseNbrList = 0x6000_0000
+			basePos     = 0x6800_0000
+			baseForce   = 0x7000_0000
+		)
+		for it := 0; it < iters; it++ {
+			for i := uint64(0); i < n; i++ {
+				// Own position.
+				for c := uint64(0); c < 3; c++ {
+					if !e.Load(basePos + i*posBytes + c*8) {
+						return
+					}
+				}
+				for j := uint64(0); j < k; j++ {
+					// Neighbor index (streams through the list).
+					if !e.Load(baseNbrList + (i*k+j)*8) {
+						return
+					}
+					// Gather the neighbor's position.
+					t := nbr[i*k+j]
+					for c := uint64(0); c < 3; c++ {
+						if !e.Load(basePos + t*posBytes + c*8) {
+							return
+						}
+					}
+					// LJ pair force: dx,dy,dz, r2, r6, coefficients.
+					if !flopChain(e, 12, 6) {
+						return
+					}
+				}
+				// Accumulated force store.
+				for c := uint64(0); c < 3; c++ {
+					if !e.Store(baseForce + i*forceBytes + c*8) {
+						return
+					}
+				}
+				// Loop bookkeeping branch.
+				if !e.Branch(i+1 < n) {
+					return
+				}
+			}
+		}
+	}
+	return &Kernel{
+		Name:  fmt.Sprintf("minimd-a%d-k%d-i%d", atoms, neighbors, iters),
+		Flops: flops, Bytes: bytes, Run: run,
+	}
+}
