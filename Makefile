@@ -1,0 +1,29 @@
+# gosst build/verify entry points.
+#
+#   make check   — the CI gate: vet + full tests + race on the packages
+#                  with concurrency (sim kernel, parallel runtime, sweeps)
+#   make bench   — regenerate every experiment table ("reproduce the paper")
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sweep scheduler (internal/core), the PDES runtime (internal/par) and
+# the event kernel they drive (internal/sim) are the only places goroutines
+# touch shared structures; the race detector must stay clean there.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x

@@ -28,24 +28,38 @@ func runVariant(b *testing.B, cfg *config.MachineConfig) float64 {
 	return res.Seconds
 }
 
+// runVariants runs independent ablation variants through the concurrent
+// sweep pool and returns their runtimes in config order.
+func runVariants(b *testing.B, cfgs []*config.MachineConfig) []float64 {
+	b.Helper()
+	results, err := core.RunMachines(cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	secs := make([]float64, len(results))
+	for i, r := range results {
+		secs[i] = r.Seconds
+	}
+	return secs
+}
+
 // BenchmarkAblationMemScheduler compares FR-FCFS against FCFS memory
 // scheduling on a mixed-row workload. FR-FCFS's row-hit preference must
 // win (or at worst tie).
 func BenchmarkAblationMemScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: DRAM scheduling policy", "policy", "runtime_ms", "ratio")
-		base := 0.0
-		var results []float64
-		for _, sched := range []string{"fr-fcfs", "fcfs"} {
+		scheds := []string{"fr-fcfs", "fcfs"}
+		var cfgs []*config.MachineConfig
+		for _, sched := range scheds {
 			cfg := core.SweepMachine("hpccg", "ddr3-1333", 4, core.Full)
 			cfg.Name = "sched-" + sched
 			cfg.Node.Mem.Scheduler = sched
-			s := runVariant(b, cfg)
-			if base == 0 {
-				base = s
-			}
-			results = append(results, s)
-			tab.AddRow(sched, s*1e3, s/base)
+			cfgs = append(cfgs, cfg)
+		}
+		results := runVariants(b, cfgs)
+		for j, sched := range scheds {
+			tab.AddRow(sched, results[j]*1e3, results[j]/results[0])
 		}
 		printOnce(tab)
 		if results[0] > results[1]*1.001 {
@@ -61,9 +75,9 @@ func BenchmarkAblationPrefetchDegree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: prefetch degree on a streaming workload",
 			"l2_degree", "runtime_ms", "speedup_vs_off")
-		var off float64
-		prev := 0.0
-		for _, deg := range []int{0, 1, 2, 8} {
+		degrees := []int{0, 1, 2, 8}
+		var cfgs []*config.MachineConfig
+		for _, deg := range degrees {
 			cfg := core.SweepMachine("stream", "ddr3-1333", 4, core.Full)
 			cfg.Name = fmt.Sprintf("pf-%d", deg)
 			if deg == 0 {
@@ -75,18 +89,20 @@ func BenchmarkAblationPrefetchDegree(b *testing.B) {
 				cfg.Node.L2.Prefetch = true
 				cfg.Node.L2.PrefetchDeg = deg
 			}
-			s := runVariant(b, cfg)
-			if deg == 0 {
-				off = s
-			} else if s > prev*1.02 {
-				b.Errorf("prefetch degree %d (%.4g s) slower than shallower (%.4g s)", deg, s, prev)
+			cfgs = append(cfgs, cfg)
+		}
+		results := runVariants(b, cfgs)
+		off := results[0]
+		for j, deg := range degrees {
+			s := results[j]
+			if j > 0 && s > results[j-1]*1.02 {
+				b.Errorf("prefetch degree %d (%.4g s) slower than shallower (%.4g s)", deg, s, results[j-1])
 			}
-			prev = s
 			tab.AddRow(deg, s*1e3, off/s)
 		}
 		printOnce(tab)
-		if off/prev < 1.5 {
-			b.Errorf("deep prefetch speedup only %.2fx over none", off/prev)
+		if deepest := results[len(results)-1]; off/deepest < 1.5 {
+			b.Errorf("deep prefetch speedup only %.2fx over none", off/deepest)
 		}
 	}
 }
@@ -97,15 +113,21 @@ func BenchmarkAblationPrefetchDegree(b *testing.B) {
 func BenchmarkAblationReplacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: cache replacement policy", "policy", "runtime_ms", "ratio_vs_lru")
-		results := map[string]float64{}
-		for _, repl := range []string{"lru", "fifo", "random"} {
+		policies := []string{"lru", "fifo", "random"}
+		var cfgs []*config.MachineConfig
+		for _, repl := range policies {
 			cfg := core.SweepMachine("hpccg", "ddr3-1333", 4, core.Full)
 			cfg.Name = "repl-" + repl
 			cfg.Node.L1.Repl = repl
 			cfg.Node.L2.Repl = repl
-			results[repl] = runVariant(b, cfg)
+			cfgs = append(cfgs, cfg)
 		}
-		for _, repl := range []string{"lru", "fifo", "random"} {
+		secs := runVariants(b, cfgs)
+		results := map[string]float64{}
+		for j, repl := range policies {
+			results[repl] = secs[j]
+		}
+		for _, repl := range policies {
 			tab.AddRow(repl, results[repl]*1e3, results[repl]/results["lru"])
 		}
 		printOnce(tab)
@@ -122,14 +144,20 @@ func BenchmarkAblationReplacement(b *testing.B) {
 func BenchmarkAblationAddressMapping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: DRAM address mapping", "mapping", "runtime_ms", "ratio")
-		results := map[string]float64{}
-		for _, mapping := range []string{"interleave", "sequential"} {
+		mappings := []string{"interleave", "sequential"}
+		var cfgs []*config.MachineConfig
+		for _, mapping := range mappings {
 			cfg := core.SweepMachine("stream", "ddr3-1333", 8, core.Full)
 			cfg.Name = "map-" + mapping
 			cfg.Node.Mem.Mapping = mapping
-			results[mapping] = runVariant(b, cfg)
+			cfgs = append(cfgs, cfg)
 		}
-		for _, mapping := range []string{"interleave", "sequential"} {
+		secs := runVariants(b, cfgs)
+		results := map[string]float64{}
+		for j, mapping := range mappings {
+			results[mapping] = secs[j]
+		}
+		for _, mapping := range mappings {
 			tab.AddRow(mapping, results[mapping]*1e3, results[mapping]/results["interleave"])
 		}
 		printOnce(tab)
@@ -147,17 +175,18 @@ func BenchmarkAblationMSHRDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: MSHR depth (memory-level parallelism)",
 			"l1_mshrs", "l2_mshrs", "runtime_ms", "speedup_vs_blocking")
-		var blocking float64
-		for _, mshrs := range []struct{ l1, l2 int }{{1, 1}, {4, 8}, {16, 32}} {
+		depths := []struct{ l1, l2 int }{{1, 1}, {4, 8}, {16, 32}}
+		var cfgs []*config.MachineConfig
+		for _, mshrs := range depths {
 			cfg := core.SweepMachine("lulesh", "gddr5-4000", 8, core.Full)
 			cfg.Name = fmt.Sprintf("mshr-%d-%d", mshrs.l1, mshrs.l2)
 			cfg.Node.L1.MSHRs = mshrs.l1
 			cfg.Node.L2.MSHRs = mshrs.l2
-			s := runVariant(b, cfg)
-			if blocking == 0 {
-				blocking = s
-			}
-			tab.AddRow(mshrs.l1, mshrs.l2, s*1e3, blocking/s)
+			cfgs = append(cfgs, cfg)
+		}
+		results := runVariants(b, cfgs)
+		for j, mshrs := range depths {
+			tab.AddRow(mshrs.l1, mshrs.l2, results[j]*1e3, results[0]/results[j])
 		}
 		printOnce(tab)
 	}
@@ -171,16 +200,17 @@ func BenchmarkAblationCoherenceSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: multicore scaling over the MESI bus",
 			"cores", "runtime_ms", "speedup_vs_1core")
-		var single float64
-		for _, cores := range []int{1, 2, 4} {
+		counts := []int{1, 2, 4}
+		var cfgs []*config.MachineConfig
+		for _, cores := range counts {
 			cfg := core.SweepMachine("stencil", "gddr5-4000", 4, core.Full)
 			cfg.Name = fmt.Sprintf("cores-%d", cores)
 			cfg.Node.Cores = cores
-			s := runVariant(b, cfg)
-			if cores == 1 {
-				single = s
-			}
-			tab.AddRow(cores, s*1e3, single/s)
+			cfgs = append(cfgs, cfg)
+		}
+		results := runVariants(b, cfgs)
+		for j, cores := range counts {
+			tab.AddRow(cores, results[j]*1e3, results[0]/results[j])
 		}
 		printOnce(tab)
 	}
@@ -196,10 +226,10 @@ func BenchmarkAblationBackendFidelity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := stats.NewTable("Ablation: back-end fidelity at width 1 (irregular dependent loads, DDR3)",
 			"backend", "runtime_ms", "speedup_vs_inorder")
-		var inorder float64
-		results := map[string]float64{}
-		for _, kind := range []string{"inorder", "superscalar", "ooo"} {
-			cfg := &config.MachineConfig{
+		kinds := []string{"inorder", "superscalar", "ooo"}
+		var cfgs []*config.MachineConfig
+		for _, kind := range kinds {
+			cfgs = append(cfgs, &config.MachineConfig{
 				Name: "be-" + kind,
 				Node: config.NodeSpec{
 					CPU: config.CPUSpec{
@@ -210,13 +240,13 @@ func BenchmarkAblationBackendFidelity(b *testing.B) {
 					Mem: config.MemSpec{Preset: "ddr3-1333", CapacityGB: 4},
 				},
 				Workload: config.WorkloadSpec{Kind: "synthetic", Profile: "irregular", Ops: 300_000, Seed: 1},
-			}
-			s := runVariant(b, cfg)
-			results[kind] = s
-			if kind == "inorder" {
-				inorder = s
-			}
-			tab.AddRow(kind, s*1e3, inorder/s)
+			})
+		}
+		secs := runVariants(b, cfgs)
+		results := map[string]float64{}
+		for j, kind := range kinds {
+			results[kind] = secs[j]
+			tab.AddRow(kind, secs[j]*1e3, secs[0]/secs[j])
 		}
 		printOnce(tab)
 		if results["ooo"]*1.3 > results["superscalar"] {

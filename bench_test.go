@@ -18,6 +18,7 @@ package sst_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -46,6 +47,30 @@ func printOnce(t *stats.Table) {
 	}
 	fmt.Fprintln(os.Stdout)
 	t.Render(os.Stdout)
+}
+
+// BenchmarkSweepWorkers measures the concurrent sweep scheduler: the same
+// Small-scale Fig. 10/11/12 sweep on one worker versus one worker per host
+// core. The design points are independent simulations, so on an N-core
+// host the wall-clock ratio between the two sub-benchmarks approaches N;
+// the grids themselves are identical at any worker count (asserted by
+// TestConcurrentSweepDeterminism in internal/core).
+func BenchmarkSweepWorkers(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	defer core.SetSweepWorkers(0)
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			core.SetSweepWorkers(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // fullSweep runs the shared Fig. 10/11/12 design-space sweep.

@@ -6,7 +6,10 @@
 //
 //	sst-dse [-apps hpccg,lulesh] [-techs ddr2-800,ddr3-1333,gddr5-4000]
 //	        [-widths 1,2,4,8] [-scale full|small] [-table all|fig10|fig11|fig12]
-//	        [-csv]
+//	        [-csv] [-j N]
+//
+// The sweep's design points are independent simulations; -j sets how many
+// run concurrently (default: GOMAXPROCS). Tables are identical at any -j.
 package main
 
 import (
@@ -28,15 +31,17 @@ func main() {
 		scaleFlag  = flag.String("scale", "full", "problem scale: full or small")
 		tableFlag  = flag.String("table", "all", "which table: all, fig10, fig11, fig12")
 		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jFlag      = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, *csvFlag); err != nil {
+	if err := run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, *csvFlag, *jFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "sst-dse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV bool) error {
+func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV bool, workers int) error {
+	core.SetSweepWorkers(workers)
 	apps := strings.Split(appsFlag, ",")
 	techs := strings.Split(techsFlag, ",")
 	var widths []int

@@ -3,25 +3,29 @@ package main
 import "testing"
 
 func TestDSESmallSweep(t *testing.T) {
-	if err := run("stream", "ddr3-1333,gddr5-4000", "1,2", "small", "all", false); err != nil {
+	if err := run("stream", "ddr3-1333,gddr5-4000", "1,2", "small", "all", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("stream", "ddr3-1333", "1", "small", "fig10", true); err != nil {
+	if err := run("stream", "ddr3-1333", "1", "small", "fig10", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit parallel sweep: more workers than points is fine.
+	if err := run("stream", "ddr3-1333", "1,2", "small", "fig12", true, 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDSEBadArgs(t *testing.T) {
-	if err := run("stream", "ddr3-1333", "zero", "small", "all", false); err == nil {
+	if err := run("stream", "ddr3-1333", "zero", "small", "all", false, 0); err == nil {
 		t.Error("bad width accepted")
 	}
-	if err := run("stream", "ddr3-1333", "1", "jumbo", "all", false); err == nil {
+	if err := run("stream", "ddr3-1333", "1", "jumbo", "all", false, 0); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("stream", "ddr3-1333", "1", "small", "fig99", false); err == nil {
+	if err := run("stream", "ddr3-1333", "1", "small", "fig99", false, 0); err == nil {
 		t.Error("bad table accepted")
 	}
-	if err := run("stream", "sdram", "1", "small", "all", false); err == nil {
+	if err := run("stream", "sdram", "1", "small", "all", false, 0); err == nil {
 		t.Error("bad tech accepted")
 	}
 }

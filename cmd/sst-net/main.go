@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125] [-csv]
+//	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125] [-csv] [-j N]
+//
+// The study's (proxy app, bandwidth fraction) cells are independent
+// simulations; -j sets how many run concurrently (default: GOMAXPROCS).
+// Tables are identical at any -j.
 package main
 
 import (
@@ -23,15 +27,17 @@ func main() {
 		stepsFlag = flag.Int("steps", 6, "application timesteps")
 		fracFlag  = flag.String("fractions", "1,0.5,0.25,0.125", "injection bandwidth fractions")
 		csvFlag   = flag.Bool("csv", false, "emit CSV")
+		jFlag     = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*nodesFlag, *stepsFlag, *fracFlag, *csvFlag); err != nil {
+	if err := run(*nodesFlag, *stepsFlag, *fracFlag, *csvFlag, *jFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "sst-net:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, steps int, fracFlag string, asCSV bool) error {
+func run(nodes, steps int, fracFlag string, asCSV bool, workers int) error {
+	core.SetSweepWorkers(workers)
 	cfg := core.NetStudyConfig{Nodes: nodes, Steps: steps}
 	for _, f := range strings.Split(fracFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)

@@ -3,19 +3,19 @@ package main
 import "testing"
 
 func TestNetStudySmall(t *testing.T) {
-	if err := run(8, 2, "1,0.5", false); err != nil {
+	if err := run(8, 2, "1,0.5", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(8, 2, "1", true); err != nil {
+	if err := run(8, 2, "1", true, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestNetStudyBadFractions(t *testing.T) {
-	if err := run(8, 2, "1,zero", false); err == nil {
+	if err := run(8, 2, "1,zero", false, 0); err == nil {
 		t.Error("bad fraction accepted")
 	}
-	if err := run(8, 2, "2.5", false); err == nil {
+	if err := run(8, 2, "2.5", false, 0); err == nil {
 		t.Error("fraction > 1 accepted")
 	}
 }

@@ -100,34 +100,66 @@ type DSEPoint struct {
 // DSEGrid is the full sweep result.
 type DSEGrid struct {
 	Points []DSEPoint
+
+	// index maps (app, tech, width) to the point's position in Points.
+	// The table renderers call Find inside triple loops, so the linear
+	// scan it replaces was O(points) per lookup. Built lazily and rebuilt
+	// whenever Points has grown since; points must not be relabeled in
+	// place between Find calls.
+	index map[dseKey]int
+}
+
+// dseKey identifies one design point in the grid index.
+type dseKey struct {
+	app, tech string
+	width     int
+}
+
+func (g *DSEGrid) buildIndex() {
+	g.index = make(map[dseKey]int, len(g.Points))
+	for i := range g.Points {
+		p := &g.Points[i]
+		g.index[dseKey{p.App, p.Tech, p.Width}] = i
+	}
 }
 
 // Find returns the point for (app, tech, width), or nil.
 func (g *DSEGrid) Find(app, tech string, width int) *DSEPoint {
-	for i := range g.Points {
-		p := &g.Points[i]
-		if p.App == app && p.Tech == tech && p.Width == width {
-			return p
-		}
+	if len(g.index) != len(g.Points) {
+		g.buildIndex()
+	}
+	if i, ok := g.index[dseKey{app, tech, width}]; ok {
+		return &g.Points[i]
 	}
 	return nil
 }
 
 // MemTechWidthSweep runs the cross product of apps × technologies × widths
-// — the single sweep behind Figs. 10, 11 and 12.
+// — the single sweep behind Figs. 10, 11 and 12. Points are independent
+// single-node simulations, so they execute across the sweep worker pool;
+// grid order is the cross-product order regardless of worker count.
 func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale) (*DSEGrid, error) {
-	g := &DSEGrid{}
+	g := &DSEGrid{Points: make([]DSEPoint, 0, len(apps)*len(techs)*len(widths))}
 	for _, app := range apps {
 		for _, tech := range techs {
 			for _, w := range widths {
-				res, err := RunMachine(SweepMachine(app, tech, w, scale))
-				if err != nil {
-					return nil, fmt.Errorf("core: sweep %s/%s/w%d: %w", app, tech, w, err)
-				}
-				g.Points = append(g.Points, DSEPoint{App: app, Tech: tech, Width: w, Result: res})
+				g.Points = append(g.Points, DSEPoint{App: app, Tech: tech, Width: w})
 			}
 		}
 	}
+	err := runPoints(len(g.Points), func(i int) error {
+		p := &g.Points[i]
+		res, err := RunMachine(SweepMachine(p.App, p.Tech, p.Width, scale))
+		if err != nil {
+			return fmt.Errorf("core: sweep %s/%s/w%d: %w", p.App, p.Tech, p.Width, err)
+		}
+		p.Result = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.buildIndex()
 	return g, nil
 }
 
@@ -207,20 +239,26 @@ func MemSpeedStudy(grades []string, scale Scale) (*stats.Table, map[string]map[s
 	t := stats.NewTable("Fig 3: effect of memory speed on FEA and solver phases",
 		"phase", "memory", "runtime_ms", "relative_to_fastest")
 	rel := map[string]map[string]float64{}
-	for _, app := range apps {
-		rel[app] = map[string]float64{}
-		var fastest float64
-		results := map[string]*NodeResult{}
-		for _, gr := range grades {
-			res, err := RunMachine(SweepMachine(app, gr, 4, scale))
-			if err != nil {
-				return nil, nil, err
-			}
-			results[gr] = res
+	// The app × grade cells are independent node runs: fan them out, then
+	// derive the relative columns in the original row order.
+	flat := make([]*NodeResult, len(apps)*len(grades))
+	err := runPoints(len(flat), func(i int) error {
+		app, gr := apps[i/len(grades)], grades[i%len(grades)]
+		res, err := RunMachine(SweepMachine(app, gr, 4, scale))
+		if err != nil {
+			return err
 		}
-		fastest = results[grades[len(grades)-1]].Seconds
-		for _, gr := range grades {
-			r := results[gr]
+		flat[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for ai, app := range apps {
+		rel[app] = map[string]float64{}
+		fastest := flat[ai*len(grades)+len(grades)-1].Seconds
+		for gi, gr := range grades {
+			r := flat[ai*len(grades)+gi]
 			rel[app][gr] = r.Seconds / fastest
 			t.AddRow(app, gr, r.Seconds*1e3, r.Seconds/fastest)
 		}

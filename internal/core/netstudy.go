@@ -90,6 +90,33 @@ func RunNetPoint(p workload.CommProfile, nodes, steps int, fraction float64) (si
 	return app.Elapsed(), net, nil
 }
 
+// runNetGrid fans the profile × fraction cells of the study across the
+// sweep worker pool, returning elapsed[profile index][fraction index]. Each
+// cell owns a fresh engine, torus and application, so the cells are
+// independent; writing by index keeps the grid identical to a sequential
+// run at any worker count.
+func runNetGrid(cfg NetStudyConfig) ([][]sim.Time, error) {
+	profiles := netStudyProfiles()
+	nf := len(cfg.Fractions)
+	elapsed := make([][]sim.Time, len(profiles))
+	for i := range elapsed {
+		elapsed[i] = make([]sim.Time, nf)
+	}
+	err := runPoints(len(profiles)*nf, func(i int) error {
+		pi, fi := i/nf, i%nf
+		e, _, err := RunNetPoint(profiles[pi], cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
+		if err != nil {
+			return err
+		}
+		elapsed[pi][fi] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return elapsed, nil
+}
+
 // NetDegradationStudy reproduces Fig. 9: for each application proxy,
 // runtime at each injection-bandwidth fraction relative to full bandwidth.
 // It returns the table and the slowdown map [app][fraction index].
@@ -97,17 +124,15 @@ func NetDegradationStudy(cfg NetStudyConfig) (*stats.Table, map[string][]float64
 	t := stats.NewTable(
 		fmt.Sprintf("Fig 9: application slowdown vs injection bandwidth (%d-node torus)", cfg.Nodes),
 		"app", "bw_fraction", "runtime_ms", "slowdown_vs_full")
+	elapsedGrid, err := runNetGrid(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	slow := map[string][]float64{}
-	for _, p := range netStudyProfiles() {
-		var full sim.Time
+	for pi, p := range netStudyProfiles() {
+		full := elapsedGrid[pi][0]
 		for i, f := range cfg.Fractions {
-			elapsed, _, err := RunNetPoint(p, cfg.Nodes, cfg.Steps, f)
-			if err != nil {
-				return nil, nil, err
-			}
-			if i == 0 {
-				full = elapsed
-			}
+			elapsed := elapsedGrid[pi][i]
 			s := float64(elapsed) / float64(full)
 			slow[p.Name] = append(slow[p.Name], s)
 			t.AddRow(p.Name, f, elapsed.Seconds()*1e3, s)
@@ -128,18 +153,15 @@ func NetPowerStudy(cfg NetStudyConfig) (*stats.Table, map[string]int, error) {
 		"Network power trade-off: system energy vs injection bandwidth (equal CPU/mem/net split at full bw)",
 		"app", "bw_fraction", "slowdown", "net_power_frac", "system_power_frac", "system_energy_frac")
 	best := map[string]int{}
-	for _, p := range netStudyProfiles() {
-		var full sim.Time
+	elapsedGrid, err := runNetGrid(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for pi, p := range netStudyProfiles() {
+		full := elapsedGrid[pi][0]
 		bestEnergy := 0.0
 		for i, f := range cfg.Fractions {
-			elapsed, _, err := RunNetPoint(p, cfg.Nodes, cfg.Steps, f)
-			if err != nil {
-				return nil, nil, err
-			}
-			if i == 0 {
-				full = elapsed
-			}
-			slowdown := float64(elapsed) / float64(full)
+			slowdown := float64(elapsedGrid[pi][i]) / float64(full)
 			// Network static power scales with provisioned
 			// bandwidth; CPU and memory power are unchanged.
 			sysPower := 2.0/3 + f/3

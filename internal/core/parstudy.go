@@ -77,6 +77,11 @@ func BuildLattice(r *par.Runner, nodes int, eventSpacing, linkLatency sim.Time) 
 // ParallelScalingStudy runs the lattice at each rank count for the given
 // simulated horizon, reporting host wall time, simulated events and
 // events/second. It returns the table and wall seconds per rank count.
+//
+// Unlike the design-space sweeps this study stays sequential on purpose:
+// each point measures host wall-clock and already spawns one goroutine per
+// rank, so running points through the sweep worker pool would contend for
+// cores and corrupt the very timings being reported.
 func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time) (*stats.Table, map[int]float64, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("Parallel simulation scaling: %d-node model, %v horizon", nodes, horizon),

@@ -62,19 +62,30 @@ func (r PIMStudyResult) PIMSpeedup() float64 {
 func PIMStudy(apps []string, scale Scale) (*stats.Table, []PIMStudyResult, error) {
 	t := stats.NewTable("PIM vs conventional: exploring a novel architecture",
 		"app", "conventional_ms", "pim_ms", "pim_speedup", "conv_l1_hit")
+	// Both machines of every app comparison are independent design points:
+	// flatten to app-major {conventional, pim} pairs and fan them out.
+	flat := make([]*NodeResult, 2*len(apps))
+	err := runPoints(len(flat), func(i int) error {
+		app := apps[i/2]
+		cfg, kind := ConventionalMachine(app, scale), "conventional"
+		if i%2 == 1 {
+			cfg, kind = PIMMachine(app, scale), "pim"
+		}
+		res, err := RunMachine(cfg)
+		if err != nil {
+			return fmt.Errorf("core: pim study %s %s: %w", app, kind, err)
+		}
+		flat[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var out []PIMStudyResult
-	for _, app := range apps {
-		conv, err := RunMachine(ConventionalMachine(app, scale))
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: pim study %s conventional: %w", app, err)
-		}
-		pim, err := RunMachine(PIMMachine(app, scale))
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: pim study %s pim: %w", app, err)
-		}
-		r := PIMStudyResult{App: app, Conventional: conv, PIM: pim}
+	for i, app := range apps {
+		r := PIMStudyResult{App: app, Conventional: flat[2*i], PIM: flat[2*i+1]}
 		out = append(out, r)
-		t.AddRow(app, conv.Seconds*1e3, pim.Seconds*1e3, r.PIMSpeedup(), conv.L1HitRate)
+		t.AddRow(app, r.Conventional.Seconds*1e3, r.PIM.Seconds*1e3, r.PIMSpeedup(), r.Conventional.L1HitRate)
 	}
 	return t, out, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sst/internal/config"
 	"sst/internal/stats"
 )
 
@@ -16,20 +17,30 @@ func CoreScalingStudy(apps []string, coreCounts []int, scale Scale) (*stats.Tabl
 	t := stats.NewTable("Fig 2: effect of cores per node on solver and FEA phases",
 		"phase", "cores", "runtime_ms", "speedup", "efficiency")
 	eff := map[string]map[int]float64{}
-	for _, app := range apps {
+	// Each app × core-count cell is an independent node simulation; fan
+	// them out and derive speedup/efficiency in row order afterwards.
+	nc := len(coreCounts)
+	flat := make([]*NodeResult, len(apps)*nc)
+	err := runPoints(len(flat), func(i int) error {
+		app, cores := apps[i/nc], coreCounts[i%nc]
+		cfg := SweepMachine(app, "ddr3-1333", 4, scale)
+		cfg.Name = fmt.Sprintf("%s-%dc", app, cores)
+		cfg.Node.Cores = cores
+		res, err := RunMachine(cfg)
+		if err != nil {
+			return fmt.Errorf("core: scaling %s/%d: %w", app, cores, err)
+		}
+		flat[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for ai, app := range apps {
 		eff[app] = map[int]float64{}
-		var t1 float64
-		for _, cores := range coreCounts {
-			cfg := SweepMachine(app, "ddr3-1333", 4, scale)
-			cfg.Name = fmt.Sprintf("%s-%dc", app, cores)
-			cfg.Node.Cores = cores
-			res, err := RunMachine(cfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: scaling %s/%d: %w", app, cores, err)
-			}
-			if cores == coreCounts[0] {
-				t1 = res.Seconds * float64(coreCounts[0])
-			}
+		t1 := flat[ai*nc].Seconds * float64(coreCounts[0])
+		for ci, cores := range coreCounts {
+			res := flat[ai*nc+ci]
 			speedup := t1 / res.Seconds
 			e := speedup / float64(cores)
 			eff[app][cores] = e
@@ -46,16 +57,22 @@ func CacheStudy(scale Scale) (*stats.Table, map[string]*NodeResult, error) {
 	t := stats.NewTable("Fig 4: cache behavior of the FEA and solver phases",
 		"phase", "l1_hit_rate", "l2_hit_rate", "dram_MB")
 	out := map[string]*NodeResult{}
-	for _, app := range []string{"fea", "hpccg"} {
+	apps := []string{"fea", "hpccg"}
+	cfgs := make([]*config.MachineConfig, len(apps))
+	for i, app := range apps {
 		cfg := SweepMachine(app, "ddr3-1333", 4, scale)
 		// Measure raw locality: the stream prefetcher would convert the
 		// solver's compulsory misses into hits and mask the contrast.
 		cfg.Node.L1.Prefetch = false
 		cfg.Node.L2.Prefetch = false
-		res, err := RunMachine(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := RunMachines(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, app := range apps {
+		res := results[i]
 		out[app] = res
 		t.AddRow(app, res.L1HitRate, res.L2HitRate, float64(res.MemBytes)/1e6)
 	}

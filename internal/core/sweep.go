@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sst/internal/config"
+)
+
+// Sweep-level parallelism. Every study in this package is a grid of fully
+// independent design points: each point builds its own sim.Engine, its own
+// component tree and its own stats.Registry, so points share no mutable
+// state and may run on separate goroutines. runPoints fans a sweep's points
+// across a bounded worker pool and each worker writes its result back by
+// point index, which keeps result ordering — and therefore every rendered
+// Fig. 10/11/12 table — bit-identical to a sequential sweep regardless of
+// worker count or goroutine scheduling. (The engines themselves stay
+// single-threaded; only whole design points are concurrent.)
+
+// sweepWorkers holds the configured pool size; 0 means GOMAXPROCS.
+var sweepWorkers atomic.Int64
+
+// SetSweepWorkers fixes the number of worker goroutines sweep drivers use
+// for independent design points. n <= 0 restores the default, GOMAXPROCS.
+// It applies to sweeps started after the call.
+func SetSweepWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sweepWorkers.Store(int64(n))
+}
+
+// SweepWorkers reports the worker count the next sweep will use.
+func SweepWorkers() int {
+	if n := sweepWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints executes fn(i) for every i in [0, n) on a pool of SweepWorkers
+// goroutines. Every point runs even when earlier points fail; the returned
+// error joins all per-point errors in point order, so error text is as
+// deterministic as the results. fn must confine its writes to per-index
+// state (and its own locals) — that is what makes the fan-out race-free.
+func runPoints(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := SweepWorkers()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errors.Join(errs...)
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RunMachines runs independent machine configs across the sweep worker
+// pool, returning results in config order. It is the batch counterpart of
+// RunMachine for callers (the ablation benchmarks, external drivers) whose
+// variants have no data dependencies between them.
+func RunMachines(cfgs []*config.MachineConfig) ([]*NodeResult, error) {
+	out := make([]*NodeResult, len(cfgs))
+	err := runPoints(len(cfgs), func(i int) error {
+		res, err := RunMachine(cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

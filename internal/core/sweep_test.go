@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"sst/internal/config"
+)
+
+func TestSweepWorkersConfig(t *testing.T) {
+	defer SetSweepWorkers(0)
+	SetSweepWorkers(3)
+	if SweepWorkers() != 3 {
+		t.Fatalf("SweepWorkers = %d, want 3", SweepWorkers())
+	}
+	SetSweepWorkers(-5)
+	if SweepWorkers() < 1 {
+		t.Fatalf("SweepWorkers = %d after reset, want >= 1 (GOMAXPROCS)", SweepWorkers())
+	}
+}
+
+func TestRunPointsCoversEveryIndexOnce(t *testing.T) {
+	defer SetSweepWorkers(0)
+	for _, workers := range []int{1, 2, 7} {
+		SetSweepWorkers(workers)
+		const n = 100
+		var hits [n]atomic.Int64
+		if err := runPoints(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: point %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	if err := runPoints(0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPointsAggregatesErrorsInOrder(t *testing.T) {
+	defer SetSweepWorkers(0)
+	for _, workers := range []int{1, 4} {
+		SetSweepWorkers(workers)
+		var ran atomic.Int64
+		err := runPoints(10, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				return fmt.Errorf("point %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: errors swallowed", workers)
+		}
+		// Failures must not stop the remaining points.
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: only %d points ran after a failure", workers, ran.Load())
+		}
+		// Aggregated in point order, so the message is deterministic.
+		want := "point 3 failed\npoint 7 failed"
+		if err.Error() != want {
+			t.Fatalf("workers=%d: error = %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
+// TestConcurrentSweepDeterminism asserts the headline safety property of
+// the concurrent scheduler: a sweep run on several workers produces a grid
+// identical — every NodeResult field of every point — to the same sweep on
+// one worker, so the Fig. 10/11/12 tables are byte-identical at any -j.
+func TestConcurrentSweepDeterminism(t *testing.T) {
+	defer SetSweepWorkers(0)
+	apps := []string{"stream", "gups"}
+	techs := []string{"ddr3-1333", "gddr5-4000"}
+	widths := []int{1, 2}
+
+	SetSweepWorkers(1)
+	seq, err := MemTechWidthSweep(apps, techs, widths, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		SetSweepWorkers(workers)
+		conc, err := MemTechWidthSweep(apps, techs, widths, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conc.Points) != len(seq.Points) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(conc.Points), len(seq.Points))
+		}
+		for i := range seq.Points {
+			a, b := &seq.Points[i], &conc.Points[i]
+			if a.App != b.App || a.Tech != b.Tech || a.Width != b.Width {
+				t.Fatalf("workers=%d: point %d is (%s,%s,%d), want (%s,%s,%d)",
+					workers, i, b.App, b.Tech, b.Width, a.App, a.Tech, a.Width)
+			}
+			if !reflect.DeepEqual(*a.Result, *b.Result) {
+				t.Errorf("workers=%d: point %d (%s/%s/w%d) diverged:\nseq:  %+v\nconc: %+v",
+					workers, i, a.App, a.Tech, a.Width, *a.Result, *b.Result)
+			}
+		}
+		// The rendered tables must match byte for byte.
+		seqTab := Fig10Table(seq, apps, techs, widths, "ddr3-1333").String()
+		concTab := Fig10Table(conc, apps, techs, widths, "ddr3-1333").String()
+		if seqTab != concTab {
+			t.Errorf("workers=%d: Fig10 table differs from sequential render", workers)
+		}
+	}
+}
+
+func TestGridFindIndexed(t *testing.T) {
+	g := &DSEGrid{}
+	for _, app := range []string{"a", "b"} {
+		for w := 1; w <= 3; w++ {
+			g.Points = append(g.Points, DSEPoint{App: app, Tech: "t", Width: w})
+		}
+	}
+	if p := g.Find("b", "t", 2); p == nil || p.App != "b" || p.Width != 2 {
+		t.Fatalf("Find returned %+v", p)
+	}
+	if g.Find("c", "t", 1) != nil || g.Find("a", "t", 9) != nil {
+		t.Fatal("Find fabricated a point")
+	}
+	// The index must follow appends made after the first lookup.
+	g.Points = append(g.Points, DSEPoint{App: "c", Tech: "t", Width: 1})
+	if p := g.Find("c", "t", 1); p == nil {
+		t.Fatal("Find missed a point appended after indexing")
+	}
+	// Pointers returned must alias the grid's own points.
+	if p := g.Find("a", "t", 1); p != &g.Points[0] {
+		t.Fatal("Find returned a copy, not the grid point")
+	}
+}
+
+func TestRunMachinesBatch(t *testing.T) {
+	defer SetSweepWorkers(0)
+	SetSweepWorkers(2)
+	cfgA := SweepMachine("stream", "ddr3-1333", 1, Small)
+	cfgB := SweepMachine("stream", "gddr5-4000", 1, Small)
+	results, err := RunMachines([]*config.MachineConfig{cfgA, cfgB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatalf("batch incomplete: %v", results)
+	}
+	if results[0].Name != cfgA.Name || results[1].Name != cfgB.Name {
+		t.Fatalf("batch order broken: %s, %s", results[0].Name, results[1].Name)
+	}
+	bad := SweepMachine("stream", "ddr3-1333", 1, Small)
+	bad.Workload.Kind = "quantum"
+	if _, err := RunMachines([]*config.MachineConfig{cfgA, bad}); err == nil {
+		t.Fatal("batch error swallowed")
+	}
+}

@@ -110,16 +110,26 @@ func WeakScalingStudy(rankCounts []int, iters int) (*stats.Table, map[string][]f
 	t := stats.NewTable("Fig 5: relative weak scaling of solvers (CG vs ML-preconditioned)",
 		"solver", "ranks", "time_per_iter_ms", "efficiency_vs_smallest")
 	eff := map[string][]float64{}
-	for _, p := range []SolverProfile{CGProfile, MLProfile} {
-		var base sim.Time
-		for i, ranks := range rankCounts {
-			tp, err := runWeakPoint(p, ranks, iters)
-			if err != nil {
-				return nil, nil, err
-			}
-			if i == 0 {
-				base = tp
-			}
+	// Every profile × rank-count cell owns its own engine and network, so
+	// the cells fan out across the sweep worker pool.
+	profiles := []SolverProfile{CGProfile, MLProfile}
+	nr := len(rankCounts)
+	flat := make([]sim.Time, len(profiles)*nr)
+	err := runPoints(len(flat), func(i int) error {
+		tp, err := runWeakPoint(profiles[i/nr], rankCounts[i%nr], iters)
+		if err != nil {
+			return err
+		}
+		flat[i] = tp
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for pi, p := range profiles {
+		base := flat[pi*nr]
+		for ri, ranks := range rankCounts {
+			tp := flat[pi*nr+ri]
 			e := float64(base) / float64(tp)
 			eff[p.Name] = append(eff[p.Name], e)
 			t.AddRow(p.Name, ranks, tp.Seconds()*1e3, e)

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 )
 
 // Engine is a sequential discrete-event scheduler. It owns simulated time:
@@ -20,8 +19,13 @@ type Engine struct {
 	// handled counts events dispatched since construction.
 	handled uint64
 
-	// pool recycles event structs to keep the hot loop allocation-free.
-	pool sync.Pool
+	// free recycles event structs to keep the hot loop allocation-free.
+	// A plain slice, not a sync.Pool: the Engine is single-threaded by
+	// contract (see above), so a pool's atomic Get/Put and per-P caches
+	// are pure overhead here, and unlike a pool the free list is never
+	// emptied by GC cycles. Its length is bounded by the high-water mark
+	// of concurrently pending events.
+	free []*event
 
 	// onIdle, if set, is consulted when the local queue empties or the
 	// local horizon is reached; the parallel runtime uses it to block for
@@ -35,9 +39,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{horizon: TimeInfinity}
-	e.pool.New = func() any { return new(event) }
-	return e
+	return &Engine{horizon: TimeInfinity}
 }
 
 // Now returns the current simulated time.
@@ -93,7 +95,14 @@ func (e *Engine) ScheduleAt(t Time, prio Priority, fn Handler, payload any) {
 }
 
 func (e *Engine) push(t Time, prio Priority, fn Handler, payload any) {
-	ev := e.pool.Get().(*event)
+	var ev *event
+	if n := len(e.free) - 1; n >= 0 {
+		ev = e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+	} else {
+		ev = new(event)
+	}
 	ev.time, ev.prio, ev.seq, ev.fn, ev.payload = t, prio, e.seq, fn, payload
 	e.seq++
 	e.q.Push(ev)
@@ -134,7 +143,7 @@ func (e *Engine) dispatch(ev *event) {
 	e.now = ev.time
 	fn, payload := ev.fn, ev.payload
 	ev.fn, ev.payload = nil, nil
-	e.pool.Put(ev)
+	e.free = append(e.free, ev)
 	e.handled++
 	fn(payload)
 }

@@ -212,6 +212,43 @@ func TestEngineHandledCount(t *testing.T) {
 	}
 }
 
+// TestEngineSteadyStateZeroAllocs proves the free-list change: once the
+// event free list and queue are warm, a schedule→dispatch cycle allocates
+// nothing at all.
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	h := func(any) {}
+	// Warm the free list and the queue's backing array.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), h, nil)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			e.Schedule(Time(i%16)+1, h, nil)
+		}
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule→dispatch allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestEngineFreeListReuse checks recycled events are fully reinitialized:
+// stale payloads or handlers must never leak into later events.
+func TestEngineFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	var got []any
+	e.Schedule(1, func(p any) { got = append(got, p) }, "first")
+	e.RunAll()
+	e.Schedule(1, func(p any) { got = append(got, p) }, nil)
+	e.Schedule(2, func(p any) { got = append(got, p) }, 7)
+	e.RunAll()
+	if len(got) != 3 || got[0] != "first" || got[1] != nil || got[2] != 7 {
+		t.Fatalf("recycled events carried wrong payloads: %v", got)
+	}
+}
+
 func BenchmarkEngineScheduleDispatch(b *testing.B) {
 	e := NewEngine()
 	h := func(any) {}

@@ -140,6 +140,15 @@ func TestSimulationComponentsSorted(t *testing.T) {
 	if s.Component("a") == nil || s.Component("missing") != nil {
 		t.Fatal("Component lookup broken")
 	}
+	// The sorted slice is cached between Adds and invalidated by Add.
+	if &cs[0] != &s.Components()[0] {
+		t.Error("repeated Components() call re-sorted instead of using the cache")
+	}
+	s.Add(named("c"))
+	cs = s.Components()
+	if len(cs) != 3 || cs[0].Name() != "a" || cs[2].Name() != "c" {
+		t.Fatalf("Components() stale after Add: %v", cs)
+	}
 }
 
 func TestRNGDeterminism(t *testing.T) {

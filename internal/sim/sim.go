@@ -28,6 +28,7 @@ type Simulation struct {
 	clocks map[Hz]*Clock
 	comps  map[string]Component
 	order  []Component // insertion order, for deterministic Finish
+	sorted []Component // name-sorted cache for Components; nil after Add
 	links  []*Link
 }
 
@@ -67,19 +68,25 @@ func (s *Simulation) Add(c Component) {
 	}
 	s.comps[name] = c
 	s.order = append(s.order, c)
+	s.sorted = nil
 }
 
 // Component returns the named component, or nil.
 func (s *Simulation) Component(name string) Component { return s.comps[name] }
 
-// Components returns all components sorted by name.
+// Components returns all components sorted by name. The sort is computed
+// once and cached until the next Add; callers iterate the returned slice
+// but must not modify it.
 func (s *Simulation) Components() []Component {
-	out := make([]Component, 0, len(s.comps))
-	for _, c := range s.comps {
-		out = append(out, c)
+	if s.sorted == nil && len(s.comps) > 0 {
+		out := make([]Component, 0, len(s.comps))
+		for _, c := range s.comps {
+			out = append(out, c)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+		s.sorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
-	return out
+	return s.sorted
 }
 
 // Connect creates a link between two components' ports and records it.
