@@ -1,12 +1,17 @@
 # gosst build/verify entry points.
 #
-#   make check   — the CI gate: vet + full tests + race on the packages
-#                  with concurrency (sim kernel, parallel runtime, sweeps)
-#   make bench   — regenerate every experiment table ("reproduce the paper")
+#   make check      — the CI gate: vet + full tests + race on the packages
+#                     with concurrency (sim kernel, parallel runtime,
+#                     sweeps, fault injection) + a short fuzz pass over the
+#                     config parsers
+#   make bench      — regenerate every experiment table ("reproduce the paper")
+#   make fuzz-short — a few seconds of coverage-guided fuzzing per config
+#                     loader; crashes fail the target
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench fuzz-short
 
 build:
 	$(GO) build ./...
@@ -17,13 +22,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The sweep scheduler (internal/core), the PDES runtime (internal/par) and
-# the event kernel they drive (internal/sim) are the only places goroutines
-# touch shared structures; the race detector must stay clean there.
+# The sweep scheduler (internal/core), the PDES runtime (internal/par), the
+# event kernel they drive (internal/sim) and the fault injectors that hook
+# all three (internal/fault) are the only places goroutines touch shared
+# structures; the race detector must stay clean there.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/...
+	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/...
 
-check: build vet test race
+# Coverage-guided fuzzing of the AMM JSON loaders: arbitrary input must
+# produce a validated config or an error, never a panic or a NaN/Inf/zero
+# value the simulator would choke on later.
+fuzz-short:
+	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadMachine -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadSystem -fuzztime=$(FUZZTIME)
+
+check: build vet test race fuzz-short
 
 bench:
 	$(GO) test -bench=. -benchtime=1x

@@ -1,21 +1,30 @@
 // Command sst-dse runs the design-space exploration sweeps of the SST
 // studies — memory technology × issue width with power and cost axes — and
-// prints the Fig. 10/11/12 tables.
+// prints the Fig. 10/11/12 tables. With -resilience it instead sweeps
+// checkpoint intervals against machine MTBF and reports the optimal
+// interval next to the Young/Daly closed forms.
 //
 // Usage:
 //
 //	sst-dse [-apps hpccg,lulesh] [-techs ddr2-800,ddr3-1333,gddr5-4000]
 //	        [-widths 1,2,4,8] [-scale full|small] [-table all|fig10|fig11|fig12]
 //	        [-csv] [-j N]
+//	sst-dse -resilience [-mtbf 1,4,24] [-ckpt-cost 60] [-restart-cost 120]
+//	        [-work 24] [-trials 5] [-fault-seed 1] [-csv] [-j N]
 //
 // The sweep's design points are independent simulations; -j sets how many
-// run concurrently (default: GOMAXPROCS). Tables are identical at any -j.
+// run concurrently (default: GOMAXPROCS). Tables are identical at any -j,
+// and the resilience study is deterministic in -fault-seed. Ctrl-C drains
+// the points already running, prints the partial tables, and exits
+// nonzero; points that failed or were skipped are listed on stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -32,12 +41,43 @@ func main() {
 		tableFlag  = flag.String("table", "all", "which table: all, fig10, fig11, fig12")
 		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jFlag      = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+
+		resFlag     = flag.Bool("resilience", false, "run the checkpoint/MTBF resilience study instead of the DSE sweep")
+		mtbfFlag    = flag.String("mtbf", "1,4,24", "machine MTBF values to study, hours")
+		ckptFlag    = flag.Float64("ckpt-cost", 60, "checkpoint write cost, seconds")
+		restartFlag = flag.Float64("restart-cost", 120, "restart cost after a failure, seconds")
+		workFlag    = flag.Float64("work", 24, "job useful work, hours")
+		trialsFlag  = flag.Int("trials", 5, "seeded runs averaged per study cell")
+		seedFlag    = flag.Uint64("fault-seed", 1, "root fault seed (same seed, same tables)")
 	)
 	flag.Parse()
-	if err := run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, *csvFlag, *jFlag); err != nil {
+
+	// Ctrl-C cancels the sweep context: running design points finish and
+	// keep their results, everything not yet started is skipped, and the
+	// partial tables are still printed before the nonzero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	core.SetSweepContext(ctx)
+
+	var err error
+	if *resFlag {
+		err = runResilience(*mtbfFlag, *ckptFlag, *restartFlag, *workFlag, *trialsFlag, *seedFlag, *csvFlag, *jFlag)
+	} else {
+		err = run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, *csvFlag, *jFlag)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sst-dse:", err)
 		os.Exit(1)
 	}
+}
+
+func emitTable(t *stats.Table, asCSV bool) {
+	if asCSV {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+	fmt.Println()
 }
 
 func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV bool, workers int) error {
@@ -62,17 +102,10 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV boo
 	}
 
 	grid, err := core.MemTechWidthSweep(apps, techs, widths, scale)
-	if err != nil {
+	if grid == nil {
 		return err
 	}
-	emit := func(t *stats.Table) {
-		if asCSV {
-			t.RenderCSV(os.Stdout)
-		} else {
-			t.Render(os.Stdout)
-		}
-		fmt.Println()
-	}
+	emit := func(t *stats.Table) { emitTable(t, asCSV) }
 	baseline := techs[0]
 	for _, t := range techs {
 		if strings.HasPrefix(t, "ddr3") {
@@ -94,5 +127,42 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV boo
 	default:
 		return fmt.Errorf("bad table %q", tableFlag)
 	}
+	if err != nil {
+		failed := grid.Failed()
+		for _, p := range failed {
+			msg := p.Err.Error()
+			if i := strings.IndexByte(msg, '\n'); i >= 0 {
+				msg = msg[:i]
+			}
+			fmt.Fprintf(os.Stderr, "sst-dse: point %s/%s/w%d: %s\n", p.App, p.Tech, p.Width, msg)
+		}
+		return fmt.Errorf("sweep incomplete: %d of %d points failed (tables above show the rest)",
+			len(failed), len(grid.Points))
+	}
+	return nil
+}
+
+func runResilience(mtbfFlag string, ckptS, restartS, workHours float64, trials int, seed uint64, asCSV bool, workers int) error {
+	core.SetSweepWorkers(workers)
+	var mtbfs []float64
+	for _, m := range strings.Split(mtbfFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(m), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad mtbf %q (hours)", m)
+		}
+		mtbfs = append(mtbfs, v)
+	}
+	res, err := core.ResilienceStudy(core.ResilienceConfig{
+		MTBFHours:   mtbfs,
+		CheckpointS: ckptS,
+		RestartS:    restartS,
+		WorkHours:   workHours,
+		Trials:      trials,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	emitTable(res.Table, asCSV)
 	return nil
 }

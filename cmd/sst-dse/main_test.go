@@ -15,6 +15,18 @@ func TestDSESmallSweep(t *testing.T) {
 	}
 }
 
+func TestDSEResilienceMode(t *testing.T) {
+	if err := runResilience("1,4", 60, 120, 2, 3, 7, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := runResilience("zero", 60, 120, 2, 3, 7, false, 0); err == nil {
+		t.Error("bad mtbf accepted")
+	}
+	if err := runResilience("1", 60, 120, -2, 3, 7, true, 0); err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
 func TestDSEBadArgs(t *testing.T) {
 	if err := run("stream", "ddr3-1333", "zero", "small", "all", false, 0); err == nil {
 		t.Error("bad width accepted")

@@ -8,13 +8,16 @@
 //
 // The study's (proxy app, bandwidth fraction) cells are independent
 // simulations; -j sets how many run concurrently (default: GOMAXPROCS).
-// Tables are identical at any -j.
+// Tables are identical at any -j. Ctrl-C drains the cells already running,
+// prints whatever completed, and exits nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -30,6 +33,9 @@ func main() {
 		jFlag     = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	core.SetSweepContext(ctx)
 	if err := run(*nodesFlag, *stepsFlag, *fracFlag, *csvFlag, *jFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "sst-net:", err)
 		os.Exit(1)
@@ -46,14 +52,11 @@ func run(nodes, steps int, fracFlag string, asCSV bool, workers int) error {
 		}
 		cfg.Fractions = append(cfg.Fractions, v)
 	}
-	table, _, err := core.NetDegradationStudy(cfg)
-	if err != nil {
-		return err
-	}
-	ptable, _, err := core.NetPowerStudy(cfg)
-	if err != nil {
-		return err
-	}
+	// Both studies render whatever cells completed even when some failed
+	// or the sweep was interrupted; the error still propagates so the
+	// exit code reflects the incomplete run.
+	table, _, derr := core.NetDegradationStudy(cfg)
+	ptable, _, perr := core.NetPowerStudy(cfg)
 	if asCSV {
 		table.RenderCSV(os.Stdout)
 		ptable.RenderCSV(os.Stdout)
@@ -62,5 +65,8 @@ func run(nodes, steps int, fracFlag string, asCSV bool, workers int) error {
 		fmt.Println()
 		ptable.Render(os.Stdout)
 	}
-	return nil
+	if derr != nil {
+		return fmt.Errorf("study incomplete (tables above show completed cells): %w", derr)
+	}
+	return perr
 }

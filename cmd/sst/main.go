@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sst/internal/config"
 	"sst/internal/core"
@@ -25,6 +26,26 @@ import (
 	"sst/internal/stats"
 	"sst/internal/workload"
 )
+
+// interruptEngine makes Ctrl-C stop the engine at its next poll point, so
+// an interrupted simulation reports where it was instead of dying mid-run.
+// The returned func detaches the handler.
+func interruptEngine(eng *sim.Engine) func() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			eng.Interrupt()
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(done)
+	}
+}
 
 func main() {
 	var (
@@ -96,8 +117,12 @@ func runSystem(path string) error {
 		return err
 	}
 	app.Start(nil)
+	defer interruptEngine(engine)()
 	engine.RunAll()
 	if !app.Done() {
+		if engine.Interrupted() {
+			return fmt.Errorf("interrupted at %v: %w", engine.Now(), sim.ErrInterrupted)
+		}
 		return fmt.Errorf("application deadlocked at %v", engine.Now())
 	}
 	energy := net.Energy(noc.DefaultPowerParams())
@@ -121,6 +146,7 @@ func run(cfgPath string, dumpStats, asCSV bool, timeline, samplePd string) error
 	if err != nil {
 		return err
 	}
+	defer interruptEngine(node.Sim.Engine())()
 	var sampler *stats.Sampler
 	if timeline != "" {
 		period, err := sim.ParseTime(samplePd)

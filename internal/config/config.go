@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -39,18 +40,24 @@ func ParseSize(s string) (int, error) {
 	if err != nil || v < 0 {
 		return 0, fmt.Errorf("config: bad size %q", s)
 	}
+	var shift uint
 	switch unit {
 	case "", "B":
 		return v, nil
 	case "KB", "K", "KIB":
-		return v << 10, nil
+		shift = 10
 	case "MB", "M", "MIB":
-		return v << 20, nil
+		shift = 20
 	case "GB", "G", "GIB":
-		return v << 30, nil
+		shift = 30
 	default:
 		return 0, fmt.Errorf("config: bad size unit in %q", s)
 	}
+	out := v << shift
+	if out>>shift != v {
+		return 0, fmt.Errorf("config: size %q overflows", s)
+	}
+	return out, nil
 }
 
 // CPUSpec describes a core in AMM form.
@@ -330,6 +337,9 @@ func (m *MachineConfig) Validate() error {
 	if _, err := m.Node.Mem.ToDRAMConfig(); err != nil {
 		return err
 	}
+	if c := m.Node.Mem.CapacityGB; math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		return fmt.Errorf("config: node.memory.capacity_gb: %v must be finite and non-negative", c)
+	}
 	return m.Workload.Validate()
 }
 
@@ -387,16 +397,33 @@ type NetSpec struct {
 	PacketB   int    `json:"packet_bytes,omitempty"`
 }
 
-// ToNetConfig converts to the noc package's configuration.
+// ToNetConfig converts to the noc package's configuration. Latencies and
+// bandwidths are validated here, with the offending JSON field named in
+// the error: a zero or negative link latency in particular would silently
+// destroy the parallel runtime's lookahead (cross-partition links
+// synchronize at the minimum link latency), so it is rejected at load time
+// rather than surfacing later as a deadlocked or crawling simulation.
 func (s NetSpec) ToNetConfig() (noc.NetConfig, error) {
 	ll, err := sim.ParseTime(s.LinkLat)
 	if err != nil {
-		return noc.NetConfig{}, err
+		return noc.NetConfig{}, fmt.Errorf("config: network.link_lat: %w", err)
+	}
+	if ll <= 0 {
+		return noc.NetConfig{}, fmt.Errorf(
+			"config: network.link_lat: %q must be positive (it is the cross-partition lookahead)", s.LinkLat)
 	}
 	var rl sim.Time
 	if s.RouterLat != "" {
 		if rl, err = sim.ParseTime(s.RouterLat); err != nil {
-			return noc.NetConfig{}, err
+			return noc.NetConfig{}, fmt.Errorf("config: network.router_lat: %w", err)
+		}
+	}
+	for _, bw := range []struct {
+		field string
+		v     float64
+	}{{"network.link_bw", s.LinkBW}, {"network.inject_bw", s.InjectBW}} {
+		if math.IsNaN(bw.v) || math.IsInf(bw.v, 0) || bw.v <= 0 {
+			return noc.NetConfig{}, fmt.Errorf("config: %s: %v must be positive and finite", bw.field, bw.v)
 		}
 	}
 	cfg := noc.NetConfig{

@@ -1,0 +1,129 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the JSON loaders: arbitrary input must produce either a
+// validated config or an error — never a panic, and never a config that
+// smuggles a non-finite or non-positive value past validation into the
+// simulator (where a NaN bandwidth poisons every derived metric and a
+// zero link latency destroys the parallel lookahead).
+
+const fuzzMachineSeed = `{
+  "name": "node-ddr3-w4",
+  "node": {
+    "cores": 1,
+    "cpu": {"kind": "superscalar", "freq": "3.2GHz", "width": 4, "loadq": 32, "storeq": 32, "predictor": 1024},
+    "l1": {"size": "32KB", "assoc": 4, "hit_lat": 2, "mshrs": 16, "prefetch": true, "prefetch_degree": 2},
+    "l2": {"size": "256KB", "assoc": 8, "hit_lat": 10, "mshrs": 32, "prefetch": true, "prefetch_degree": 8},
+    "memory": {"preset": "ddr3-1333", "channels": 1, "capacity_gb": 4}
+  },
+  "workload": {"kind": "lulesh", "n": 8192, "iters": 1}
+}`
+
+const fuzzSystemSeed = `{
+  "name": "torus-32",
+  "topology": {"kind": "torus", "x": 4, "y": 4, "z": 2},
+  "network": {"link_bw": 3.2e9, "inject_bw": 3.2e9, "link_lat": "100ns", "router_lat": "50ns"},
+  "app": "cth",
+  "steps": 6
+}`
+
+func FuzzLoadMachine(f *testing.F) {
+	f.Add(fuzzMachineSeed)
+	f.Add(`{"name":"x","node":{"cpu":{"kind":"inorder","freq":"1GHz"},"memory":{"preset":"ddr3-1333"}},"workload":{"kind":"stream"}}`)
+	f.Add(`{"name":"x","node":{"cpu":{"kind":"inorder","freq":"-1GHz"},"memory":{"preset":"ddr3-1333"}},"workload":{"kind":"stream"}}`)
+	f.Add(`{"name":"x","node":{"l1":{"size":"999999999GB"}}}`)
+	f.Add(`{"name":"x","node":{"memory":{"capacity_gb":-4}}}`)
+	f.Add(`{"name":`)
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := LoadMachine(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil config with nil error")
+		}
+		// Whatever validated must be sane enough to price and build.
+		if c := m.Node.Mem.Capacity(); math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+			t.Fatalf("validated config has unusable capacity %v", c)
+		}
+		if m.Node.Cores <= 0 {
+			t.Fatalf("validated config has %d cores", m.Node.Cores)
+		}
+	})
+}
+
+func FuzzLoadSystem(f *testing.F) {
+	f.Add(fuzzSystemSeed)
+	f.Add(`{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":1e9,"inject_bw":1e9,"link_lat":"0ns"},"app":"cth"}`)
+	f.Add(`{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":1e9,"inject_bw":1e9,"link_lat":"-5ns"},"app":"sage"}`)
+	f.Add(`{"name":"x","topology":{"kind":"mesh2d","x":2,"y":2},"network":{"link_bw":-1,"inject_bw":1e9,"link_lat":"10ns"},"app":"cth"}`)
+	f.Add(`{"link_bw": 1e999}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := LoadSystem(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil config with nil error")
+		}
+		// The invariants the parallel runtime depends on: positive, finite
+		// link latency and bandwidths.
+		nc, err := s.Net.ToNetConfig()
+		if err != nil {
+			t.Fatalf("validated system fails ToNetConfig: %v", err)
+		}
+		if nc.LinkLatency <= 0 {
+			t.Fatalf("validated system has link latency %v", nc.LinkLatency)
+		}
+		for _, bw := range []float64{nc.LinkBandwidth, nc.InjectionBandwidth} {
+			if math.IsNaN(bw) || math.IsInf(bw, 0) || bw <= 0 {
+				t.Fatalf("validated system has bandwidth %v", bw)
+			}
+		}
+	})
+}
+
+// TestLoadRejectsHostileValues pins the specific repairs behind the fuzz
+// targets as plain unit cases, so they are exercised on every `go test`
+// run, not only under -fuzz.
+func TestLoadRejectsHostileValues(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+		system              bool
+	}{
+		{"zero link_lat", `{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":1e9,"inject_bw":1e9,"link_lat":"0ns"},"app":"cth"}`,
+			"network.link_lat", true},
+		{"negative link_lat", `{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":1e9,"inject_bw":1e9,"link_lat":"-5ns"},"app":"cth"}`,
+			"network.link_lat", true},
+		{"bad router_lat", `{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":1e9,"inject_bw":1e9,"link_lat":"5ns","router_lat":"fast"},"app":"cth"}`,
+			"network.router_lat", true},
+		{"negative link_bw", `{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":-1,"inject_bw":1e9,"link_lat":"5ns"},"app":"cth"}`,
+			"network.link_bw", true},
+		{"zero inject_bw", `{"name":"x","topology":{"kind":"crossbar","n":4},"network":{"link_bw":1e9,"inject_bw":0,"link_lat":"5ns"},"app":"cth"}`,
+			"network.inject_bw", true},
+		{"negative capacity", `{"name":"x","node":{"cpu":{"kind":"inorder","freq":"1GHz"},"memory":{"preset":"ddr3-1333","capacity_gb":-4}},"workload":{"kind":"stream"}}`,
+			"capacity_gb", false},
+		{"size overflow", `{"name":"x","node":{"cpu":{"kind":"inorder","freq":"1GHz"},"l1":{"size":"99999999999GB","assoc":4,"hit_lat":2},"memory":{"preset":"ddr3-1333"}},"workload":{"kind":"stream"}}`,
+			"overflows", false},
+	}
+	for _, c := range cases {
+		var err error
+		if c.system {
+			_, err = LoadSystem(strings.NewReader(c.json))
+		} else {
+			_, err = LoadMachine(strings.NewReader(c.json))
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not name the field (%q)", c.name, err, c.wantErr)
+		}
+	}
+}

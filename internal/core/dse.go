@@ -95,6 +95,10 @@ type DSEPoint struct {
 	Tech   string
 	Width  int
 	Result *NodeResult
+	// Err is set when this point's simulation failed (or panicked, or was
+	// skipped by sweep cancellation); Result is then nil and the table
+	// renderers skip the cell.
+	Err error
 }
 
 // DSEGrid is the full sweep result.
@@ -134,6 +138,18 @@ func (g *DSEGrid) Find(app, tech string, width int) *DSEPoint {
 	return nil
 }
 
+// Failed returns the points whose simulations did not produce a result, in
+// grid order. Empty on a fully successful sweep.
+func (g *DSEGrid) Failed() []*DSEPoint {
+	var out []*DSEPoint
+	for i := range g.Points {
+		if g.Points[i].Err != nil {
+			out = append(out, &g.Points[i])
+		}
+	}
+	return out
+}
+
 // MemTechWidthSweep runs the cross product of apps × technologies × widths
 // — the single sweep behind Figs. 10, 11 and 12. Points are independent
 // single-node simulations, so they execute across the sweep worker pool;
@@ -147,20 +163,23 @@ func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale) (*DSEGri
 			}
 		}
 	}
-	err := runPoints(len(g.Points), func(i int) error {
+	errs, err := runPointsDetailed(len(g.Points), func(i int) error {
 		p := &g.Points[i]
-		res, err := RunMachine(SweepMachine(p.App, p.Tech, p.Width, scale))
-		if err != nil {
-			return fmt.Errorf("core: sweep %s/%s/w%d: %w", p.App, p.Tech, p.Width, err)
+		res, rerr := RunMachine(SweepMachine(p.App, p.Tech, p.Width, scale))
+		if rerr != nil {
+			return fmt.Errorf("core: sweep %s/%s/w%d: %w", p.App, p.Tech, p.Width, rerr)
 		}
 		p.Result = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	for i := range errs {
+		g.Points[i].Err = errs[i]
 	}
 	g.buildIndex()
-	return g, nil
+	// The grid is returned even on error: completed points keep their
+	// results so callers can render the partial sweep next to the
+	// per-point failures.
+	return g, err
 }
 
 // Fig10Table renders application performance by memory technology: runtime
@@ -173,7 +192,7 @@ func Fig10Table(g *DSEGrid, apps, techs []string, widths []int, baseline string)
 			base := g.Find(app, baseline, w)
 			for _, tech := range techs {
 				p := g.Find(app, tech, w)
-				if p == nil || base == nil {
+				if p == nil || p.Result == nil || base == nil || base.Result == nil {
 					continue
 				}
 				t.AddRow(app, w, tech, p.Result.Seconds*1e3,
@@ -192,7 +211,7 @@ func Fig11Table(g *DSEGrid, apps, techs []string, widths []int) *stats.Table {
 		for _, w := range widths {
 			for _, tech := range techs {
 				p := g.Find(app, tech, w)
-				if p == nil {
+				if p == nil || p.Result == nil {
 					continue
 				}
 				r := p.Result
@@ -212,12 +231,12 @@ func Fig12Table(g *DSEGrid, apps []string, tech string, widths []int) *stats.Tab
 		"app", "width", "speedup", "power_ratio", "perf_per_watt", "perf_per_dollar", "area_mm2")
 	for _, app := range apps {
 		base := g.Find(app, tech, widths[0])
-		if base == nil {
+		if base == nil || base.Result == nil {
 			continue
 		}
 		for _, w := range widths {
 			p := g.Find(app, tech, w)
-			if p == nil {
+			if p == nil || p.Result == nil {
 				continue
 			}
 			r := p.Result

@@ -111,10 +111,9 @@ func runNetGrid(cfg NetStudyConfig) ([][]sim.Time, error) {
 		elapsed[pi][fi] = e
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return elapsed, nil
+	// The partial grid is returned even on error; failed or skipped cells
+	// stay zero and the table builders leave those rows out.
+	return elapsed, err
 }
 
 // NetDegradationStudy reproduces Fig. 9: for each application proxy,
@@ -125,20 +124,24 @@ func NetDegradationStudy(cfg NetStudyConfig) (*stats.Table, map[string][]float64
 		fmt.Sprintf("Fig 9: application slowdown vs injection bandwidth (%d-node torus)", cfg.Nodes),
 		"app", "bw_fraction", "runtime_ms", "slowdown_vs_full")
 	elapsedGrid, err := runNetGrid(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
 	slow := map[string][]float64{}
 	for pi, p := range netStudyProfiles() {
 		full := elapsedGrid[pi][0]
+		if full == 0 {
+			continue // baseline cell failed: ratios are meaningless
+		}
 		for i, f := range cfg.Fractions {
 			elapsed := elapsedGrid[pi][i]
+			if elapsed == 0 {
+				continue
+			}
 			s := float64(elapsed) / float64(full)
 			slow[p.Name] = append(slow[p.Name], s)
 			t.AddRow(p.Name, f, elapsed.Seconds()*1e3, s)
 		}
 	}
-	return t, slow, nil
+	// On error the table and map still carry every completed cell.
+	return t, slow, err
 }
 
 // NetPowerStudy extends the degradation study with the power trade the
@@ -154,24 +157,28 @@ func NetPowerStudy(cfg NetStudyConfig) (*stats.Table, map[string]int, error) {
 		"app", "bw_fraction", "slowdown", "net_power_frac", "system_power_frac", "system_energy_frac")
 	best := map[string]int{}
 	elapsedGrid, err := runNetGrid(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
 	for pi, p := range netStudyProfiles() {
 		full := elapsedGrid[pi][0]
+		if full == 0 {
+			continue // baseline cell failed or was skipped
+		}
 		bestEnergy := 0.0
 		for i, f := range cfg.Fractions {
+			if elapsedGrid[pi][i] == 0 {
+				continue
+			}
 			slowdown := float64(elapsedGrid[pi][i]) / float64(full)
 			// Network static power scales with provisioned
 			// bandwidth; CPU and memory power are unchanged.
 			sysPower := 2.0/3 + f/3
 			sysEnergy := sysPower * slowdown
-			if i == 0 || sysEnergy < bestEnergy {
+			if _, seen := best[p.Name]; !seen || sysEnergy < bestEnergy {
 				bestEnergy = sysEnergy
 				best[p.Name] = i
 			}
 			t.AddRow(p.Name, f, slowdown, f, sysPower, sysEnergy)
 		}
 	}
-	return t, best, nil
+	// On error the table and map still carry every completed cell.
+	return t, best, err
 }

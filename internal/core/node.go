@@ -232,6 +232,10 @@ func (n *NodeModel) Run() (*NodeResult, error) {
 	}
 	engine.RunAll()
 	if remaining != 0 {
+		if engine.Interrupted() {
+			return nil, fmt.Errorf("core: %s interrupted: %d cores unfinished at %v: %w",
+				n.Cfg.Name, remaining, engine.Now(), sim.ErrInterrupted)
+		}
 		return nil, fmt.Errorf("core: %s deadlocked: %d cores unfinished at %v",
 			n.Cfg.Name, remaining, engine.Now())
 	}

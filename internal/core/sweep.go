@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"sst/internal/config"
+	"sst/internal/sim"
 )
 
 // Sweep-level parallelism. Every study in this package is a grid of fully
@@ -40,14 +44,74 @@ func SweepWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ctxBox wraps the sweep context so sweepCtx always stores one concrete
+// type (atomic.Value requires it; context.Context is an interface whose
+// dynamic type varies).
+type ctxBox struct{ ctx context.Context }
+
+var sweepCtx atomic.Value
+
+// SetSweepContext installs the context sweep pools consult between design
+// points. Cancelling it does not abort points already running — each point
+// is a self-contained simulation that finishes and keeps its result — but
+// every point not yet started is skipped with a per-point error, so an
+// interrupted sweep drains quickly and still renders everything it
+// completed. Nil restores the background context. Applies to sweeps
+// started after the call as well as the not-yet-started points of running
+// ones.
+func SetSweepContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sweepCtx.Store(ctxBox{ctx})
+}
+
+func sweepContext() context.Context {
+	if b, ok := sweepCtx.Load().(ctxBox); ok {
+		return b.ctx
+	}
+	return context.Background()
+}
+
+// runPoint runs one design point, converting a panic into a per-point
+// error (with the component name when the model used sim.Guard) and
+// honouring sweep cancellation. One exploding point must cost exactly one
+// grid cell, never the process or the rest of the sweep.
+func runPoint(i int, fn func(i int) error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if pe, ok := r.(*sim.PanicError); ok {
+			err = fmt.Errorf("core: point %d: %w\n%s", i, pe, pe.Stack)
+			return
+		}
+		err = fmt.Errorf("core: point %d panicked: %v\n%s", i, r, debug.Stack())
+	}()
+	if ctx := sweepContext(); ctx.Err() != nil {
+		return fmt.Errorf("core: point %d skipped: %w", i, ctx.Err())
+	}
+	return fn(i)
+}
+
 // runPoints executes fn(i) for every i in [0, n) on a pool of SweepWorkers
-// goroutines. Every point runs even when earlier points fail; the returned
-// error joins all per-point errors in point order, so error text is as
-// deterministic as the results. fn must confine its writes to per-index
-// state (and its own locals) — that is what makes the fan-out race-free.
+// goroutines. Every point runs even when earlier points fail or panic; the
+// returned error joins all per-point errors in point order, so error text
+// is as deterministic as the results. fn must confine its writes to
+// per-index state (and its own locals) — that is what makes the fan-out
+// race-free.
 func runPoints(n int, fn func(i int) error) error {
+	_, err := runPointsDetailed(n, fn)
+	return err
+}
+
+// runPointsDetailed is runPoints for callers that attach failures to
+// individual grid cells: it additionally returns the per-point error slice
+// (nil entries for successes), always of length n.
+func runPointsDetailed(n int, fn func(i int) error) ([]error, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	workers := SweepWorkers()
 	if workers > n {
@@ -56,9 +120,9 @@ func runPoints(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			errs[i] = runPoint(i, fn)
 		}
-		return errors.Join(errs...)
+		return errs, errors.Join(errs...)
 	}
 	var (
 		next atomic.Int64
@@ -73,18 +137,20 @@ func runPoints(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runPoint(i, fn)
 			}
 		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return errs, errors.Join(errs...)
 }
 
 // RunMachines runs independent machine configs across the sweep worker
 // pool, returning results in config order. It is the batch counterpart of
 // RunMachine for callers (the ablation benchmarks, external drivers) whose
-// variants have no data dependencies between them.
+// variants have no data dependencies between them. On error the slice is
+// still returned: failed configs leave nil entries, completed ones keep
+// their results, and the error joins the per-config failures in order.
 func RunMachines(cfgs []*config.MachineConfig) ([]*NodeResult, error) {
 	out := make([]*NodeResult, len(cfgs))
 	err := runPoints(len(cfgs), func(i int) error {
@@ -95,8 +161,5 @@ func RunMachines(cfgs []*config.MachineConfig) ([]*NodeResult, error) {
 		out[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, err
 }

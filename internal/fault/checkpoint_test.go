@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckpointNoFailures(t *testing.T) {
+	// MTBF so long no failure ever fires inside the run: the makespan is
+	// exactly work plus one checkpoint per non-final segment.
+	m := CheckpointModel{WorkS: 3600, CheckpointS: 10, RestartS: 60, MTBFS: 1e15}
+	st, err := m.Simulate(1, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3600.0 + 5*10 // 6 segments, 5 checkpoints (the last commits by finishing)
+	if math.Abs(st.MakespanS-want) > 1e-6 {
+		t.Errorf("makespan = %v, want %v", st.MakespanS, want)
+	}
+	if st.Failures != 0 || st.Checkpoints != 5 || st.LostWorkS != 0 {
+		t.Errorf("stats = %+v, want 0 failures, 5 checkpoints, 0 lost", st)
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	m := CheckpointModel{WorkS: 10000, CheckpointS: 60, RestartS: 120, MTBFS: 3600}
+	tau := YoungInterval(m.CheckpointS, m.MTBFS)
+	a, err := m.Simulate(99, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Simulate(99, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Failures == 0 {
+		t.Fatal("MTBF 1h over a >10000s run produced no failures; model inert")
+	}
+	c, err := m.Simulate(100, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical stats")
+	}
+}
+
+// TestCheckpointMatchesDaly cross-checks the event-driven simulation
+// against Daly's closed-form expected makespan. Seeds are fixed, so the
+// sample mean is a constant: the test is exact, not statistical.
+func TestCheckpointMatchesDaly(t *testing.T) {
+	m := CheckpointModel{WorkS: 10000, CheckpointS: 60, RestartS: 120, MTBFS: 3600}
+	tau := YoungInterval(m.CheckpointS, m.MTBFS)
+	const trials = 25
+	var mean float64
+	for s := uint64(0); s < trials; s++ {
+		st, err := m.Simulate(s, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += st.MakespanS / trials
+	}
+	oracle := DalyMakespan(m.WorkS, m.CheckpointS, m.RestartS, m.MTBFS, tau)
+	if ratio := mean / oracle; ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("simulated mean makespan %.0fs vs Daly %.0fs (ratio %.3f, want within 15%%)",
+			mean, oracle, ratio)
+	}
+}
+
+func TestCheckpointIntervalTradeoffBracketsYoung(t *testing.T) {
+	// The simulated makespan, averaged over seeds, must be worse at a
+	// quarter and at four times the Young interval than at Young itself —
+	// i.e. the simulation reproduces the U-shaped tradeoff the resilience
+	// study sweeps.
+	m := CheckpointModel{WorkS: 20000, CheckpointS: 60, RestartS: 120, MTBFS: 3600}
+	tau := YoungInterval(m.CheckpointS, m.MTBFS)
+	avg := func(interval float64) float64 {
+		const trials = 20
+		var sum float64
+		for s := uint64(0); s < trials; s++ {
+			st, err := m.Simulate(s, interval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += st.MakespanS
+		}
+		return sum / trials
+	}
+	atYoung, low, high := avg(tau), avg(tau/4), avg(tau*4)
+	if atYoung >= low || atYoung >= high {
+		t.Errorf("no U-shape: makespan(τ/4)=%.0f makespan(τ)=%.0f makespan(4τ)=%.0f",
+			low, atYoung, high)
+	}
+}
+
+func TestCheckpointNoProgressAborts(t *testing.T) {
+	// MTBF far below the checkpoint cost: no segment can ever commit. The
+	// run must abort with an error instead of looping forever.
+	m := CheckpointModel{WorkS: 1000, CheckpointS: 500, RestartS: 100, MTBFS: 1}
+	if _, err := m.Simulate(3, 500); err == nil {
+		t.Fatal("zero-progress run did not abort")
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	good := CheckpointModel{WorkS: 100, CheckpointS: 1, RestartS: 1, MTBFS: 100}
+	if _, err := good.Simulate(1, -5); err == nil {
+		t.Error("negative interval accepted")
+	}
+	bad := []CheckpointModel{
+		{WorkS: 0, CheckpointS: 1, RestartS: 1, MTBFS: 100},
+		{WorkS: 100, CheckpointS: -1, RestartS: 1, MTBFS: 100},
+		{WorkS: 100, CheckpointS: 1, RestartS: 1, MTBFS: 0},
+		{WorkS: math.NaN(), CheckpointS: 1, RestartS: 1, MTBFS: 100},
+		{WorkS: math.Inf(1), CheckpointS: 1, RestartS: 1, MTBFS: 100},
+	}
+	for i, m := range bad {
+		if _, err := m.Simulate(1, 10); err == nil {
+			t.Errorf("case %d: invalid model accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestYoungDalyClosedForms(t *testing.T) {
+	if got, want := YoungInterval(60, 3600), math.Sqrt(2*60*3600.0); got != want {
+		t.Errorf("YoungInterval = %v, want %v", got, want)
+	}
+	// Daly refines Young downward-ish but stays the same order of
+	// magnitude for C << M, and degenerates to M when C >= 2M.
+	y, d := YoungInterval(60, 3600), DalyInterval(60, 3600)
+	if d <= 0 || d > 2*y {
+		t.Errorf("DalyInterval %v implausible next to Young %v", d, y)
+	}
+	if got := DalyInterval(100, 10); got != 10 {
+		t.Errorf("degenerate DalyInterval = %v, want MTBF", got)
+	}
+}

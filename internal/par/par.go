@@ -12,12 +12,29 @@
 package par
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
-	"sync"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"sst/internal/sim"
 )
+
+// ErrStalled reports that the progress watchdog fired: no rank completed a
+// synchronization window within the watchdog period. The wrapping error
+// carries per-rank diagnostics (clock, pending events, outbox depth).
+var ErrStalled = errors.New("par: runner stalled")
+
+// DefaultWatchdog is the default zero-progress limit. A synchronization
+// window that takes longer than this without any rank finishing is treated
+// as a stall — a zero-delay event loop, a handler blocked on host I/O, or a
+// mis-partitioned model — and Run returns a diagnostic error instead of
+// hanging. Models whose windows legitimately run longer should raise it via
+// SetWatchdog; SetWatchdog(0) disables the check entirely.
+const DefaultWatchdog = 30 * time.Second
 
 // remoteEvent is one payload crossing a rank boundary.
 type remoteEvent struct {
@@ -35,15 +52,67 @@ type rank struct {
 	outboxes [][]remoteEvent // indexed by destination rank
 	sendSeq  uint64
 	handled  uint64
+	// err captures a panic raised by this rank's event handlers during a
+	// window; the coordinator surfaces it after the barrier.
+	err error
+
+	// Snapshot fields published by the rank goroutine at each barrier
+	// arrival and read by the watchdog for stall diagnostics. Atomics so
+	// the coordinator may read them while other ranks still run.
+	pubClock   atomic.Int64
+	pubPending atomic.Int64
+	pubOutbox  atomic.Int64
+	pubWindows atomic.Uint64
+}
+
+// publish records the rank's post-window state for the stall watchdog.
+func (rk *rank) publish() {
+	eng := rk.sim.Engine()
+	rk.pubClock.Store(int64(eng.Now()))
+	rk.pubPending.Store(int64(eng.Pending()))
+	depth := 0
+	for _, ob := range rk.outboxes {
+		depth += len(ob)
+	}
+	rk.pubOutbox.Store(int64(depth))
+	rk.pubWindows.Add(1)
+}
+
+// runWindow advances the rank's engine to the horizon, converting handler
+// panics into rank errors so one broken component reports instead of
+// killing the process.
+func (rk *rank) runWindow(horizon sim.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			rk.err = rankPanicError(rk.id, rk.sim.Engine().Now(), r)
+		}
+	}()
+	if horizon == sim.TimeInfinity {
+		rk.handled = rk.sim.Engine().Run(horizon)
+	} else {
+		rk.handled = rk.sim.Engine().Run(horizon - 1)
+	}
+}
+
+// rankPanicError formats a recovered handler panic. Handlers wrapped with
+// sim.Guard arrive as *sim.PanicError and the message names the component;
+// bare panics fall back to the panic value plus the recovery-site stack.
+func rankPanicError(id int, now sim.Time, r any) error {
+	if pe, ok := r.(*sim.PanicError); ok {
+		return fmt.Errorf("par: rank %d at %v: %w\n%s", id, now, pe, pe.Stack)
+	}
+	return fmt.Errorf("par: rank %d at %v: panic: %v\n%s", id, now, r, debug.Stack())
 }
 
 // Runner coordinates the ranks.
 type Runner struct {
-	ranks      []*rank
-	lookahead  sim.Time
-	crossLinks int
-	now        sim.Time
-	running    bool
+	ranks       []*rank
+	lookahead   sim.Time
+	crossLinks  int
+	now         sim.Time
+	running     bool
+	watchdog    time.Duration
+	interrupted atomic.Bool
 }
 
 // NewRunner creates nranks empty partitions.
@@ -51,7 +120,7 @@ func NewRunner(nranks int) (*Runner, error) {
 	if nranks <= 0 {
 		return nil, fmt.Errorf("par: need at least one rank")
 	}
-	r := &Runner{lookahead: sim.TimeInfinity}
+	r := &Runner{lookahead: sim.TimeInfinity, watchdog: DefaultWatchdog}
 	for i := 0; i < nranks; i++ {
 		rk := &rank{id: i, sim: sim.New(), outboxes: make([][]remoteEvent, nranks)}
 		r.ranks = append(r.ranks, rk)
@@ -68,6 +137,28 @@ func (r *Runner) Rank(i int) *sim.Simulation { return r.ranks[i].sim }
 
 // Now returns the global window base time.
 func (r *Runner) Now() sim.Time { return r.now }
+
+// SetWatchdog sets the zero-progress limit: if no rank completes a
+// synchronization window within d, Run interrupts the rank engines and
+// returns an ErrStalled diagnostic instead of hanging. d = 0 disables the
+// watchdog. The default is DefaultWatchdog.
+func (r *Runner) SetWatchdog(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.watchdog = d
+}
+
+// Interrupt asks a running simulation to stop at the next opportunity:
+// every rank engine is interrupted and the coordinator returns
+// sim.ErrInterrupted after the current window's barrier. Safe to call from
+// any goroutine (signal handlers in the CLIs use it).
+func (r *Runner) Interrupt() {
+	r.interrupted.Store(true)
+	for _, rk := range r.ranks {
+		rk.sim.Engine().Interrupt()
+	}
+}
 
 // Lookahead returns the synchronization window (min cross-rank latency).
 func (r *Runner) Lookahead() sim.Time {
@@ -124,14 +215,20 @@ func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.
 // with no synchronization overhead.
 func (r *Runner) Run(until sim.Time) (uint64, error) {
 	if len(r.ranks) == 1 && r.crossLinks == 0 {
-		end := until
-		if end != sim.TimeInfinity {
-			end = until - 1
+		rk := r.ranks[0]
+		rk.err = nil
+		rk.runWindow(until) // half-open: finite horizons run to until-1
+		n := rk.handled
+		if rk.err != nil {
+			return n, rk.err
 		}
-		n := r.ranks[0].sim.Engine().Run(end)
+		if rk.sim.Engine().Interrupted() || r.interrupted.Load() {
+			r.now = rk.sim.Engine().Now()
+			return n, fmt.Errorf("par: run interrupted at %v: %w", r.now, sim.ErrInterrupted)
+		}
 		r.now = until
 		if until == sim.TimeInfinity {
-			r.now = r.ranks[0].sim.Engine().Now()
+			r.now = rk.sim.Engine().Now()
 		}
 		return n, nil
 	}
@@ -148,27 +245,33 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 	}
 	// Persistent workers for this Run call: one goroutine per rank,
 	// handed a horizon per window. This keeps per-window cost to a pair
-	// of channel operations instead of goroutine churn.
+	// of channel operations instead of goroutine churn. Workers publish a
+	// state snapshot and announce themselves on the barrier channel after
+	// each window; the coordinator counts arrivals (with a watchdog)
+	// instead of blocking on an uninterruptible WaitGroup.
 	work := make([]chan sim.Time, len(r.ranks))
-	var wg sync.WaitGroup
+	barrier := make(chan int, len(r.ranks))
 	for i, rk := range r.ranks {
+		rk.err = nil
 		work[i] = make(chan sim.Time)
 		go func(rk *rank, ch <-chan sim.Time) {
 			for horizon := range ch {
-				if horizon == sim.TimeInfinity {
-					rk.handled = rk.sim.Engine().Run(horizon)
-				} else {
-					rk.handled = rk.sim.Engine().Run(horizon - 1)
-				}
-				wg.Done()
+				rk.runWindow(horizon)
+				rk.publish()
+				barrier <- rk.id
 			}
 		}(rk, work[i])
 	}
-	defer func() {
-		for _, ch := range work {
-			close(ch)
+	closed := false
+	closeWorkers := func() {
+		if !closed {
+			closed = true
+			for _, ch := range work {
+				close(ch)
+			}
 		}
-	}()
+	}
+	defer closeWorkers()
 
 	var total uint64
 	for {
@@ -178,11 +281,27 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 		}
 		// Parallel phase: each rank runs its events strictly below
 		// the horizon.
-		wg.Add(len(r.ranks))
 		for i := range r.ranks {
 			work[i] <- horizon
 		}
-		wg.Wait()
+		if err := r.waitWindow(barrier, horizon); err != nil {
+			return total, err
+		}
+		// A rank whose handlers panicked has reported via rk.err; stop
+		// with every rank's failure rather than continuing a corrupted
+		// simulation.
+		var rankErrs []error
+		for _, rk := range r.ranks {
+			if rk.err != nil {
+				rankErrs = append(rankErrs, rk.err)
+			}
+		}
+		if len(rankErrs) > 0 {
+			return total, errors.Join(rankErrs...)
+		}
+		if r.interrupted.Load() {
+			return total, fmt.Errorf("par: run interrupted at window %v: %w", r.now, sim.ErrInterrupted)
+		}
 		// Exchange phase: merge mailboxes deterministically.
 		moved := 0
 		for dst := range r.ranks {
@@ -241,6 +360,77 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 		}
 	}
 	return total, nil
+}
+
+// waitWindow collects one barrier arrival per rank. With a watchdog set, a
+// period with no arrivals counts as zero progress: the rank engines are
+// interrupted (which unsticks even zero-delay event loops — the engine
+// polls its interrupt flag every few events) and, once the surviving ranks
+// check in or a grace period expires, a diagnostic ErrStalled is returned.
+func (r *Runner) waitWindow(barrier <-chan int, horizon sim.Time) error {
+	n := len(r.ranks)
+	arrived := make([]bool, n)
+	got := 0
+	if r.watchdog <= 0 {
+		for got < n {
+			arrived[<-barrier] = true
+			got++
+		}
+		return nil
+	}
+	timer := time.NewTimer(r.watchdog)
+	defer timer.Stop()
+	stalled := false
+	for got < n {
+		select {
+		case id := <-barrier:
+			arrived[id] = true
+			got++
+			if !stalled {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				timer.Reset(r.watchdog)
+			}
+		case <-timer.C:
+			if stalled {
+				// Grace period expired: some rank is blocked outside
+				// the event loop (host I/O, a channel) and cannot be
+				// interrupted. Report with what the ranks last
+				// published; the stuck goroutines are abandoned.
+				return r.stallError(horizon, arrived)
+			}
+			stalled = true
+			for _, rk := range r.ranks {
+				rk.sim.Engine().Interrupt()
+			}
+			timer.Reset(r.watchdog)
+		}
+	}
+	if stalled {
+		// Every rank checked in only after being interrupted: the window
+		// made no progress for a full watchdog period — a stall, but one
+		// with fully consistent diagnostics.
+		return r.stallError(horizon, arrived)
+	}
+	return nil
+}
+
+// stallError builds the zero-progress diagnostic: the window that hung and
+// each rank's last-published clock, pending-event count and outbox depth.
+func (r *Runner) stallError(horizon sim.Time, arrived []bool) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "no rank completed the window [%v, %v) within %v (lookahead %v)",
+		r.now, horizon, r.watchdog, r.Lookahead())
+	for _, rk := range r.ranks {
+		fmt.Fprintf(&sb, "\n  rank %d: clock=%v pending=%d outbox=%d windows=%d",
+			rk.id, sim.Time(rk.pubClock.Load()), rk.pubPending.Load(),
+			rk.pubOutbox.Load(), rk.pubWindows.Load())
+		if !arrived[rk.id] {
+			sb.WriteString(" (did not respond to interrupt; state is from its last barrier)")
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrStalled, sb.String())
 }
 
 // RunAll advances until the model is globally idle.

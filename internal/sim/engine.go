@@ -1,8 +1,23 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// ErrInterrupted reports that a run was cut short by Engine.Interrupt (an
+// operator Ctrl-C, a watchdog, a cooperating runtime). Callers wrap it so
+// errors.Is(err, sim.ErrInterrupted) identifies interruption at any layer.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// interruptMask sets how often the run loop polls the interrupt flag: every
+// 64 dispatched events, i.e. every few microseconds of host time, which
+// keeps the per-event cost to a masked compare while still bounding the
+// latency of Ctrl-C and of the parallel runtime's stall watchdog — even
+// when a model is stuck in a zero-delay event loop that never returns to
+// the caller.
+const interruptMask = 63
 
 // Engine is a sequential discrete-event scheduler. It owns simulated time:
 // components schedule work in the future and the engine invokes handlers in
@@ -35,6 +50,12 @@ type Engine struct {
 	// horizon bounds how far this engine may advance before onIdle must
 	// be consulted again. TimeInfinity for purely sequential runs.
 	horizon Time
+
+	// intr is the only Engine field safe to touch from another goroutine:
+	// Interrupt sets it, the run loop polls it every interruptMask+1
+	// events. It is sticky until ClearInterrupt so that window-based
+	// callers (internal/par) observe it across Run calls.
+	intr atomic.Bool
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -111,6 +132,20 @@ func (e *Engine) push(t Time, prio Priority, fn Handler, payload any) {
 // Stop makes the current Run return after the in-flight handler completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Interrupt asks the engine to stop dispatching as soon as possible. Unlike
+// every other Engine method it is safe to call from any goroutine: signal
+// handlers and the parallel runtime's stall watchdog use it to unstick a
+// run — including a model spinning in a zero-delay event loop. The flag is
+// sticky; Run returns immediately until ClearInterrupt.
+func (e *Engine) Interrupt() { e.intr.Store(true) }
+
+// Interrupted reports whether Interrupt has been called and not yet
+// cleared. Safe from any goroutine.
+func (e *Engine) Interrupted() bool { return e.intr.Load() }
+
+// ClearInterrupt re-arms an interrupted engine.
+func (e *Engine) ClearInterrupt() { e.intr.Store(false) }
+
 // Stopped reports whether Stop has been called since the last Run.
 func (e *Engine) Stopped() bool { return e.stopped }
 
@@ -156,7 +191,13 @@ func (e *Engine) dispatch(ev *event) {
 func (e *Engine) Run(until Time) uint64 {
 	e.stopped = false
 	start := e.handled
+	if e.intr.Load() {
+		return 0
+	}
 	for !e.stopped {
+		if e.handled&interruptMask == 0 && e.intr.Load() {
+			break
+		}
 		ev := e.q.Peek()
 		for ev == nil || ev.time >= e.horizon {
 			if e.onIdle == nil || !e.onIdle() {
@@ -171,7 +212,7 @@ func (e *Engine) Run(until Time) uint64 {
 		e.dispatch(ev)
 	}
 done:
-	if until != TimeInfinity && e.now < until && !e.stopped {
+	if until != TimeInfinity && e.now < until && !e.stopped && !e.intr.Load() {
 		e.now = until
 	}
 	return e.handled - start

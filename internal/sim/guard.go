@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic captured inside a guarded component handler. It
+// carries the component's name so that runtimes catching the panic higher
+// up (internal/par's rank workers, internal/core's sweep pool) can say
+// *which* component died instead of only where the goroutine unwound.
+type PanicError struct {
+	// Component is the name passed to Guard.
+	Component string
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack at the panic site.
+	Stack []byte
+}
+
+// Error formats the panic with its component attribution.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("component %q panicked: %v", e.Component, e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value for errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Guard wraps a handler so that a panic inside it is re-raised as a
+// *PanicError naming the component. The wrapper costs one (open-coded)
+// defer per invocation and nothing on the non-panicking path, so it is
+// cheap enough for per-event handlers; components opt in where attribution
+// matters. An already-attributed *PanicError passes through unchanged, so
+// nested guards keep the innermost (most precise) name.
+func Guard(name string, h Handler) Handler {
+	if h == nil {
+		panic("sim: Guard with nil handler")
+	}
+	return func(payload any) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := r.(*PanicError); ok {
+					panic(pe)
+				}
+				panic(&PanicError{Component: name, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		h(payload)
+	}
+}

@@ -57,15 +57,29 @@ func (p *Port) SendDelayed(extra Time, payload any) {
 	if l == nil {
 		panic(fmt.Sprintf("sim: send on unconnected port %q", p.name))
 	}
+	delay := l.latency + extra
+	if l.intercept != nil {
+		var ok bool
+		if delay, payload, ok = l.intercept(p, delay, payload); !ok {
+			return // dropped by the interceptor
+		}
+		if delay < l.latency {
+			// An interceptor may add delay but never subtract below the
+			// link latency: the latency is the parallel runtime's
+			// conservative lookahead and shortening it would let a
+			// payload outrun the synchronization window.
+			delay = l.latency
+		}
+	}
 	if l.deliver != nil {
-		l.deliver(p, l.latency+extra, payload)
+		l.deliver(p, delay, payload)
 		return
 	}
 	peer := p.peer
 	if peer.handler == nil {
 		panic(fmt.Sprintf("sim: port %q has no handler (send from %q)", peer.name, p.name))
 	}
-	l.engine.SchedulePrio(l.latency+extra, peer.prio, peer.handler, payload)
+	l.engine.SchedulePrio(delay, peer.prio, peer.handler, payload)
 }
 
 // Link is a bidirectional, latency-bearing connection between two ports.
@@ -80,7 +94,21 @@ type Link struct {
 	// deliver, when installed by the parallel runtime, routes sends
 	// through rank mailboxes instead of the local engine.
 	deliver func(from *Port, delay Time, payload any)
+
+	// intercept, when installed (internal/fault), inspects every payload
+	// before delivery and may delay, rewrite or drop it. It composes with
+	// deliver: interception happens first, on the sending side, so it
+	// behaves identically for local and cross-rank links.
+	intercept LinkInterceptor
 }
+
+// LinkInterceptor inspects a send in flight: it receives the sending port,
+// the total delay (link latency plus any sender-added extra) and the
+// payload, and returns the possibly-modified delay and payload plus whether
+// to deliver at all. Returned delays below the link latency are clamped up
+// to it to preserve the parallel runtime's lookahead. Interceptors run on
+// the sending side's engine, in deterministic event order.
+type LinkInterceptor func(from *Port, delay Time, payload any) (Time, any, bool)
 
 // Connect creates a link with the given latency and returns its two ports.
 func Connect(engine *Engine, name string, latency Time) (*Port, *Port) {
@@ -95,6 +123,11 @@ func Connect(engine *Engine, name string, latency Time) (*Port, *Port) {
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
 
+// Engine returns the engine the link was created on. For cross-rank links
+// built by internal/par this is the home rank's engine only; the far side
+// runs on a different engine and must not read this one's clock.
+func (l *Link) Engine() *Engine { return l.engine }
+
 // Latency returns the link's one-way latency.
 func (l *Link) Latency() Time { return l.latency }
 
@@ -102,6 +135,14 @@ func (l *Link) Latency() Time { return l.latency }
 // route cross-rank traffic; payload delivery order remains deterministic
 // because the parallel runtime merges by (time, source rank, sequence).
 func (l *Link) SetDeliver(fn func(from *Port, delay Time, payload any)) { l.deliver = fn }
+
+// SetIntercept installs (or, with nil, removes) a fault interceptor. At
+// most one interceptor is active per link; internal/fault composes multiple
+// fault kinds inside a single interceptor.
+func (l *Link) SetIntercept(fn LinkInterceptor) { l.intercept = fn }
+
+// Intercepted reports whether a fault interceptor is installed.
+func (l *Link) Intercepted() bool { return l.intercept != nil }
 
 // Ports returns the two endpoints of the link.
 func (l *Link) Ports() (*Port, *Port) { return &l.a, &l.b }
