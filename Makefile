@@ -4,14 +4,27 @@
 #                     with concurrency (sim kernel, parallel runtime,
 #                     sweeps, fault injection) + a short fuzz pass over the
 #                     config parsers
-#   make bench      — regenerate every experiment table ("reproduce the paper")
+#   make bench      — the perf gate: the event-kernel hot loop and the sweep
+#                     scheduler, with -benchmem, checked against the
+#                     committed BENCH_baseline.json (alloc counts must not
+#                     grow; ns/op within tolerance). `make check bench` is
+#                     the full pre-merge gate.
+#   make bench-baseline — rerun the perf benchmarks and rewrite the baseline
+#   make tables     — regenerate every experiment table ("reproduce the paper")
 #   make fuzz-short — a few seconds of coverage-guided fuzzing per config
 #                     loader; crashes fail the target
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race check bench fuzz-short
+# The perf-gate benchmarks: the steady-state event kernel (internal/sim) and
+# the concurrent sweep scheduler (root package). -count and the regexes are
+# shared between `bench` and `bench-baseline` so the two always measure the
+# same thing.
+BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./internal/sim && \
+          $(GO) test -run='^$$' -bench='^BenchmarkSweepWorkers$$' -benchmem .
+
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short
 
 build:
 	$(GO) build ./...
@@ -38,5 +51,13 @@ fuzz-short:
 
 check: build vet test race fuzz-short
 
-bench:
+# The perf gate runs vet and the concurrency race subset first so a data
+# race can never hide behind a good-looking number.
+bench: vet race
+	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json
+
+bench-baseline:
+	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json -update
+
+tables:
 	$(GO) test -bench=. -benchtime=1x

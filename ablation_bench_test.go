@@ -32,7 +32,7 @@ func runVariant(b *testing.B, cfg *config.MachineConfig) float64 {
 // sweep pool and returns their runtimes in config order.
 func runVariants(b *testing.B, cfgs []*config.MachineConfig) []float64 {
 	b.Helper()
-	results, err := core.RunMachines(cfgs)
+	results, err := core.RunMachines(cfgs, core.SweepOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}

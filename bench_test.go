@@ -60,12 +60,11 @@ func BenchmarkSweepWorkers(b *testing.B) {
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		counts = append(counts, n)
 	}
-	defer core.SetSweepWorkers(0)
 	for _, workers := range counts {
+		opts := core.SweepOptions{Workers: workers}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			core.SetSweepWorkers(workers)
 			for i := 0; i < b.N; i++ {
-				if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small); err != nil {
+				if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -76,7 +75,7 @@ func BenchmarkSweepWorkers(b *testing.B) {
 // fullSweep runs the shared Fig. 10/11/12 design-space sweep.
 func fullSweep(b *testing.B) *core.DSEGrid {
 	b.Helper()
-	grid, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Full)
+	grid, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Full, core.SweepOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -139,7 +138,7 @@ func BenchmarkFig11PowerCost(b *testing.B) {
 func BenchmarkFig12IssueWidth(b *testing.B) {
 	const tech = "gddr5-4000"
 	for i := 0; i < b.N; i++ {
-		grid, err := core.MemTechWidthSweep(sweepApps, []string{tech}, sweepWidths, core.Full)
+		grid, err := core.MemTechWidthSweep(sweepApps, []string{tech}, sweepWidths, core.Full, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,11 +167,12 @@ func BenchmarkFig12IssueWidth(b *testing.B) {
 func BenchmarkFig9NetDegradation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultNetStudy()
-		tab, slow, err := core.NetDegradationStudy(cfg)
+		deg, err := core.NetDegradationStudy(cfg, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
+		printOnce(deg.Table())
+		slow := deg.Slowdown
 		last := len(cfg.Fractions) - 1
 		if s := slow["cth"][last]; s < 2 {
 			b.Errorf("Fig9: CTH slowdown at 1/8 bw = %.2f, want > 2", s)
@@ -181,11 +181,12 @@ func BenchmarkFig9NetDegradation(b *testing.B) {
 			b.Errorf("Fig9: Charon slowdown at 1/8 bw = %.2f, want ~1", s)
 		}
 		// The power conclusion the paper draws from Fig. 9.
-		ptab, best, err := core.NetPowerStudy(cfg)
+		pow, err := core.NetPowerStudy(cfg, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(ptab)
+		printOnce(pow.Table())
+		best := pow.Best
 		if best["charon"] == 0 {
 			b.Error("Fig9 power: Charon should save energy on a slower network")
 		}
@@ -201,12 +202,12 @@ func BenchmarkFig9NetDegradation(b *testing.B) {
 // GUPS, loses on cache-friendly FEA.
 func BenchmarkFig13PIM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, results, err := core.PIMStudy([]string{"gups", "stream", "fea"}, core.Full)
+		res, err := core.PIMStudy([]string{"gups", "stream", "fea"}, core.Full, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
-		for _, r := range results {
+		printOnce(res.Table())
+		for _, r := range res.Results {
 			switch r.App {
 			case "gups":
 				if r.PIMSpeedup() < 1.2 {
@@ -229,11 +230,12 @@ func BenchmarkFig13PIM(b *testing.B) {
 // internal/par's tests.
 func BenchmarkFig14ParallelSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, wall, err := core.ParallelScalingStudy([]int{1, 2, 4, 8}, 16, 2*sim.Millisecond)
+		res, err := core.ParallelScalingStudy([]int{1, 2, 4, 8}, 16, 2*sim.Millisecond, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
+		printOnce(res.Table())
+		wall := res.WallSeconds
 		// Overhead bound: the 8-rank run must stay within 2x of the
 		// 1-rank run even on a single-core host.
 		if wall[8] > 2*wall[1] {
@@ -248,11 +250,12 @@ func BenchmarkFig14ParallelSpeedup(b *testing.B) {
 func BenchmarkFig3MemSpeed(b *testing.B) {
 	grades := []string{"ddr3-800", "ddr3-1066", "ddr3-1333"}
 	for i := 0; i < b.N; i++ {
-		tab, rel, err := core.MemSpeedStudy(grades, core.Full)
+		res, err := core.MemSpeedStudy(grades, core.Full, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
+		printOnce(res.Table())
+		rel := res.Rel
 		if rel["hpccg"]["ddr3-800"] < 1.1 {
 			b.Errorf("Fig3: solver insensitive to memory speed: %.3f", rel["hpccg"]["ddr3-800"])
 		}
@@ -268,11 +271,12 @@ func BenchmarkFig3MemSpeed(b *testing.B) {
 // count while the compute-bound FEA phase scales nearly ideally.
 func BenchmarkFig2CoreScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, eff, err := core.CoreScalingStudy([]string{"fea", "hpccg"}, []int{1, 2, 4, 8}, core.Full)
+		res, err := core.CoreScalingStudy([]string{"fea", "hpccg"}, []int{1, 2, 4, 8}, core.Full, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
+		printOnce(res.Table())
+		eff := res.Efficiency
 		if eff["fea"][8] < 0.7 {
 			b.Errorf("Fig2: FEA efficiency at 8 cores = %.2f, want near-ideal", eff["fea"][8])
 		}
@@ -288,11 +292,12 @@ func BenchmarkFig2CoreScaling(b *testing.B) {
 // locality.
 func BenchmarkFig4CacheRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, res, err := core.CacheStudy(core.Full)
+		cs, err := core.CacheStudy(core.Full, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
+		printOnce(cs.Table())
+		res := cs.Results
 		if res["fea"].L1HitRate < 0.99 {
 			b.Errorf("Fig4: FEA L1 hit rate = %.3f, want ~1", res["fea"].L1HitRate)
 		}
@@ -367,11 +372,12 @@ func BenchmarkFig15DistNetwork(b *testing.B) {
 func BenchmarkFig5SolverScaling(b *testing.B) {
 	ranks := []int{4, 8, 16, 32, 64}
 	for i := 0; i < b.N; i++ {
-		tab, eff, err := core.WeakScalingStudy(ranks, 4)
+		res, err := core.WeakScalingStudy(ranks, 4, core.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce(tab)
+		printOnce(res.Table())
+		eff := res.Efficiency
 		last := len(ranks) - 1
 		if eff["cg"][last] >= 1 {
 			b.Errorf("Fig5: CG efficiency at %d ranks = %.3f, want < 1", ranks[last], eff["cg"][last])

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"sst/internal/core"
 )
 
 func writeProg(t *testing.T, src string) string {
@@ -17,31 +20,67 @@ func writeProg(t *testing.T, src string) string {
 
 func TestAsmDisassemble(t *testing.T) {
 	path := writeProg(t, "addi r1, r0, 7\nend: halt")
-	if err := run(path, false, 0, false); err != nil {
+	if err := run(path, false, 0, false, core.FormatTable, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAsmExecute(t *testing.T) {
 	path := writeProg(t, "addi r1, r0, 7\nhalt")
-	if err := run(path, true, 100, true); err != nil {
+	if err := run(path, true, 100, true, core.FormatTable, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAsmBudgetExhausted(t *testing.T) {
 	path := writeProg(t, "loop: b loop")
-	if err := run(path, true, 10, false); err != nil {
+	if err := run(path, true, 10, false, core.FormatTable, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestAsmObsOutputs(t *testing.T) {
+	prog := writeProg(t, "addi r1, r0, 7\naddi r2, r1, 1\nhalt")
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.json")
+	metrics := filepath.Join(dir, "m.json")
+	if err := run(prog, true, 100, false, core.FormatJSON, trace, 0, metrics); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	data, err = os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Instructions uint64 `json:"instructions"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if m.Instructions != 3 {
+		t.Fatalf("metrics counted %d instructions, want 3", m.Instructions)
+	}
+}
+
 func TestAsmErrors(t *testing.T) {
-	if err := run("/nonexistent.s", false, 0, false); err == nil {
+	if err := run("/nonexistent.s", false, 0, false, core.FormatTable, "", 0, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := writeProg(t, "bogus r1")
-	if err := run(path, false, 0, false); err == nil {
+	if err := run(path, false, 0, false, core.FormatTable, "", 0, ""); err == nil {
 		t.Error("bad program assembled")
 	}
 }

@@ -8,28 +8,31 @@
 //
 //	sst-dse [-apps hpccg,lulesh] [-techs ddr2-800,ddr3-1333,gddr5-4000]
 //	        [-widths 1,2,4,8] [-scale full|small] [-table all|fig10|fig11|fig12]
-//	        [-csv] [-j N]
+//	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
 //	sst-dse -resilience [-mtbf 1,4,24] [-ckpt-cost 60] [-restart-cost 120]
-//	        [-work 24] [-trials 5] [-fault-seed 1] [-csv] [-j N]
+//	        [-work 24] [-trials 5] [-fault-seed 1] [-format json] [-j N]
 //
 // The sweep's design points are independent simulations; -j sets how many
 // run concurrently (default: GOMAXPROCS). Tables are identical at any -j,
-// and the resilience study is deterministic in -fault-seed. Ctrl-C drains
-// the points already running, prints the partial tables, and exits
-// nonzero; points that failed or were skipped are listed on stderr.
+// and the resilience study is deterministic in -fault-seed. -metrics-out
+// writes per-point host timings as JSON; -trace-out writes the sweep as a
+// host-timeline Chrome trace (one row per worker, loadable in Perfetto).
+// Ctrl-C drains the points already running, prints the partial tables, and
+// exits nonzero; points that failed or were skipped are listed on stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 
 	"sst/internal/core"
-	"sst/internal/stats"
+	"sst/internal/obs"
 )
 
 func main() {
@@ -39,8 +42,11 @@ func main() {
 		widthsFlag = flag.String("widths", "1,2,4,8", "issue widths")
 		scaleFlag  = flag.String("scale", "full", "problem scale: full or small")
 		tableFlag  = flag.String("table", "all", "which table: all, fig10, fig11, fig12")
-		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		formatFlag = flag.String("format", "table", "output format: table, json or csv")
+		csvFlag    = flag.Bool("csv", false, "deprecated: same as -format csv")
 		jFlag      = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+		metricsOut = flag.String("metrics-out", "", "write per-point sweep metrics JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a host-timeline Chrome trace of the sweep to this file")
 
 		resFlag     = flag.Bool("resilience", false, "run the checkpoint/MTBF resilience study instead of the DSE sweep")
 		mtbfFlag    = flag.String("mtbf", "1,4,24", "machine MTBF values to study, hours")
@@ -52,18 +58,34 @@ func main() {
 	)
 	flag.Parse()
 
+	format, err := core.ParseFormat(*formatFlag)
+	if err == nil && *csvFlag {
+		format = core.FormatCSV
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sst-dse:", err)
+		os.Exit(2)
+	}
+
 	// Ctrl-C cancels the sweep context: running design points finish and
 	// keep their results, everything not yet started is skipped, and the
 	// partial tables are still printed before the nonzero exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	core.SetSweepContext(ctx)
+	opts := core.SweepOptions{Workers: *jFlag, Context: ctx}
+	var col *obs.SweepCollector
+	if *metricsOut != "" || *traceOut != "" {
+		col = &obs.SweepCollector{}
+		opts.Metrics = col
+	}
 
-	var err error
 	if *resFlag {
-		err = runResilience(*mtbfFlag, *ckptFlag, *restartFlag, *workFlag, *trialsFlag, *seedFlag, *csvFlag, *jFlag)
+		err = runResilience(*mtbfFlag, *ckptFlag, *restartFlag, *workFlag, *trialsFlag, *seedFlag, format, opts)
 	} else {
-		err = run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, *csvFlag, *jFlag)
+		err = run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, format, opts)
+	}
+	if werr := writeSweepObs(col, *metricsOut, *traceOut); werr != nil && err == nil {
+		err = werr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sst-dse:", err)
@@ -71,17 +93,38 @@ func main() {
 	}
 }
 
-func emitTable(t *stats.Table, asCSV bool) {
-	if asCSV {
-		t.RenderCSV(os.Stdout)
-	} else {
-		t.Render(os.Stdout)
+// writeSweepObs flushes the sweep collector to the requested files.
+func writeSweepObs(col *obs.SweepCollector, metricsOut, traceOut string) error {
+	if col == nil {
+		return nil
 	}
-	fmt.Println()
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, col.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, col.WriteChromeJSON); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV bool, workers int) error {
-	core.SetSweepWorkers(workers)
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, format core.Format, opts core.SweepOptions) error {
 	apps := strings.Split(appsFlag, ",")
 	techs := strings.Split(techsFlag, ",")
 	var widths []int
@@ -101,11 +144,10 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV boo
 		return fmt.Errorf("bad scale %q", scaleFlag)
 	}
 
-	grid, err := core.MemTechWidthSweep(apps, techs, widths, scale)
+	grid, err := core.MemTechWidthSweep(apps, techs, widths, scale, opts)
 	if grid == nil {
 		return err
 	}
-	emit := func(t *stats.Table) { emitTable(t, asCSV) }
 	baseline := techs[0]
 	for _, t := range techs {
 		if strings.HasPrefix(t, "ddr3") {
@@ -113,19 +155,26 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV boo
 			break
 		}
 	}
+	var results []core.Result
+	add := func(r core.Result) { results = append(results, r) }
 	switch tableFlag {
 	case "all":
-		emit(core.Fig10Table(grid, apps, techs, widths, baseline))
-		emit(core.Fig11Table(grid, apps, techs, widths))
-		emit(core.Fig12Table(grid, apps, techs[len(techs)-1], widths))
+		add(core.TableResult{Tab: core.Fig10Table(grid, apps, techs, widths, baseline)})
+		add(core.TableResult{Tab: core.Fig11Table(grid, apps, techs, widths)})
+		add(core.TableResult{Tab: core.Fig12Table(grid, apps, techs[len(techs)-1], widths)})
 	case "fig10":
-		emit(core.Fig10Table(grid, apps, techs, widths, baseline))
+		add(core.TableResult{Tab: core.Fig10Table(grid, apps, techs, widths, baseline)})
 	case "fig11":
-		emit(core.Fig11Table(grid, apps, techs, widths))
+		add(core.TableResult{Tab: core.Fig11Table(grid, apps, techs, widths)})
 	case "fig12":
-		emit(core.Fig12Table(grid, apps, techs[len(techs)-1], widths))
+		add(core.TableResult{Tab: core.Fig12Table(grid, apps, techs[len(techs)-1], widths)})
+	case "grid":
+		add(grid)
 	default:
 		return fmt.Errorf("bad table %q", tableFlag)
+	}
+	if werr := core.WriteResults(os.Stdout, format, results...); werr != nil {
+		return werr
 	}
 	if err != nil {
 		failed := grid.Failed()
@@ -142,8 +191,7 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, asCSV boo
 	return nil
 }
 
-func runResilience(mtbfFlag string, ckptS, restartS, workHours float64, trials int, seed uint64, asCSV bool, workers int) error {
-	core.SetSweepWorkers(workers)
+func runResilience(mtbfFlag string, ckptS, restartS, workHours float64, trials int, seed uint64, format core.Format, opts core.SweepOptions) error {
 	var mtbfs []float64
 	for _, m := range strings.Split(mtbfFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(m), 64)
@@ -159,10 +207,9 @@ func runResilience(mtbfFlag string, ckptS, restartS, workHours float64, trials i
 		WorkHours:   workHours,
 		Trials:      trials,
 		Seed:        seed,
-	})
+	}, opts)
 	if err != nil {
 		return err
 	}
-	emitTable(res.Table, asCSV)
-	return nil
+	return core.WriteResults(os.Stdout, format, res)
 }

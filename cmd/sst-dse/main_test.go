@@ -1,43 +1,82 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sst/internal/core"
+	"sst/internal/obs"
+)
 
 func TestDSESmallSweep(t *testing.T) {
-	if err := run("stream", "ddr3-1333,gddr5-4000", "1,2", "small", "all", false, 0); err != nil {
+	if err := run("stream", "ddr3-1333,gddr5-4000", "1,2", "small", "all", core.FormatTable, core.SweepOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("stream", "ddr3-1333", "1", "small", "fig10", true, 1); err != nil {
+	if err := run("stream", "ddr3-1333", "1", "small", "fig10", core.FormatCSV, core.SweepOptions{Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit parallel sweep: more workers than points is fine.
-	if err := run("stream", "ddr3-1333", "1,2", "small", "fig12", true, 4); err != nil {
+	if err := run("stream", "ddr3-1333", "1,2", "small", "fig12", core.FormatCSV, core.SweepOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// The flat grid view is a Result too.
+	if err := run("stream", "ddr3-1333", "1", "small", "grid", core.FormatJSON, core.SweepOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestDSEResilienceMode(t *testing.T) {
-	if err := runResilience("1,4", 60, 120, 2, 3, 7, false, 2); err != nil {
+func TestDSESweepObs(t *testing.T) {
+	col := &obs.SweepCollector{}
+	opts := core.SweepOptions{Workers: 2, Metrics: col}
+	if err := run("stream", "ddr3-1333", "1,2", "small", "fig10", core.FormatTable, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := runResilience("zero", 60, 120, 2, 3, 7, false, 0); err == nil {
+	if got := len(col.Points()); got != 2 {
+		t.Fatalf("collector saw %d points, want 2", got)
+	}
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	if err := writeSweepObs(col, metrics, trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{metrics, trace} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", path, err)
+		}
+	}
+}
+
+func TestDSEResilienceMode(t *testing.T) {
+	if err := runResilience("1,4", 60, 120, 2, 3, 7, core.FormatTable, core.SweepOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runResilience("zero", 60, 120, 2, 3, 7, core.FormatTable, core.SweepOptions{}); err == nil {
 		t.Error("bad mtbf accepted")
 	}
-	if err := runResilience("1", 60, 120, -2, 3, 7, true, 0); err == nil {
+	if err := runResilience("1", 60, 120, -2, 3, 7, core.FormatCSV, core.SweepOptions{}); err == nil {
 		t.Error("negative work accepted")
 	}
 }
 
 func TestDSEBadArgs(t *testing.T) {
-	if err := run("stream", "ddr3-1333", "zero", "small", "all", false, 0); err == nil {
+	if err := run("stream", "ddr3-1333", "zero", "small", "all", core.FormatTable, core.SweepOptions{}); err == nil {
 		t.Error("bad width accepted")
 	}
-	if err := run("stream", "ddr3-1333", "1", "jumbo", "all", false, 0); err == nil {
+	if err := run("stream", "ddr3-1333", "1", "jumbo", "all", core.FormatTable, core.SweepOptions{}); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("stream", "ddr3-1333", "1", "small", "fig99", false, 0); err == nil {
+	if err := run("stream", "ddr3-1333", "1", "small", "fig99", core.FormatTable, core.SweepOptions{}); err == nil {
 		t.Error("bad table accepted")
 	}
-	if err := run("stream", "sdram", "1", "small", "all", false, 0); err == nil {
+	if err := run("stream", "sdram", "1", "small", "all", core.FormatTable, core.SweepOptions{}); err == nil {
 		t.Error("bad tech accepted")
 	}
 }

@@ -4,46 +4,60 @@
 //
 // Usage:
 //
-//	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125] [-csv] [-j N]
+//	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125]
+//	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
 //
 // The study's (proxy app, bandwidth fraction) cells are independent
 // simulations; -j sets how many run concurrently (default: GOMAXPROCS).
-// Tables are identical at any -j. Ctrl-C drains the cells already running,
-// prints whatever completed, and exits nonzero.
+// Tables are identical at any -j. -metrics-out writes both studies'
+// per-point host timings as a JSON array; -trace-out writes the
+// degradation study's host timeline as a Chrome trace. Ctrl-C drains the
+// cells already running, prints whatever completed, and exits nonzero.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 
 	"sst/internal/core"
+	"sst/internal/obs"
 )
 
 func main() {
 	var (
-		nodesFlag = flag.Int("nodes", 32, "system size (torus nodes)")
-		stepsFlag = flag.Int("steps", 6, "application timesteps")
-		fracFlag  = flag.String("fractions", "1,0.5,0.25,0.125", "injection bandwidth fractions")
-		csvFlag   = flag.Bool("csv", false, "emit CSV")
-		jFlag     = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+		nodesFlag  = flag.Int("nodes", 32, "system size (torus nodes)")
+		stepsFlag  = flag.Int("steps", 6, "application timesteps")
+		fracFlag   = flag.String("fractions", "1,0.5,0.25,0.125", "injection bandwidth fractions")
+		formatFlag = flag.String("format", "table", "output format: table, json or csv")
+		csvFlag    = flag.Bool("csv", false, "deprecated: same as -format csv")
+		jFlag      = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+		metricsOut = flag.String("metrics-out", "", "write per-point sweep metrics JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a host-timeline Chrome trace of the degradation sweep to this file")
 	)
 	flag.Parse()
+	format, err := core.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sst-net:", err)
+		os.Exit(2)
+	}
+	if *csvFlag {
+		format = core.FormatCSV
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	core.SetSweepContext(ctx)
-	if err := run(*nodesFlag, *stepsFlag, *fracFlag, *csvFlag, *jFlag); err != nil {
+	if err := run(*nodesFlag, *stepsFlag, *fracFlag, format, *jFlag, ctx, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sst-net:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, steps int, fracFlag string, asCSV bool, workers int) error {
-	core.SetSweepWorkers(workers)
+func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx context.Context, metricsOut, traceOut string) error {
 	cfg := core.NetStudyConfig{Nodes: nodes, Steps: steps}
 	for _, f := range strings.Split(fracFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -52,21 +66,50 @@ func run(nodes, steps int, fracFlag string, asCSV bool, workers int) error {
 		}
 		cfg.Fractions = append(cfg.Fractions, v)
 	}
+	// Each study is one sweep, so each gets its own collector (point
+	// indices are per-sweep).
+	opts := core.SweepOptions{Workers: workers, Context: ctx}
+	popts := opts
+	var dcol, pcol *obs.SweepCollector
+	if metricsOut != "" || traceOut != "" {
+		dcol, pcol = &obs.SweepCollector{}, &obs.SweepCollector{}
+		opts.Metrics, popts.Metrics = dcol, pcol
+	}
 	// Both studies render whatever cells completed even when some failed
 	// or the sweep was interrupted; the error still propagates so the
 	// exit code reflects the incomplete run.
-	table, _, derr := core.NetDegradationStudy(cfg)
-	ptable, _, perr := core.NetPowerStudy(cfg)
-	if asCSV {
-		table.RenderCSV(os.Stdout)
-		ptable.RenderCSV(os.Stdout)
-	} else {
-		table.Render(os.Stdout)
-		fmt.Println()
-		ptable.Render(os.Stdout)
+	deg, derr := core.NetDegradationStudy(cfg, opts)
+	pow, perr := core.NetPowerStudy(cfg, popts)
+	if err := core.WriteResults(os.Stdout, format, deg, pow); err != nil {
+		return err
+	}
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, func(w io.Writer) error {
+			return core.WriteResults(w, core.FormatJSON, dcol, pcol)
+		}); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, dcol.WriteChromeJSON); err != nil {
+			return err
+		}
 	}
 	if derr != nil {
 		return fmt.Errorf("study incomplete (tables above show completed cells): %w", derr)
 	}
 	return perr
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

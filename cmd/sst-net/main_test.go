@@ -1,21 +1,48 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sst/internal/core"
+)
 
 func TestNetStudySmall(t *testing.T) {
-	if err := run(8, 2, "1,0.5", false, 0); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatTable, 0, context.Background(), "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(8, 2, "1", true, 2); err != nil {
+	if err := run(8, 2, "1", core.FormatCSV, 2, context.Background(), "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestNetStudyObsFiles(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	if err := run(8, 2, "1,0.5", core.FormatJSON, 2, context.Background(), metrics, trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{metrics, trace} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", path, err)
+		}
+	}
+}
+
 func TestNetStudyBadFractions(t *testing.T) {
-	if err := run(8, 2, "1,zero", false, 0); err == nil {
+	if err := run(8, 2, "1,zero", core.FormatTable, 0, context.Background(), "", ""); err == nil {
 		t.Error("bad fraction accepted")
 	}
-	if err := run(8, 2, "2.5", false, 0); err == nil {
+	if err := run(8, 2, "2.5", core.FormatTable, 0, context.Background(), "", ""); err == nil {
 		t.Error("fraction > 1 accepted")
 	}
 }

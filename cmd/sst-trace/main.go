@@ -7,23 +7,34 @@
 // Usage:
 //
 //	sst-trace record -workload daxpy -o trace.bin
-//	sst-trace info   -i trace.bin
+//	sst-trace info   -i trace.bin [-format table|json|csv]
 //	sst-trace replay -i trace.bin [-width 4] [-memlat 60ns]
+//	          [-format table|json|csv] [-trace-out t.json] [-trace-cap N]
+//	          [-metrics-out m.json]
+//
+// replay's -trace-out records per-event timing spans into a Chrome
+// trace_event file (CSV when the path ends in .csv); -metrics-out writes
+// run metrics JSON.
 //
 // Workloads: the SR1 program library (daxpy, dot, chase, fib) and the
 // kernel proxies (hpccg, lulesh, stencil, stream, gups, fea).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"sst/internal/core"
 	"sst/internal/cpu"
 	"sst/internal/frontend"
 	"sst/internal/mem"
+	"sst/internal/obs"
 	"sst/internal/sim"
+	"sst/internal/stats"
 	"sst/internal/workload"
 )
 
@@ -141,7 +152,12 @@ func record(args []string) error {
 func info(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "trace.bin", "input trace file")
+	formatFlag := fs.String("format", "table", "output format: table, json or csv")
 	fs.Parse(args)
+	format, err := core.ParseFormat(*formatFlag)
+	if err != nil {
+		return err
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -156,13 +172,22 @@ func info(args []string) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	fmt.Printf("%s: %d operations\n", *in, cs.Total())
+	if format == core.FormatTable {
+		fmt.Printf("%s: %d operations\n", *in, cs.Total())
+		for c := frontend.Class(0); int(c) < frontend.NumClasses(); c++ {
+			if n := cs.Counts[c]; n > 0 {
+				fmt.Printf("  %-7s %10d (%.1f%%)\n", c, n, 100*float64(n)/float64(cs.Total()))
+			}
+		}
+		return nil
+	}
+	t := stats.NewTable(fmt.Sprintf("Trace census: %s", *in), "class", "count", "percent")
 	for c := frontend.Class(0); int(c) < frontend.NumClasses(); c++ {
 		if n := cs.Counts[c]; n > 0 {
-			fmt.Printf("  %-7s %10d (%.1f%%)\n", c, n, 100*float64(n)/float64(cs.Total()))
+			t.AddRow(fmt.Sprintf("%v", c), n, 100*float64(n)/float64(cs.Total()))
 		}
 	}
-	return nil
+	return core.WriteResults(os.Stdout, format, core.TableResult{Tab: t})
 }
 
 func replay(args []string) error {
@@ -172,7 +197,15 @@ func replay(args []string) error {
 	freqStr := fs.String("freq", "2GHz", "core frequency")
 	memLat := fs.String("memlat", "60ns", "memory latency")
 	l1Size := fs.String("l1", "32KB", "L1 size (\"0\" disables)")
+	formatFlag := fs.String("format", "table", "output format: table, json or csv")
+	traceOut := fs.String("trace-out", "", "write an event trace (Chrome JSON; CSV if path ends in .csv)")
+	traceCap := fs.Int("trace-cap", 0, "trace ring capacity in spans (0 = default)")
+	metricsOut := fs.String("metrics-out", "", "write run metrics JSON to this file")
 	fs.Parse(args)
+	format, err := core.ParseFormat(*formatFlag)
+	if err != nil {
+		return err
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -207,6 +240,13 @@ func replay(args []string) error {
 		}
 		lower = l1
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(*traceCap)
+		engine.SetTracer(tracer)
+	}
+	col := obs.NewCollector()
+	col.Attach(engine)
 	cfg := cpu.DefaultConfig("cpu", *width)
 	cfg.Freq = freq
 	c, err := cpu.NewSuperscalar(engine, clock, cfg, stream, lower, nil)
@@ -218,7 +258,55 @@ func replay(args []string) error {
 	if stream.Err() != nil {
 		return stream.Err()
 	}
-	fmt.Printf("replayed %d operations in %v simulated (%d cycles, IPC %.3f)\n",
-		c.Retired(), engine.Now(), c.Cycles(), c.IPC())
+	rep := col.Report()
+	if tracer != nil {
+		write := tracer.WriteChromeJSON
+		if strings.HasSuffix(*traceOut, ".csv") {
+			write = tracer.WriteCSV
+		}
+		if err := writeFile(*traceOut, write); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, rep.WriteJSON); err != nil {
+			return err
+		}
+	}
+	switch format {
+	case core.FormatJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Operations uint64         `json:"operations"`
+			SimPs      uint64         `json:"sim_ps"`
+			Cycles     uint64         `json:"cycles"`
+			IPC        float64        `json:"ipc"`
+			Metrics    *obs.RunReport `json:"metrics"`
+		}{c.Retired(), uint64(engine.Now()), uint64(c.Cycles()), c.IPC(), rep})
+	case core.FormatCSV:
+		t := stats.NewTable("Trace replay", "metric", "value")
+		t.AddRow("operations", c.Retired())
+		t.AddRow("sim_ps", uint64(engine.Now()))
+		t.AddRow("cycles", uint64(c.Cycles()))
+		t.AddRow("ipc", c.IPC())
+		return t.WriteCSV(os.Stdout)
+	default:
+		fmt.Printf("replayed %d operations in %v simulated (%d cycles, IPC %.3f)\n",
+			c.Retired(), engine.Now(), c.Cycles(), c.IPC())
+	}
 	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,22 +6,34 @@
 //
 // Usage:
 //
-//	sst -config machine.json [-stats] [-csv]
-//	sst -system system.json
+//	sst -config machine.json [-stats] [-format table|json|csv]
+//	    [-trace-out run.json] [-trace-cap N] [-metrics-out m.json]
+//	sst -system system.json [-trace-out run.json] [-metrics-out m.json]
+//
+// -trace-out records per-event spans (simulated time, component label,
+// host handler time) into a bounded ring and writes a Chrome trace_event
+// file loadable in Perfetto (or CSV when the path ends in .csv).
+// -metrics-out writes the run's engine/link metrics as JSON. -format json
+// emits the result and metrics as one JSON object instead of the human
+// summary.
 //
 // See configs/ for examples of both formats and internal/config for the
 // full schema.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 
 	"sst/internal/config"
 	"sst/internal/core"
 	"sst/internal/noc"
+	"sst/internal/obs"
 	"sst/internal/sim"
 	"sst/internal/stats"
 	"sst/internal/workload"
@@ -47,22 +59,42 @@ func interruptEngine(eng *sim.Engine) func() {
 	}
 }
 
+// obsFlags bundles the observability options shared by both modes.
+type obsFlags struct {
+	traceOut   string
+	traceCap   int
+	metricsOut string
+	format     core.Format
+}
+
 func main() {
 	var (
-		cfgPath   = flag.String("config", "", "machine config JSON")
-		sysPath   = flag.String("system", "", "system config JSON")
-		dumpStats = flag.Bool("stats", false, "dump every component statistic")
-		asCSV     = flag.Bool("csv", false, "emit statistics as CSV")
-		timeline  = flag.String("timeline", "", "write a DRAM-traffic time series CSV to this file")
-		samplePd  = flag.String("sample-period", "10us", "timeline sampling period")
+		cfgPath    = flag.String("config", "", "machine config JSON")
+		sysPath    = flag.String("system", "", "system config JSON")
+		dumpStats  = flag.Bool("stats", false, "dump every component statistic")
+		asCSV      = flag.Bool("csv", false, "deprecated: same as -format csv")
+		formatFlag = flag.String("format", "table", "output format: table, json or csv")
+		timeline   = flag.String("timeline", "", "write a DRAM-traffic time series CSV to this file")
+		samplePd   = flag.String("sample-period", "10us", "timeline sampling period")
+		traceOut   = flag.String("trace-out", "", "write an event trace to this file (Chrome JSON; CSV if path ends in .csv)")
+		traceCap   = flag.Int("trace-cap", 0, "trace ring capacity in spans (0 = default 65536; keeps the run's tail)")
+		metricsOut = flag.String("metrics-out", "", "write run metrics JSON to this file")
 	)
 	flag.Parse()
-	var err error
+	format, err := core.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sst:", err)
+		os.Exit(2)
+	}
+	if *asCSV {
+		format = core.FormatCSV
+	}
+	ob := obsFlags{traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut, format: format}
 	switch {
 	case *cfgPath != "":
-		err = run(*cfgPath, *dumpStats, *asCSV, *timeline, *samplePd)
+		err = run(*cfgPath, *dumpStats, ob, *timeline, *samplePd)
 	case *sysPath != "":
-		err = runSystem(*sysPath)
+		err = runSystem(*sysPath, ob)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -73,8 +105,50 @@ func main() {
 	}
 }
 
+// attachTracer installs a ring tracer on the engine when requested.
+func (ob obsFlags) attachTracer(engine *sim.Engine) *obs.Tracer {
+	if ob.traceOut == "" {
+		return nil
+	}
+	t := obs.NewTracer(ob.traceCap)
+	engine.SetTracer(t)
+	return t
+}
+
+// flush writes the trace and metrics files.
+func (ob obsFlags) flush(tracer *obs.Tracer, rep *obs.RunReport) error {
+	if tracer != nil {
+		write := tracer.WriteChromeJSON
+		if strings.HasSuffix(ob.traceOut, ".csv") {
+			write = tracer.WriteCSV
+		}
+		if err := writeFile(ob.traceOut, write); err != nil {
+			return err
+		}
+	}
+	if ob.metricsOut != "" && rep != nil {
+		if err := writeFile(ob.metricsOut, rep.WriteJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runSystem executes a multi-node communication-profile simulation.
-func runSystem(path string) error {
+func runSystem(path string, ob obsFlags) error {
 	sys, err := config.LoadSystemFile(path)
 	if err != nil {
 		return err
@@ -116,6 +190,9 @@ func runSystem(path string) error {
 	if err != nil {
 		return err
 	}
+	tracer := ob.attachTracer(engine)
+	col := obs.NewCollector()
+	col.Attach(engine)
 	app.Start(nil)
 	defer interruptEngine(engine)()
 	engine.RunAll()
@@ -124,6 +201,9 @@ func runSystem(path string) error {
 			return fmt.Errorf("interrupted at %v: %w", engine.Now(), sim.ErrInterrupted)
 		}
 		return fmt.Errorf("application deadlocked at %v", engine.Now())
+	}
+	if err := ob.flush(tracer, col.Report()); err != nil {
+		return err
 	}
 	energy := net.Energy(noc.DefaultPowerParams())
 	fmt.Printf("system:          %s (%s, %d ranks)\n", sys.Name, topo.Name(), ranks)
@@ -137,7 +217,32 @@ func runSystem(path string) error {
 	return nil
 }
 
-func run(cfgPath string, dumpStats, asCSV bool, timeline, samplePd string) error {
+// resultTable renders a NodeResult as a metric/value table (the csv/table
+// machine-readable form of the human summary).
+func resultTable(res *core.NodeResult) *stats.Table {
+	t := stats.NewTable("Run result: "+res.Name, "metric", "value")
+	t.AddRow("machine", res.Name)
+	t.AddRow("sim_seconds", res.Seconds)
+	t.AddRow("retired", res.Retired)
+	t.AddRow("flops", res.Flops)
+	t.AddRow("ipc", res.IPC)
+	t.AddRow("l1_hit_rate", res.L1HitRate)
+	t.AddRow("l2_hit_rate", res.L2HitRate)
+	t.AddRow("mem_bytes", res.MemBytes)
+	t.AddRow("mem_gbs", res.MemBandwidth/1e9)
+	t.AddRow("mem_row_hit_rate", res.MemRowHitRate)
+	t.AddRow("node_watts", res.Budget.AvgPowerW())
+	t.AddRow("node_cost_usd", res.Budget.TotalCostUSD())
+	t.AddRow("area_mm2", res.AreaMM2)
+	t.AddRow("temp_c", res.TempC)
+	t.AddRow("mtbf_hours", res.MTBFHours)
+	t.AddRow("events", res.Events)
+	t.AddRow("peak_queue", res.PeakQueue)
+	t.AddRow("host_seconds", res.HostSeconds)
+	return t
+}
+
+func run(cfgPath string, dumpStats bool, ob obsFlags, timeline, samplePd string) error {
 	cfg, err := config.LoadMachineFile(cfgPath)
 	if err != nil {
 		return err
@@ -146,7 +251,8 @@ func run(cfgPath string, dumpStats, asCSV bool, timeline, samplePd string) error
 	if err != nil {
 		return err
 	}
-	defer interruptEngine(node.Sim.Engine())()
+	engine := node.Sim.Engine()
+	defer interruptEngine(engine)()
 	var sampler *stats.Sampler
 	if timeline != "" {
 		period, err := sim.ParseTime(samplePd)
@@ -154,10 +260,17 @@ func run(cfgPath string, dumpStats, asCSV bool, timeline, samplePd string) error
 			return err
 		}
 		sampler = stats.NewSampler(node.Reg, "dram.bytes", "dram.row_hits", "cpu.0.retired")
-		sampler.Every(node.Sim.Engine(), period, 100_000)
+		sampler.Every(engine, period, 100_000)
 	}
+	tracer := ob.attachTracer(engine)
+	col := obs.NewCollector()
+	col.Attach(engine, node.Sim.Links()...)
 	res, err := node.Run()
 	if err != nil {
+		return err
+	}
+	rep := col.Report()
+	if err := ob.flush(tracer, rep); err != nil {
 		return err
 	}
 	if sampler != nil {
@@ -169,29 +282,47 @@ func run(cfgPath string, dumpStats, asCSV bool, timeline, samplePd string) error
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("timeline:       %d samples -> %s\\n", sampler.N(), timeline)
+		fmt.Printf("timeline:       %d samples -> %s\n", sampler.N(), timeline)
 	}
-	fmt.Printf("machine:        %s\n", res.Name)
-	fmt.Printf("simulated time: %.6f ms\n", res.Seconds*1e3)
-	fmt.Printf("retired ops:    %d (%d flops)\n", res.Retired, res.Flops)
-	fmt.Printf("aggregate IPC:  %.3f\n", res.IPC)
-	if res.L1HitRate > 0 {
-		fmt.Printf("L1 hit rate:    %.4f\n", res.L1HitRate)
-	}
-	if res.L2HitRate > 0 {
-		fmt.Printf("L2 hit rate:    %.4f\n", res.L2HitRate)
-	}
-	fmt.Printf("DRAM traffic:   %.2f MB at %.2f GB/s (row hit %.3f)\n",
-		float64(res.MemBytes)/1e6, res.MemBandwidth/1e9, res.MemRowHitRate)
-	fmt.Printf("node power:     %.2f W (core %.3f J, mem %.3f J)\n",
-		res.Budget.AvgPowerW(), res.Budget.CoreEnergyJ, res.Budget.MemEnergyJ)
-	fmt.Printf("node cost:      $%.0f (die %.1f mm²)\n", res.Budget.TotalCostUSD(), res.AreaMM2)
-	if res.TempC > 0 {
-		fmt.Printf("die temperature: %.1f C (node MTBF %.2g h)\n", res.TempC, res.MTBFHours)
+	switch ob.format {
+	case core.FormatJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Result  *core.NodeResult `json:"result"`
+			Metrics *obs.RunReport   `json:"metrics"`
+		}{res, rep}); err != nil {
+			return err
+		}
+	case core.FormatCSV:
+		if err := resultTable(res).WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		fmt.Printf("machine:        %s\n", res.Name)
+		fmt.Printf("simulated time: %.6f ms\n", res.Seconds*1e3)
+		fmt.Printf("retired ops:    %d (%d flops)\n", res.Retired, res.Flops)
+		fmt.Printf("aggregate IPC:  %.3f\n", res.IPC)
+		if res.L1HitRate > 0 {
+			fmt.Printf("L1 hit rate:    %.4f\n", res.L1HitRate)
+		}
+		if res.L2HitRate > 0 {
+			fmt.Printf("L2 hit rate:    %.4f\n", res.L2HitRate)
+		}
+		fmt.Printf("DRAM traffic:   %.2f MB at %.2f GB/s (row hit %.3f)\n",
+			float64(res.MemBytes)/1e6, res.MemBandwidth/1e9, res.MemRowHitRate)
+		fmt.Printf("node power:     %.2f W (core %.3f J, mem %.3f J)\n",
+			res.Budget.AvgPowerW(), res.Budget.CoreEnergyJ, res.Budget.MemEnergyJ)
+		fmt.Printf("node cost:      $%.0f (die %.1f mm²)\n", res.Budget.TotalCostUSD(), res.AreaMM2)
+		if res.TempC > 0 {
+			fmt.Printf("die temperature: %.1f C (node MTBF %.2g h)\n", res.TempC, res.MTBFHours)
+		}
+		fmt.Printf("events:         %d (peak queue %d, %.3fs host, %.3g ev/s)\n",
+			res.Events, res.PeakQueue, res.HostSeconds, rep.Engine.EventsPerSec)
 	}
 	if dumpStats {
 		fmt.Println()
-		if asCSV {
+		if ob.format == core.FormatCSV {
 			node.Reg.WriteCSV(os.Stdout)
 		} else {
 			node.Reg.Dump(os.Stdout)

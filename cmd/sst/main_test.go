@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"sst/internal/core"
 )
 
 const testMachine = `{
@@ -22,11 +25,11 @@ func TestRunMachineFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(testMachine), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, false, "", "10us"); err != nil {
+	if err := run(path, true, obsFlags{}, "", "10us"); err != nil {
 		t.Fatal(err)
 	}
 	tl := filepath.Join(dir, "timeline.csv")
-	if err := run(path, true, true, tl, "1us"); err != nil {
+	if err := run(path, true, obsFlags{format: core.FormatCSV}, tl, "1us"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(tl)
@@ -38,8 +41,77 @@ func TestRunMachineFile(t *testing.T) {
 	}
 }
 
+func TestRunMachineObsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte(testMachine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	ob := obsFlags{traceOut: trace, metricsOut: metrics, format: core.FormatJSON}
+	if err := run(path, false, ob, "", "10us"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	labels := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			labels[ev.Name] = true
+		}
+	}
+	// The acceptance bar: spans attributed to the cpu, the memory system
+	// and at least one link must all appear.
+	for _, want := range []string{"cpu", "dram", "dram.chan"} {
+		found := false
+		for l := range labels {
+			if l == want || len(l) > len(want) && l[:len(want)] == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no trace span labeled %q (have %v)", want, labels)
+		}
+	}
+	data, err = os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Engine struct {
+			Events uint64 `json:"events"`
+		} `json:"engine"`
+		Links []struct {
+			Name string `json:"name"`
+			Msgs uint64 `json:"msgs"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if rep.Engine.Events == 0 {
+		t.Error("metrics recorded zero events")
+	}
+	if len(rep.Links) == 0 {
+		t.Error("metrics recorded no links")
+	}
+}
+
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent.json", false, false, "", "1us"); err == nil {
+	if err := run("/nonexistent.json", false, obsFlags{}, "", "1us"); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -48,7 +120,7 @@ func TestRunBadConfig(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.json")
 	os.WriteFile(path, []byte(`{"name":"x"}`), 0o644)
-	if err := run(path, false, false, "", "1us"); err == nil {
+	if err := run(path, false, obsFlags{}, "", "1us"); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -67,13 +139,20 @@ func TestRunSystemFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(testSystem), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSystem(path); err != nil {
+	if err := runSystem(path, obsFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	metrics := filepath.Join(dir, "m.json")
+	if err := runSystem(path, obsFlags{metricsOut: metrics}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(metrics); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSystemMissing(t *testing.T) {
-	if err := runSystem("/nonexistent.json"); err == nil {
+	if err := runSystem("/nonexistent.json", obsFlags{}); err == nil {
 		t.Fatal("missing system accepted")
 	}
 }

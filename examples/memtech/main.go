@@ -25,7 +25,7 @@ func main() {
 	widths := []int{1, 4}
 
 	fmt.Println("sweeping", len(apps)*len(techs)*len(widths), "design points (reduced size)...")
-	grid, err := core.MemTechWidthSweep(apps, techs, widths, core.Small)
+	grid, err := core.MemTechWidthSweep(apps, techs, widths, core.Small, core.SweepOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

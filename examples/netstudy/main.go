@@ -25,11 +25,12 @@ func main() {
 		Fractions: []float64{1, 0.5, 0.25, 0.125},
 		Steps:     4,
 	}
-	table, slow, err := core.NetDegradationStudy(cfg)
+	res, err := core.NetDegradationStudy(cfg, core.SweepOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	table.Render(os.Stdout)
+	res.Table().Render(os.Stdout)
+	slow := res.Slowdown
 
 	fmt.Println()
 	for app, s := range map[string]float64{

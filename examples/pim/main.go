@@ -22,13 +22,13 @@ import (
 )
 
 func main() {
-	table, results, err := core.PIMStudy([]string{"gups", "stream", "fea"}, core.Small)
+	res, err := core.PIMStudy([]string{"gups", "stream", "fea"}, core.Small, core.SweepOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	table.Render(os.Stdout)
+	res.Table().Render(os.Stdout)
 	fmt.Println()
-	for _, r := range results {
+	for _, r := range res.Results {
 		verdict := "conventional wins"
 		if r.PIMSpeedup() > 1 {
 			verdict = "PIM wins"

@@ -107,7 +107,7 @@ func TestFig10ShapeSmall(t *testing.T) {
 	grid, err := MemTechWidthSweep(
 		[]string{"lulesh"},
 		[]string{"ddr2-800", "ddr3-1333", "gddr5-4000"},
-		[]int{4}, Small)
+		[]int{4}, Small, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestFig10ShapeSmall(t *testing.T) {
 }
 
 func TestFig12ShapeSmall(t *testing.T) {
-	grid, err := MemTechWidthSweep([]string{"lulesh"}, []string{"ddr3-1333"}, []int{1, 4}, Small)
+	grid, err := MemTechWidthSweep([]string{"lulesh"}, []string{"ddr3-1333"}, []int{1, 4}, Small, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,10 +153,11 @@ func TestFig12ShapeSmall(t *testing.T) {
 }
 
 func TestMemSpeedStudySmall(t *testing.T) {
-	_, rel, err := MemSpeedStudy([]string{"ddr3-800", "ddr3-1333"}, Small)
+	res, err := MemSpeedStudy([]string{"ddr3-800", "ddr3-1333"}, Small, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rel := res.Rel
 	// The solver must slow on slow memory; the FEA phase must barely
 	// move.
 	if rel["hpccg"]["ddr3-800"] < 1.1 {
@@ -168,12 +169,12 @@ func TestMemSpeedStudySmall(t *testing.T) {
 }
 
 func TestPIMStudySmall(t *testing.T) {
-	_, results, err := PIMStudy([]string{"gups", "fea"}, Small)
+	res, err := PIMStudy([]string{"gups", "fea"}, Small, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	byApp := map[string]PIMStudyResult{}
-	for _, r := range results {
+	for _, r := range res.Results {
 		byApp[r.App] = r
 	}
 	if s := byApp["gups"].PIMSpeedup(); s < 1.2 {
@@ -186,10 +187,11 @@ func TestPIMStudySmall(t *testing.T) {
 
 func TestNetDegradationSmall(t *testing.T) {
 	cfg := NetStudyConfig{Nodes: 8, Fractions: []float64{1, 0.125}, Steps: 3}
-	_, slow, err := NetDegradationStudy(cfg)
+	res, err := NetDegradationStudy(cfg, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	slow := res.Slowdown
 	if s := slow["cth"][1]; s < 1.4 {
 		t.Errorf("CTH slowdown at 1/8 bw = %.2f, want > 1.4", s)
 	}
@@ -199,12 +201,12 @@ func TestNetDegradationSmall(t *testing.T) {
 }
 
 func TestParallelScalingStudyRuns(t *testing.T) {
-	tab, wall, err := ParallelScalingStudy([]int{1, 2}, 8, 200*sim.Microsecond)
+	res, err := ParallelScalingStudy([]int{1, 2}, 8, 200*sim.Microsecond, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(wall) != 2 || tab.NumRows() != 2 {
-		t.Fatalf("study incomplete: %v", wall)
+	if len(res.WallSeconds) != 2 || res.Table().NumRows() != 2 {
+		t.Fatalf("study incomplete: %v", res.WallSeconds)
 	}
 }
 
@@ -229,12 +231,13 @@ func TestGridFind(t *testing.T) {
 
 func TestNetPowerStudySmall(t *testing.T) {
 	cfg := NetStudyConfig{Nodes: 8, Fractions: []float64{1, 0.5, 0.125}, Steps: 3}
-	tab, best, err := NetPowerStudy(cfg)
+	res, err := NetPowerStudy(cfg, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tab.NumRows() != 12 {
-		t.Fatalf("rows = %d", tab.NumRows())
+	best := res.Best
+	if res.Table().NumRows() != 12 {
+		t.Fatalf("rows = %d", res.Table().NumRows())
 	}
 	// Latency-bound Charon saves energy by down-provisioning; the
 	// bandwidth-bound CTH proxy must prefer full (or near-full) bandwidth.
@@ -272,10 +275,11 @@ func TestDirectoryNodeRuns(t *testing.T) {
 }
 
 func TestWeakScalingStudySmall(t *testing.T) {
-	_, eff, err := WeakScalingStudy([]int{4, 16}, 3)
+	res, err := WeakScalingStudy([]int{4, 16}, 3, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	eff := res.Efficiency
 	// Both lose efficiency at scale; ML (heavier communication) must
 	// lose more.
 	if eff["cg"][1] >= 1 {

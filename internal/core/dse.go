@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"strings"
 
 	"sst/internal/config"
 	"sst/internal/stats"
@@ -150,11 +152,42 @@ func (g *DSEGrid) Failed() []*DSEPoint {
 	return out
 }
 
+// Table implements Result: the full grid as one flat table, one row per
+// point. Failed points render their first error line in the err column.
+func (g *DSEGrid) Table() *stats.Table {
+	t := stats.NewTable("Design-space sweep: app x memory technology x issue width",
+		"app", "tech", "width", "runtime_ms", "ipc", "mem_gbs", "node_watts", "err")
+	for i := range g.Points {
+		p := &g.Points[i]
+		if p.Result == nil {
+			msg := "no result"
+			if p.Err != nil {
+				msg = p.Err.Error()
+				if j := strings.IndexByte(msg, '\n'); j >= 0 {
+					msg = msg[:j]
+				}
+			}
+			t.AddRow(p.App, p.Tech, p.Width, "", "", "", "", msg)
+			continue
+		}
+		r := p.Result
+		t.AddRow(p.App, p.Tech, p.Width, r.Seconds*1e3, r.IPC,
+			r.MemBandwidth/1e9, r.Budget.AvgPowerW(), "")
+	}
+	return t
+}
+
+// WriteJSON implements Result.
+func (g *DSEGrid) WriteJSON(w io.Writer) error { return g.Table().WriteJSON(w) }
+
+// WriteCSV implements Result.
+func (g *DSEGrid) WriteCSV(w io.Writer) error { return g.Table().WriteCSV(w) }
+
 // MemTechWidthSweep runs the cross product of apps × technologies × widths
 // — the single sweep behind Figs. 10, 11 and 12. Points are independent
 // single-node simulations, so they execute across the sweep worker pool;
 // grid order is the cross-product order regardless of worker count.
-func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale) (*DSEGrid, error) {
+func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale, opts SweepOptions) (*DSEGrid, error) {
 	g := &DSEGrid{Points: make([]DSEPoint, 0, len(apps)*len(techs)*len(widths))}
 	for _, app := range apps {
 		for _, tech := range techs {
@@ -163,7 +196,7 @@ func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale) (*DSEGri
 			}
 		}
 	}
-	errs, err := runPointsDetailed(len(g.Points), func(i int) error {
+	errs, err := runPointsDetailed(opts, len(g.Points), func(i int) error {
 		p := &g.Points[i]
 		res, rerr := RunMachine(SweepMachine(p.App, p.Tech, p.Width, scale))
 		if rerr != nil {
@@ -249,11 +282,18 @@ func Fig12Table(g *DSEGrid, apps []string, tech string, widths []int) *stats.Tab
 	return t
 }
 
+// MemSpeedResult is the memory-speed study's Result: the rendered table
+// plus Rel[app][grade] = runtime relative to the fastest grade.
+type MemSpeedResult struct {
+	TableResult
+	Rel map[string]map[string]float64
+}
+
 // MemSpeedStudy runs the Fig. 3 analogue: FEA-like (compute-bound) and
 // CG-solver (bandwidth-bound) phases across DDR3 speed grades, reporting
 // runtime relative to the fastest grade. The expected shape: the solver
 // slows as memory slows, the assembly phase barely moves.
-func MemSpeedStudy(grades []string, scale Scale) (*stats.Table, map[string]map[string]float64, error) {
+func MemSpeedStudy(grades []string, scale Scale, opts SweepOptions) (*MemSpeedResult, error) {
 	apps := []string{"fea", "hpccg"}
 	t := stats.NewTable("Fig 3: effect of memory speed on FEA and solver phases",
 		"phase", "memory", "runtime_ms", "relative_to_fastest")
@@ -261,7 +301,7 @@ func MemSpeedStudy(grades []string, scale Scale) (*stats.Table, map[string]map[s
 	// The app × grade cells are independent node runs: fan them out, then
 	// derive the relative columns in the original row order.
 	flat := make([]*NodeResult, len(apps)*len(grades))
-	err := runPoints(len(flat), func(i int) error {
+	err := runPoints(opts, len(flat), func(i int) error {
 		app, gr := apps[i/len(grades)], grades[i%len(grades)]
 		res, err := RunMachine(SweepMachine(app, gr, 4, scale))
 		if err != nil {
@@ -271,7 +311,7 @@ func MemSpeedStudy(grades []string, scale Scale) (*stats.Table, map[string]map[s
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for ai, app := range apps {
 		rel[app] = map[string]float64{}
@@ -282,5 +322,5 @@ func MemSpeedStudy(grades []string, scale Scale) (*stats.Table, map[string]map[s
 			t.AddRow(app, gr, r.Seconds*1e3, r.Seconds/fastest)
 		}
 	}
-	return t, rel, nil
+	return &MemSpeedResult{TableResult: TableResult{Tab: t}, Rel: rel}, nil
 }

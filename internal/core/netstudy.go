@@ -95,14 +95,14 @@ func RunNetPoint(p workload.CommProfile, nodes, steps int, fraction float64) (si
 // cell owns a fresh engine, torus and application, so the cells are
 // independent; writing by index keeps the grid identical to a sequential
 // run at any worker count.
-func runNetGrid(cfg NetStudyConfig) ([][]sim.Time, error) {
+func runNetGrid(cfg NetStudyConfig, opts SweepOptions) ([][]sim.Time, error) {
 	profiles := netStudyProfiles()
 	nf := len(cfg.Fractions)
 	elapsed := make([][]sim.Time, len(profiles))
 	for i := range elapsed {
 		elapsed[i] = make([]sim.Time, nf)
 	}
-	err := runPoints(len(profiles)*nf, func(i int) error {
+	err := runPoints(opts, len(profiles)*nf, func(i int) error {
 		pi, fi := i/nf, i%nf
 		e, _, err := RunNetPoint(profiles[pi], cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
 		if err != nil {
@@ -116,14 +116,21 @@ func runNetGrid(cfg NetStudyConfig) ([][]sim.Time, error) {
 	return elapsed, err
 }
 
+// NetDegradationResult is the Fig. 9 study's Result: the rendered table
+// plus Slowdown[app] = slowdowns in fraction order (completed cells only).
+type NetDegradationResult struct {
+	TableResult
+	Slowdown map[string][]float64
+}
+
 // NetDegradationStudy reproduces Fig. 9: for each application proxy,
 // runtime at each injection-bandwidth fraction relative to full bandwidth.
-// It returns the table and the slowdown map [app][fraction index].
-func NetDegradationStudy(cfg NetStudyConfig) (*stats.Table, map[string][]float64, error) {
+// On error the result still carries every completed cell.
+func NetDegradationStudy(cfg NetStudyConfig, opts SweepOptions) (*NetDegradationResult, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("Fig 9: application slowdown vs injection bandwidth (%d-node torus)", cfg.Nodes),
 		"app", "bw_fraction", "runtime_ms", "slowdown_vs_full")
-	elapsedGrid, err := runNetGrid(cfg)
+	elapsedGrid, err := runNetGrid(cfg, opts)
 	slow := map[string][]float64{}
 	for pi, p := range netStudyProfiles() {
 		full := elapsedGrid[pi][0]
@@ -141,7 +148,14 @@ func NetDegradationStudy(cfg NetStudyConfig) (*stats.Table, map[string][]float64
 		}
 	}
 	// On error the table and map still carry every completed cell.
-	return t, slow, err
+	return &NetDegradationResult{TableResult: TableResult{Tab: t}, Slowdown: slow}, err
+}
+
+// NetPowerResult is the network power study's Result: the rendered table
+// plus Best[app] = index into cfg.Fractions of the lowest-energy point.
+type NetPowerResult struct {
+	TableResult
+	Best map[string]int
 }
 
 // NetPowerStudy extends the degradation study with the power trade the
@@ -151,12 +165,12 @@ func NetDegradationStudy(cfg NetStudyConfig) (*stats.Table, map[string][]float64
 // energy (same runtime, cheaper network); bandwidth-bound apps lose (the
 // runtime increase outweighs the network saving) — "the most energy
 // efficient configuration would in fact be the one with full bandwidth."
-func NetPowerStudy(cfg NetStudyConfig) (*stats.Table, map[string]int, error) {
+func NetPowerStudy(cfg NetStudyConfig, opts SweepOptions) (*NetPowerResult, error) {
 	t := stats.NewTable(
 		"Network power trade-off: system energy vs injection bandwidth (equal CPU/mem/net split at full bw)",
 		"app", "bw_fraction", "slowdown", "net_power_frac", "system_power_frac", "system_energy_frac")
 	best := map[string]int{}
-	elapsedGrid, err := runNetGrid(cfg)
+	elapsedGrid, err := runNetGrid(cfg, opts)
 	for pi, p := range netStudyProfiles() {
 		full := elapsedGrid[pi][0]
 		if full == 0 {
@@ -180,5 +194,5 @@ func NetPowerStudy(cfg NetStudyConfig) (*stats.Table, map[string]int, error) {
 		}
 	}
 	// On error the table and map still carry every completed cell.
-	return t, best, err
+	return &NetPowerResult{TableResult: TableResult{Tab: t}, Best: best}, err
 }

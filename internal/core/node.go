@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sst/internal/config"
 	"sst/internal/cpu"
@@ -69,6 +70,11 @@ type NodeResult struct {
 	TempC     float64
 	NodeFIT   float64
 	MTBFHours float64
+	// Run mechanics: engine events dispatched, the pending-queue high-water
+	// mark and the host wall time the run took.
+	Events      uint64
+	PeakQueue   int
+	HostSeconds float64
 }
 
 // PerfPerWatt returns work-rate per watt (work = 1/Seconds).
@@ -112,6 +118,12 @@ func BuildNode(cfg *config.MachineConfig) (*NodeModel, error) {
 		return nil, err
 	}
 	var lowest mem.Device = &mem.DRAMDevice{Mem: n.DRAM}
+	// The memory channel between the deepest cache level and DRAM is a real
+	// (zero-latency, so timing-neutral) link rather than a direct call:
+	// channel traffic becomes attributable in traces, countable by the obs
+	// link counters and reachable by fault injection.
+	chanA, chanB := n.Sim.Connect("dram.chan", 0)
+	lowest = mem.NewChannelDevice(chanA, chanB, lowest)
 
 	coreCfg, err := cfg.Node.CPU.ToCoreConfig("cpu")
 	if err != nil {
@@ -230,7 +242,9 @@ func (n *NodeModel) Run() (*NodeResult, error) {
 			}
 		})
 	}
+	hostStart := time.Now()
 	engine.RunAll()
+	hostSecs := time.Since(hostStart).Seconds()
 	if remaining != 0 {
 		if engine.Interrupted() {
 			return nil, fmt.Errorf("core: %s interrupted: %d cores unfinished at %v: %w",
@@ -241,7 +255,11 @@ func (n *NodeModel) Run() (*NodeResult, error) {
 	}
 	n.Sim.Finish()
 
-	res := &NodeResult{Name: n.Cfg.Name, Seconds: endAt.Seconds()}
+	res := &NodeResult{
+		Name: n.Cfg.Name, Seconds: endAt.Seconds(),
+		Events: engine.Handled(), PeakQueue: engine.PeakPending(),
+		HostSeconds: hostSecs,
+	}
 	var cycles sim.Cycle
 	for i, c := range n.Cores {
 		res.Retired += c.Retired()

@@ -74,33 +74,46 @@ func BuildLattice(r *par.Runner, nodes int, eventSpacing, linkLatency sim.Time) 
 	return out, nil
 }
 
+// ParallelScalingResult is the parallel-scaling study's Result: the
+// rendered table plus WallSeconds[ranks] = host wall time per rank count.
+type ParallelScalingResult struct {
+	TableResult
+	WallSeconds map[int]float64
+}
+
 // ParallelScalingStudy runs the lattice at each rank count for the given
 // simulated horizon, reporting host wall time, simulated events and
-// events/second. It returns the table and wall seconds per rank count.
+// events/second.
 //
 // Unlike the design-space sweeps this study stays sequential on purpose:
 // each point measures host wall-clock and already spawns one goroutine per
 // rank, so running points through the sweep worker pool would contend for
-// cores and corrupt the very timings being reported.
-func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time) (*stats.Table, map[int]float64, error) {
+// cores and corrupt the very timings being reported. opts.Workers is
+// therefore ignored; opts.Context is still consulted between points so a
+// cancelled sweep stops promptly.
+func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time, opts SweepOptions) (*ParallelScalingResult, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("Parallel simulation scaling: %d-node model, %v horizon", nodes, horizon),
 		"ranks", "events", "wall_ms", "events_per_sec", "speedup_vs_1rank")
+	ctx := opts.context()
 	wall := map[int]float64{}
 	var base float64
 	var baseEvents uint64
 	for _, nr := range rankCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: parallel scaling study cancelled: %w", err)
+		}
 		r, err := par.NewRunner(nr)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if _, err := BuildLattice(r, nodes, 2*sim.Nanosecond, 2*sim.Microsecond); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		start := time.Now()
 		events, err := r.Run(horizon)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		w := time.Since(start).Seconds()
 		wall[nr] = w
@@ -109,9 +122,9 @@ func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time) (*stats
 			baseEvents = events
 		}
 		if events != baseEvents {
-			return nil, nil, fmt.Errorf("core: partitioning changed event count: %d vs %d", events, baseEvents)
+			return nil, fmt.Errorf("core: partitioning changed event count: %d vs %d", events, baseEvents)
 		}
 		t.AddRow(nr, events, w*1e3, float64(events)/w, base/w)
 	}
-	return t, wall, nil
+	return &ParallelScalingResult{TableResult: TableResult{Tab: t}, WallSeconds: wall}, nil
 }

@@ -58,14 +58,21 @@ func (r PIMStudyResult) PIMSpeedup() float64 {
 	return r.Conventional.Seconds / r.PIM.Seconds
 }
 
+// PIMResult is the PIM study's Result: the rendered table plus the
+// per-workload comparisons behind it.
+type PIMResult struct {
+	TableResult
+	Results []PIMStudyResult
+}
+
 // PIMStudy runs the comparison over the given workloads.
-func PIMStudy(apps []string, scale Scale) (*stats.Table, []PIMStudyResult, error) {
+func PIMStudy(apps []string, scale Scale, opts SweepOptions) (*PIMResult, error) {
 	t := stats.NewTable("PIM vs conventional: exploring a novel architecture",
 		"app", "conventional_ms", "pim_ms", "pim_speedup", "conv_l1_hit")
 	// Both machines of every app comparison are independent design points:
 	// flatten to app-major {conventional, pim} pairs and fan them out.
 	flat := make([]*NodeResult, 2*len(apps))
-	err := runPoints(len(flat), func(i int) error {
+	err := runPoints(opts, len(flat), func(i int) error {
 		app := apps[i/2]
 		cfg, kind := ConventionalMachine(app, scale), "conventional"
 		if i%2 == 1 {
@@ -79,7 +86,7 @@ func PIMStudy(apps []string, scale Scale) (*stats.Table, []PIMStudyResult, error
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var out []PIMStudyResult
 	for i, app := range apps {
@@ -87,5 +94,5 @@ func PIMStudy(apps []string, scale Scale) (*stats.Table, []PIMStudyResult, error
 		out = append(out, r)
 		t.AddRow(app, r.Conventional.Seconds*1e3, r.PIM.Seconds*1e3, r.PIMSpeedup(), r.Conventional.L1HitRate)
 	}
-	return t, out, nil
+	return &PIMResult{TableResult: TableResult{Tab: t}, Results: out}, nil
 }

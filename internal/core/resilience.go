@@ -54,10 +54,11 @@ type ResilienceRow struct {
 	RatioToYoung float64
 }
 
-// ResilienceResult carries the per-MTBF verdicts and a rendered table.
+// ResilienceRowSet carries the per-MTBF verdicts and, via the embedded
+// TableResult, the rendered table and JSON/CSV exports.
 type ResilienceRowSet struct {
-	Rows  []ResilienceRow
-	Table *stats.Table
+	TableResult
+	Rows []ResilienceRow
 }
 
 // resilienceCell is one (MTBF, interval) grid cell's aggregate.
@@ -71,7 +72,7 @@ type resilienceCell struct {
 // are independent and run across the sweep worker pool; every trial's seed
 // is derived from (Seed, MTBF index, interval index, trial), so the study
 // is deterministic for any worker count.
-func ResilienceStudy(cfg ResilienceConfig) (*ResilienceRowSet, error) {
+func ResilienceStudy(cfg ResilienceConfig, opts SweepOptions) (*ResilienceRowSet, error) {
 	if len(cfg.MTBFHours) == 0 {
 		return nil, fmt.Errorf("core: resilience study needs at least one MTBF")
 	}
@@ -118,7 +119,7 @@ func ResilienceStudy(cfg ResilienceConfig) (*ResilienceRowSet, error) {
 		}
 	}
 	cells := make([]resilienceCell, len(keys))
-	err := runPoints(len(keys), func(c int) error {
+	err := runPoints(opts, len(keys), func(c int) error {
 		k := keys[c]
 		m := fault.CheckpointModel{
 			WorkS:       workS,
@@ -145,9 +146,9 @@ func ResilienceStudy(cfg ResilienceConfig) (*ResilienceRowSet, error) {
 	}
 
 	out := &ResilienceRowSet{
-		Table: stats.NewTable("Resilience: optimal checkpoint interval vs MTBF",
+		TableResult: TableResult{Tab: stats.NewTable("Resilience: optimal checkpoint interval vs MTBF",
 			"mtbf_h", "young_s", "daly_s", "best_interval_s", "best/young",
-			"best_makespan_s", "daly_makespan_s", "efficiency"),
+			"best_makespan_s", "daly_makespan_s", "efficiency")},
 	}
 	ci := 0
 	for mi, mh := range cfg.MTBFHours {
@@ -171,7 +172,7 @@ func ResilienceStudy(cfg ResilienceConfig) (*ResilienceRowSet, error) {
 		row.Efficiency = workS / row.BestMakespanS
 		row.RatioToYoung = row.BestIntervalS / row.YoungS
 		out.Rows = append(out.Rows, row)
-		out.Table.AddRow(row.MTBFHours, row.YoungS, row.DalyS, row.BestIntervalS,
+		out.Tab.AddRow(row.MTBFHours, row.YoungS, row.DalyS, row.BestIntervalS,
 			row.RatioToYoung, row.BestMakespanS, row.DalyMakespanS, row.Efficiency)
 	}
 	return out, nil

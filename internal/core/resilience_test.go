@@ -26,7 +26,7 @@ func resilienceTestConfig() ResilienceConfig {
 // the simulated best makespan must be in the same range as Daly's expected
 // makespan.
 func TestResilienceStudyMatchesYoung(t *testing.T) {
-	res, err := ResilienceStudy(resilienceTestConfig())
+	res, err := ResilienceStudy(resilienceTestConfig(), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,19 +57,16 @@ func TestResilienceStudyMatchesYoung(t *testing.T) {
 // table byte for byte at any sweep worker count: trial seeds are derived
 // from grid indices, never from scheduling.
 func TestResilienceStudyWorkerDeterminism(t *testing.T) {
-	defer SetSweepWorkers(0)
-	SetSweepWorkers(1)
-	seq, err := ResilienceStudy(resilienceTestConfig())
+	seq, err := ResilienceStudy(resilienceTestConfig(), SweepOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4} {
-		SetSweepWorkers(workers)
-		conc, err := ResilienceStudy(resilienceTestConfig())
+		conc, err := ResilienceStudy(resilienceTestConfig(), SweepOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got, want := conc.Table.String(), seq.Table.String(); got != want {
+		if got, want := conc.Table().String(), seq.Table().String(); got != want {
 			t.Errorf("workers=%d: table differs from sequential run\n got:\n%s\nwant:\n%s",
 				workers, got, want)
 		}
@@ -77,17 +74,17 @@ func TestResilienceStudyWorkerDeterminism(t *testing.T) {
 }
 
 func TestResilienceStudyValidation(t *testing.T) {
-	if _, err := ResilienceStudy(ResilienceConfig{}); err == nil {
+	if _, err := ResilienceStudy(ResilienceConfig{}, SweepOptions{}); err == nil {
 		t.Error("empty config accepted")
 	}
 	bad := resilienceTestConfig()
 	bad.MTBFHours = []float64{0}
-	if _, err := ResilienceStudy(bad); err == nil {
+	if _, err := ResilienceStudy(bad, SweepOptions{}); err == nil {
 		t.Error("zero MTBF accepted")
 	}
 	bad = resilienceTestConfig()
 	bad.WorkHours = -1
-	if _, err := ResilienceStudy(bad); err == nil {
+	if _, err := ResilienceStudy(bad, SweepOptions{}); err == nil {
 		t.Error("negative work accepted")
 	}
 }
@@ -96,12 +93,10 @@ func TestResilienceStudyValidation(t *testing.T) {
 // criterion: a design point whose model panics yields a per-point error
 // naming the point, and every other point still completes with results.
 func TestSweepSurvivesPanickingPoint(t *testing.T) {
-	defer SetSweepWorkers(0)
-	SetSweepWorkers(2)
 	good := SweepMachine("stream", "ddr3-1333", 1, Small)
 	// A nil config makes BuildNode dereference it: a genuine panic inside
 	// the point, not a returned error.
-	out, err := RunMachines([]*config.MachineConfig{good, nil, good})
+	out, err := RunMachines([]*config.MachineConfig{good, nil, good}, SweepOptions{Workers: 2})
 	if err == nil {
 		t.Fatal("panicking point reported no error")
 	}
@@ -119,12 +114,10 @@ func TestSweepSurvivesPanickingPoint(t *testing.T) {
 // TestSweepGridSurvivesFailedPoint checks the DSE grid analogue: failed
 // points carry Err, the rest of the grid renders.
 func TestSweepGridSurvivesFailedPoint(t *testing.T) {
-	defer SetSweepWorkers(0)
-	SetSweepWorkers(2)
 	apps := []string{"stream", "quantum"} // "quantum" is not a workload
 	techs := []string{"ddr3-1333"}
 	widths := []int{1}
-	g, err := MemTechWidthSweep(apps, techs, widths, Small)
+	g, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: 2})
 	if err == nil {
 		t.Fatal("unknown workload reported no error")
 	}
@@ -149,12 +142,10 @@ func TestSweepGridSurvivesFailedPoint(t *testing.T) {
 // TestSweepContextCancellation: with a cancelled sweep context, not-yet-
 // started points are skipped with per-point errors instead of running.
 func TestSweepContextCancellation(t *testing.T) {
-	defer SetSweepContext(nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	SetSweepContext(ctx)
 	ran := 0
-	err := runPoints(4, func(i int) error {
+	err := runPoints(SweepOptions{Context: ctx, Workers: 1}, 4, func(i int) error {
 		ran++
 		return nil
 	})
@@ -169,9 +160,8 @@ func TestSweepContextCancellation(t *testing.T) {
 			t.Errorf("error missing %q: %v", want, err)
 		}
 	}
-	// Restoring the context re-enables sweeps.
-	SetSweepContext(nil)
-	if err := runPoints(2, func(int) error { return nil }); err != nil {
-		t.Fatalf("sweep still blocked after context reset: %v", err)
+	// A fresh options value is unaffected by the cancelled sweep.
+	if err := runPoints(SweepOptions{}, 2, func(int) error { return nil }); err != nil {
+		t.Fatalf("independent sweep blocked by another sweep's context: %v", err)
 	}
 }

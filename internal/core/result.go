@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"sst/internal/stats"
+)
+
+// Result is what every study and sweep in this package returns: a rendered
+// table plus machine-readable JSON/CSV exports. CLIs render any study
+// uniformly through it instead of switching on concrete types.
+type Result interface {
+	// Table returns the study's rendered table.
+	Table() *stats.Table
+	// WriteJSON emits the result as JSON.
+	WriteJSON(w io.Writer) error
+	// WriteCSV emits the result as CSV.
+	WriteCSV(w io.Writer) error
+}
+
+// TableResult implements Result for studies whose exportable form is a
+// single table; study result types embed it and add their typed data
+// alongside.
+type TableResult struct {
+	Tab *stats.Table
+}
+
+// Table implements Result.
+func (r TableResult) Table() *stats.Table { return r.Tab }
+
+// WriteJSON implements Result.
+func (r TableResult) WriteJSON(w io.Writer) error { return r.Tab.WriteJSON(w) }
+
+// WriteCSV implements Result.
+func (r TableResult) WriteCSV(w io.Writer) error { return r.Tab.WriteCSV(w) }
+
+// Format selects a rendering for study results.
+type Format int
+
+const (
+	// FormatTable renders aligned text tables (the default).
+	FormatTable Format = iota
+	// FormatJSON renders JSON ({title, columns, rows} per table).
+	FormatJSON
+	// FormatCSV renders CSV with the title as a comment line.
+	FormatCSV
+)
+
+// ParseFormat parses "table", "json" or "csv".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "table":
+		return FormatTable, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return FormatTable, fmt.Errorf("core: unknown format %q (want table, json or csv)", s)
+}
+
+// String returns the flag spelling of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatCSV:
+		return "csv"
+	}
+	return "table"
+}
+
+// WriteResults renders results in the given format: tables separated by
+// blank lines, CSV blocks back to back, or JSON — a single object for one
+// result, an array for several (so the output is always one valid JSON
+// document).
+func WriteResults(w io.Writer, f Format, results ...Result) error {
+	switch f {
+	case FormatJSON:
+		if len(results) == 1 {
+			return results[0].WriteJSON(w)
+		}
+		if _, err := io.WriteString(w, "[\n"); err != nil {
+			return err
+		}
+		for i, r := range results {
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf); err != nil {
+				return err
+			}
+			if _, err := w.Write(bytes.TrimRight(buf.Bytes(), "\n")); err != nil {
+				return err
+			}
+			sep := "\n"
+			if i < len(results)-1 {
+				sep = ",\n"
+			}
+			if _, err := io.WriteString(w, sep); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "]\n")
+		return err
+	case FormatCSV:
+		for _, r := range results {
+			if err := r.WriteCSV(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		for i, r := range results {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			r.Table().Render(w)
+		}
+		return nil
+	}
+}

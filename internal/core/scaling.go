@@ -7,13 +7,20 @@ import (
 	"sst/internal/stats"
 )
 
+// CoreScalingResult is the core-scaling study's Result: the rendered table
+// plus Efficiency[app][cores] = parallel efficiency.
+type CoreScalingResult struct {
+	TableResult
+	Efficiency map[string]map[int]float64
+}
+
 // CoreScalingStudy is the Fig. 2 analogue: hold total work fixed, vary the
 // number of cores sharing one node's memory system, and report parallel
 // efficiency (T1 / (n·Tn)). Memory-bandwidth-bound phases (the solver)
 // lose efficiency as cores contend for DRAM; compute-bound phases (the
 // FEA-like assembly) scale nearly ideally — the effect the original
 // cores-per-node methodology measures.
-func CoreScalingStudy(apps []string, coreCounts []int, scale Scale) (*stats.Table, map[string]map[int]float64, error) {
+func CoreScalingStudy(apps []string, coreCounts []int, scale Scale, opts SweepOptions) (*CoreScalingResult, error) {
 	t := stats.NewTable("Fig 2: effect of cores per node on solver and FEA phases",
 		"phase", "cores", "runtime_ms", "speedup", "efficiency")
 	eff := map[string]map[int]float64{}
@@ -21,7 +28,7 @@ func CoreScalingStudy(apps []string, coreCounts []int, scale Scale) (*stats.Tabl
 	// them out and derive speedup/efficiency in row order afterwards.
 	nc := len(coreCounts)
 	flat := make([]*NodeResult, len(apps)*nc)
-	err := runPoints(len(flat), func(i int) error {
+	err := runPoints(opts, len(flat), func(i int) error {
 		app, cores := apps[i/nc], coreCounts[i%nc]
 		cfg := SweepMachine(app, "ddr3-1333", 4, scale)
 		cfg.Name = fmt.Sprintf("%s-%dc", app, cores)
@@ -34,7 +41,7 @@ func CoreScalingStudy(apps []string, coreCounts []int, scale Scale) (*stats.Tabl
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for ai, app := range apps {
 		eff[app] = map[int]float64{}
@@ -47,13 +54,20 @@ func CoreScalingStudy(apps []string, coreCounts []int, scale Scale) (*stats.Tabl
 			t.AddRow(app, cores, res.Seconds*1e3, speedup, e)
 		}
 	}
-	return t, eff, nil
+	return &CoreScalingResult{TableResult: TableResult{Tab: t}, Efficiency: eff}, nil
+}
+
+// CacheResult is the cache study's Result: the rendered table plus
+// Results[app] = the full node result behind each row.
+type CacheResult struct {
+	TableResult
+	Results map[string]*NodeResult
 }
 
 // CacheStudy is the Fig. 4 analogue: L1/L2 hit rates of the FEA-like and
 // solver phases. The assembly phase lives in L1; the solver streams and
 // shows much weaker outer-level locality.
-func CacheStudy(scale Scale) (*stats.Table, map[string]*NodeResult, error) {
+func CacheStudy(scale Scale, opts SweepOptions) (*CacheResult, error) {
 	t := stats.NewTable("Fig 4: cache behavior of the FEA and solver phases",
 		"phase", "l1_hit_rate", "l2_hit_rate", "dram_MB")
 	out := map[string]*NodeResult{}
@@ -67,14 +81,14 @@ func CacheStudy(scale Scale) (*stats.Table, map[string]*NodeResult, error) {
 		cfg.Node.L2.Prefetch = false
 		cfgs[i] = cfg
 	}
-	results, err := RunMachines(cfgs)
+	results, err := RunMachines(cfgs, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for i, app := range apps {
 		res := results[i]
 		out[app] = res
 		t.AddRow(app, res.L1HitRate, res.L2HitRate, float64(res.MemBytes)/1e6)
 	}
-	return t, out, nil
+	return &CacheResult{TableResult: TableResult{Tab: t}, Results: out}, nil
 }

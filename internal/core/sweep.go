@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sst/internal/config"
 	"sst/internal/sim"
@@ -22,62 +23,126 @@ import (
 // Fig. 10/11/12 table — bit-identical to a sequential sweep regardless of
 // worker count or goroutine scheduling. (The engines themselves stay
 // single-threaded; only whole design points are concurrent.)
+//
+// All knobs travel in a SweepOptions value passed to each study, so two
+// sweeps with different worker counts, contexts or metrics sinks can run
+// concurrently in one process without stepping on shared state.
 
-// sweepWorkers holds the configured pool size; 0 means GOMAXPROCS.
-var sweepWorkers atomic.Int64
+// SweepOptions configures one sweep invocation. The zero value is a valid
+// default: GOMAXPROCS workers, background context, no metrics.
+type SweepOptions struct {
+	// Workers is the worker-goroutine count for independent design points;
+	// <= 0 means GOMAXPROCS.
+	Workers int
 
-// SetSweepWorkers fixes the number of worker goroutines sweep drivers use
-// for independent design points. n <= 0 restores the default, GOMAXPROCS.
-// It applies to sweeps started after the call.
-func SetSweepWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	sweepWorkers.Store(int64(n))
+	// Context, when non-nil, is consulted between design points.
+	// Cancelling it does not abort points already running — each point is a
+	// self-contained simulation that finishes and keeps its result — but
+	// every point not yet started is skipped with a per-point error, so an
+	// interrupted sweep drains quickly and still renders everything it
+	// completed.
+	Context context.Context
+
+	// Metrics, when non-nil, observes every design point's completion.
+	// PointDone is called from worker goroutines, possibly concurrently;
+	// implementations must be safe for concurrent use (obs.SweepCollector
+	// is).
+	Metrics SweepMetrics
 }
 
-// SweepWorkers reports the worker count the next sweep will use.
-func SweepWorkers() int {
-	if n := sweepWorkers.Load(); n > 0 {
+// SweepMetrics receives one report per design point. It is the hook the
+// observability layer plugs into instead of another package global.
+type SweepMetrics interface {
+	PointDone(PointReport)
+}
+
+// PointReport describes one completed (or failed, or skipped) design point.
+type PointReport struct {
+	// Index is the point's position in the sweep's grid order.
+	Index int
+	// Worker identifies the pool goroutine that ran the point (0-based).
+	Worker int
+	// Start and Wall are the host-time bounds of the point's execution.
+	Start time.Time
+	Wall  time.Duration
+	// Err is the point's failure (or skip reason), nil on success.
+	Err error
+}
+
+// workers resolves the pool size: explicit option, then the deprecated
+// package default, then GOMAXPROCS.
+func (o SweepOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if n := legacyWorkers.Load(); n > 0 {
 		return int(n)
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
-// ctxBox wraps the sweep context so sweepCtx always stores one concrete
+// context resolves the sweep context: explicit option, then the deprecated
+// package default, then background.
+func (o SweepOptions) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	if b, ok := legacyCtx.Load().(ctxBox); ok {
+		return b.ctx
+	}
+	return context.Background()
+}
+
+// Deprecated package-level defaults. These exist only so that callers of
+// the old SetSweepWorkers/SetSweepContext API keep working while they
+// migrate; they are consulted solely as fallbacks when the corresponding
+// SweepOptions field is zero. New code should pass SweepOptions instead.
+var legacyWorkers atomic.Int64
+
+// ctxBox wraps the legacy context so legacyCtx always stores one concrete
 // type (atomic.Value requires it; context.Context is an interface whose
 // dynamic type varies).
 type ctxBox struct{ ctx context.Context }
 
-var sweepCtx atomic.Value
+var legacyCtx atomic.Value
 
-// SetSweepContext installs the context sweep pools consult between design
-// points. Cancelling it does not abort points already running — each point
-// is a self-contained simulation that finishes and keeps its result — but
-// every point not yet started is skipped with a per-point error, so an
-// interrupted sweep drains quickly and still renders everything it
-// completed. Nil restores the background context. Applies to sweeps
-// started after the call as well as the not-yet-started points of running
-// ones.
+// SetSweepWorkers fixes the default worker count used by sweeps whose
+// SweepOptions.Workers is zero. n <= 0 restores GOMAXPROCS.
+//
+// Deprecated: pass SweepOptions{Workers: n} to the study instead; a
+// process-wide default cannot serve two concurrent sweeps that want
+// different pool sizes.
+func SetSweepWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	legacyWorkers.Store(int64(n))
+}
+
+// SweepWorkers reports the worker count a sweep with zero options would
+// use.
+//
+// Deprecated: use SweepOptions and its per-call Workers field.
+func SweepWorkers() int {
+	return SweepOptions{}.workers()
+}
+
+// SetSweepContext installs the default context consulted by sweeps whose
+// SweepOptions.Context is nil. Nil restores the background context.
+//
+// Deprecated: pass SweepOptions{Context: ctx} to the study instead.
 func SetSweepContext(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sweepCtx.Store(ctxBox{ctx})
-}
-
-func sweepContext() context.Context {
-	if b, ok := sweepCtx.Load().(ctxBox); ok {
-		return b.ctx
-	}
-	return context.Background()
+	legacyCtx.Store(ctxBox{ctx})
 }
 
 // runPoint runs one design point, converting a panic into a per-point
 // error (with the component name when the model used sim.Guard) and
 // honouring sweep cancellation. One exploding point must cost exactly one
 // grid cell, never the process or the rest of the sweep.
-func runPoint(i int, fn func(i int) error) (err error) {
+func runPoint(ctx context.Context, i int, fn func(i int) error) (err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -89,38 +154,50 @@ func runPoint(i int, fn func(i int) error) (err error) {
 		}
 		err = fmt.Errorf("core: point %d panicked: %v\n%s", i, r, debug.Stack())
 	}()
-	if ctx := sweepContext(); ctx.Err() != nil {
+	if ctx.Err() != nil {
 		return fmt.Errorf("core: point %d skipped: %w", i, ctx.Err())
 	}
 	return fn(i)
 }
 
-// runPoints executes fn(i) for every i in [0, n) on a pool of SweepWorkers
-// goroutines. Every point runs even when earlier points fail or panic; the
-// returned error joins all per-point errors in point order, so error text
-// is as deterministic as the results. fn must confine its writes to
-// per-index state (and its own locals) — that is what makes the fan-out
-// race-free.
-func runPoints(n int, fn func(i int) error) error {
-	_, err := runPointsDetailed(n, fn)
+// runPoints executes fn(i) for every i in [0, n) on a pool of
+// opts.workers() goroutines. Every point runs even when earlier points fail
+// or panic; the returned error joins all per-point errors in point order,
+// so error text is as deterministic as the results. fn must confine its
+// writes to per-index state (and its own locals) — that is what makes the
+// fan-out race-free.
+func runPoints(opts SweepOptions, n int, fn func(i int) error) error {
+	_, err := runPointsDetailed(opts, n, fn)
 	return err
 }
 
 // runPointsDetailed is runPoints for callers that attach failures to
 // individual grid cells: it additionally returns the per-point error slice
 // (nil entries for successes), always of length n.
-func runPointsDetailed(n int, fn func(i int) error) ([]error, error) {
+func runPointsDetailed(opts SweepOptions, n int, fn func(i int) error) ([]error, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	workers := SweepWorkers()
+	ctx := opts.context()
+	workers := opts.workers()
 	if workers > n {
 		workers = n
 	}
 	errs := make([]error, n)
+	one := func(worker, i int) {
+		start := time.Now()
+		errs[i] = runPoint(ctx, i, fn)
+		if opts.Metrics != nil {
+			opts.Metrics.PointDone(PointReport{
+				Index: i, Worker: worker,
+				Start: start, Wall: time.Since(start),
+				Err: errs[i],
+			})
+		}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = runPoint(i, fn)
+			one(0, i)
 		}
 		return errs, errors.Join(errs...)
 	}
@@ -130,16 +207,16 @@ func runPointsDetailed(n int, fn func(i int) error) ([]error, error) {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = runPoint(i, fn)
+				one(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return errs, errors.Join(errs...)
@@ -151,9 +228,9 @@ func runPointsDetailed(n int, fn func(i int) error) ([]error, error) {
 // variants have no data dependencies between them. On error the slice is
 // still returned: failed configs leave nil entries, completed ones keep
 // their results, and the error joins the per-config failures in order.
-func RunMachines(cfgs []*config.MachineConfig) ([]*NodeResult, error) {
+func RunMachines(cfgs []*config.MachineConfig, opts SweepOptions) ([]*NodeResult, error) {
 	out := make([]*NodeResult, len(cfgs))
-	err := runPoints(len(cfgs), func(i int) error {
+	err := runPoints(opts, len(cfgs), func(i int) error {
 		res, err := RunMachine(cfgs[i])
 		if err != nil {
 			return err

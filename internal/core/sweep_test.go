@@ -1,19 +1,27 @@
 package core
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"sst/internal/config"
 )
 
-func TestSweepWorkersConfig(t *testing.T) {
+func TestSweepWorkersLegacyShim(t *testing.T) {
 	defer SetSweepWorkers(0)
 	SetSweepWorkers(3)
 	if SweepWorkers() != 3 {
 		t.Fatalf("SweepWorkers = %d, want 3", SweepWorkers())
+	}
+	// An explicit option beats the legacy default.
+	if got := (SweepOptions{Workers: 5}).workers(); got != 5 {
+		t.Fatalf("option workers = %d, want 5", got)
 	}
 	SetSweepWorkers(-5)
 	if SweepWorkers() < 1 {
@@ -21,13 +29,30 @@ func TestSweepWorkersConfig(t *testing.T) {
 	}
 }
 
+func TestSweepContextLegacyShim(t *testing.T) {
+	defer SetSweepContext(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	SetSweepContext(ctx)
+	if got := (SweepOptions{}).context(); got != ctx {
+		t.Fatal("legacy context not consulted")
+	}
+	// An explicit option beats the legacy default.
+	own := context.Background()
+	if got := (SweepOptions{Context: own}).context(); got != own {
+		t.Fatal("explicit context overridden by legacy default")
+	}
+	SetSweepContext(nil)
+	if got := (SweepOptions{}).context(); got == ctx {
+		t.Fatal("nil reset did not clear the legacy context")
+	}
+}
+
 func TestRunPointsCoversEveryIndexOnce(t *testing.T) {
-	defer SetSweepWorkers(0)
 	for _, workers := range []int{1, 2, 7} {
-		SetSweepWorkers(workers)
 		const n = 100
 		var hits [n]atomic.Int64
-		if err := runPoints(n, func(i int) error {
+		if err := runPoints(SweepOptions{Workers: workers}, n, func(i int) error {
 			hits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -39,17 +64,15 @@ func TestRunPointsCoversEveryIndexOnce(t *testing.T) {
 			}
 		}
 	}
-	if err := runPoints(0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
+	if err := runPoints(SweepOptions{}, 0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPointsAggregatesErrorsInOrder(t *testing.T) {
-	defer SetSweepWorkers(0)
 	for _, workers := range []int{1, 4} {
-		SetSweepWorkers(workers)
 		var ran atomic.Int64
-		err := runPoints(10, func(i int) error {
+		err := runPoints(SweepOptions{Workers: workers}, 10, func(i int) error {
 			ran.Add(1)
 			if i == 3 || i == 7 {
 				return fmt.Errorf("point %d failed", i)
@@ -71,24 +94,71 @@ func TestRunPointsAggregatesErrorsInOrder(t *testing.T) {
 	}
 }
 
+// pointRecorder is a minimal SweepMetrics sink for tests.
+type pointRecorder struct {
+	mu      sync.Mutex
+	reports []PointReport
+}
+
+func (r *pointRecorder) PointDone(p PointReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reports = append(r.reports, p)
+}
+
+func TestRunPointsReportsMetrics(t *testing.T) {
+	rec := &pointRecorder{}
+	err := runPoints(SweepOptions{Workers: 3, Metrics: rec}, 20, func(i int) error {
+		if i == 5 {
+			return fmt.Errorf("point 5 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if len(rec.reports) != 20 {
+		t.Fatalf("got %d reports, want 20", len(rec.reports))
+	}
+	seen := map[int]bool{}
+	for _, p := range rec.reports {
+		if seen[p.Index] {
+			t.Fatalf("point %d reported twice", p.Index)
+		}
+		seen[p.Index] = true
+		if p.Worker < 0 || p.Worker >= 3 {
+			t.Fatalf("point %d reported worker %d", p.Index, p.Worker)
+		}
+		if p.Wall < 0 || p.Start.IsZero() {
+			t.Fatalf("point %d has bogus timing: %+v", p.Index, p)
+		}
+		if (p.Err != nil) != (p.Index == 5) {
+			t.Fatalf("point %d err = %v", p.Index, p.Err)
+		}
+	}
+}
+
 // TestConcurrentSweepDeterminism asserts the headline safety property of
 // the concurrent scheduler: a sweep run on several workers produces a grid
 // identical — every NodeResult field of every point — to the same sweep on
 // one worker, so the Fig. 10/11/12 tables are byte-identical at any -j.
 func TestConcurrentSweepDeterminism(t *testing.T) {
-	defer SetSweepWorkers(0)
 	apps := []string{"stream", "gups"}
 	techs := []string{"ddr3-1333", "gddr5-4000"}
 	widths := []int{1, 2}
 
-	SetSweepWorkers(1)
-	seq, err := MemTechWidthSweep(apps, techs, widths, Small)
+	// HostSeconds is host wall-clock — the one field allowed to differ
+	// between runs.
+	normalize := func(r NodeResult) NodeResult {
+		r.HostSeconds = 0
+		return r
+	}
+	seq, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4} {
-		SetSweepWorkers(workers)
-		conc, err := MemTechWidthSweep(apps, techs, widths, Small)
+		conc, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +171,7 @@ func TestConcurrentSweepDeterminism(t *testing.T) {
 				t.Fatalf("workers=%d: point %d is (%s,%s,%d), want (%s,%s,%d)",
 					workers, i, b.App, b.Tech, b.Width, a.App, a.Tech, a.Width)
 			}
-			if !reflect.DeepEqual(*a.Result, *b.Result) {
+			if !reflect.DeepEqual(normalize(*a.Result), normalize(*b.Result)) {
 				t.Errorf("workers=%d: point %d (%s/%s/w%d) diverged:\nseq:  %+v\nconc: %+v",
 					workers, i, a.App, a.Tech, a.Width, *a.Result, *b.Result)
 			}
@@ -111,6 +181,90 @@ func TestConcurrentSweepDeterminism(t *testing.T) {
 		concTab := Fig10Table(conc, apps, techs, widths, "ddr3-1333").String()
 		if seqTab != concTab {
 			t.Errorf("workers=%d: Fig10 table differs from sequential render", workers)
+		}
+	}
+}
+
+// TestConcurrentSweepsDifferentOptions runs two sweeps with different
+// worker counts, contexts and metrics sinks at the same time — the property
+// the SweepOptions redesign exists to provide (run with -race).
+func TestConcurrentSweepsDifferentOptions(t *testing.T) {
+	type out struct {
+		grid *DSEGrid
+		err  error
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	recA, recB := &pointRecorder{}, &pointRecorder{}
+	var wg sync.WaitGroup
+	var a, b out
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.grid, a.err = MemTechWidthSweep([]string{"stream"}, []string{"ddr3-1333"}, []int{1, 2}, Small,
+			SweepOptions{Workers: 1, Context: ctxA, Metrics: recA})
+	}()
+	go func() {
+		defer wg.Done()
+		b.grid, b.err = MemTechWidthSweep([]string{"gups"}, []string{"gddr5-4000"}, []int{1, 2}, Small,
+			SweepOptions{Workers: 4, Metrics: recB})
+	}()
+	wg.Wait()
+	if a.err != nil || b.err != nil {
+		t.Fatalf("sweep errors: %v / %v", a.err, b.err)
+	}
+	if len(recA.reports) != 2 || len(recB.reports) != 2 {
+		t.Fatalf("metrics crossed sweeps: A saw %d, B saw %d (want 2 each)",
+			len(recA.reports), len(recB.reports))
+	}
+	for _, p := range a.grid.Points {
+		if p.App != "stream" {
+			t.Fatalf("sweep A got point %q", p.App)
+		}
+	}
+	for _, p := range b.grid.Points {
+		if p.App != "gups" {
+			t.Fatalf("sweep B got point %q", p.App)
+		}
+	}
+}
+
+// TestDSEGridJSONRoundTrip pins the acceptance criterion for -format json:
+// the grid's JSON re-parses and its cells match the rendered table.
+func TestDSEGridJSONRoundTrip(t *testing.T) {
+	grid, err := MemTechWidthSweep([]string{"stream"}, []string{"ddr3-1333"}, []int{1, 2}, Small, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := grid.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("grid JSON does not re-parse: %v", err)
+	}
+	tab := grid.Table()
+	if len(decoded.Rows) != tab.NumRows() {
+		t.Fatalf("JSON has %d rows, table has %d", len(decoded.Rows), tab.NumRows())
+	}
+	if len(decoded.Columns) == 0 || decoded.Columns[0] != "app" {
+		t.Fatalf("columns = %v", decoded.Columns)
+	}
+	// Every JSON cell must appear verbatim in the rendered table.
+	rendered := tab.String()
+	for _, row := range decoded.Rows {
+		for _, cell := range row {
+			if cell == "" {
+				continue
+			}
+			if !bytes.Contains([]byte(rendered), []byte(cell)) {
+				t.Errorf("JSON cell %q missing from rendered table", cell)
+			}
 		}
 	}
 }
@@ -140,11 +294,10 @@ func TestGridFindIndexed(t *testing.T) {
 }
 
 func TestRunMachinesBatch(t *testing.T) {
-	defer SetSweepWorkers(0)
-	SetSweepWorkers(2)
+	opts := SweepOptions{Workers: 2}
 	cfgA := SweepMachine("stream", "ddr3-1333", 1, Small)
 	cfgB := SweepMachine("stream", "gddr5-4000", 1, Small)
-	results, err := RunMachines([]*config.MachineConfig{cfgA, cfgB})
+	results, err := RunMachines([]*config.MachineConfig{cfgA, cfgB}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +309,7 @@ func TestRunMachinesBatch(t *testing.T) {
 	}
 	bad := SweepMachine("stream", "ddr3-1333", 1, Small)
 	bad.Workload.Kind = "quantum"
-	if _, err := RunMachines([]*config.MachineConfig{cfgA, bad}); err == nil {
+	if _, err := RunMachines([]*config.MachineConfig{cfgA, bad}, opts); err == nil {
 		t.Fatal("batch error swallowed")
 	}
 }

@@ -103,10 +103,17 @@ func runWeakPoint(p SolverProfile, ranks, iters int) (sim.Time, error) {
 	return app.Elapsed() / sim.Time(iters), nil
 }
 
+// WeakScalingResult is the weak-scaling study's Result: the rendered table
+// plus Efficiency[solver] = efficiencies in rank-count order.
+type WeakScalingResult struct {
+	TableResult
+	Efficiency map[string][]float64
+}
+
 // WeakScalingStudy runs both solver profiles across the rank counts,
 // reporting per-iteration time and weak-scaling efficiency relative to the
-// smallest machine. Returns the table and efficiency[profile][rank index].
-func WeakScalingStudy(rankCounts []int, iters int) (*stats.Table, map[string][]float64, error) {
+// smallest machine.
+func WeakScalingStudy(rankCounts []int, iters int, opts SweepOptions) (*WeakScalingResult, error) {
 	t := stats.NewTable("Fig 5: relative weak scaling of solvers (CG vs ML-preconditioned)",
 		"solver", "ranks", "time_per_iter_ms", "efficiency_vs_smallest")
 	eff := map[string][]float64{}
@@ -115,7 +122,7 @@ func WeakScalingStudy(rankCounts []int, iters int) (*stats.Table, map[string][]f
 	profiles := []SolverProfile{CGProfile, MLProfile}
 	nr := len(rankCounts)
 	flat := make([]sim.Time, len(profiles)*nr)
-	err := runPoints(len(flat), func(i int) error {
+	err := runPoints(opts, len(flat), func(i int) error {
 		tp, err := runWeakPoint(profiles[i/nr], rankCounts[i%nr], iters)
 		if err != nil {
 			return err
@@ -124,7 +131,7 @@ func WeakScalingStudy(rankCounts []int, iters int) (*stats.Table, map[string][]f
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for pi, p := range profiles {
 		base := flat[pi*nr]
@@ -135,5 +142,5 @@ func WeakScalingStudy(rankCounts []int, iters int) (*stats.Table, map[string][]f
 			t.AddRow(p.Name, ranks, tp.Seconds()*1e3, e)
 		}
 	}
-	return t, eff, nil
+	return &WeakScalingResult{TableResult: TableResult{Tab: t}, Efficiency: eff}, nil
 }

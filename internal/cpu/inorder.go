@@ -64,7 +64,7 @@ func (c *InOrder) wake() {
 		return
 	}
 	c.running = true
-	c.clock.Register(c.tick)
+	c.clock.RegisterNamed(c.cfg.Name, c.tick)
 }
 
 func (c *InOrder) sleep() bool {

@@ -115,7 +115,7 @@ func (c *OoO) wake() {
 		return
 	}
 	c.running = true
-	c.clock.Register(c.tick)
+	c.clock.RegisterNamed(c.cfg.Name, c.tick)
 }
 
 func (c *OoO) sleep() bool {

@@ -81,7 +81,7 @@ func (c *Superscalar) wake() {
 		return
 	}
 	c.running = true
-	c.clock.Register(c.tick)
+	c.clock.RegisterNamed(c.cfg.Name, c.tick)
 }
 
 func (c *Superscalar) sleep() bool {

@@ -85,7 +85,7 @@ func (c *Threaded) wake() {
 		return
 	}
 	c.running = true
-	c.clock.Register(c.tick)
+	c.clock.RegisterNamed(c.cfg.Name, c.tick)
 }
 
 func (c *Threaded) tick(cycle sim.Cycle) bool {

@@ -244,7 +244,7 @@ func (m *Memory) issue(ch *channel, req *request, now sim.Time) {
 	m.dynamicJ += m.cfg.Energy.PerByteJ * float64(m.cfg.LineBytes)
 	m.bytes.Add(uint64(m.cfg.LineBytes))
 
-	m.engine.ScheduleAt(dataEnd, sim.PrioLink, func(any) {
+	m.engine.ScheduleLabeledAt(dataEnd, sim.PrioLink, m.name, func(any) {
 		ch.inflight--
 		m.latency.Observe(uint64(dataEnd - req.arrive))
 		if req.done != nil {
@@ -272,7 +272,7 @@ func (m *Memory) armKick(ch *channel, now sim.Time) {
 		return
 	}
 	ch.kickArmed = true
-	m.engine.ScheduleAt(earliest, sim.PrioLink, func(any) {
+	m.engine.ScheduleLabeledAt(earliest, sim.PrioLink, m.name, func(any) {
 		ch.kickArmed = false
 		m.kick(ch)
 	}, nil)
@@ -287,7 +287,7 @@ func (m *Memory) armRefresh(ch *channel) {
 		return
 	}
 	ch.refreshArmed = true
-	m.engine.Schedule(m.cfg.TREFI, func(any) { m.refresh(ch) }, nil)
+	m.engine.ScheduleLabeled(m.cfg.TREFI, sim.PrioLink, m.name, func(any) { m.refresh(ch) }, nil)
 }
 
 func (m *Memory) refresh(ch *channel) {

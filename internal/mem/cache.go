@@ -294,7 +294,7 @@ func (c *Cache) respond(extra sim.Time, done func()) {
 	if done == nil {
 		return
 	}
-	c.engine.Schedule(c.cfg.HitLatency+extra, func(any) { done() }, nil)
+	c.engine.ScheduleLabeled(c.cfg.HitLatency+extra, sim.PrioLink, c.cfg.Name, func(any) { done() }, nil)
 }
 
 func (c *Cache) accessLine(op Op, lineAddr uint64, done func()) {
@@ -416,7 +416,7 @@ func (c *Cache) startMiss(op Op, tag, lineAddr uint64, done func()) {
 		c.finishFill(tag, m, excl, start)
 	}
 	// Charge the lookup latency before the fetch leaves this level.
-	c.engine.Schedule(c.cfg.HitLatency, func(any) {
+	c.engine.ScheduleLabeled(c.cfg.HitLatency, sim.PrioLink, c.cfg.Name, func(any) {
 		c.lowerFetch(op, lineAddr, fill)
 	}, nil)
 }

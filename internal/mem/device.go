@@ -94,7 +94,7 @@ func (m *SimpleMemory) Access(op Op, addr uint64, size int, done func()) {
 	occupancy := m.perByte * sim.Time(size)
 	m.freeAt = start + occupancy
 	if done != nil {
-		m.engine.ScheduleAt(start+occupancy+m.latency, sim.PrioLink, func(any) { done() }, nil)
+		m.engine.ScheduleLabeledAt(start+occupancy+m.latency, sim.PrioLink, m.name, func(any) { done() }, nil)
 	}
 }
 

@@ -1,0 +1,39 @@
+package obs
+
+import "sst/internal/sim"
+
+// LinkStats counts traffic on one link: delivered messages, their payload
+// bytes (for payloads implementing sim.Sized) and sends dropped by a fault
+// interceptor beneath the counter.
+type LinkStats struct {
+	Name    string `json:"name"`
+	Msgs    uint64 `json:"msgs"`
+	Bytes   uint64 `json:"bytes"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// InstrumentLink installs traffic counters on the link and returns them.
+// It wraps — rather than displaces — any interceptor already present, so
+// it composes with fault injection: install faults first, then counters,
+// and the counters see exactly what the faults let through (drops are
+// tallied in Dropped). Counters run on the link's sending side in event
+// order, adding no simulated time.
+func InstrumentLink(l *sim.Link) *LinkStats {
+	s := &LinkStats{Name: l.Name()}
+	inner := l.Interceptor()
+	l.SetIntercept(func(from *sim.Port, delay sim.Time, payload any) (sim.Time, any, bool) {
+		if inner != nil {
+			var ok bool
+			if delay, payload, ok = inner(from, delay, payload); !ok {
+				s.Dropped++
+				return delay, payload, false
+			}
+		}
+		s.Msgs++
+		if sz, ok := payload.(sim.Sized); ok {
+			s.Bytes += uint64(sz.PayloadBytes())
+		}
+		return delay, payload, true
+	})
+	return s
+}

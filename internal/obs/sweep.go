@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"sst/internal/core"
+	"sst/internal/stats"
+)
+
+// SweepCollector implements core.SweepMetrics: it accumulates one
+// PointReport per design point. It is safe for concurrent use — sweep
+// workers call PointDone from their own goroutines — and one collector
+// observes exactly one sweep (point indices would collide across sweeps).
+type SweepCollector struct {
+	mu     sync.Mutex
+	points []core.PointReport
+}
+
+// PointDone implements core.SweepMetrics.
+func (c *SweepCollector) PointDone(p core.PointReport) {
+	c.mu.Lock()
+	c.points = append(c.points, p)
+	c.mu.Unlock()
+}
+
+// Points returns the collected reports sorted by point index.
+func (c *SweepCollector) Points() []core.PointReport {
+	c.mu.Lock()
+	out := make([]core.PointReport, len(c.points))
+	copy(out, c.points)
+	c.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Index < out[j-1].Index; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Table renders per-point host timings: index, worker, wall time, error.
+func (c *SweepCollector) Table() *stats.Table {
+	t := stats.NewTable("Sweep metrics (per design point)",
+		"point", "worker", "wall_ms", "err")
+	for _, p := range c.Points() {
+		msg := ""
+		if p.Err != nil {
+			msg = p.Err.Error()
+			if j := strings.IndexByte(msg, '\n'); j >= 0 {
+				msg = msg[:j]
+			}
+		}
+		t.AddRow(p.Index, p.Worker, p.Wall.Seconds()*1e3, msg)
+	}
+	return t
+}
+
+// WriteJSON emits the per-point table as JSON.
+func (c *SweepCollector) WriteJSON(w io.Writer) error { return c.Table().WriteJSON(w) }
+
+// WriteCSV emits the per-point table as CSV.
+func (c *SweepCollector) WriteCSV(w io.Writer) error { return c.Table().WriteCSV(w) }
+
+// WriteChromeJSON emits the sweep as a host-timeline Chrome trace: one
+// thread row per worker, one complete event per design point, timestamps
+// relative to the earliest point start. It shows pool utilization and
+// stragglers at a glance in Perfetto.
+func (c *SweepCollector) WriteChromeJSON(w io.Writer) error {
+	pts := c.Points()
+	var epoch time.Time
+	for _, p := range pts {
+		if epoch.IsZero() || p.Start.Before(epoch) {
+			epoch = p.Start
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\":[\n")
+	workers := map[int]bool{}
+	first := true
+	emit := func(s string) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	for _, p := range pts {
+		if !workers[p.Worker] {
+			workers[p.Worker] = true
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":1,"tid":%d,"args":{"name":"worker %d"}}`,
+				p.Worker+1, p.Worker))
+		}
+		name := fmt.Sprintf("point %d", p.Index)
+		if p.Err != nil {
+			name += " (failed)"
+		}
+		emit(fmt.Sprintf(`{"ph":"X","name":%q,"pid":1,"tid":%d,"ts":%.3f,"dur":%.3f}`,
+			name, p.Worker+1,
+			float64(p.Start.Sub(epoch).Nanoseconds())/1e3,
+			float64(p.Wall.Nanoseconds())/1e3))
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,162 @@
+// Package obs is gosst's observability layer: an event tracer for
+// sim.Engine, per-link traffic counters, run-level metrics reports and
+// sweep-level collection. Everything here is opt-in — a simulation that
+// never attaches a tracer or collector pays nothing beyond a nil check in
+// the engine's dispatch loop.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"sst/internal/sim"
+	"sst/internal/stats"
+)
+
+// DefaultTraceCap is the ring capacity used when NewTracer is given a
+// non-positive capacity: 64k spans, a few MB, enough for the tail of any
+// run while bounding memory on long ones.
+const DefaultTraceCap = 1 << 16
+
+// Span is one traced event dispatch: where the simulation clock stood, the
+// attributed component label, and how long the handler took on the host.
+type Span struct {
+	// At is the simulated time of the dispatch.
+	At sim.Time
+	// Label attributes the event to a component (via the engine's label
+	// inheritance); empty means unattributed engine work.
+	Label string
+	// Dur is host wall time spent inside the handler.
+	Dur time.Duration
+}
+
+// Tracer records dispatch spans into a bounded ring buffer; it implements
+// sim.Tracer. Attach with engine.SetTracer(t). When the ring fills, the
+// oldest spans are overwritten — the trace keeps the end of the run, where
+// post-mortems usually look.
+//
+// A Tracer belongs to one engine goroutine; it is not safe for concurrent
+// use (neither is the engine).
+type Tracer struct {
+	spans []Span
+	next  int
+	total uint64
+}
+
+// NewTracer creates a tracer holding up to capacity spans; capacity <= 0
+// selects DefaultTraceCap.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{spans: make([]Span, 0, capacity)}
+}
+
+// Event implements sim.Tracer.
+func (t *Tracer) Event(at sim.Time, label string, dur time.Duration) {
+	s := Span{At: at, Label: label, Dur: dur}
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+	} else {
+		t.spans[t.next] = s
+		t.next = (t.next + 1) % len(t.spans)
+	}
+	t.total++
+}
+
+// Total returns the number of spans recorded over the tracer's lifetime,
+// including spans already overwritten in the ring.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Spans returns the retained spans in recording order (oldest first). The
+// slice is freshly allocated; the ring is unchanged.
+func (t *Tracer) Spans() []Span {
+	out := make([]Span, 0, len(t.spans))
+	out = append(out, t.spans[t.next:]...)
+	out = append(out, t.spans[:t.next]...)
+	return out
+}
+
+// label returns the span's display label, naming unattributed spans.
+func (s Span) label() string {
+	if s.Label == "" {
+		return "engine"
+	}
+	return s.Label
+}
+
+// WriteChromeJSON emits the trace in Chrome trace_event format (loadable
+// in Perfetto and chrome://tracing). Spans are complete ("X") events:
+// timestamps are the simulated clock in microseconds, durations are host
+// time in microseconds — the horizontal axis is the simulation, the span
+// width is what each handler cost to compute. Each label gets its own
+// thread row, named via metadata events.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	tids := map[string]int{}
+	first := true
+	emit := func(s string) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	for _, s := range t.Spans() {
+		lb := s.label()
+		tid, ok := tids[lb]
+		if !ok {
+			tid = len(tids) + 1
+			tids[lb] = tid
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":1,"tid":%d,"args":{"name":%q}}`, tid, lb))
+		}
+		emit(fmt.Sprintf(`{"ph":"X","name":%q,"pid":1,"tid":%d,"ts":%.6f,"dur":%.3f}`,
+			lb, tid, float64(s.At)/1e6, float64(s.Dur.Nanoseconds())/1e3))
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV emits the retained spans as time_ps,label,host_ns rows.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("time_ps,label,host_ns\n")
+	for _, s := range t.Spans() {
+		fmt.Fprintf(&sb, "%d,%s,%d\n", uint64(s.At), s.label(), s.Dur.Nanoseconds())
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Summary aggregates the retained spans per label: event count and total
+// host time, ordered by first appearance.
+func (t *Tracer) Summary() *stats.Table {
+	tab := stats.NewTable("Trace summary (retained spans)",
+		"label", "events", "host_ms")
+	type agg struct {
+		n   uint64
+		dur time.Duration
+	}
+	order := []string{}
+	byLabel := map[string]*agg{}
+	for _, s := range t.Spans() {
+		lb := s.label()
+		a := byLabel[lb]
+		if a == nil {
+			a = &agg{}
+			byLabel[lb] = a
+			order = append(order, lb)
+		}
+		a.n++
+		a.dur += s.Dur
+	}
+	for _, lb := range order {
+		a := byLabel[lb]
+		tab.AddRow(lb, a.n, a.dur.Seconds()*1e3)
+	}
+	return tab
+}

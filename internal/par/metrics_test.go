@@ -1,0 +1,132 @@
+package par
+
+import (
+	"testing"
+
+	"sst/internal/sim"
+)
+
+// TestMetricsSingleRank exercises the single-rank fast path: metrics must
+// still be populated even though no barrier machinery runs.
+func TestMetricsSingleRank(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := r.Rank(0).Engine()
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(sim.Time(i)*sim.Nanosecond, func(any) {}, nil)
+	}
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.Windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+	if len(m.Ranks) != 1 {
+		t.Fatalf("%d rank entries, want 1", len(m.Ranks))
+	}
+	rk := m.Ranks[0]
+	if rk.Events != 5 {
+		t.Errorf("rank events = %d, want 5", rk.Events)
+	}
+	if rk.Windows == 0 {
+		t.Error("rank windows = 0")
+	}
+	if rk.Clock != 5*sim.Nanosecond {
+		t.Errorf("rank clock = %v, want 5ns", rk.Clock)
+	}
+	if m.Imbalance != 1 {
+		t.Errorf("single-rank imbalance = %v, want 1", m.Imbalance)
+	}
+}
+
+// TestMetricsImbalance: an unbalanced two-rank partition must show
+// imbalance above 1 and idle windows on the starved rank.
+func TestMetricsImbalance(t *testing.T) {
+	r, err := NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cross link fixes the lookahead so windows are bounded.
+	a, b, err := r.Connect("x", 10*sim.Nanosecond, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetHandler(func(any) {})
+	b.SetHandler(func(any) {})
+	// Rank 0 does all the work; rank 1 idles across many windows.
+	e0 := r.Rank(0).Engine()
+	for i := 1; i <= 100; i++ {
+		e0.Schedule(sim.Time(i)*sim.Nanosecond, func(any) {}, nil)
+	}
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.Lookahead != 10*sim.Nanosecond {
+		t.Errorf("lookahead = %v, want 10ns", m.Lookahead)
+	}
+	if m.Windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+	if m.Ranks[0].Events != 100 || m.Ranks[1].Events != 0 {
+		t.Fatalf("events = %d / %d, want 100 / 0", m.Ranks[0].Events, m.Ranks[1].Events)
+	}
+	// max/mean with all events on one of two ranks = 2.
+	if m.Imbalance != 2 {
+		t.Errorf("imbalance = %v, want 2", m.Imbalance)
+	}
+	if m.Ranks[1].IdleWindows == 0 {
+		t.Error("starved rank recorded no idle windows")
+	}
+	if m.Ranks[1].IdleWindows < m.Ranks[0].IdleWindows {
+		t.Errorf("idle windows: rank1 %d < rank0 %d",
+			m.Ranks[1].IdleWindows, m.Ranks[0].IdleWindows)
+	}
+}
+
+// TestMetricsZeroEvents: a runner that never dispatched reports zero
+// imbalance rather than NaN.
+func TestMetricsZeroEvents(t *testing.T) {
+	r, err := NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.Imbalance != 0 {
+		t.Errorf("imbalance = %v, want 0", m.Imbalance)
+	}
+	for _, rk := range m.Ranks {
+		if rk.Events != 0 {
+			t.Errorf("rank %d events = %d", rk.Rank, rk.Events)
+		}
+	}
+}
+
+// TestMetricsAccumulateAcrossRuns: counters are cumulative over successive
+// Run calls, matching the doc contract.
+func TestMetricsAccumulateAcrossRuns(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := r.Rank(0).Engine()
+	eng.Schedule(sim.Nanosecond, func(any) {}, nil)
+	if _, err := r.Run(2 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Metrics().Ranks[0].Events
+	eng.Schedule(sim.Nanosecond, func(any) {}, nil)
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	second := r.Metrics().Ranks[0].Events
+	if first != 1 || second != 2 {
+		t.Fatalf("events after runs = %d, %d; want 1, 2", first, second)
+	}
+}

@@ -52,6 +52,11 @@ type rank struct {
 	outboxes [][]remoteEvent // indexed by destination rank
 	sendSeq  uint64
 	handled  uint64
+	// Cumulative run metrics, updated only by the coordinator goroutine
+	// between windows (never by the rank goroutine), so reading them after
+	// Run returns is race-free.
+	events      uint64
+	idleWindows uint64
 	// err captures a panic raised by this rank's event handlers during a
 	// window; the coordinator surfaces it after the barrier.
 	err error
@@ -113,6 +118,7 @@ type Runner struct {
 	running     bool
 	watchdog    time.Duration
 	interrupted atomic.Bool
+	windows     uint64
 }
 
 // NewRunner creates nranks empty partitions.
@@ -218,7 +224,13 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 		rk := r.ranks[0]
 		rk.err = nil
 		rk.runWindow(until) // half-open: finite horizons run to until-1
+		rk.publish()
 		n := rk.handled
+		rk.events += n
+		if n == 0 {
+			rk.idleWindows++
+		}
+		r.windows++
 		if rk.err != nil {
 			return n, rk.err
 		}
@@ -334,7 +346,12 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 		}
 		for _, rk := range r.ranks {
 			total += rk.handled
+			rk.events += rk.handled
+			if rk.handled == 0 {
+				rk.idleWindows++
+			}
 		}
+		r.windows++
 		r.now = horizon
 		// Termination: global idle (no pending events anywhere, nothing
 		// exchanged) or the requested time reached.
@@ -431,6 +448,67 @@ func (r *Runner) stallError(horizon sim.Time, arrived []bool) error {
 		}
 	}
 	return fmt.Errorf("%w: %s", ErrStalled, sb.String())
+}
+
+// RankMetrics is one rank's cumulative view of a parallel run.
+type RankMetrics struct {
+	// Rank is the partition index.
+	Rank int
+	// Events is the number of events this rank dispatched across all
+	// windows of all Run calls.
+	Events uint64
+	// Windows counts the synchronization windows the rank completed.
+	Windows uint64
+	// IdleWindows counts windows in which the rank dispatched nothing —
+	// lookahead-limited stalls where the rank spun at a barrier while
+	// other ranks had work.
+	IdleWindows uint64
+	// Clock is the rank engine's clock at its last barrier arrival.
+	Clock sim.Time
+}
+
+// RunnerMetrics summarizes a parallel run for the observability layer.
+type RunnerMetrics struct {
+	// Windows is the number of synchronization rounds the coordinator ran.
+	Windows uint64
+	// Lookahead is the conservative window width (0 with no cross links).
+	Lookahead sim.Time
+	// Imbalance is max/mean of per-rank event counts: 1.0 is a perfectly
+	// balanced partition, larger means some rank dominates the critical
+	// path. Zero when no events ran.
+	Imbalance float64
+	// Ranks holds the per-rank breakdown, indexed by rank.
+	Ranks []RankMetrics
+}
+
+// Metrics returns the run's synchronization and balance counters. Call it
+// after Run returns; it reads coordinator-owned state and must not race a
+// running simulation.
+func (r *Runner) Metrics() RunnerMetrics {
+	m := RunnerMetrics{
+		Windows:   r.windows,
+		Lookahead: r.Lookahead(),
+		Ranks:     make([]RankMetrics, len(r.ranks)),
+	}
+	var total, max uint64
+	for i, rk := range r.ranks {
+		m.Ranks[i] = RankMetrics{
+			Rank:        rk.id,
+			Events:      rk.events,
+			Windows:     rk.pubWindows.Load(),
+			IdleWindows: rk.idleWindows,
+			Clock:       sim.Time(rk.pubClock.Load()),
+		}
+		total += rk.events
+		if rk.events > max {
+			max = rk.events
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(r.ranks))
+		m.Imbalance = float64(max) / mean
+	}
+	return m
 }
 
 // RunAll advances until the model is globally idle.

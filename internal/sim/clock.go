@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"fmt"
+	"time"
+)
+
 // ClockHandler is called once per tick with the current cycle number.
 // Returning false unregisters the handler; it may be re-registered later
 // with Clock.Register. Components that stall for long periods should
@@ -20,8 +25,12 @@ type Clock struct {
 	freq     Hz
 	cycle    Cycle
 	handlers []ClockHandler
-	armed    bool
-	prio     Priority
+	// labels[i] attributes handlers[i] in traces; "" falls back to the
+	// clock's own label.
+	labels []string
+	armed  bool
+	prio   Priority
+	label  string
 }
 
 // NewClock creates a clock at freq driven by engine. The clock stays dormant
@@ -30,7 +39,8 @@ func NewClock(engine *Engine, freq Hz) *Clock {
 	if freq == 0 {
 		panic("sim: zero-frequency clock")
 	}
-	return &Clock{engine: engine, freq: freq, prio: PrioClock}
+	return &Clock{engine: engine, freq: freq, prio: PrioClock,
+		label: fmt.Sprintf("clock@%v", freq)}
 }
 
 // Freq returns the clock frequency.
@@ -56,11 +66,18 @@ func (c *Clock) NextCycle() Cycle {
 // Register adds h to the tick list and arms the clock if it was dormant.
 // The first tick delivered to a newly armed clock is the next cycle boundary
 // at or after the current time.
-func (c *Clock) Register(h ClockHandler) {
+func (c *Clock) Register(h ClockHandler) { c.RegisterNamed("", h) }
+
+// RegisterNamed is Register with a trace label: the handler's work (and any
+// events it schedules) is attributed to name in traces instead of to the
+// shared clock. Components pass their instance name, which is how per-core
+// attribution works without the tracer touching component code.
+func (c *Clock) RegisterNamed(name string, h ClockHandler) {
 	if h == nil {
 		panic("sim: Register with nil clock handler")
 	}
 	c.handlers = append(c.handlers, h)
+	c.labels = append(c.labels, name)
 	c.arm()
 }
 
@@ -72,7 +89,30 @@ func (c *Clock) arm() {
 	if c.cycle < c.NextCycle() {
 		c.cycle = c.NextCycle()
 	}
-	c.engine.ScheduleAt(c.freq.CycleTime(c.cycle), c.prio, c.tick, nil)
+	c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tick, nil)
+}
+
+// invoke runs one handler with its label as the engine's current label, so
+// events the handler schedules inherit the component's attribution; when a
+// tracer is active it also emits a per-handler span (the tick event itself
+// is one engine event no matter how many handlers share the clock).
+func (c *Clock) invoke(h ClockHandler, label string) bool {
+	e := c.engine
+	if label == "" {
+		label = c.label
+	}
+	prev := e.curLabel
+	e.curLabel = label
+	var keep bool
+	if e.tracer == nil {
+		keep = h(c.cycle)
+	} else {
+		start := time.Now()
+		keep = h(c.cycle)
+		e.tracer.Event(e.now, label, time.Since(start))
+	}
+	e.curLabel = prev
+	return keep
 }
 
 // tick delivers one cycle to every registered handler, dropping handlers
@@ -84,21 +124,25 @@ func (c *Clock) tick(any) {
 	j := 0
 	for i := 0; i < n; i++ {
 		h := c.handlers[i]
-		if h(c.cycle) {
+		if c.invoke(h, c.labels[i]) {
 			c.handlers[j] = h
+			c.labels[j] = c.labels[i]
 			j++
 		}
 	}
 	// Handlers appended during the tick sit at indices >= n; keep them.
+	copy(c.labels[j:], c.labels[n:])
 	j += copy(c.handlers[j:], c.handlers[n:])
 	for i := j; i < len(c.handlers); i++ {
 		c.handlers[i] = nil
+		c.labels[i] = ""
 	}
 	c.handlers = c.handlers[:j]
+	c.labels = c.labels[:j]
 	c.cycle++
 	c.armed = false
 	if len(c.handlers) > 0 {
 		c.armed = true
-		c.engine.ScheduleAt(c.freq.CycleTime(c.cycle), c.prio, c.tick, nil)
+		c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tick, nil)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInterrupted reports that a run was cut short by Engine.Interrupt (an
@@ -56,6 +57,28 @@ type Engine struct {
 	// events. It is sticky until ClearInterrupt so that window-based
 	// callers (internal/par) observe it across Run calls.
 	intr atomic.Bool
+
+	// peak is the high-water mark of the pending-event queue.
+	peak int
+
+	// curLabel is the label of the event being dispatched; events scheduled
+	// from inside a handler inherit it, which is how completions deep in a
+	// cache/DRAM call chain stay attributed to the component that started
+	// them without every Schedule call naming itself.
+	curLabel string
+
+	// tracer, when set, observes every dispatched event. Nil in normal
+	// runs: the disabled path costs one predictable branch per event.
+	tracer Tracer
+}
+
+// Tracer observes dispatched events when installed with SetTracer. at is
+// the event's simulated time, label the attributed component or link name
+// ("" when unattributed), and dur the host time the handler took.
+// Implementations must not call back into the engine's scheduling methods
+// from Event.
+type Tracer interface {
+	Event(at Time, label string, dur time.Duration)
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -71,6 +94,23 @@ func (e *Engine) Handled() uint64 { return e.handled }
 
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.q.Len() }
+
+// PeakPending returns the high-water mark of the pending-event queue since
+// construction — a capacity statistic for run reports. The mark is observed
+// at dispatch boundaries rather than on every push: between two pops the
+// queue only grows, so its length just before a pop — plus the length at
+// this read — is the exact maximum, at no cost to the schedule path.
+func (e *Engine) PeakPending() int {
+	if n := e.q.Len(); n > e.peak {
+		e.peak = n
+	}
+	return e.peak
+}
+
+// SetTracer installs (or, with nil, removes) the event tracer. Tracing
+// adds two host-clock reads per event; with no tracer the dispatch path is
+// unchanged except for one nil check.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 // NextEventTime returns the timestamp of the earliest pending event, or
 // TimeInfinity when the queue is empty. The parallel runtime uses it to
@@ -92,6 +132,13 @@ func (e *Engine) Schedule(delay Time, fn Handler, payload any) {
 // SchedulePrio arranges for fn(payload) to run after delay at the given
 // same-timestamp priority.
 func (e *Engine) SchedulePrio(delay Time, prio Priority, fn Handler, payload any) {
+	e.ScheduleLabeled(delay, prio, e.curLabel, fn, payload)
+}
+
+// ScheduleLabeled is SchedulePrio with an explicit trace label, overriding
+// the inherited one. Chokepoints that act on behalf of many components —
+// links, clocks, memory devices — use it to seed attribution.
+func (e *Engine) ScheduleLabeled(delay Time, prio Priority, label string, fn Handler, payload any) {
 	if fn == nil {
 		panic("sim: Schedule with nil handler")
 	}
@@ -99,23 +146,28 @@ func (e *Engine) SchedulePrio(delay Time, prio Priority, fn Handler, payload any
 	if t < e.now {
 		t = TimeInfinity // overflow clamps to the end of time
 	}
-	e.push(t, prio, fn, payload)
+	e.push(t, prio, label, fn, payload)
 }
 
 // ScheduleAt is SchedulePrio with an absolute timestamp. Scheduling into
 // the past is a programming error and panics: it would silently violate
 // causality.
 func (e *Engine) ScheduleAt(t Time, prio Priority, fn Handler, payload any) {
+	e.ScheduleLabeledAt(t, prio, e.curLabel, fn, payload)
+}
+
+// ScheduleLabeledAt is ScheduleAt with an explicit trace label.
+func (e *Engine) ScheduleLabeledAt(t Time, prio Priority, label string, fn Handler, payload any) {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil handler")
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
 	}
-	e.push(t, prio, fn, payload)
+	e.push(t, prio, label, fn, payload)
 }
 
-func (e *Engine) push(t Time, prio Priority, fn Handler, payload any) {
+func (e *Engine) push(t Time, prio Priority, label string, fn Handler, payload any) {
 	var ev *event
 	if n := len(e.free) - 1; n >= 0 {
 		ev = e.free[n]
@@ -125,6 +177,12 @@ func (e *Engine) push(t Time, prio Priority, fn Handler, payload any) {
 		ev = new(event)
 	}
 	ev.time, ev.prio, ev.seq, ev.fn, ev.payload = t, prio, e.seq, fn, payload
+	if label != "" {
+		// Recycled events always arrive with a cleared label, so the
+		// unlabeled hot path skips the string store (and its write
+		// barrier) entirely.
+		ev.label = label
+	}
 	e.seq++
 	e.q.Push(ev)
 }
@@ -163,6 +221,9 @@ func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
+	if n := e.q.Len(); n > e.peak {
+		e.peak = n
+	}
 	ev := e.q.Pop()
 	if ev == nil {
 		return false
@@ -178,9 +239,29 @@ func (e *Engine) dispatch(ev *event) {
 	e.now = ev.time
 	fn, payload := ev.fn, ev.payload
 	ev.fn, ev.payload = nil, nil
-	e.free = append(e.free, ev)
 	e.handled++
-	fn(payload)
+	if e.tracer == nil && len(ev.label)|len(e.curLabel) == 0 {
+		// Unlabeled untraced dispatch: nothing to save, restore or clear.
+		// This is the hot loop; the guard is length arithmetic only — a
+		// full string compare would cost a runtime memequal call per
+		// event, and the label string is never materialized.
+		e.free = append(e.free, ev)
+		fn(payload)
+		return
+	}
+	label := ev.label
+	ev.label = "" // keep recycled events label-free; see push
+	e.free = append(e.free, ev)
+	prev := e.curLabel
+	e.curLabel = label
+	if e.tracer == nil {
+		fn(payload)
+	} else {
+		start := time.Now()
+		fn(payload)
+		e.tracer.Event(e.now, label, time.Since(start))
+	}
+	e.curLabel = prev
 }
 
 // Run dispatches events until the queue drains, Stop is called, or the next
@@ -207,6 +288,9 @@ func (e *Engine) Run(until Time) uint64 {
 		}
 		if ev.time > until {
 			break
+		}
+		if n := e.q.Len(); n > e.peak {
+			e.peak = n
 		}
 		e.q.Pop()
 		e.dispatch(ev)

@@ -22,13 +22,16 @@ const (
 
 // event is a scheduled handler invocation. Events are ordered by
 // (time, priority, sequence); sequence is the global insertion counter, so
-// ties are broken deterministically in schedule order.
+// ties are broken deterministically in schedule order. label carries the
+// component/link attribution for the tracer; events scheduled from inside a
+// handler inherit the running event's label unless one is given explicitly.
 type event struct {
 	time    Time
 	prio    Priority
 	seq     uint64
 	fn      Handler
 	payload any
+	label   string
 }
 
 func (a *event) before(b *event) bool {

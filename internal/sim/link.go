@@ -51,11 +51,23 @@ func (p *Port) Latency() Time {
 func (p *Port) Send(payload any) { p.SendDelayed(0, payload) }
 
 // SendDelayed delivers payload to the peer port after the link latency plus
-// extra time (modelling serialization or queuing at the sender).
+// extra time (modelling serialization or queuing at the sender). extra must
+// be non-negative. Time is unsigned, so a caller that computes a negative
+// duration (a - b with b > a) wraps to an enormous value; left unchecked it
+// would schedule delivery astronomically far in the future — or, after the
+// latency addition overflows, into the past, where the engine's causality
+// check would only catch it far from the offending component. Wrapped
+// values all have the top bit set (a legitimate extra below ~53 days does
+// not), so they are rejected here, where the port and link can still be
+// named.
 func (p *Port) SendDelayed(extra Time, payload any) {
 	l := p.link
 	if l == nil {
 		panic(fmt.Sprintf("sim: send on unconnected port %q", p.name))
+	}
+	if extra > TimeInfinity/2 {
+		panic(fmt.Sprintf("sim: negative send delay %v (wrapped to %d ps) on port %q (link %q)",
+			int64(extra), uint64(extra), p.name, l.name))
 	}
 	delay := l.latency + extra
 	if l.intercept != nil {
@@ -79,7 +91,7 @@ func (p *Port) SendDelayed(extra Time, payload any) {
 	if peer.handler == nil {
 		panic(fmt.Sprintf("sim: port %q has no handler (send from %q)", peer.name, p.name))
 	}
-	l.engine.SchedulePrio(delay, peer.prio, peer.handler, payload)
+	l.engine.ScheduleLabeled(delay, peer.prio, l.name, peer.handler, payload)
 }
 
 // Link is a bidirectional, latency-bearing connection between two ports.
@@ -143,6 +155,18 @@ func (l *Link) SetIntercept(fn LinkInterceptor) { l.intercept = fn }
 
 // Intercepted reports whether a fault interceptor is installed.
 func (l *Link) Intercepted() bool { return l.intercept != nil }
+
+// Interceptor returns the installed interceptor, or nil. Observability
+// layers use it to wrap an existing fault interceptor with counters instead
+// of displacing it.
+func (l *Link) Interceptor() LinkInterceptor { return l.intercept }
+
+// Sized is implemented by payloads that know their wire size; link byte
+// counters consult it. Payloads without it count as zero bytes.
+type Sized interface {
+	// PayloadBytes returns the payload's size on the wire, in bytes.
+	PayloadBytes() int
+}
 
 // Ports returns the two endpoints of the link.
 func (l *Link) Ports() (*Port, *Port) { return &l.a, &l.b }

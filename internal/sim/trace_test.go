@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recTracer records every span it is handed.
+type recTracer struct {
+	ats    []Time
+	labels []string
+	durs   []time.Duration
+}
+
+func (r *recTracer) Event(at Time, label string, dur time.Duration) {
+	r.ats = append(r.ats, at)
+	r.labels = append(r.labels, label)
+	r.durs = append(r.durs, dur)
+}
+
+func TestTracerObservesDispatches(t *testing.T) {
+	e := NewEngine()
+	tr := &recTracer{}
+	e.SetTracer(tr)
+	e.ScheduleLabeled(5*Nanosecond, PrioLink, "widget", func(any) {}, nil)
+	e.Schedule(10*Nanosecond, func(any) {}, nil)
+	e.RunAll()
+	if len(tr.labels) != 2 {
+		t.Fatalf("traced %d events, want 2", len(tr.labels))
+	}
+	if tr.labels[0] != "widget" || tr.ats[0] != 5*Nanosecond {
+		t.Fatalf("span 0 = (%v, %q)", tr.ats[0], tr.labels[0])
+	}
+	if tr.labels[1] != "" {
+		t.Fatalf("unlabeled event got label %q", tr.labels[1])
+	}
+	for i, d := range tr.durs {
+		if d < 0 {
+			t.Fatalf("span %d has negative host duration %v", i, d)
+		}
+	}
+}
+
+// TestTracerLabelInheritance pins the attribution convention: events
+// scheduled from inside a labeled handler inherit that label, so a
+// completion deep in a call chain stays attributed to the component that
+// started it.
+func TestTracerLabelInheritance(t *testing.T) {
+	e := NewEngine()
+	tr := &recTracer{}
+	e.SetTracer(tr)
+	e.ScheduleLabeled(0, PrioLink, "cache", func(any) {
+		// Inherits "cache".
+		e.Schedule(Nanosecond, func(any) {
+			e.Schedule(Nanosecond, func(any) {}, nil) // still "cache"
+		}, nil)
+		// Explicit label overrides inheritance.
+		e.ScheduleLabeled(Nanosecond, PrioLink, "dram", func(any) {}, nil)
+	}, nil)
+	e.RunAll()
+	want := map[string]int{"cache": 3, "dram": 1}
+	got := map[string]int{}
+	for _, l := range tr.labels {
+		got[l]++
+	}
+	for l, n := range want {
+		if got[l] != n {
+			t.Errorf("label %q: %d spans, want %d (all: %v)", l, got[l], n, got)
+		}
+	}
+}
+
+// TestTracerDisabledRestoresPath checks SetTracer(nil) removes tracing.
+func TestTracerDisabledRestoresPath(t *testing.T) {
+	e := NewEngine()
+	tr := &recTracer{}
+	e.SetTracer(tr)
+	e.Schedule(0, func(any) {}, nil)
+	e.RunAll()
+	e.SetTracer(nil)
+	e.Schedule(0, func(any) {}, nil)
+	e.RunAll()
+	if len(tr.labels) != 1 {
+		t.Fatalf("traced %d events after removal, want 1", len(tr.labels))
+	}
+}
+
+// TestClockRegisterNamedAttribution: each named clock handler gets its own
+// span per tick, and events it schedules carry its name; anonymous handlers
+// fall back to the clock's own label.
+func TestClockRegisterNamedAttribution(t *testing.T) {
+	e := NewEngine()
+	tr := &recTracer{}
+	e.SetTracer(tr)
+	clk := NewClock(e, 1*GHz)
+	var fromCPU string
+	ticks := 0
+	clk.RegisterNamed("cpu.0", func(c Cycle) bool {
+		if ticks == 0 {
+			e.Schedule(Nanosecond, func(any) { fromCPU = "ran" }, nil)
+		}
+		ticks++
+		return ticks < 2
+	})
+	clk.Register(func(c Cycle) bool { return ticks < 2 })
+	e.RunAll()
+	if fromCPU != "ran" {
+		t.Fatal("scheduled event never ran")
+	}
+	var cpuSpans, clockSpans int
+	cpuLabeled := 0
+	for _, l := range tr.labels {
+		switch {
+		case l == "cpu.0":
+			cpuSpans++
+		case strings.HasPrefix(l, "clock@"):
+			clockSpans++
+		}
+		if l == "cpu.0" {
+			cpuLabeled++
+		}
+	}
+	// Two ticks × one named handler, plus the inherited-label event.
+	if cpuSpans != 3 {
+		t.Errorf("cpu.0 spans = %d, want 3 (2 ticks + 1 inherited event): %v", cpuSpans, tr.labels)
+	}
+	// The anonymous handler's spans and the tick events themselves carry
+	// the clock label.
+	if clockSpans == 0 {
+		t.Errorf("no clock-labeled spans: %v", tr.labels)
+	}
+}
+
+// TestLinkDeliveryLabeledWithLinkName: link deliveries are attributed to
+// the link, giving traces per-link rows without component cooperation.
+func TestLinkDeliveryLabeledWithLinkName(t *testing.T) {
+	e := NewEngine()
+	tr := &recTracer{}
+	e.SetTracer(tr)
+	a, b := Connect(e, "noc.x0", Nanosecond)
+	b.SetHandler(func(any) {})
+	a.Send("m")
+	e.RunAll()
+	found := false
+	for _, l := range tr.labels {
+		if l == "noc.x0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no span labeled with the link name: %v", tr.labels)
+	}
+}
+
+func TestSendDelayedNegativePanics(t *testing.T) {
+	e := NewEngine()
+	a, b := Connect(e, "l9", Nanosecond)
+	b.SetHandler(func(any) {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("negative extra accepted")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		// The message must name the offending port and link so a sweep's
+		// per-point panic capture pinpoints the model bug.
+		for _, want := range []string{"negative send delay", "l9"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	// Time is unsigned: a caller's negative computation arrives wrapped.
+	var zero Time
+	a.SendDelayed(zero-Nanosecond, "bad")
+}
+
+func TestPeakPendingHighWater(t *testing.T) {
+	e := NewEngine()
+	if e.PeakPending() != 0 {
+		t.Fatalf("fresh engine peak = %d", e.PeakPending())
+	}
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i)*Nanosecond, func(any) {}, nil)
+	}
+	if e.PeakPending() != 5 {
+		t.Fatalf("peak = %d, want 5", e.PeakPending())
+	}
+	e.RunAll()
+	// Draining does not lower the high-water mark.
+	if e.PeakPending() != 5 {
+		t.Fatalf("peak after drain = %d, want 5", e.PeakPending())
+	}
+	// A lower subsequent burst does not move it either.
+	e.Schedule(Nanosecond, func(any) {}, nil)
+	if e.PeakPending() != 5 {
+		t.Fatalf("peak after small burst = %d, want 5", e.PeakPending())
+	}
+	e.RunAll()
+}

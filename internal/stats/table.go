@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -91,13 +92,48 @@ func (t *Table) Render(w io.Writer) {
 
 // RenderCSV writes the table as CSV with the title as a comment line.
 func (t *Table) RenderCSV(w io.Writer) {
+	t.WriteCSV(w) //nolint:errcheck // legacy best-effort variant
+}
+
+// WriteCSV is RenderCSV with an error return, for exporters that must not
+// silently truncate on a failed write.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
 	if t.Title != "" {
-		fmt.Fprintf(w, "# %s\n", t.Title)
+		fmt.Fprintf(&sb, "# %s\n", t.Title)
 	}
-	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	fmt.Fprintln(&sb, strings.Join(t.Columns, ","))
 	for _, row := range t.rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+		fmt.Fprintln(&sb, strings.Join(row, ","))
 	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// MarshalJSON encodes the table as {"title", "columns", "rows"}. Cells stay
+// the already-rendered strings, which keeps NaN/Inf cells from failed sweep
+// points representable (encoding/json rejects non-finite numbers).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	cols := t.Columns
+	if cols == nil {
+		cols = []string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, cols, rows})
+}
+
+// WriteJSON emits the table as one indented JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // String renders the table to a string.

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"sst/internal/sim"
+)
+
+// TestSamplerEveryUnknownStatPanics: a periodic sampler over a statistic
+// that never gets registered fails loudly at its first tick — inside the
+// run, where the bad name is still known — rather than silently recording
+// zeros.
+func TestSamplerEveryUnknownStatPanics(t *testing.T) {
+	reg := NewRegistry()
+	engine := sim.NewEngine()
+	s := NewSampler(reg, "ghost.stat")
+	s.Every(engine, sim.Nanosecond, 3)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unknown stat sampled without panic")
+		}
+		err, ok := r.(error)
+		if !ok || !strings.Contains(err.Error(), "ghost.stat") {
+			t.Fatalf("panic %v does not name the missing statistic", r)
+		}
+	}()
+	engine.RunAll()
+}
+
+// TestSamplerEveryExhaustion: the sample budget is a hard stop — a workload
+// that keeps running past it gains no extra rows, and the sampler's last
+// row lands exactly at period*maxSamples.
+func TestSamplerEveryExhaustion(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Scope("m").Counter("n")
+	engine := sim.NewEngine()
+	var work sim.Handler
+	ticks := 0
+	work = func(any) {
+		c.Inc()
+		ticks++
+		if ticks < 1000 {
+			engine.Schedule(sim.Nanosecond, work, nil)
+		}
+	}
+	engine.Schedule(0, work, nil)
+	s := NewSampler(reg, "m.n")
+	s.Every(engine, 5*sim.Nanosecond, 4)
+	engine.RunAll()
+	if ticks != 1000 {
+		t.Fatalf("workload stopped early: %d ticks", ticks)
+	}
+	if s.N() != 4 {
+		t.Fatalf("samples = %d, want exactly 4", s.N())
+	}
+	last, _ := s.Row(3)
+	if last != 20*sim.Nanosecond {
+		t.Fatalf("last sample at %v, want 20ns", last)
+	}
+}
+
+// TestTableNaNInfCells: failed sweep points leave NaN/Inf in derived
+// metrics; the table must render them and still serialize as valid JSON
+// (encoding/json rejects non-finite numbers, so cells go through as their
+// rendered strings).
+func TestTableNaNInfCells(t *testing.T) {
+	tab := NewTable("edge cells", "name", "value")
+	tab.AddRow("nan", math.NaN())
+	tab.AddRow("posinf", math.Inf(1))
+	tab.AddRow("neginf", math.Inf(-1))
+	tab.AddRow("finite", 1.5)
+
+	text := tab.String()
+	for _, want := range []string{"NaN", "+Inf", "-Inf", "1.5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON failed on non-finite cells: %v", err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON does not re-parse: %v", err)
+	}
+	if doc.Title != "edge cells" || len(doc.Rows) != 4 {
+		t.Fatalf("round-trip lost shape: %+v", doc)
+	}
+	if doc.Rows[0][1] != "NaN" || doc.Rows[1][1] != "+Inf" || doc.Rows[2][1] != "-Inf" {
+		t.Fatalf("non-finite cells mangled: %v", doc.Rows)
+	}
+
+	// CSV keeps them too.
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nan,NaN") {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+}
+
+// TestTableEmptyJSON: an empty table serializes to empty arrays, not null,
+// so downstream parsers can index unconditionally.
+func TestTableEmptyJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTable("empty").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, "null") {
+		t.Fatalf("empty table serialized nulls:\n%s", s)
+	}
+}

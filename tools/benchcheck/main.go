@@ -1,0 +1,167 @@
+// benchcheck gates the perf-critical benchmarks against a committed
+// baseline. It reads `go test -bench -benchmem` output on stdin and
+// compares each benchmark to BENCH_baseline.json:
+//
+//	go test -run='^$' -bench='EngineHotLoop$' -benchmem ./internal/sim |
+//	    go run ./tools/benchcheck -baseline BENCH_baseline.json
+//
+// allocs/op and B/op are near-deterministic: they may not exceed the
+// baseline by more than 1% — which keeps a zero-alloc baseline exactly
+// zero, the real contract — with the 1% absorbing per-iteration
+// amortization jitter on allocation-heavy benchmarks. ns/op is host-
+// dependent, so it only fails beyond the per-entry tolerance (default
+// -tol); a slower CI box should regenerate with -update rather than widen
+// tolerances.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Tolerance is the allowed fractional ns/op regression for this entry
+	// (0.02 = 2%). Zero means use the -tol flag's default.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+type baseline struct {
+	// Note records how to regenerate the file.
+	Note    string           `json:"note"`
+	Entries map[string]entry `json:"entries"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEngineHotLoop-8   12345678   85.3 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r *bufio.Scanner) map[string]entry {
+	got := map[string]entry{}
+	for r.Scan() {
+		line := r.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		f := func(s string) float64 {
+			v, _ := strconv.ParseFloat(s, 64)
+			return v
+		}
+		got[m[1]] = entry{NsPerOp: f(m[2]), BytesPerOp: f(m[3]), AllocsPerOp: f(m[4])}
+	}
+	return got
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	tol := flag.Float64("tol", 0.25, "default allowed fractional ns/op regression")
+	flag.Parse()
+
+	got := parse(bufio.NewScanner(os.Stdin))
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *update {
+		// Preserve per-entry tolerances across regeneration.
+		var old baseline
+		if data, err := os.ReadFile(*baselinePath); err == nil {
+			_ = json.Unmarshal(data, &old)
+		}
+		out := baseline{
+			Note:    "regenerate with: make bench-baseline",
+			Entries: got,
+		}
+		for name, e := range out.Entries {
+			if prev, ok := old.Entries[name]; ok {
+				e.Tolerance = prev.Tolerance
+				out.Entries[name] = e
+			}
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: wrote %s (%d entries)\n", *baselinePath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v (run with -update to create)\n", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: bad baseline: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(base.Entries))
+	for name := range base.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Entries[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: in baseline but not run\n", name)
+			failed = true
+			continue
+		}
+		if have.AllocsPerOp > want.AllocsPerOp*1.01 {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %.0f allocs/op, baseline %.0f\n",
+				name, have.AllocsPerOp, want.AllocsPerOp)
+			failed = true
+		}
+		if have.BytesPerOp > want.BytesPerOp*1.01 {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %.0f B/op, baseline %.0f\n",
+				name, have.BytesPerOp, want.BytesPerOp)
+			failed = true
+		}
+		t := want.Tolerance
+		if t == 0 {
+			t = *tol
+		}
+		if want.NsPerOp > 0 {
+			delta := have.NsPerOp/want.NsPerOp - 1
+			mark := "ok  "
+			if delta > t {
+				mark = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(os.Stderr, "benchcheck: %s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, tol %.0f%%)\n",
+				mark, name, have.NsPerOp, want.NsPerOp, 100*delta, 100*t)
+		}
+	}
+	for name := range got {
+		if _, ok := base.Entries[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: note: %s not in baseline (add with -update)\n", name)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
