@@ -3,8 +3,9 @@
 #   make check      — the CI gate: vet + full tests + race on the packages
 #                     with concurrency (sim kernel, parallel runtime,
 #                     sweeps, fault injection) + a short fuzz pass over the
-#                     config parsers
-#   make bench      — the perf gate: the event-kernel hot loop and the sweep
+#                     config parsers and the rank-partitioning lookahead
+#   make bench      — the perf gate: the event-kernel hot loop, the parallel
+#                     window barrier (both sync modes) and the sweep
 #                     scheduler, with -benchmem, checked against the
 #                     committed BENCH_baseline.json (alloc counts must not
 #                     grow; ns/op within tolerance). `make check bench` is
@@ -22,6 +23,7 @@ FUZZTIME ?= 5s
 # shared between `bench` and `bench-baseline` so the two always measure the
 # same thing.
 BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./internal/sim && \
+          $(GO) test -run='^$$' -bench='^BenchmarkParallelWindow$$' -benchmem ./internal/par && \
           $(GO) test -run='^$$' -bench='^BenchmarkSweepWorkers$$' -benchmem .
 
 .PHONY: build test vet race check bench bench-baseline tables fuzz-short
@@ -42,12 +44,15 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/...
 
-# Coverage-guided fuzzing of the AMM JSON loaders: arbitrary input must
+# Coverage-guided fuzzing of the AMM JSON loaders (arbitrary input must
 # produce a validated config or an error, never a panic or a NaN/Inf/zero
-# value the simulator would choke on later.
+# value the simulator would choke on later) and of the rank-partitioning
+# path (the derived lookahead matrix must equal true shortest paths and
+# zero-latency cross-rank links must be rejected by name).
 fuzz-short:
 	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadMachine -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadSystem -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzPartitionLookahead -fuzztime=$(FUZZTIME)
 
 check: build vet test race fuzz-short
 

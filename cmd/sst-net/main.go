@@ -6,6 +6,7 @@
 //
 //	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125]
 //	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
+//	sst-net -scaling [-nodes 16] [-ranks 1,2,4,8] [-horizon 2ms] [-format ...]
 //
 // The study's (proxy app, bandwidth fraction) cells are independent
 // simulations; -j sets how many run concurrently (default: GOMAXPROCS).
@@ -13,6 +14,13 @@
 // per-point host timings as a JSON array; -trace-out writes the
 // degradation study's host timeline as a Chrome trace. Ctrl-C drains the
 // cells already running, prints whatever completed, and exits nonzero.
+//
+// -scaling instead runs the parallel-simulator scaling study (E6): the
+// heterogeneous-latency lattice partitioned over each rank count, under
+// both conservative sync modes (global window vs topology-aware pairwise
+// horizons), reporting wall time and dispatched synchronization windows
+// side by side. It is sequential by design (each point times the host),
+// so -j is ignored there.
 package main
 
 import (
@@ -27,18 +35,22 @@ import (
 
 	"sst/internal/core"
 	"sst/internal/obs"
+	"sst/internal/sim"
 )
 
 func main() {
 	var (
-		nodesFlag  = flag.Int("nodes", 32, "system size (torus nodes)")
-		stepsFlag  = flag.Int("steps", 6, "application timesteps")
-		fracFlag   = flag.String("fractions", "1,0.5,0.25,0.125", "injection bandwidth fractions")
-		formatFlag = flag.String("format", "table", "output format: table, json or csv")
-		csvFlag    = flag.Bool("csv", false, "deprecated: same as -format csv")
-		jFlag      = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
-		metricsOut = flag.String("metrics-out", "", "write per-point sweep metrics JSON to this file")
-		traceOut   = flag.String("trace-out", "", "write a host-timeline Chrome trace of the degradation sweep to this file")
+		nodesFlag   = flag.Int("nodes", 32, "system size (torus nodes)")
+		stepsFlag   = flag.Int("steps", 6, "application timesteps")
+		fracFlag    = flag.String("fractions", "1,0.5,0.25,0.125", "injection bandwidth fractions")
+		formatFlag  = flag.String("format", "table", "output format: table, json or csv")
+		csvFlag     = flag.Bool("csv", false, "deprecated: same as -format csv")
+		jFlag       = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+		metricsOut  = flag.String("metrics-out", "", "write per-point sweep metrics JSON to this file")
+		traceOut    = flag.String("trace-out", "", "write a host-timeline Chrome trace of the degradation sweep to this file")
+		scalingFlag = flag.Bool("scaling", false, "run the parallel-simulator scaling study instead (E6)")
+		ranksFlag   = flag.String("ranks", "1,2,4,8", "rank counts for -scaling")
+		horizonFlag = flag.String("horizon", "2ms", "simulated horizon for -scaling")
 	)
 	flag.Parse()
 	format, err := core.ParseFormat(*formatFlag)
@@ -51,10 +63,39 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *scalingFlag {
+		if err := runScaling(*nodesFlag, *ranksFlag, *horizonFlag, format, ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sst-net:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*nodesFlag, *stepsFlag, *fracFlag, format, *jFlag, ctx, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sst-net:", err)
 		os.Exit(1)
 	}
+}
+
+// runScaling drives the E6 parallel-scaling study: the heterogeneous
+// lattice over each rank count, global and pairwise sync side by side.
+func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ctx context.Context) error {
+	var ranks []int
+	for _, s := range strings.Split(ranksFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad rank count %q", s)
+		}
+		ranks = append(ranks, n)
+	}
+	horizon, err := sim.ParseTime(horizonFlag)
+	if err != nil {
+		return fmt.Errorf("bad horizon: %w", err)
+	}
+	res, err := core.ParallelScalingStudy(ranks, nodes, horizon, core.SweepOptions{Context: ctx})
+	if err != nil {
+		return err
+	}
+	return core.WriteResults(os.Stdout, format, res)
 }
 
 func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx context.Context, metricsOut, traceOut string) error {

@@ -38,6 +38,18 @@ func TestNetStudyObsFiles(t *testing.T) {
 	}
 }
 
+func TestNetScalingStudy(t *testing.T) {
+	if err := runScaling(8, "1,2", "100us", core.FormatTable, context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScaling(8, "1,x", "100us", core.FormatTable, context.Background()); err == nil {
+		t.Error("bad rank count accepted")
+	}
+	if err := runScaling(8, "1", "soon", core.FormatTable, context.Background()); err == nil {
+		t.Error("bad horizon accepted")
+	}
+}
+
 func TestNetStudyBadFractions(t *testing.T) {
 	if err := run(8, 2, "1,zero", core.FormatTable, 0, context.Background(), "", ""); err == nil {
 		t.Error("bad fraction accepted")

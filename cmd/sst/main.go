@@ -8,7 +8,8 @@
 //
 //	sst -config machine.json [-stats] [-format table|json|csv]
 //	    [-trace-out run.json] [-trace-cap N] [-metrics-out m.json]
-//	sst -system system.json [-trace-out run.json] [-metrics-out m.json]
+//	sst -system system.json [-par N] [-sync global|pairwise]
+//	    [-trace-out run.json] [-metrics-out m.json]
 //
 // -trace-out records per-event spans (simulated time, component label,
 // host handler time) into a bounded ring and writes a Chrome trace_event
@@ -16,6 +17,12 @@
 // -metrics-out writes the run's engine/link metrics as JSON. -format json
 // emits the result and metrics as one JSON object instead of the human
 // summary.
+//
+// -par N partitions a -system run over N parallel ranks (the network
+// fabric becomes internal/dnoc, bit-identical to the sequential run);
+// -sync selects the conservative synchronization mode, pairwise
+// (topology-aware lookahead, the default) or global (single minimum
+// window). -trace-out is single-engine only and is rejected with -par.
 //
 // See configs/ for examples of both formats and internal/config for the
 // full schema.
@@ -32,8 +39,10 @@ import (
 
 	"sst/internal/config"
 	"sst/internal/core"
+	"sst/internal/dnoc"
 	"sst/internal/noc"
 	"sst/internal/obs"
+	"sst/internal/par"
 	"sst/internal/sim"
 	"sst/internal/stats"
 	"sst/internal/workload"
@@ -43,13 +52,23 @@ import (
 // an interrupted simulation reports where it was instead of dying mid-run.
 // The returned func detaches the handler.
 func interruptEngine(eng *sim.Engine) func() {
+	return onInterrupt(eng.Interrupt)
+}
+
+// interruptRunner is interruptEngine for a parallel run: Ctrl-C interrupts
+// every rank through the runner.
+func interruptRunner(r *par.Runner) func() {
+	return onInterrupt(r.Interrupt)
+}
+
+func onInterrupt(stop func()) func() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
 	done := make(chan struct{})
 	go func() {
 		select {
 		case <-sigc:
-			eng.Interrupt()
+			stop()
 		case <-done:
 		}
 	}()
@@ -79,6 +98,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write an event trace to this file (Chrome JSON; CSV if path ends in .csv)")
 		traceCap   = flag.Int("trace-cap", 0, "trace ring capacity in spans (0 = default 65536; keeps the run's tail)")
 		metricsOut = flag.String("metrics-out", "", "write run metrics JSON to this file")
+		parFlag    = flag.Int("par", 1, "partition a -system run over N parallel ranks")
+		syncFlag   = flag.String("sync", "pairwise", "parallel sync mode: global or pairwise")
 	)
 	flag.Parse()
 	format, err := core.ParseFormat(*formatFlag)
@@ -89,12 +110,17 @@ func main() {
 	if *asCSV {
 		format = core.FormatCSV
 	}
+	syncMode, err := par.ParseSyncMode(*syncFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sst:", err)
+		os.Exit(2)
+	}
 	ob := obsFlags{traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut, format: format}
 	switch {
 	case *cfgPath != "":
 		err = run(*cfgPath, *dumpStats, ob, *timeline, *samplePd)
 	case *sysPath != "":
-		err = runSystem(*sysPath, ob)
+		err = runSystem(*sysPath, ob, *parFlag, syncMode)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -147,8 +173,9 @@ func writeFile(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-// runSystem executes a multi-node communication-profile simulation.
-func runSystem(path string, ob obsFlags) error {
+// runSystem executes a multi-node communication-profile simulation,
+// sequentially or (nranks > 1) partitioned over parallel ranks.
+func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode) error {
 	sys, err := config.LoadSystemFile(path)
 	if err != nil {
 		return err
@@ -158,11 +185,6 @@ func runSystem(path string, ob obsFlags) error {
 		return err
 	}
 	netCfg, err := sys.Net.ToNetConfig()
-	if err != nil {
-		return err
-	}
-	engine := sim.NewEngine()
-	net, err := noc.NewNetwork(engine, "net", topo, netCfg, nil)
 	if err != nil {
 		return err
 	}
@@ -185,6 +207,14 @@ func runSystem(path string, ob obsFlags) error {
 	ranks := sys.Ranks
 	if ranks == 0 {
 		ranks = topo.NumNodes()
+	}
+	if nranks > 1 {
+		return runSystemPar(sys.Name, topo, netCfg, profile, ranks, ob, nranks, mode)
+	}
+	engine := sim.NewEngine()
+	net, err := noc.NewNetwork(engine, "net", topo, netCfg, nil)
+	if err != nil {
+		return err
 	}
 	app, err := workload.NewApp(engine, profile.Name, net, profile.Scripts(ranks))
 	if err != nil {
@@ -214,6 +244,83 @@ func runSystem(path string, ob obsFlags) error {
 	fmt.Printf("max recv wait:   %.3f ms\n", app.MaxWaitTime().Seconds()*1e3)
 	fmt.Printf("link utilization: mean %.3f, hottest %.3f\n", net.LinkUtilization(), net.HottestLinkUtilization())
 	fmt.Printf("network energy:  %.3f J (%.2f W provisioned static)\n", energy.TotalJ(), energy.StaticW)
+	return nil
+}
+
+// runSystemPar is the distributed variant of runSystem: the network fabric
+// is internal/dnoc partitioned over the runner, and the application's rank
+// scripts are grouped by home rank into one workload.App per partition.
+// Results are bit-identical to the sequential run (asserted by
+// internal/dnoc's and internal/par's tests).
+func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
+	profile workload.CommProfile, ranks int, ob obsFlags, nranks int, mode par.SyncMode) error {
+	if ob.traceOut != "" {
+		return fmt.Errorf("-trace-out traces a single engine; it is not available with -par (remove one of the two)")
+	}
+	runner, err := par.NewRunner(nranks)
+	if err != nil {
+		return err
+	}
+	runner.SetSyncMode(mode)
+	d, err := dnoc.New(runner, topo, netCfg, nil)
+	if err != nil {
+		return err
+	}
+	scripts := profile.Scripts(ranks)
+	// Group the app ranks by the partition that owns their node: one
+	// workload.App per par-rank, each driving only its local NICs.
+	// Script send/recv peers are global node ids, so the grouping is
+	// invisible to the protocol.
+	ports := make([][]workload.MessagePort, nranks)
+	local := make([][]*workload.Script, nranks)
+	for i, s := range scripts {
+		home := d.RankOfNode(i)
+		ports[home] = append(ports[home], d.NIC(i))
+		local[home] = append(local[home], s)
+	}
+	apps := make([]*workload.App, 0, nranks)
+	for p := 0; p < nranks; p++ {
+		if len(local[p]) == 0 {
+			continue
+		}
+		app, err := workload.NewAppOnPorts(runner.Rank(p).Engine(), fmt.Sprintf("%s.rank%d", profile.Name, p), ports[p], local[p])
+		if err != nil {
+			return err
+		}
+		apps = append(apps, app)
+	}
+	col := obs.NewCollector()
+	col.Attach(runner.Rank(0).Engine())
+	col.AttachRunner(runner)
+	for _, app := range apps {
+		app.Start(nil)
+	}
+	defer interruptRunner(runner)()
+	if _, err := runner.RunAll(); err != nil {
+		return err
+	}
+	var elapsed sim.Time
+	for _, app := range apps {
+		if !app.Done() {
+			return fmt.Errorf("application deadlocked (rank group %s)", app.Name())
+		}
+		if e := app.Elapsed(); e > elapsed {
+			elapsed = e
+		}
+	}
+	rep := col.Report()
+	if err := ob.flush(nil, rep); err != nil {
+		return err
+	}
+	m := runner.Metrics()
+	fmt.Printf("system:          %s (%s, %d ranks over %d partitions, %s sync)\n",
+		name, topo.Name(), ranks, nranks, m.Mode)
+	fmt.Printf("app:             %s, %d steps\n", profile.Name, profile.Steps)
+	fmt.Printf("simulated time:  %.3f ms\n", elapsed.Seconds()*1e3)
+	fmt.Printf("messages:        %d (%.2f MB)\n", d.Messages(), float64(d.BytesDelivered())/1e6)
+	fmt.Printf("mean msg latency: %.2f us\n", d.MeanLatencyPs()/1e6)
+	fmt.Printf("sync windows:    %d (%d fast-forwards, lookahead %v, imbalance %.2f)\n",
+		m.Windows, m.FastForwards, m.Lookahead, m.Imbalance)
 	return nil
 }
 

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"sst/internal/core"
+	"sst/internal/par"
 )
 
 const testMachine = `{
@@ -139,11 +141,11 @@ func TestRunSystemFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(testSystem), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSystem(path, obsFlags{}); err != nil {
+	if err := runSystem(path, obsFlags{}, 1, par.SyncPairwise); err != nil {
 		t.Fatal(err)
 	}
 	metrics := filepath.Join(dir, "m.json")
-	if err := runSystem(path, obsFlags{metricsOut: metrics}); err != nil {
+	if err := runSystem(path, obsFlags{metricsOut: metrics}, 1, par.SyncPairwise); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(metrics); err != nil {
@@ -151,8 +153,39 @@ func TestRunSystemFile(t *testing.T) {
 	}
 }
 
+func TestRunSystemParallel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(testSystem), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []par.SyncMode{par.SyncGlobal, par.SyncPairwise} {
+		if err := runSystem(path, obsFlags{}, 4, mode); err != nil {
+			t.Fatalf("sync=%v: %v", mode, err)
+		}
+	}
+	// The parallel run's metrics JSON must carry the runner section.
+	metrics := filepath.Join(dir, "mp.json")
+	if err := runSystem(path, obsFlags{metricsOut: metrics}, 2, par.SyncPairwise); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"par"`, `"mode": "pairwise"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("parallel metrics missing %s:\n%s", want, data)
+		}
+	}
+	// Tracing is single-engine only.
+	if err := runSystem(path, obsFlags{traceOut: filepath.Join(dir, "t.json")}, 2, par.SyncPairwise); err == nil {
+		t.Fatal("-trace-out with -par accepted")
+	}
+}
+
 func TestRunSystemMissing(t *testing.T) {
-	if err := runSystem("/nonexistent.json", obsFlags{}); err == nil {
+	if err := runSystem("/nonexistent.json", obsFlags{}, 1, par.SyncPairwise); err == nil {
 		t.Fatal("missing system accepted")
 	}
 }

@@ -201,12 +201,30 @@ func TestNetDegradationSmall(t *testing.T) {
 }
 
 func TestParallelScalingStudyRuns(t *testing.T) {
-	res, err := ParallelScalingStudy([]int{1, 2}, 8, 200*sim.Microsecond, SweepOptions{})
+	// 4 ranks so the chatty pair's tight link pins only ranks 0-1 and the
+	// periphery ranks 2-3 see slow-link-only inbound paths; at 2 ranks the
+	// tight link couples the only rank pair and pairwise == global by
+	// construction.
+	res, err := ParallelScalingStudy([]int{1, 4}, 8, 200*sim.Microsecond, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.WallSeconds) != 2 || res.Table().NumRows() != 2 {
 		t.Fatalf("study incomplete: %v", res.WallSeconds)
+	}
+	if len(res.WallSecondsGlobal) != 2 || len(res.Windows) != 2 || len(res.WindowsGlobal) != 2 {
+		t.Fatalf("sync-mode comparison incomplete: global=%v windows=%v/%v",
+			res.WallSecondsGlobal, res.Windows, res.WindowsGlobal)
+	}
+	// The study itself errors if pairwise dispatches more windows than
+	// global; here pin that the counts are non-trivial and that the
+	// slow-link periphery lets pairwise run strictly fewer, larger windows.
+	if res.Windows[4] == 0 || res.WindowsGlobal[4] == 0 {
+		t.Fatalf("no windows dispatched: pairwise=%d global=%d", res.Windows[4], res.WindowsGlobal[4])
+	}
+	if res.Windows[4] >= res.WindowsGlobal[4] {
+		t.Errorf("pairwise dispatched %d windows vs global %d; topology-aware horizons are not engaging",
+			res.Windows[4], res.WindowsGlobal[4])
 	}
 }
 

@@ -11,14 +11,15 @@ import (
 
 // The parallel-simulation study exercises the poster's scalability claim:
 // the same multi-node model is partitioned over 1..N ranks and the host
-// wall-clock time per simulated event is measured. On a multi-core host the
-// windows execute concurrently; on any host the study also verifies that
-// partitioning leaves the event count unchanged (determinism is covered by
-// internal/par's tests).
+// wall-clock time per simulated event is measured, under both conservative
+// synchronization modes. On a multi-core host the windows execute
+// concurrently; on any host the study also verifies that neither the
+// partitioning nor the sync mode changes the event count (bit-level
+// determinism is covered by internal/par's tests).
 
 // latticeNode is a self-driving model node: it burns host CPU per event
 // (standing in for component model code) and exchanges messages with its
-// ring neighbor at every lookahead interval.
+// ring neighbor.
 type latticeNode struct {
 	name     string
 	out      *sim.Port
@@ -32,9 +33,18 @@ func (l *latticeNode) recv(payload any) {
 	l.received++
 }
 
+// burn is the stand-in for component model code: a fixed dose of host CPU
+// per handled event.
+func (l *latticeNode) burn() {
+	for k := 0; k < 60; k++ {
+		l.sink += float64(k) * 1.0000001
+	}
+}
+
 // BuildLattice partitions `nodes` ring-connected nodes over the runner and
 // starts their event chains: each node processes one compute event per
-// eventSpacing and one neighbor message per linkLatency.
+// eventSpacing and one neighbor message per linkLatency. All links share
+// one latency, so it exercises the uniform-lookahead case.
 func BuildLattice(r *par.Runner, nodes int, eventSpacing, linkLatency sim.Time) ([]*latticeNode, error) {
 	nranks := r.NumRanks()
 	type half struct{ a, b *sim.Port }
@@ -59,9 +69,7 @@ func BuildLattice(r *par.Runner, nodes int, eventSpacing, linkLatency sim.Time) 
 		var work sim.Handler
 		sends := sim.Time(0)
 		work = func(any) {
-			for k := 0; k < 60; k++ {
-				node.sink += float64(k) * 1.0000001
-			}
+			node.burn()
 			sends += eventSpacing
 			if sends >= linkLatency {
 				sends = 0
@@ -74,16 +82,125 @@ func BuildLattice(r *par.Runner, nodes int, eventSpacing, linkLatency sim.Time) 
 	return out, nil
 }
 
-// ParallelScalingResult is the parallel-scaling study's Result: the
-// rendered table plus WallSeconds[ranks] = host wall time per rank count.
-type ParallelScalingResult struct {
-	TableResult
-	WallSeconds map[int]float64
+// Heterogeneous lattice constants: a duty-cycled chatty pair coupled by
+// one tight link plus a bursty periphery on links an order of magnitude
+// slower. This is the configuration where topology-aware (pairwise) sync
+// beats a global window: the tight link pins the global lookahead to
+// tightLat for every rank forever, while pairwise horizons are computed
+// from next-event times — so whenever the chatty pair is in the quiet part
+// of its duty cycle, periphery ranks get windows sized by their slow
+// inbound links and run a whole burst per dispatch instead of crawling
+// through it tightLat at a time.
+const (
+	hetTightLat   = 250 * sim.Nanosecond
+	hetSlowLat    = 2 * sim.Microsecond
+	hetChatStep   = 2 * sim.Nanosecond   // chatty pair compute-event spacing
+	hetChatOn     = 5 * sim.Microsecond  // chatty active slice per period
+	hetChatPeriod = 20 * sim.Microsecond // chatty duty-cycle period
+	hetBurstLen   = 16                   // events per periphery burst
+	hetBurstStep  = 50 * sim.Nanosecond
+	hetBurstGap   = 8 * sim.Microsecond // burst start to next burst start
+)
+
+// BuildLatticeHetero partitions a heterogeneous-latency lattice over the
+// runner: nodes 0 and 1 exchange messages every tightLat across the one
+// tight link and run dense compute events, while the remaining nodes sit
+// on slow ring links and wake only for short event bursts.
+func BuildLatticeHetero(r *par.Runner, nodes int) ([]*latticeNode, error) {
+	if nodes < 4 {
+		return nil, fmt.Errorf("core: heterogeneous lattice needs at least 4 nodes, got %d", nodes)
+	}
+	nranks := r.NumRanks()
+	type half struct{ a, b *sim.Port }
+	halves := make([]half, nodes)
+	for i := 0; i < nodes; i++ {
+		lat := hetSlowLat
+		if i == 0 {
+			lat = hetTightLat // the node0-node1 link
+		}
+		ra := i % nranks
+		rb := ((i + 1) % nodes) % nranks
+		a, b, err := r.Connect(fmt.Sprintf("het%d", i), lat, ra, rb)
+		if err != nil {
+			return nil, err
+		}
+		halves[i] = half{a, b}
+	}
+	out := make([]*latticeNode, nodes)
+	for i := 0; i < nodes; i++ {
+		out[i] = &latticeNode{name: fmt.Sprintf("node%d", i), out: halves[i].a}
+		halves[(i-1+nodes)%nodes].b.SetHandler(out[i].recv)
+		r.Rank(i % nranks).Add(out[i])
+	}
+	// The chatty pair: dense local events, a message across the tight link
+	// every tightLat, active hetChatOn out of every hetChatPeriod. Node 1
+	// replies on the tight link's far port rather than its slow ring
+	// out-port, so the chat stays on the 250ns path. The quiet stretch is
+	// what the pairwise horizons exploit: the pair's next events sit a
+	// whole period ahead, so it stops capping everyone else's windows.
+	halves[0].a.SetHandler(out[0].recv) // node 1 -> node 0 replies
+	chat := func(i int, port *sim.Port, start sim.Time) {
+		node := out[i]
+		eng := r.Rank(i % nranks).Engine()
+		per := int(hetTightLat / hetChatStep)
+		count := 0
+		var work sim.Handler
+		work = func(any) {
+			node.burn()
+			count++
+			if count%per == 0 {
+				port.Send(node.received)
+			}
+			if phase := eng.Now() % hetChatPeriod; phase+hetChatStep >= hetChatOn {
+				eng.Schedule(hetChatPeriod-phase, work, nil)
+				return
+			}
+			eng.Schedule(hetChatStep, work, nil)
+		}
+		eng.Schedule(start, work, nil)
+	}
+	chat(0, halves[0].a, 0)
+	chat(1, halves[0].b, sim.Nanosecond)
+	// The periphery: hetBurstLen events spaced hetBurstStep, one ring
+	// message at the end of each burst, then silence until the next burst.
+	for i := 2; i < nodes; i++ {
+		node := out[i]
+		eng := r.Rank(i % nranks).Engine()
+		k := 0
+		var burst sim.Handler
+		burst = func(any) {
+			node.burn()
+			k++
+			if k%hetBurstLen == 0 {
+				node.out.Send(node.received)
+				eng.Schedule(hetBurstGap-sim.Time(hetBurstLen-1)*hetBurstStep, burst, nil)
+				return
+			}
+			eng.Schedule(hetBurstStep, burst, nil)
+		}
+		eng.Schedule(sim.Time(i%7)*sim.Nanosecond, burst, nil)
+	}
+	return out, nil
 }
 
-// ParallelScalingStudy runs the lattice at each rank count for the given
-// simulated horizon, reporting host wall time, simulated events and
-// events/second.
+// ParallelScalingResult is the parallel-scaling study's Result: the
+// rendered table plus, per rank count, the host wall time and the total
+// dispatched window count under each sync mode. WallSeconds refers to the
+// default (pairwise) mode.
+type ParallelScalingResult struct {
+	TableResult
+	WallSeconds       map[int]float64
+	WallSecondsGlobal map[int]float64
+	Windows           map[int]uint64
+	WindowsGlobal     map[int]uint64
+}
+
+// ParallelScalingStudy runs the heterogeneous lattice at each rank count
+// for the given simulated horizon under both sync modes, reporting host
+// wall time, dispatched windows and simulated events. The event count must
+// be invariant across every (ranks, mode) cell, and on multi-rank runs the
+// pairwise mode must not dispatch more windows than the global mode — both
+// are checked here, not just reported.
 //
 // Unlike the design-space sweeps this study stays sequential on purpose:
 // each point measures host wall-clock and already spawns one goroutine per
@@ -93,38 +210,73 @@ type ParallelScalingResult struct {
 // cancelled sweep stops promptly.
 func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time, opts SweepOptions) (*ParallelScalingResult, error) {
 	t := stats.NewTable(
-		fmt.Sprintf("Parallel simulation scaling: %d-node model, %v horizon", nodes, horizon),
-		"ranks", "events", "wall_ms", "events_per_sec", "speedup_vs_1rank")
+		fmt.Sprintf("Parallel simulation scaling: %d-node heterogeneous lattice, %v horizon", nodes, horizon),
+		"ranks", "events", "wall_ms_global", "wall_ms_pairwise", "windows_global", "windows_pairwise", "speedup_vs_1rank")
 	ctx := opts.context()
-	wall := map[int]float64{}
+	res := &ParallelScalingResult{
+		WallSeconds:       map[int]float64{},
+		WallSecondsGlobal: map[int]float64{},
+		Windows:           map[int]uint64{},
+		WindowsGlobal:     map[int]uint64{},
+	}
+	type cell struct {
+		wall    float64
+		windows uint64
+		events  uint64
+	}
+	run := func(nr int, mode par.SyncMode) (cell, error) {
+		r, err := par.NewRunner(nr)
+		if err != nil {
+			return cell{}, err
+		}
+		r.SetSyncMode(mode)
+		if _, err := BuildLatticeHetero(r, nodes); err != nil {
+			return cell{}, err
+		}
+		start := time.Now()
+		events, err := r.Run(horizon)
+		if err != nil {
+			return cell{}, err
+		}
+		w := time.Since(start).Seconds()
+		var dispatched uint64
+		for _, rk := range r.Metrics().Ranks {
+			dispatched += rk.Windows
+		}
+		return cell{wall: w, windows: dispatched, events: events}, nil
+	}
 	var base float64
 	var baseEvents uint64
 	for _, nr := range rankCounts {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: parallel scaling study cancelled: %w", err)
 		}
-		r, err := par.NewRunner(nr)
+		g, err := run(nr, par.SyncGlobal)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := BuildLattice(r, nodes, 2*sim.Nanosecond, 2*sim.Microsecond); err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		events, err := r.Run(horizon)
+		p, err := run(nr, par.SyncPairwise)
 		if err != nil {
 			return nil, err
 		}
-		w := time.Since(start).Seconds()
-		wall[nr] = w
 		if nr == rankCounts[0] {
-			base = w
-			baseEvents = events
+			base = p.wall
+			baseEvents = p.events
 		}
-		if events != baseEvents {
-			return nil, fmt.Errorf("core: partitioning changed event count: %d vs %d", events, baseEvents)
+		if g.events != baseEvents || p.events != baseEvents {
+			return nil, fmt.Errorf("core: partitioning or sync mode changed event count at %d ranks: global %d, pairwise %d, reference %d",
+				nr, g.events, p.events, baseEvents)
 		}
-		t.AddRow(nr, events, w*1e3, float64(events)/w, base/w)
+		if nr > 1 && p.windows > g.windows {
+			return nil, fmt.Errorf("core: pairwise sync dispatched more windows than global at %d ranks: %d vs %d",
+				nr, p.windows, g.windows)
+		}
+		res.WallSeconds[nr] = p.wall
+		res.WallSecondsGlobal[nr] = g.wall
+		res.Windows[nr] = p.windows
+		res.WindowsGlobal[nr] = g.windows
+		t.AddRow(nr, p.events, g.wall*1e3, p.wall*1e3, g.windows, p.windows, base/p.wall)
 	}
-	return &ParallelScalingResult{TableResult: TableResult{Tab: t}, WallSeconds: wall}, nil
+	res.TableResult = TableResult{Tab: t}
+	return res, nil
 }

@@ -48,7 +48,9 @@ func (r *RunReport) Table() *stats.Table {
 		t.AddRow("link."+l.Name+".dropped", l.Dropped)
 	}
 	if p := r.Par; p != nil {
+		t.AddRow("par.mode", p.Mode)
 		t.AddRow("par.windows", p.Windows)
+		t.AddRow("par.fast_forwards", p.FastForwards)
 		t.AddRow("par.lookahead_ps", uint64(p.Lookahead))
 		t.AddRow("par.imbalance", p.Imbalance)
 		for _, rk := range p.Ranks {
@@ -56,6 +58,8 @@ func (r *RunReport) Table() *stats.Table {
 			t.AddRow(prefix+"events", rk.Events)
 			t.AddRow(prefix+"windows", rk.Windows)
 			t.AddRow(prefix+"idle_windows", rk.IdleWindows)
+			t.AddRow(prefix+"skipped_windows", rk.SkippedWindows)
+			t.AddRow(prefix+"lookahead_ps", uint64(rk.Lookahead))
 		}
 	}
 	return t

@@ -3,19 +3,28 @@
 //
 // The model graph is partitioned into ranks, each with its own sequential
 // sim.Engine running in its own goroutine. Ranks only interact over links,
-// and every cross-rank link has a declared nonzero latency, so the minimum
-// cross-rank latency is a safe conservative lookahead: all ranks may
-// advance through a window of that width without seeing each other's
-// events. At each window barrier the runtime exchanges mailboxes, merging
-// remote events in (time, source rank, sequence) order so a parallel run is
-// bit-for-bit deterministic and independent of goroutine scheduling.
+// and every cross-rank link has a declared nonzero latency, so link
+// latencies bound how soon one rank can affect another (the lookahead).
+// The coordinator advances each rank through half-open windows bounded by
+// a conservative horizon; two synchronization modes derive that horizon
+// (see SyncMode): the classic global window equal to the single minimum
+// cross-rank latency, and the default topology-aware pairwise mode where
+// each rank's horizon is computed from the other ranks' next-event-time
+// snapshots plus a per-rank-pair lookahead matrix (all-pairs shortest
+// latency paths over the partitioned link graph). Ranks with no work below
+// their horizon are skipped without a dispatch, and when no rank has work
+// the coordinator fast-forwards every rank straight to the globally
+// earliest pending event. Remote events are staged per destination in
+// canonical (time, send time, source rank, sequence) order and only
+// scheduled once the destination's window covers them, so a parallel run
+// is bit-for-bit deterministic — independent of goroutine scheduling, rank
+// count, and sync mode.
 package par
 
 import (
 	"errors"
 	"fmt"
 	"runtime/debug"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -36,9 +45,15 @@ var ErrStalled = errors.New("par: runner stalled")
 // SetWatchdog; SetWatchdog(0) disables the check entirely.
 const DefaultWatchdog = 30 * time.Second
 
-// remoteEvent is one payload crossing a rank boundary.
+// remoteEvent is one payload crossing a rank boundary. sent (the sender's
+// clock at the Send call) participates in the canonical merge order: a
+// sequential run inserts a delivery into the queue at send time, so
+// same-arrival-time deliveries tie-break chronologically by send — the
+// staging heap reproduces that regardless of which barrier round carried
+// each event across.
 type remoteEvent struct {
 	time    sim.Time
+	sent    sim.Time
 	srcRank int
 	seq     uint64
 	dst     *sim.Port
@@ -52,11 +67,21 @@ type rank struct {
 	outboxes [][]remoteEvent // indexed by destination rank
 	sendSeq  uint64
 	handled  uint64
+	// base is how far this rank has conservatively advanced: every event
+	// below base has been processed, and no future remote event can arrive
+	// below it. horizon is the upper bound of the window being considered
+	// this round. Both are coordinator-owned.
+	base    sim.Time
+	horizon sim.Time
+	// staging holds remote events addressed to this rank that its window
+	// has not yet reached, in canonical (time, sent, srcRank, seq) heap order.
+	staging remoteHeap
 	// Cumulative run metrics, updated only by the coordinator goroutine
 	// between windows (never by the rank goroutine), so reading them after
 	// Run returns is race-free.
 	events      uint64
 	idleWindows uint64
+	skipped     uint64
 	// err captures a panic raised by this rank's event handlers during a
 	// window; the coordinator surfaces it after the barrier.
 	err error
@@ -99,6 +124,30 @@ func (rk *rank) runWindow(horizon sim.Time) {
 	}
 }
 
+// deliverStaged schedules every staged remote event the rank's current
+// window covers into its engine, in canonical (time, sent, srcRank, seq) order.
+// Deferring delivery to the covering window — rather than scheduling at
+// whichever barrier carried the event across — makes the engine insertion
+// order, and therefore same-timestamp tie-breaking, independent of window
+// boundaries. That is what keeps global and pairwise sync bit-identical.
+func (rk *rank) deliverStaged() {
+	eng := rk.sim.Engine()
+	for len(rk.staging) > 0 && rk.staging[0].time < rk.horizon {
+		ev := rk.staging.pop()
+		eng.ScheduleAt(ev.time, sim.PrioLink, func(any) { ev.dst.Deliver(ev.payload) }, nil)
+	}
+}
+
+// nextWork returns the earliest thing this rank could possibly do: its
+// engine's next pending event or its earliest staged remote event.
+func (rk *rank) nextWork() sim.Time {
+	next := rk.sim.Engine().NextEventTime()
+	if t := rk.staging.minTime(); t < next {
+		next = t
+	}
+	return next
+}
+
 // rankPanicError formats a recovered handler panic. Handlers wrapped with
 // sim.Guard arrive as *sim.PanicError and the message names the component;
 // bare panics fall back to the panic value plus the recovery-site stack.
@@ -111,14 +160,20 @@ func rankPanicError(id int, now sim.Time, r any) error {
 
 // Runner coordinates the ranks.
 type Runner struct {
-	ranks       []*rank
-	lookahead   sim.Time
-	crossLinks  int
-	now         sim.Time
-	running     bool
-	watchdog    time.Duration
-	interrupted atomic.Bool
-	windows     uint64
+	ranks      []*rank
+	mode       SyncMode
+	lookahead  sim.Time
+	crossLinks int
+	// minLat is the direct cross-rank adjacency (min latency per pair);
+	// la is the derived all-pairs lookahead matrix, rebuilt when laDirty.
+	minLat       [][]sim.Time
+	la           [][]sim.Time
+	laDirty      bool
+	now          sim.Time
+	watchdog     time.Duration
+	interrupted  atomic.Bool
+	windows      uint64
+	fastForwards uint64
 }
 
 // NewRunner creates nranks empty partitions.
@@ -127,6 +182,14 @@ func NewRunner(nranks int) (*Runner, error) {
 		return nil, fmt.Errorf("par: need at least one rank")
 	}
 	r := &Runner{lookahead: sim.TimeInfinity, watchdog: DefaultWatchdog}
+	r.minLat = make([][]sim.Time, nranks)
+	for i := range r.minLat {
+		r.minLat[i] = make([]sim.Time, nranks)
+		for j := range r.minLat[i] {
+			r.minLat[i][j] = sim.TimeInfinity
+		}
+		r.minLat[i][i] = 0
+	}
 	for i := 0; i < nranks; i++ {
 		rk := &rank{id: i, sim: sim.New(), outboxes: make([][]remoteEvent, nranks)}
 		r.ranks = append(r.ranks, rk)
@@ -141,7 +204,8 @@ func (r *Runner) NumRanks() int { return len(r.ranks) }
 // components against it.
 func (r *Runner) Rank(i int) *sim.Simulation { return r.ranks[i].sim }
 
-// Now returns the global window base time.
+// Now returns the global base time: every event below it has been
+// processed on every rank.
 func (r *Runner) Now() sim.Time { return r.now }
 
 // SetWatchdog sets the zero-progress limit: if no rank completes a
@@ -166,7 +230,9 @@ func (r *Runner) Interrupt() {
 	}
 }
 
-// Lookahead returns the synchronization window (min cross-rank latency).
+// Lookahead returns the global synchronization floor (min cross-rank
+// latency; 0 with no cross links). Pairwise mode may run individual ranks
+// through far wider windows — see PairLookahead.
 func (r *Runner) Lookahead() sim.Time {
 	if r.crossLinks == 0 {
 		return 0
@@ -177,7 +243,7 @@ func (r *Runner) Lookahead() sim.Time {
 // Connect creates a link of the given latency between rankA and rankB,
 // returning the port on each side. Same-rank connections are ordinary
 // local links; cross-rank connections must have nonzero latency, which
-// feeds the runner's lookahead.
+// feeds the runner's lookahead matrix.
 func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.Port, *sim.Port, error) {
 	if rankA < 0 || rankA >= len(r.ranks) || rankB < 0 || rankB >= len(r.ranks) {
 		return nil, nil, fmt.Errorf("par: link %q connects invalid ranks %d,%d", name, rankA, rankB)
@@ -196,6 +262,7 @@ func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.
 	if latency < r.lookahead {
 		r.lookahead = latency
 	}
+	r.recordLink(rankA, rankB, latency)
 	ra, rb := r.ranks[rankA], r.ranks[rankB]
 	a.Link().SetDeliver(func(from *sim.Port, delay sim.Time, payload any) {
 		src, dstRank, dstPort := ra, rb.id, b
@@ -203,8 +270,10 @@ func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.
 			src, dstRank, dstPort = rb, ra.id, a
 		}
 		src.sendSeq++
+		now := src.sim.Engine().Now()
 		src.outboxes[dstRank] = append(src.outboxes[dstRank], remoteEvent{
-			time:    src.sim.Engine().Now() + delay,
+			time:    now + delay,
+			sent:    now,
 			srcRank: src.id,
 			seq:     src.sendSeq,
 			dst:     dstPort,
@@ -212,6 +281,70 @@ func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.
 		})
 	})
 	return a, b, nil
+}
+
+// horizonFor computes how far rank i may safely advance this round. In
+// global mode it is the shared window base plus the single minimum
+// cross-rank latency. In pairwise mode it is derived from the snapshot of
+// every rank's next-event time nw[j] (engine queue or staged remote, taken
+// while all workers are parked): any event that can still reach rank i
+// starts from some currently scheduled event at some rank j and travels at
+// least the shortest-path latency la[j][i], so nothing can arrive before
+//
+//	min over j != i of  nw[j] + la[j][i]
+//
+// Traffic rank i itself originates can come back no sooner than a round
+// trip, nw[i] + 2*min_j la[i][j], which is the i == j term. Using
+// next-event times instead of rank clocks is what makes the horizon
+// topology-aware in practice: a tightly-coupled cluster with nothing
+// scheduled stops pacing everyone else, and loosely-coupled ranks get
+// windows sized by their slow inbound links rather than by the busiest
+// pair's tight one. Both variants are clamped to [rank base, until].
+func (r *Runner) horizonFor(i int, la [][]sim.Time, nw []sim.Time, until sim.Time) sim.Time {
+	rk := r.ranks[i]
+	var h sim.Time
+	if r.mode == SyncGlobal {
+		h = r.now + r.lookahead
+		if h < r.now { // overflow: effectively unconstrained
+			h = sim.TimeInfinity
+		}
+	} else {
+		h = sim.TimeInfinity
+		minIn := sim.TimeInfinity
+		for j := range r.ranks {
+			if j == i {
+				continue
+			}
+			l := la[j][i]
+			if l == sim.TimeInfinity {
+				continue
+			}
+			if l < minIn {
+				minIn = l
+			}
+			c := nw[j] + l
+			if c < nw[j] { // overflow: that rank is unconstraining
+				continue
+			}
+			if c < h {
+				h = c
+			}
+		}
+		// Round trip for traffic rank i itself originates (la is
+		// symmetric, so min inbound == min outbound).
+		if rt := 2 * minIn; minIn != sim.TimeInfinity && rt > minIn {
+			if c := nw[i] + rt; c >= nw[i] && c < h {
+				h = c
+			}
+		}
+	}
+	if h > until {
+		h = until
+	}
+	if h < rk.base {
+		h = rk.base
+	}
+	return h
 }
 
 // Run advances the whole model until the given time (or until globally
@@ -247,14 +380,7 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 	if r.crossLinks > 0 && (r.lookahead == 0 || r.lookahead == sim.TimeInfinity) {
 		return 0, fmt.Errorf("par: no usable lookahead")
 	}
-	window := r.lookahead
-	if r.crossLinks == 0 {
-		// Independent ranks: run each to completion in parallel.
-		window = until - r.now
-		if until == sim.TimeInfinity {
-			window = sim.TimeInfinity - 1 - r.now
-		}
-	}
+	la := r.lookaheadMatrix()
 	// Persistent workers for this Run call: one goroutine per rank,
 	// handed a horizon per window. This keeps per-window cost to a pair
 	// of channel operations instead of goroutine churn. Workers publish a
@@ -286,24 +412,95 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 	defer closeWorkers()
 
 	var total uint64
+	active := make([]*rank, 0, len(r.ranks))
+	nw := make([]sim.Time, len(r.ranks))
 	for {
-		horizon := r.now + window
-		if horizon > until || horizon < r.now {
-			horizon = until
+		// Horizon phase: snapshot every rank's next-event time (all
+		// workers are parked between rounds, so this is a consistent
+		// cut), compute every rank's conservative horizon from the
+		// snapshot, then classify. A rank is dispatched only if it has
+		// work below its horizon (local pending or staged remote);
+		// otherwise its base advances for free (skip-idle).
+		for i, rk := range r.ranks {
+			nw[i] = rk.nextWork()
 		}
-		// Parallel phase: each rank runs its events strictly below
-		// the horizon.
 		for i := range r.ranks {
-			work[i] <- horizon
+			r.ranks[i].horizon = r.horizonFor(i, la, nw, until)
 		}
-		if err := r.waitWindow(barrier, horizon); err != nil {
+		active = active[:0]
+		for i, rk := range r.ranks {
+			if rk.base >= until {
+				continue
+			}
+			if nw[i] < rk.horizon {
+				active = append(active, rk)
+				continue
+			}
+			if rk.horizon > rk.base {
+				rk.base = rk.horizon
+				rk.idleWindows++
+				rk.skipped++
+			}
+		}
+		if len(active) == 0 {
+			// Idle fast-forward: no rank has work below its horizon. A
+			// min-reduction over next-event times lets the coordinator
+			// jump every base straight to the earliest pending event —
+			// or finish — instead of crawling there window by window.
+			next := sim.TimeInfinity
+			for _, rk := range r.ranks {
+				if t := rk.nextWork(); t < next {
+					next = t
+				}
+			}
+			if next >= until {
+				for _, rk := range r.ranks {
+					if rk.base < until {
+						rk.base = until
+					}
+				}
+				if until == sim.TimeInfinity {
+					// Globally idle: rest the clock at the furthest rank.
+					for _, rk := range r.ranks {
+						if c := rk.sim.Engine().Now(); c > r.now {
+							r.now = c
+						}
+					}
+				} else if r.now < until {
+					r.now = until
+				}
+				break
+			}
+			for _, rk := range r.ranks {
+				if rk.base < next {
+					rk.base = next
+				}
+			}
+			r.fastForwards++
+			if next > r.now {
+				r.now = next
+			}
+			continue
+		}
+		// Delivery phase: schedule staged remote events now covered by
+		// each active rank's window, in canonical heap order.
+		for _, rk := range active {
+			rk.deliverStaged()
+		}
+		// Parallel phase: each active rank runs its events strictly below
+		// its horizon.
+		for _, rk := range active {
+			rk.err = nil
+			work[rk.id] <- rk.horizon
+		}
+		if err := r.waitWindow(barrier, active); err != nil {
 			return total, err
 		}
 		// A rank whose handlers panicked has reported via rk.err; stop
 		// with every rank's failure rather than continuing a corrupted
 		// simulation.
 		var rankErrs []error
-		for _, rk := range r.ranks {
+		for _, rk := range active {
 			if rk.err != nil {
 				rankErrs = append(rankErrs, rk.err)
 			}
@@ -314,82 +511,64 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 		if r.interrupted.Load() {
 			return total, fmt.Errorf("par: run interrupted at window %v: %w", r.now, sim.ErrInterrupted)
 		}
-		// Exchange phase: merge mailboxes deterministically.
-		moved := 0
-		for dst := range r.ranks {
-			var in []remoteEvent
-			for _, src := range r.ranks {
-				if len(src.outboxes[dst]) > 0 {
-					in = append(in, src.outboxes[dst]...)
-					src.outboxes[dst] = src.outboxes[dst][:0]
+		// Exchange phase: sharded — only ranks that ran produced mail,
+		// and each nonempty outbox batch goes straight into its
+		// destination's staging heap. Heap pop order is the canonical
+		// (time, sent, srcRank, seq) order regardless of which barrier round a
+		// batch arrived in, so the drain order here need not be sorted.
+		for _, src := range active {
+			for dst, ob := range src.outboxes {
+				if len(ob) == 0 {
+					continue
 				}
-			}
-			if len(in) == 0 {
-				continue
-			}
-			moved += len(in)
-			sort.Slice(in, func(i, j int) bool {
-				a, b := in[i], in[j]
-				if a.time != b.time {
-					return a.time < b.time
+				st := &r.ranks[dst].staging
+				for _, ev := range ob {
+					st.push(ev)
 				}
-				if a.srcRank != b.srcRank {
-					return a.srcRank < b.srcRank
-				}
-				return a.seq < b.seq
-			})
-			eng := r.ranks[dst].sim.Engine()
-			for _, ev := range in {
-				ev := ev
-				eng.ScheduleAt(ev.time, sim.PrioLink, func(any) { ev.dst.Deliver(ev.payload) }, nil)
+				src.outboxes[dst] = ob[:0]
 			}
 		}
-		for _, rk := range r.ranks {
+		// Advance: only dispatched ranks move here (skipped ranks already
+		// advanced in the horizon phase), then settle the global base.
+		for _, rk := range active {
 			total += rk.handled
 			rk.events += rk.handled
 			if rk.handled == 0 {
 				rk.idleWindows++
 			}
+			if rk.horizon > rk.base {
+				rk.base = rk.horizon
+			}
 		}
 		r.windows++
-		r.now = horizon
-		// Termination: global idle (no pending events anywhere, nothing
-		// exchanged) or the requested time reached.
+		min := sim.TimeInfinity
+		for _, rk := range r.ranks {
+			if rk.base < min {
+				min = rk.base
+			}
+		}
+		if min > r.now {
+			r.now = min
+		}
 		if r.now >= until {
 			break
-		}
-		if moved == 0 {
-			// Nothing in flight: either globally idle (stop) or
-			// fast-forward to the next pending event so sparse
-			// models don't crawl window by window.
-			next := sim.TimeInfinity
-			for _, rk := range r.ranks {
-				if t := rk.sim.Engine().NextEventTime(); t < next {
-					next = t
-				}
-			}
-			if next == sim.TimeInfinity {
-				break
-			}
-			if next > r.now {
-				r.now = next
-			}
 		}
 	}
 	return total, nil
 }
 
-// waitWindow collects one barrier arrival per rank. With a watchdog set, a
-// period with no arrivals counts as zero progress: the rank engines are
-// interrupted (which unsticks even zero-delay event loops — the engine
-// polls its interrupt flag every few events) and, once the surviving ranks
-// check in or a grace period expires, a diagnostic ErrStalled is returned.
-func (r *Runner) waitWindow(barrier <-chan int, horizon sim.Time) error {
-	n := len(r.ranks)
-	arrived := make([]bool, n)
+// waitWindow collects one barrier arrival per dispatched rank. With a
+// watchdog set, a period with no arrivals counts as zero progress: the
+// rank engines are interrupted (which unsticks even zero-delay event loops
+// — the engine polls its interrupt flag every few events) and, once the
+// surviving ranks check in or a grace period expires, a diagnostic
+// ErrStalled is returned.
+func (r *Runner) waitWindow(barrier <-chan int, active []*rank) error {
+	need := len(active)
+	arrived := make([]bool, len(r.ranks))
 	got := 0
 	if r.watchdog <= 0 {
-		for got < n {
+		for got < need {
 			arrived[<-barrier] = true
 			got++
 		}
@@ -398,7 +577,7 @@ func (r *Runner) waitWindow(barrier <-chan int, horizon sim.Time) error {
 	timer := time.NewTimer(r.watchdog)
 	defer timer.Stop()
 	stalled := false
-	for got < n {
+	for got < need {
 		select {
 		case id := <-barrier:
 			arrived[id] = true
@@ -415,7 +594,7 @@ func (r *Runner) waitWindow(barrier <-chan int, horizon sim.Time) error {
 				// the event loop (host I/O, a channel) and cannot be
 				// interrupted. Report with what the ranks last
 				// published; the stuck goroutines are abandoned.
-				return r.stallError(horizon, arrived)
+				return r.stallError(active, arrived)
 			}
 			stalled = true
 			for _, rk := range r.ranks {
@@ -428,22 +607,35 @@ func (r *Runner) waitWindow(barrier <-chan int, horizon sim.Time) error {
 		// Every rank checked in only after being interrupted: the window
 		// made no progress for a full watchdog period — a stall, but one
 		// with fully consistent diagnostics.
-		return r.stallError(horizon, arrived)
+		return r.stallError(active, arrived)
 	}
 	return nil
 }
 
-// stallError builds the zero-progress diagnostic: the window that hung and
-// each rank's last-published clock, pending-event count and outbox depth.
-func (r *Runner) stallError(horizon sim.Time, arrived []bool) error {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "no rank completed the window [%v, %v) within %v (lookahead %v)",
-		r.now, horizon, r.watchdog, r.Lookahead())
+// stallError builds the zero-progress diagnostic: the window round that
+// hung and each rank's last-published clock, pending-event count, outbox
+// depth, and this round's base/horizon.
+func (r *Runner) stallError(active []*rank, arrived []bool) error {
+	dispatched := make([]bool, len(r.ranks))
+	for _, rk := range active {
+		dispatched[rk.id] = true
+	}
+	hi := r.now
 	for _, rk := range r.ranks {
-		fmt.Fprintf(&sb, "\n  rank %d: clock=%v pending=%d outbox=%d windows=%d",
+		if rk.horizon != sim.TimeInfinity && rk.horizon > hi {
+			hi = rk.horizon
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "no rank completed the window [%v, %v) within %v (%s sync, lookahead %v)",
+		r.now, hi, r.watchdog, r.mode, r.Lookahead())
+	for _, rk := range r.ranks {
+		fmt.Fprintf(&sb, "\n  rank %d: clock=%v pending=%d outbox=%d windows=%d base=%v horizon=%v",
 			rk.id, sim.Time(rk.pubClock.Load()), rk.pubPending.Load(),
-			rk.pubOutbox.Load(), rk.pubWindows.Load())
-		if !arrived[rk.id] {
+			rk.pubOutbox.Load(), rk.pubWindows.Load(), rk.base, rk.horizon)
+		if !dispatched[rk.id] {
+			sb.WriteString(" (skipped: no work below horizon)")
+		} else if !arrived[rk.id] {
 			sb.WriteString(" (did not respond to interrupt; state is from its last barrier)")
 		}
 	}
@@ -453,32 +645,50 @@ func (r *Runner) stallError(horizon sim.Time, arrived []bool) error {
 // RankMetrics is one rank's cumulative view of a parallel run.
 type RankMetrics struct {
 	// Rank is the partition index.
-	Rank int
+	Rank int `json:"rank"`
 	// Events is the number of events this rank dispatched across all
 	// windows of all Run calls.
-	Events uint64
-	// Windows counts the synchronization windows the rank completed.
-	Windows uint64
-	// IdleWindows counts windows in which the rank dispatched nothing —
-	// lookahead-limited stalls where the rank spun at a barrier while
-	// other ranks had work.
-	IdleWindows uint64
+	Events uint64 `json:"events"`
+	// Windows counts the synchronization windows the rank actually ran
+	// (skipped windows are not dispatched and do not count here).
+	Windows uint64 `json:"windows"`
+	// IdleWindows counts window rounds in which the rank dispatched
+	// nothing — lookahead-limited stalls where the rank had no work while
+	// other ranks had some, whether it was dispatched or skipped.
+	IdleWindows uint64 `json:"idle_windows"`
+	// SkippedWindows is the subset of IdleWindows where the coordinator
+	// never dispatched the rank at all: with nothing below its horizon its
+	// base time advanced for free instead of paying a barrier round trip.
+	SkippedWindows uint64 `json:"skipped_windows"`
+	// Lookahead is the rank's inbound synchronization slack: the minimum
+	// pairwise lookahead over ranks that can reach it. Zero when no rank
+	// can (then nothing ever constrains its horizon).
+	Lookahead sim.Time `json:"lookahead_ps"`
 	// Clock is the rank engine's clock at its last barrier arrival.
-	Clock sim.Time
+	Clock sim.Time `json:"clock_ps"`
 }
 
 // RunnerMetrics summarizes a parallel run for the observability layer.
 type RunnerMetrics struct {
-	// Windows is the number of synchronization rounds the coordinator ran.
-	Windows uint64
-	// Lookahead is the conservative window width (0 with no cross links).
-	Lookahead sim.Time
+	// Mode is the synchronization mode the runner used ("global" or
+	// "pairwise").
+	Mode string `json:"mode"`
+	// Windows is the number of synchronization rounds the coordinator ran
+	// (rounds resolved purely by fast-forward are counted separately).
+	Windows uint64 `json:"windows"`
+	// FastForwards counts idle fast-forwards: rounds at which no rank had
+	// work below its horizon and the coordinator jumped every base
+	// straight to the globally earliest pending event.
+	FastForwards uint64 `json:"fast_forwards"`
+	// Lookahead is the global conservative floor (min cross-rank link
+	// latency; 0 with no cross links).
+	Lookahead sim.Time `json:"lookahead_ps"`
 	// Imbalance is max/mean of per-rank event counts: 1.0 is a perfectly
 	// balanced partition, larger means some rank dominates the critical
 	// path. Zero when no events ran.
-	Imbalance float64
+	Imbalance float64 `json:"imbalance"`
 	// Ranks holds the per-rank breakdown, indexed by rank.
-	Ranks []RankMetrics
+	Ranks []RankMetrics `json:"ranks"`
 }
 
 // Metrics returns the run's synchronization and balance counters. Call it
@@ -486,18 +696,27 @@ type RunnerMetrics struct {
 // running simulation.
 func (r *Runner) Metrics() RunnerMetrics {
 	m := RunnerMetrics{
-		Windows:   r.windows,
-		Lookahead: r.Lookahead(),
-		Ranks:     make([]RankMetrics, len(r.ranks)),
+		Mode:         r.mode.String(),
+		Windows:      r.windows,
+		FastForwards: r.fastForwards,
+		Lookahead:    r.Lookahead(),
+		Ranks:        make([]RankMetrics, len(r.ranks)),
 	}
+	la := r.lookaheadMatrix()
 	var total, max uint64
 	for i, rk := range r.ranks {
+		inbound := r.rankLookahead(la, i)
+		if inbound == sim.TimeInfinity {
+			inbound = 0
+		}
 		m.Ranks[i] = RankMetrics{
-			Rank:        rk.id,
-			Events:      rk.events,
-			Windows:     rk.pubWindows.Load(),
-			IdleWindows: rk.idleWindows,
-			Clock:       sim.Time(rk.pubClock.Load()),
+			Rank:           rk.id,
+			Events:         rk.events,
+			Windows:        rk.pubWindows.Load(),
+			IdleWindows:    rk.idleWindows,
+			SkippedWindows: rk.skipped,
+			Lookahead:      inbound,
+			Clock:          sim.Time(rk.pubClock.Load()),
 		}
 		total += rk.events
 		if rk.events > max {

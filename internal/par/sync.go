@@ -1,0 +1,214 @@
+package par
+
+import (
+	"fmt"
+
+	"sst/internal/sim"
+)
+
+// SyncMode selects how conservative window horizons are derived from the
+// partitioned link graph.
+type SyncMode int
+
+const (
+	// SyncPairwise derives each rank's horizon from the pairwise lookahead
+	// matrix: rank i may advance to min over ranks j that can reach it of
+	// (j's base time + the shortest-path latency j→i). Ranks coupled only
+	// through high-latency links get wide windows regardless of how small
+	// the minimum latency elsewhere in the machine is. This is the default.
+	SyncPairwise SyncMode = iota
+	// SyncGlobal is the classic conservative barrier: every rank advances
+	// through one shared window equal to the single minimum cross-rank
+	// link latency. Kept as the comparison baseline (`-sync global`).
+	SyncGlobal
+)
+
+// String returns the flag spelling of the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncPairwise:
+		return "pairwise"
+	case SyncGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSyncMode parses a -sync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "pairwise":
+		return SyncPairwise, nil
+	case "global":
+		return SyncGlobal, nil
+	}
+	return 0, fmt.Errorf("par: unknown sync mode %q (want global or pairwise)", s)
+}
+
+// SetSyncMode selects the synchronization mode for subsequent Run calls.
+// Both modes produce bit-identical simulation results; they differ only in
+// how far each rank may run between barriers. Must not be called while a
+// Run is in flight.
+func (r *Runner) SetSyncMode(m SyncMode) { r.mode = m }
+
+// SyncMode returns the active synchronization mode.
+func (r *Runner) SyncMode() SyncMode { return r.mode }
+
+// recordLink folds one cross-rank link into the direct-latency adjacency
+// used to build the pairwise lookahead matrix.
+func (r *Runner) recordLink(a, b int, latency sim.Time) {
+	if latency < r.minLat[a][b] {
+		r.minLat[a][b] = latency
+		r.minLat[b][a] = latency
+	}
+	r.laDirty = true
+}
+
+// lookaheadMatrix returns the pairwise lookahead matrix la[src][dst]: the
+// minimum latency over all link paths from a rank to another, i.e. the
+// earliest any event leaving src's current base time could affect dst —
+// including transitively, through handlers on intermediate ranks that
+// forward with zero think time. Entries are sim.TimeInfinity for rank pairs
+// with no connecting path and 0 on the diagonal. The matrix is recomputed
+// (Floyd–Warshall over the direct-link adjacency, O(ranks³)) only when
+// Connect has added links since the last call.
+func (r *Runner) lookaheadMatrix() [][]sim.Time {
+	if !r.laDirty && r.la != nil {
+		return r.la
+	}
+	n := len(r.ranks)
+	la := make([][]sim.Time, n)
+	for i := range la {
+		la[i] = append([]sim.Time(nil), r.minLat[i]...)
+		la[i][i] = 0
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := la[i][k]
+			if ik == sim.TimeInfinity {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				kj := la[k][j]
+				if kj == sim.TimeInfinity {
+					continue
+				}
+				if s := ik + kj; s >= ik && s < la[i][j] {
+					la[i][j] = s
+				}
+			}
+		}
+	}
+	r.la, r.laDirty = la, false
+	return la
+}
+
+// LookaheadMatrix returns a copy of the pairwise lookahead matrix (see
+// lookaheadMatrix for its semantics). Diagnostic/testing accessor.
+func (r *Runner) LookaheadMatrix() [][]sim.Time {
+	la := r.lookaheadMatrix()
+	out := make([][]sim.Time, len(la))
+	for i := range la {
+		out[i] = append([]sim.Time(nil), la[i]...)
+	}
+	return out
+}
+
+// PairLookahead returns the conservative lookahead from rank src to rank
+// dst: the earliest an event leaving src can affect dst, relative to src's
+// clock. sim.TimeInfinity when no link path connects them.
+func (r *Runner) PairLookahead(src, dst int) sim.Time {
+	if src < 0 || src >= len(r.ranks) || dst < 0 || dst >= len(r.ranks) {
+		return sim.TimeInfinity
+	}
+	return r.lookaheadMatrix()[src][dst]
+}
+
+// rankLookahead is the width of rank i's inbound constraint: the minimum
+// pairwise lookahead over ranks that can reach it. TimeInfinity when
+// nothing can.
+func (r *Runner) rankLookahead(la [][]sim.Time, i int) sim.Time {
+	min := sim.TimeInfinity
+	for j := range la {
+		if j == i {
+			continue
+		}
+		if l := la[j][i]; l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// remoteHeap is a per-destination staging min-heap of remote events in
+// canonical (time, sent, srcRank, seq) order. Events parked here at an
+// exchange are scheduled into the destination engine only once the
+// destination's window horizon passes their timestamp, so the insertion
+// order seen by the engine — and therefore same-timestamp tie-breaking —
+// is identical no matter which barrier round carried the event across.
+// That is what keeps results bit-identical between sync modes, whose
+// window boundaries differ, and what matches the sequential reference,
+// which inserts each delivery into the queue at its send time.
+type remoteHeap []remoteEvent
+
+func remoteLess(a, b *remoteEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.sent != b.sent {
+		return a.sent < b.sent
+	}
+	if a.srcRank != b.srcRank {
+		return a.srcRank < b.srcRank
+	}
+	return a.seq < b.seq
+}
+
+// minTime returns the earliest staged timestamp, or TimeInfinity.
+func (h remoteHeap) minTime() sim.Time {
+	if len(h) == 0 {
+		return sim.TimeInfinity
+	}
+	return h[0].time
+}
+
+func (h *remoteHeap) push(ev remoteEvent) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !remoteLess(&q[i], &q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *remoteHeap) pop() remoteEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = remoteEvent{} // release payload/port references
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && remoteLess(&q[l], &q[min]) {
+			min = l
+		}
+		if r < n && remoteLess(&q[r], &q[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	*h = q
+	return top
+}
