@@ -14,6 +14,9 @@
 #   make tables     — regenerate every experiment table ("reproduce the paper")
 #   make fuzz-short — a few seconds of coverage-guided fuzzing per config
 #                     loader; crashes fail the target
+#   make resume-smoke — the crash-safety gate: SIGINT a journaled sweep
+#                     mid-flight, resume it, and require the resumed grid to
+#                     be byte-identical to an uninterrupted run
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -26,13 +29,15 @@ BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./i
           $(GO) test -run='^$$' -bench='^BenchmarkParallelWindow$$' -benchmem ./internal/par && \
           $(GO) test -run='^$$' -bench='^BenchmarkSweepWorkers$$' -benchmem .
 
-.PHONY: build test vet race check bench bench-baseline tables fuzz-short
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package so accidental
+# inter-test state dependencies surface in CI instead of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +60,26 @@ fuzz-short:
 	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzPartitionLookahead -fuzztime=$(FUZZTIME)
 
 check: build vet test race fuzz-short
+
+# End-to-end crash-safety check of the resumable sweep path: run the grid
+# once clean for reference, kill a journaled single-worker run mid-flight
+# with SIGINT (exit 130; 0 if it won the race and finished), then resume
+# from the journal and require the grid CSV to be byte-identical to the
+# reference. The grid table carries only simulated quantities, so identical
+# means field-for-field equal, not merely close.
+RESUME_ARGS = -scale small -apps stream,gups -techs ddr3-1333,gddr5-4000 \
+              -widths 1,2,4,8 -table grid -format csv
+
+resume-smoke:
+	$(GO) build -o bin/sst-dse ./cmd/sst-dse
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' 0 && \
+	./bin/sst-dse $(RESUME_ARGS) >"$$tmp/ref.csv" && \
+	{ timeout --preserve-status -s INT -k 5 0.4 ./bin/sst-dse -j 1 -journal "$$tmp/sweep.jsonl" $(RESUME_ARGS) \
+	    >/dev/null 2>&1; rc=$$?; [ $$rc -eq 130 ] || [ $$rc -eq 0 ] || \
+	    { echo "resume-smoke: interrupted run exited $$rc, want 130 (or 0)"; exit 1; }; } && \
+	./bin/sst-dse -j 1 -journal "$$tmp/sweep.jsonl" -resume $(RESUME_ARGS) >"$$tmp/resumed.csv" && \
+	cmp "$$tmp/ref.csv" "$$tmp/resumed.csv" && \
+	echo "resume-smoke: resumed grid identical to uninterrupted run"
 
 # The perf gate runs vet and the concurrency race subset first so a data
 # race can never hide behind a good-looking number.

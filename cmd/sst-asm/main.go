@@ -12,6 +12,9 @@
 // registers. -trace-out single-steps the machine and records one span per
 // instruction (pseudo-time = instruction index) into a Chrome trace_event
 // file; -metrics-out writes {instructions, host_seconds, mips} JSON.
+//
+// Exit codes: 0 success, 1 failure, 2 configuration error (bad usage,
+// format, source file or assembly error).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/isa"
 	"sst/internal/obs"
@@ -43,27 +47,23 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sst-asm [-run] [-max N] [-regs] [-format f] [-trace-out t] [-metrics-out m] program.s")
-		os.Exit(2)
+		os.Exit(cli.ExitConfig)
 	}
 	format, err := core.ParseFormat(*formatFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst-asm:", err)
-		os.Exit(2)
+		cli.Exit("sst-asm", cli.Configf("%v", err))
 	}
-	if err := run(flag.Arg(0), *runFlag, *maxFlag, *regsFlag, format, *traceOut, *traceCap, *metricsOut); err != nil {
-		fmt.Fprintln(os.Stderr, "sst-asm:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sst-asm", run(flag.Arg(0), *runFlag, *maxFlag, *regsFlag, format, *traceOut, *traceCap, *metricsOut))
 }
 
 func run(path string, execute bool, maxInstrs uint64, dumpRegs bool, format core.Format, traceOut string, traceCap int, metricsOut string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	prog, err := isa.Assemble(string(src))
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	if !execute {
 		text, err := prog.Disassemble()

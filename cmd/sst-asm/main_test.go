@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 )
 
@@ -76,11 +77,17 @@ func TestAsmObsOutputs(t *testing.T) {
 }
 
 func TestAsmErrors(t *testing.T) {
-	if err := run("/nonexistent.s", false, 0, false, core.FormatTable, "", 0, ""); err == nil {
+	err := run("/nonexistent.s", false, 0, false, core.FormatTable, "", 0, "")
+	if err == nil {
 		t.Error("missing file accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("missing file maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
 	path := writeProg(t, "bogus r1")
-	if err := run(path, false, 0, false, core.FormatTable, "", 0, ""); err == nil {
+	err = run(path, false, 0, false, core.FormatTable, "", 0, "")
+	if err == nil {
 		t.Error("bad program assembled")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("assembly error maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
 }

@@ -9,6 +9,7 @@
 //	sst-dse [-apps hpccg,lulesh] [-techs ddr2-800,ddr3-1333,gddr5-4000]
 //	        [-widths 1,2,4,8] [-scale full|small] [-table all|fig10|fig11|fig12]
 //	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
+//	        [-journal sweep.jsonl] [-resume] [-point-timeout 5m]
 //	sst-dse -resilience [-mtbf 1,4,24] [-ckpt-cost 60] [-restart-cost 120]
 //	        [-work 24] [-trials 5] [-fault-seed 1] [-format json] [-j N]
 //
@@ -18,11 +19,21 @@
 // writes per-point host timings as JSON; -trace-out writes the sweep as a
 // host-timeline Chrome trace (one row per worker, loadable in Perfetto).
 // Ctrl-C drains the points already running, prints the partial tables, and
-// exits nonzero; points that failed or were skipped are listed on stderr.
+// exits 130; points that failed or were skipped are listed on stderr.
+//
+// -journal appends every completed design point to an fsync'd JSONL file;
+// -resume restores the journal's completed points instead of re-running
+// them, so a killed sweep continues where it stopped and converges to the
+// same tables. -point-timeout bounds each point's wall-clock time; a point
+// that exceeds it is marked failed instead of wedging a worker.
+//
+// Exit codes: 0 success, 1 failure, 2 configuration error, 3 sweep
+// completed with failed points, 130 interrupted (Ctrl-C).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
 )
@@ -47,6 +59,9 @@ func main() {
 		jFlag      = flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
 		metricsOut = flag.String("metrics-out", "", "write per-point sweep metrics JSON to this file")
 		traceOut   = flag.String("trace-out", "", "write a host-timeline Chrome trace of the sweep to this file")
+		journal    = flag.String("journal", "", "journal completed design points to this JSONL file (fsync'd per point)")
+		resume     = flag.Bool("resume", false, "with -journal: restore completed points instead of re-running them")
+		pointTO    = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = none); timed-out points are marked failed")
 
 		resFlag     = flag.Bool("resilience", false, "run the checkpoint/MTBF resilience study instead of the DSE sweep")
 		mtbfFlag    = flag.String("mtbf", "1,4,24", "machine MTBF values to study, hours")
@@ -63,16 +78,21 @@ func main() {
 		format = core.FormatCSV
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst-dse:", err)
-		os.Exit(2)
+		cli.Exit("sst-dse", cli.Configf("%v", err))
+	}
+	if *resume && *journal == "" {
+		cli.Exit("sst-dse", cli.Configf("-resume needs -journal"))
 	}
 
 	// Ctrl-C cancels the sweep context: running design points finish and
 	// keep their results, everything not yet started is skipped, and the
-	// partial tables are still printed before the nonzero exit.
+	// partial tables are still printed before the 130 exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := core.SweepOptions{Workers: *jFlag, Context: ctx}
+	opts := core.SweepOptions{
+		Workers: *jFlag, Context: ctx,
+		Journal: *journal, Resume: *resume, PointTimeout: *pointTO,
+	}
 	var col *obs.SweepCollector
 	if *metricsOut != "" || *traceOut != "" {
 		col = &obs.SweepCollector{}
@@ -87,10 +107,7 @@ func main() {
 	if werr := writeSweepObs(col, *metricsOut, *traceOut); werr != nil && err == nil {
 		err = werr
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst-dse:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sst-dse", err)
 }
 
 // writeSweepObs flushes the sweep collector to the requested files.
@@ -131,7 +148,7 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, format co
 	for _, w := range strings.Split(widthsFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(w))
 		if err != nil || v <= 0 {
-			return fmt.Errorf("bad width %q", w)
+			return cli.Configf("bad width %q", w)
 		}
 		widths = append(widths, v)
 	}
@@ -141,7 +158,7 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, format co
 	case "small":
 		scale = core.Small
 	default:
-		return fmt.Errorf("bad scale %q", scaleFlag)
+		return cli.Configf("bad scale %q", scaleFlag)
 	}
 
 	grid, err := core.MemTechWidthSweep(apps, techs, widths, scale, opts)
@@ -171,7 +188,7 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, format co
 	case "grid":
 		add(grid)
 	default:
-		return fmt.Errorf("bad table %q", tableFlag)
+		return cli.Configf("bad table %q", tableFlag)
 	}
 	if werr := core.WriteResults(os.Stdout, format, results...); werr != nil {
 		return werr
@@ -185,8 +202,16 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, format co
 			}
 			fmt.Fprintf(os.Stderr, "sst-dse: point %s/%s/w%d: %s\n", p.App, p.Tech, p.Width, msg)
 		}
-		return fmt.Errorf("sweep incomplete: %d of %d points failed (tables above show the rest)",
-			len(failed), len(grid.Points))
+		// Keep the outcome sentinels (failed-point, cancellation) for the
+		// exit code without repeating every point's full error text.
+		cause := error(core.ErrPointFailed)
+		if errors.Is(err, context.Canceled) {
+			cause = fmt.Errorf("%w: %w", core.ErrPointFailed, context.Canceled)
+		} else if !errors.Is(err, core.ErrPointFailed) {
+			cause = err
+		}
+		return fmt.Errorf("sweep incomplete: %d of %d points failed (tables above show the rest): %w",
+			len(failed), len(grid.Points), cause)
 	}
 	return nil
 }
@@ -196,7 +221,7 @@ func runResilience(mtbfFlag string, ckptS, restartS, workHours float64, trials i
 	for _, m := range strings.Split(mtbfFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(m), 64)
 		if err != nil || v <= 0 {
-			return fmt.Errorf("bad mtbf %q (hours)", m)
+			return cli.Configf("bad mtbf %q (hours)", m)
 		}
 		mtbfs = append(mtbfs, v)
 	}

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
 )
@@ -67,16 +70,65 @@ func TestDSEResilienceMode(t *testing.T) {
 }
 
 func TestDSEBadArgs(t *testing.T) {
-	if err := run("stream", "ddr3-1333", "zero", "small", "all", core.FormatTable, core.SweepOptions{}); err == nil {
+	err := run("stream", "ddr3-1333", "zero", "small", "all", core.FormatTable, core.SweepOptions{})
+	if err == nil {
 		t.Error("bad width accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad width maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
-	if err := run("stream", "ddr3-1333", "1", "jumbo", "all", core.FormatTable, core.SweepOptions{}); err == nil {
+	err = run("stream", "ddr3-1333", "1", "jumbo", "all", core.FormatTable, core.SweepOptions{})
+	if err == nil {
 		t.Error("bad scale accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad scale maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
-	if err := run("stream", "ddr3-1333", "1", "small", "fig99", core.FormatTable, core.SweepOptions{}); err == nil {
+	err = run("stream", "ddr3-1333", "1", "small", "fig99", core.FormatTable, core.SweepOptions{})
+	if err == nil {
 		t.Error("bad table accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad table maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
 	if err := run("stream", "sdram", "1", "small", "all", core.FormatTable, core.SweepOptions{}); err == nil {
 		t.Error("bad tech accepted")
+	}
+}
+
+// TestDSEExitCodes pins the sweep outcomes callers script against: a
+// timed-out point means "completed with failures" (3), a Ctrl-C cancel
+// means "interrupted" (130).
+func TestDSEExitCodes(t *testing.T) {
+	// An unsatisfiable per-point deadline fails every point.
+	err := run("stream", "ddr3-1333", "1", "small", "grid", core.FormatCSV,
+		core.SweepOptions{Workers: 1, PointTimeout: time.Nanosecond})
+	if err == nil {
+		t.Fatal("timed-out sweep reported success")
+	}
+	if cli.Code(err) != cli.ExitPointFailed {
+		t.Errorf("timed-out sweep maps to exit %d, want %d (err: %v)", cli.Code(err), cli.ExitPointFailed, err)
+	}
+	// A pre-cancelled context is an interrupted sweep, not a failed one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = run("stream", "ddr3-1333", "1", "small", "grid", core.FormatCSV,
+		core.SweepOptions{Workers: 1, Context: ctx})
+	if err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+	if cli.Code(err) != cli.ExitInterrupted {
+		t.Errorf("cancelled sweep maps to exit %d, want %d (err: %v)", cli.Code(err), cli.ExitInterrupted, err)
+	}
+}
+
+// TestDSEJournalResume: a sweep interrupted after journaling some points
+// resumes to the same grid an uninterrupted sweep produces.
+func TestDSEJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	opts := core.SweepOptions{Workers: 2, Journal: journal}
+	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Resume = true
+	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV, opts); err != nil {
+		t.Fatalf("resume: %v", err)
 	}
 }

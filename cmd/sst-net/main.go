@@ -6,6 +6,7 @@
 //
 //	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125]
 //	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
+//	        [-journal net.jsonl] [-resume]
 //	sst-net -scaling [-nodes 16] [-ranks 1,2,4,8] [-horizon 2ms] [-format ...]
 //
 // The study's (proxy app, bandwidth fraction) cells are independent
@@ -13,7 +14,14 @@
 // Tables are identical at any -j. -metrics-out writes both studies'
 // per-point host timings as a JSON array; -trace-out writes the
 // degradation study's host timeline as a Chrome trace. Ctrl-C drains the
-// cells already running, prints whatever completed, and exits nonzero.
+// cells already running, prints whatever completed, and exits 130.
+//
+// -journal appends every completed cell to an fsync'd JSONL file;
+// -resume restores the journal's completed cells instead of re-running
+// them, so a killed study continues where it stopped.
+//
+// Exit codes: 0 success, 1 failure, 2 configuration error, 3 study
+// completed with failed cells, 130 interrupted (Ctrl-C).
 //
 // -scaling instead runs the parallel-simulator scaling study (E6): the
 // heterogeneous-latency lattice partitioned over each rank count, under
@@ -33,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
 	"sst/internal/sim"
@@ -51,29 +60,26 @@ func main() {
 		scalingFlag = flag.Bool("scaling", false, "run the parallel-simulator scaling study instead (E6)")
 		ranksFlag   = flag.String("ranks", "1,2,4,8", "rank counts for -scaling")
 		horizonFlag = flag.String("horizon", "2ms", "simulated horizon for -scaling")
+		journal     = flag.String("journal", "", "journal completed study cells to this JSONL file (fsync'd per cell)")
+		resume      = flag.Bool("resume", false, "with -journal: restore completed cells instead of re-running them")
 	)
 	flag.Parse()
 	format, err := core.ParseFormat(*formatFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst-net:", err)
-		os.Exit(2)
+		cli.Exit("sst-net", cli.Configf("%v", err))
 	}
 	if *csvFlag {
 		format = core.FormatCSV
 	}
+	if *resume && *journal == "" {
+		cli.Exit("sst-net", cli.Configf("-resume needs -journal"))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *scalingFlag {
-		if err := runScaling(*nodesFlag, *ranksFlag, *horizonFlag, format, ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "sst-net:", err)
-			os.Exit(1)
-		}
-		return
+		cli.Exit("sst-net", runScaling(*nodesFlag, *ranksFlag, *horizonFlag, format, ctx))
 	}
-	if err := run(*nodesFlag, *stepsFlag, *fracFlag, format, *jFlag, ctx, *metricsOut, *traceOut); err != nil {
-		fmt.Fprintln(os.Stderr, "sst-net:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sst-net", run(*nodesFlag, *stepsFlag, *fracFlag, format, *jFlag, ctx, *metricsOut, *traceOut, *journal, *resume))
 }
 
 // runScaling drives the E6 parallel-scaling study: the heterogeneous
@@ -83,13 +89,13 @@ func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ct
 	for _, s := range strings.Split(ranksFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 1 {
-			return fmt.Errorf("bad rank count %q", s)
+			return cli.Configf("bad rank count %q", s)
 		}
 		ranks = append(ranks, n)
 	}
 	horizon, err := sim.ParseTime(horizonFlag)
 	if err != nil {
-		return fmt.Errorf("bad horizon: %w", err)
+		return cli.Configf("bad horizon: %w", err)
 	}
 	res, err := core.ParallelScalingStudy(ranks, nodes, horizon, core.SweepOptions{Context: ctx})
 	if err != nil {
@@ -98,19 +104,24 @@ func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ct
 	return core.WriteResults(os.Stdout, format, res)
 }
 
-func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx context.Context, metricsOut, traceOut string) error {
+func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx context.Context, metricsOut, traceOut, journal string, resume bool) error {
 	cfg := core.NetStudyConfig{Nodes: nodes, Steps: steps}
 	for _, f := range strings.Split(fracFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil || v <= 0 || v > 1 {
-			return fmt.Errorf("bad fraction %q", f)
+			return cli.Configf("bad fraction %q", f)
 		}
 		cfg.Fractions = append(cfg.Fractions, v)
 	}
 	// Each study is one sweep, so each gets its own collector (point
-	// indices are per-sweep).
-	opts := core.SweepOptions{Workers: workers, Context: ctx}
+	// indices are per-sweep). The journal is shared: both studies run the
+	// same grid, so the power study resumes off the degradation study's
+	// completed cells instead of simulating them twice.
+	opts := core.SweepOptions{Workers: workers, Context: ctx, Journal: journal, Resume: resume}
 	popts := opts
+	if journal != "" {
+		popts.Resume = true
+	}
 	var dcol, pcol *obs.SweepCollector
 	if metricsOut != "" || traceOut != "" {
 		dcol, pcol = &obs.SweepCollector{}, &obs.SweepCollector{}

@@ -7,14 +7,15 @@ import (
 	"path/filepath"
 	"testing"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 )
 
 func TestNetStudySmall(t *testing.T) {
-	if err := run(8, 2, "1,0.5", core.FormatTable, 0, context.Background(), "", ""); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatTable, 0, context.Background(), "", "", "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(8, 2, "1", core.FormatCSV, 2, context.Background(), "", ""); err != nil {
+	if err := run(8, 2, "1", core.FormatCSV, 2, context.Background(), "", "", "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,7 +24,7 @@ func TestNetStudyObsFiles(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "m.json")
 	trace := filepath.Join(dir, "t.json")
-	if err := run(8, 2, "1,0.5", core.FormatJSON, 2, context.Background(), metrics, trace); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatJSON, 2, context.Background(), metrics, trace, "", false); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{metrics, trace} {
@@ -42,19 +43,65 @@ func TestNetScalingStudy(t *testing.T) {
 	if err := runScaling(8, "1,2", "100us", core.FormatTable, context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScaling(8, "1,x", "100us", core.FormatTable, context.Background()); err == nil {
+	err := runScaling(8, "1,x", "100us", core.FormatTable, context.Background())
+	if err == nil {
 		t.Error("bad rank count accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad rank count maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
-	if err := runScaling(8, "1", "soon", core.FormatTable, context.Background()); err == nil {
+	err = runScaling(8, "1", "soon", core.FormatTable, context.Background())
+	if err == nil {
 		t.Error("bad horizon accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad horizon maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
 }
 
 func TestNetStudyBadFractions(t *testing.T) {
-	if err := run(8, 2, "1,zero", core.FormatTable, 0, context.Background(), "", ""); err == nil {
+	err := run(8, 2, "1,zero", core.FormatTable, 0, context.Background(), "", "", "", false)
+	if err == nil {
 		t.Error("bad fraction accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad fraction maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
-	if err := run(8, 2, "2.5", core.FormatTable, 0, context.Background(), "", ""); err == nil {
+	if err := run(8, 2, "2.5", core.FormatTable, 0, context.Background(), "", "", "", false); err == nil {
 		t.Error("fraction > 1 accepted")
+	}
+}
+
+// TestNetStudyJournalResume: a journaled study writes one record per cell;
+// a resumed run restores them (both studies share the grid, so the journal
+// holds each cell once) and reproduces the same tables.
+func TestNetStudyJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "net.jsonl")
+	if err := run(8, 2, "1,0.5", core.FormatCSV, 2, context.Background(), "", "", journal, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("journal empty after journaled study")
+	}
+	// Resume against the complete journal: every cell restores, no
+	// simulation re-runs, and the study still succeeds.
+	if err := run(8, 2, "1,0.5", core.FormatCSV, 2, context.Background(), "", "", journal, true); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+}
+
+// TestNetStudyInterruptedExitCode: a pre-cancelled context maps to the
+// interrupted exit code, not a generic failure.
+func TestNetStudyInterruptedExitCode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(8, 2, "1,0.5", core.FormatTable, 1, ctx, "", "", "", false)
+	if err == nil {
+		t.Fatal("cancelled study reported success")
+	}
+	if cli.Code(err) != cli.ExitInterrupted {
+		t.Fatalf("cancelled study maps to exit %d, want %d (err: %v)", cli.Code(err), cli.ExitInterrupted, err)
 	}
 }

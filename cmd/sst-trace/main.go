@@ -18,6 +18,9 @@
 //
 // Workloads: the SR1 program library (daxpy, dot, chase, fib) and the
 // kernel proxies (hpccg, lulesh, stencil, stream, gups, fea).
+//
+// Exit codes: 0 success, 1 failure, 2 configuration error (bad usage,
+// subcommand, workload, format or unit).
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/cpu"
 	"sst/internal/frontend"
@@ -53,15 +57,12 @@ func main() {
 	default:
 		usage()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst-trace:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sst-trace", err)
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sst-trace record|info|replay [flags]")
-	os.Exit(2)
+	os.Exit(cli.ExitConfig)
 }
 
 // openWorkload builds a stream for a named workload.
@@ -101,7 +102,7 @@ func openWorkload(name string, n int) (frontend.Stream, func(), error) {
 		k := workload.MiniMD(n, 16, 1, 1).Stream()
 		return k, k.Close, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown workload %q", name)
+		return nil, nil, cli.Configf("unknown workload %q", name)
 	}
 }
 
@@ -156,7 +157,7 @@ func info(args []string) error {
 	fs.Parse(args)
 	format, err := core.ParseFormat(*formatFlag)
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 
 	f, err := os.Open(*in)
@@ -204,7 +205,7 @@ func replay(args []string) error {
 	fs.Parse(args)
 	format, err := core.ParseFormat(*formatFlag)
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 
 	f, err := os.Open(*in)
@@ -216,11 +217,11 @@ func replay(args []string) error {
 
 	freq, err := sim.ParseHz(*freqStr)
 	if err != nil {
-		return err
+		return cli.Configf("bad freq: %v", err)
 	}
 	lat, err := sim.ParseTime(*memLat)
 	if err != nil {
-		return err
+		return cli.Configf("bad memlat: %v", err)
 	}
 	engine := sim.NewEngine()
 	clock := sim.NewClock(engine, freq)

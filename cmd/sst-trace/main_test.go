@@ -3,6 +3,8 @@ package main
 import (
 	"path/filepath"
 	"testing"
+
+	"sst/internal/cli"
 )
 
 func TestRecordInfoReplayRoundTrip(t *testing.T) {
@@ -34,14 +36,44 @@ func TestRecordKernelWithLimit(t *testing.T) {
 }
 
 func TestRecordUnknownWorkload(t *testing.T) {
-	if err := record([]string{"-workload", "doom", "-o", filepath.Join(t.TempDir(), "x.bin")}); err == nil {
+	err := record([]string{"-workload", "doom", "-o", filepath.Join(t.TempDir(), "x.bin")})
+	if err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+	if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("unknown workload maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
 }
 
 func TestInfoMissingFile(t *testing.T) {
-	if err := info([]string{"-i", "/nonexistent.bin"}); err == nil {
+	err := info([]string{"-i", "/nonexistent.bin"})
+	if err == nil {
 		t.Fatal("missing trace accepted")
+	}
+	if cli.Code(err) != cli.ExitFailure {
+		t.Errorf("missing trace maps to exit %d, want %d", cli.Code(err), cli.ExitFailure)
+	}
+}
+
+func TestReplayBadUnits(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.bin")
+	if err := record([]string{"-workload", "daxpy", "-n", "16", "-o", trace}); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-i", trace, "-freq", "fast"},
+		{"-i", trace, "-memlat", "soon"},
+		{"-i", trace, "-format", "xml"},
+	} {
+		err := replay(args)
+		if err == nil {
+			t.Errorf("replay %v accepted", args)
+			continue
+		}
+		if cli.Code(err) != cli.ExitConfig {
+			t.Errorf("replay %v maps to exit %d, want %d", args, cli.Code(err), cli.ExitConfig)
+		}
 	}
 }
 

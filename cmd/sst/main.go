@@ -9,6 +9,7 @@
 //	sst -config machine.json [-stats] [-format table|json|csv]
 //	    [-trace-out run.json] [-trace-cap N] [-metrics-out m.json]
 //	sst -system system.json [-par N] [-sync global|pairwise]
+//	    [-snapshot-every 100us] [-snapshot-out run.snap] [-restore run.snap]
 //	    [-trace-out run.json] [-metrics-out m.json]
 //
 // -trace-out records per-event spans (simulated time, component label,
@@ -22,7 +23,18 @@
 // fabric becomes internal/dnoc, bit-identical to the sequential run);
 // -sync selects the conservative synchronization mode, pairwise
 // (topology-aware lookahead, the default) or global (single minimum
-// window). -trace-out is single-engine only and is rejected with -par.
+// window). With -par, -trace-out writes one file per rank: the path gains
+// a ".rankN" suffix before its extension (run.json -> run.rank0.json ...).
+//
+// -snapshot-every T writes a consistent snapshot of the whole -system
+// simulation to -snapshot-out every T of simulated time (atomic
+// write-then-rename, so a crash never leaves a torn file); -restore
+// resumes a run from such a snapshot and produces results bit-identical
+// to the uninterrupted run. Both imply the partitioned execution path and
+// work at any -par count, including 1.
+//
+// Exit codes: 0 success, 1 failure, 2 configuration error, 130
+// interrupted (Ctrl-C).
 //
 // See configs/ for examples of both formats and internal/config for the
 // full schema.
@@ -34,9 +46,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
 
+	"sst/internal/cli"
 	"sst/internal/config"
 	"sst/internal/core"
 	"sst/internal/dnoc"
@@ -47,36 +59,6 @@ import (
 	"sst/internal/stats"
 	"sst/internal/workload"
 )
-
-// interruptEngine makes Ctrl-C stop the engine at its next poll point, so
-// an interrupted simulation reports where it was instead of dying mid-run.
-// The returned func detaches the handler.
-func interruptEngine(eng *sim.Engine) func() {
-	return onInterrupt(eng.Interrupt)
-}
-
-// interruptRunner is interruptEngine for a parallel run: Ctrl-C interrupts
-// every rank through the runner.
-func interruptRunner(r *par.Runner) func() {
-	return onInterrupt(r.Interrupt)
-}
-
-func onInterrupt(stop func()) func() {
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-sigc:
-			stop()
-		case <-done:
-		}
-	}()
-	return func() {
-		signal.Stop(sigc)
-		close(done)
-	}
-}
 
 // obsFlags bundles the observability options shared by both modes.
 type obsFlags struct {
@@ -100,36 +82,54 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write run metrics JSON to this file")
 		parFlag    = flag.Int("par", 1, "partition a -system run over N parallel ranks")
 		syncFlag   = flag.String("sync", "pairwise", "parallel sync mode: global or pairwise")
+		snapEvery  = flag.String("snapshot-every", "", "write a snapshot every this much simulated time (e.g. 100us; -system only)")
+		snapOut    = flag.String("snapshot-out", "sst.snap", "snapshot file for -snapshot-every")
+		restore    = flag.String("restore", "", "resume a -system run from this snapshot file")
 	)
 	flag.Parse()
 	format, err := core.ParseFormat(*formatFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst:", err)
-		os.Exit(2)
+		cli.Exit("sst", cli.Configf("%v", err))
 	}
 	if *asCSV {
 		format = core.FormatCSV
 	}
 	syncMode, err := par.ParseSyncMode(*syncFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst:", err)
-		os.Exit(2)
+		cli.Exit("sst", cli.Configf("%v", err))
+	}
+	snap := snapCfg{out: *snapOut, restore: *restore}
+	if *snapEvery != "" {
+		if snap.every, err = sim.ParseTime(*snapEvery); err != nil || snap.every <= 0 {
+			cli.Exit("sst", cli.Configf("bad -snapshot-every %q", *snapEvery))
+		}
 	}
 	ob := obsFlags{traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut, format: format}
 	switch {
 	case *cfgPath != "":
+		if snap.active() {
+			cli.Exit("sst", cli.Configf("-snapshot-every/-restore apply to -system runs"))
+		}
 		err = run(*cfgPath, *dumpStats, ob, *timeline, *samplePd)
 	case *sysPath != "":
-		err = runSystem(*sysPath, ob, *parFlag, syncMode)
+		err = runSystem(*sysPath, ob, *parFlag, syncMode, snap)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitConfig)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sst:", err)
-		os.Exit(1)
-	}
+	cli.Exit("sst", err)
 }
+
+// snapCfg carries the crash-safety options of a -system run.
+type snapCfg struct {
+	every   sim.Time // snapshot interval in simulated time (0 = off)
+	out     string   // snapshot file written at each interval
+	restore string   // snapshot file to resume from ("" = fresh run)
+}
+
+// active reports whether the run needs the snapshot-capable execution
+// path.
+func (s snapCfg) active() bool { return s.every > 0 || s.restore != "" }
 
 // attachTracer installs a ring tracer on the engine when requested.
 func (ob obsFlags) attachTracer(engine *sim.Engine) *obs.Tracer {
@@ -174,19 +174,20 @@ func writeFile(path string, write func(w io.Writer) error) error {
 }
 
 // runSystem executes a multi-node communication-profile simulation,
-// sequentially or (nranks > 1) partitioned over parallel ranks.
-func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode) error {
+// sequentially or (nranks > 1, or when snapshotting) partitioned over
+// parallel ranks.
+func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode, snap snapCfg) error {
 	sys, err := config.LoadSystemFile(path)
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	topo, err := sys.Topo.Build()
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	netCfg, err := sys.Net.ToNetConfig()
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	var profile workload.CommProfile
 	switch sys.App {
@@ -199,7 +200,7 @@ func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode) error {
 	case "xnobel":
 		profile = workload.XNOBELProfile
 	default:
-		return fmt.Errorf("unknown app %q", sys.App)
+		return cli.Configf("unknown app %q", sys.App)
 	}
 	if sys.Steps > 0 {
 		profile.Steps = sys.Steps
@@ -208,8 +209,10 @@ func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode) error {
 	if ranks == 0 {
 		ranks = topo.NumNodes()
 	}
-	if nranks > 1 {
-		return runSystemPar(sys.Name, topo, netCfg, profile, ranks, ob, nranks, mode)
+	// Snapshot/restore rides on the partitioned path (its runner owns the
+	// quiescent barriers snapshots are taken at); it works at -par 1 too.
+	if nranks > 1 || snap.active() {
+		return runSystemPar(sys.Name, topo, netCfg, profile, ranks, ob, nranks, mode, snap)
 	}
 	engine := sim.NewEngine()
 	net, err := noc.NewNetwork(engine, "net", topo, netCfg, nil)
@@ -224,7 +227,7 @@ func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode) error {
 	col := obs.NewCollector()
 	col.Attach(engine)
 	app.Start(nil)
-	defer interruptEngine(engine)()
+	defer cli.OnInterrupt(engine.Interrupt)()
 	engine.RunAll()
 	if !app.Done() {
 		if engine.Interrupted() {
@@ -251,17 +254,21 @@ func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode) error {
 // is internal/dnoc partitioned over the runner, and the application's rank
 // scripts are grouped by home rank into one workload.App per partition.
 // Results are bit-identical to the sequential run (asserted by
-// internal/dnoc's and internal/par's tests).
+// internal/dnoc's and internal/par's tests). With tracing on, each rank's
+// engine gets its own tracer and file; with snap active, the run is sliced
+// into snapshot intervals and/or resumed from a prior snapshot.
 func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
-	profile workload.CommProfile, ranks int, ob obsFlags, nranks int, mode par.SyncMode) error {
-	if ob.traceOut != "" {
-		return fmt.Errorf("-trace-out traces a single engine; it is not available with -par (remove one of the two)")
-	}
+	profile workload.CommProfile, ranks int, ob obsFlags, nranks int, mode par.SyncMode, snap snapCfg) error {
 	runner, err := par.NewRunner(nranks)
 	if err != nil {
 		return err
 	}
 	runner.SetSyncMode(mode)
+	if snap.active() {
+		// Must precede model construction: components register their
+		// checkpoint state as they are built.
+		runner.EnableSnapshots()
+	}
 	d, err := dnoc.New(runner, topo, netCfg, nil)
 	if err != nil {
 		return err
@@ -289,14 +296,41 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 		}
 		apps = append(apps, app)
 	}
+	// One tracer per rank engine; each flushes to its own ".rankN" file.
+	var tracers []*obs.Tracer
+	if ob.traceOut != "" {
+		tracers = make([]*obs.Tracer, nranks)
+		for i := range tracers {
+			tracers[i] = obs.NewTracer(ob.traceCap)
+			runner.Rank(i).Engine().SetTracer(tracers[i])
+		}
+	}
 	col := obs.NewCollector()
 	col.Attach(runner.Rank(0).Engine())
 	col.AttachRunner(runner)
-	for _, app := range apps {
-		app.Start(nil)
+	if snap.restore != "" {
+		f, err := os.Open(snap.restore)
+		if err != nil {
+			return err
+		}
+		err = runner.LoadFrom(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", snap.restore, err)
+		}
+		// Restored apps resume mid-script; Start would re-launch them.
+	} else {
+		for _, app := range apps {
+			app.Start(nil)
+		}
 	}
-	defer interruptRunner(runner)()
-	if _, err := runner.RunAll(); err != nil {
+	defer cli.OnInterrupt(runner.Interrupt)()
+	if snap.every > 0 {
+		err = runSliced(runner, snap)
+	} else {
+		_, err = runner.RunAll()
+	}
+	if err != nil {
 		return err
 	}
 	var elapsed sim.Time
@@ -309,7 +343,17 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 		}
 	}
 	rep := col.Report()
-	if err := ob.flush(nil, rep); err != nil {
+	for i, tr := range tracers {
+		write := tr.WriteChromeJSON
+		if strings.HasSuffix(ob.traceOut, ".csv") {
+			write = tr.WriteCSV
+		}
+		if err := writeFile(rankPath(ob.traceOut, i), write); err != nil {
+			return err
+		}
+	}
+	mOnly := obsFlags{metricsOut: ob.metricsOut}
+	if err := mOnly.flush(nil, rep); err != nil {
 		return err
 	}
 	m := runner.Metrics()
@@ -322,6 +366,52 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 	fmt.Printf("sync windows:    %d (%d fast-forwards, lookahead %v, imbalance %.2f)\n",
 		m.Windows, m.FastForwards, m.Lookahead, m.Imbalance)
 	return nil
+}
+
+// rankPath inserts a ".rankN" tag before path's extension, so a parallel
+// run's per-rank trace files sit next to the name the user asked for:
+// run.json -> run.rank0.json, run -> run.rank0.
+func rankPath(path string, rank int) string {
+	ext := ""
+	if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+		path, ext = path[:i], path[i:]
+	}
+	return fmt.Sprintf("%s.rank%d%s", path, rank, ext)
+}
+
+// runSliced advances the run one snapshot interval at a time, writing a
+// consistent snapshot at each barrier. The write is atomic (temp file then
+// rename), so a kill at any instant leaves either the previous snapshot or
+// the new one, never a torn file.
+func runSliced(runner *par.Runner, snap snapCfg) error {
+	for runner.NextEventTime() != sim.TimeInfinity {
+		if _, err := runner.Run(runner.Now() + snap.every); err != nil {
+			return err
+		}
+		if err := writeSnapshot(runner, snap.out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSnapshot saves the runner's state to path via write-then-rename.
+func writeSnapshot(runner *par.Runner, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := runner.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // resultTable renders a NodeResult as a metric/value table (the csv/table
@@ -352,14 +442,14 @@ func resultTable(res *core.NodeResult) *stats.Table {
 func run(cfgPath string, dumpStats bool, ob obsFlags, timeline, samplePd string) error {
 	cfg, err := config.LoadMachineFile(cfgPath)
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	node, err := core.BuildNode(cfg)
 	if err != nil {
-		return err
+		return cli.Configf("%v", err)
 	}
 	engine := node.Sim.Engine()
-	defer interruptEngine(engine)()
+	defer cli.OnInterrupt(engine.Interrupt)()
 	var sampler *stats.Sampler
 	if timeline != "" {
 		period, err := sim.ParseTime(samplePd)

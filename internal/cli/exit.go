@@ -1,0 +1,87 @@
+// Package cli holds the conventions shared by the sst commands: the exit
+// code contract and SIGINT handling. Every command distinguishes a clean
+// run, a generic failure, a configuration mistake, a sweep that completed
+// with failed points, and an interrupted run, so scripts driving the
+// tools (the resume workflow in particular) can branch on what happened.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"sst/internal/core"
+	"sst/internal/sim"
+)
+
+// Exit codes. Interruption follows the shell convention 128+SIGINT.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1
+	ExitConfig      = 2
+	ExitPointFailed = 3
+	ExitInterrupted = 130
+)
+
+// ErrConfig marks configuration mistakes — bad flag values, malformed
+// config files — as opposed to a simulation that ran and failed.
+var ErrConfig = errors.New("configuration error")
+
+// Configf builds an ErrConfig-wrapping error so Code maps it to
+// ExitConfig. Additional %w verbs keep their chains.
+func Configf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrConfig}, args...)...)
+}
+
+// Code maps a command's terminal error to its exit code. Interruption
+// (SIGINT surfaces as context cancellation or an interrupted engine)
+// takes priority over failed sweep points, which in turn outrank generic
+// failure; a timed-out design point is a point failure, not an
+// interruption, because its error carries context.DeadlineExceeded rather
+// than cancellation.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrConfig):
+		return ExitConfig
+	case errors.Is(err, context.Canceled), errors.Is(err, sim.ErrInterrupted):
+		return ExitInterrupted
+	case errors.Is(err, core.ErrPointFailed):
+		return ExitPointFailed
+	default:
+		return ExitFailure
+	}
+}
+
+// Exit prints err (when non-nil) prefixed with the command name and exits
+// with the matching code.
+func Exit(cmd string, err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, cmd+":", err)
+	}
+	os.Exit(Code(err))
+}
+
+// OnInterrupt runs stop on the first SIGINT, so Ctrl-C lands a simulation
+// at its next poll point (engine interrupt, sweep-context cancellation)
+// instead of killing the process mid-run. The returned func detaches the
+// handler; a second SIGINT then terminates the process normally.
+func OnInterrupt(stop func()) func() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			stop()
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(done)
+	}
+}

@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sst/internal/core"
+	"sst/internal/sim"
+)
+
+func TestCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"ok", nil, ExitOK},
+		{"generic", errors.New("boom"), ExitFailure},
+		{"config", Configf("bad width %q", "x"), ExitConfig},
+		{"config wrapping cause", Configf("load: %w", errors.New("no such file")), ExitConfig},
+		{"interrupted engine", fmt.Errorf("run: %w", sim.ErrInterrupted), ExitInterrupted},
+		{"interrupted sweep", fmt.Errorf("%w: %w", core.ErrPointFailed,
+			fmt.Errorf("point skipped: %w", context.Canceled)), ExitInterrupted},
+		{"failed point", fmt.Errorf("%w: %w", core.ErrPointFailed, errors.New("panic")), ExitPointFailed},
+		{"timed-out point", fmt.Errorf("%w: %w", core.ErrPointFailed,
+			fmt.Errorf("timed out: %w", context.DeadlineExceeded)), ExitPointFailed},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("%s: Code(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}

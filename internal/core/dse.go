@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -84,10 +87,20 @@ func SweepMachine(app, tech string, width int, scale Scale) *config.MachineConfi
 
 // RunMachine builds and runs one machine config.
 func RunMachine(cfg *config.MachineConfig) (*NodeResult, error) {
+	return RunMachineCtx(context.Background(), cfg)
+}
+
+// RunMachineCtx is RunMachine with cooperative cancellation: when ctx
+// expires (sweep cancellation, a per-point deadline) the node's engine is
+// interrupted at its next event and the run returns an error wrapping
+// sim.ErrInterrupted instead of running to completion.
+func RunMachineCtx(ctx context.Context, cfg *config.MachineConfig) (*NodeResult, error) {
 	n, err := BuildNode(cfg)
 	if err != nil {
 		return nil, err
 	}
+	stop := context.AfterFunc(ctx, n.Sim.Engine().Interrupt)
+	defer stop()
 	return n.Run()
 }
 
@@ -186,7 +199,12 @@ func (g *DSEGrid) WriteCSV(w io.Writer) error { return g.Table().WriteCSV(w) }
 // MemTechWidthSweep runs the cross product of apps × technologies × widths
 // — the single sweep behind Figs. 10, 11 and 12. Points are independent
 // single-node simulations, so they execute across the sweep worker pool;
-// grid order is the cross-product order regardless of worker count.
+// grid order is the cross-product order regardless of worker count. With
+// opts.Journal set, finished points are durably journaled (keyed
+// "app/tech/wN") and opts.Resume restores them instead of re-running;
+// opts.PointTimeout bounds each point's wall-clock time. A sweep with
+// failed points returns the partial grid plus an error wrapping
+// ErrPointFailed.
 func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale, opts SweepOptions) (*DSEGrid, error) {
 	g := &DSEGrid{Points: make([]DSEPoint, 0, len(apps)*len(techs)*len(widths))}
 	for _, app := range apps {
@@ -196,19 +214,48 @@ func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale, opts Swe
 			}
 		}
 	}
-	errs, err := runPointsDetailed(opts, len(g.Points), func(i int) error {
+	pio := pointIO{
+		key: func(i int) string {
+			p := &g.Points[i]
+			return fmt.Sprintf("%s/%s/w%d", p.App, p.Tech, p.Width)
+		},
+		save: func(i int) (json.RawMessage, error) { return json.Marshal(g.Points[i].Result) },
+		load: func(i int, raw json.RawMessage) error {
+			res := new(NodeResult)
+			if err := json.Unmarshal(raw, res); err != nil {
+				return err
+			}
+			g.Points[i].Result = res
+			return nil
+		},
+	}
+	errs, err := runPointsJournaled(opts, len(g.Points), pio, func(ctx context.Context, i int) error {
 		p := &g.Points[i]
-		res, rerr := RunMachine(SweepMachine(p.App, p.Tech, p.Width, scale))
+		res, rerr := RunMachineCtx(ctx, SweepMachine(p.App, p.Tech, p.Width, scale))
 		if rerr != nil {
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				// A hung point cut off by PointTimeout is a point
+				// failure, not an interruption: carry the deadline
+				// error, not the engine's interrupt sentinel.
+				return fmt.Errorf("core: sweep %s/%s/w%d timed out after %v: %w (%v)",
+					p.App, p.Tech, p.Width, opts.PointTimeout, context.DeadlineExceeded, rerr)
+			}
 			return fmt.Errorf("core: sweep %s/%s/w%d: %w", p.App, p.Tech, p.Width, rerr)
 		}
 		p.Result = res
 		return nil
 	})
+	pointFailed := false
 	for i := range errs {
 		g.Points[i].Err = errs[i]
+		pointFailed = pointFailed || errs[i] != nil
 	}
 	g.buildIndex()
+	if pointFailed {
+		// Distinct from a sweep that could not run at all (e.g. an
+		// unreadable journal): that error passes through unwrapped.
+		err = fmt.Errorf("%w: %w", ErrPointFailed, err)
+	}
 	// The grid is returned even on error: completed points keep their
 	// results so callers can render the partial sweep next to the
 	// per-point failures.

@@ -1,0 +1,199 @@
+package core
+
+// Resumable sweeps: an append-only JSONL journal of completed design
+// points. Each finished point appends one line — {"key","result"} on
+// success, {"key","err"} on failure — and the file is fsync'd after every
+// record, so a sweep killed at any instant loses at most the line being
+// written. A kill mid-write leaves one truncated final line, which
+// OpenJournal tolerates by truncating the file back to the last complete
+// record before reopening it for append. Resuming a sweep skips every key
+// with a successful entry (restoring its saved result into the grid) and
+// re-runs failed or missing points, so an interrupted sweep converges to
+// the same grid an uninterrupted one produces.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalEntry is one JSONL record: a point's stable key plus either its
+// serialized result or its failure text.
+type journalEntry struct {
+	Key    string          `json:"key"`
+	Err    string          `json:"err,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Journal is an append-only, crash-tolerant record of completed sweep
+// points. Record is safe for concurrent use by the sweep worker pool.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]journalEntry
+}
+
+// OpenJournal opens (creating if absent) the journal at path. When resume
+// is true, every complete record already in the file is loaded and a
+// truncated final line — the signature of a crash mid-append — is cut off;
+// when false the file is started fresh.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{done: make(map[string]journalEntry)}
+	if !resume {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+		j.f = f
+		return j, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	// Scan complete lines, remembering the byte offset just past the last
+	// record that parses; everything after it is a torn tail to discard.
+	valid := 0
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // no terminator: torn final line
+		}
+		line := raw[off : off+nl]
+		off += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			valid = off
+			continue
+		}
+		var ent journalEntry
+		if json.Unmarshal(line, &ent) != nil || ent.Key == "" {
+			break // torn or corrupt: drop it and everything after
+		}
+		j.done[ent.Key] = ent
+		valid = off
+	}
+	if valid < len(raw) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("core: journal: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Completed returns the recorded entry for key, if any. Entries with a
+// non-empty Err are failures; resume re-runs those points.
+func (j *Journal) Completed(key string) (journalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ent, ok := j.done[key]
+	return ent, ok
+}
+
+// Len reports how many distinct keys the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record appends one point's outcome and fsyncs it. result is ignored when
+// perr is non-nil.
+func (j *Journal) Record(key string, result json.RawMessage, perr error) error {
+	ent := journalEntry{Key: key}
+	if perr != nil {
+		ent.Err = perr.Error()
+	} else {
+		ent.Result = result
+	}
+	line, err := json.Marshal(ent)
+	if err != nil {
+		return fmt.Errorf("core: journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("core: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("core: journal: %w", err)
+	}
+	j.done[key] = ent
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// pointIO tells runPointsJournaled how to identify and serialize one
+// study's points: key must be stable across processes (it is the resume
+// identity), save captures a finished point's result, load restores a
+// previously journaled one into the grid.
+type pointIO struct {
+	key  func(i int) string
+	save func(i int) (json.RawMessage, error)
+	load func(i int, raw json.RawMessage) error
+}
+
+// runPointsJournaled is runPointsDetailed plus the crash-safety layer:
+// with opts.Journal set, every finished point is durably recorded, and
+// with opts.Resume the journal's successful points are restored instead of
+// re-run. Points skipped by sweep cancellation are not journaled — they
+// never ran — so a later resume picks them up.
+func runPointsJournaled(opts SweepOptions, n int, pio pointIO, fn func(ctx context.Context, i int) error) ([]error, error) {
+	if opts.Journal == "" {
+		return runPointsDetailed(opts, n, fn)
+	}
+	j, err := OpenJournal(opts.Journal, opts.Resume)
+	if err != nil {
+		return make([]error, n), err
+	}
+	defer j.Close()
+	skip := make([]bool, n)
+	if opts.Resume {
+		for i := 0; i < n; i++ {
+			ent, ok := j.Completed(pio.key(i))
+			if !ok || ent.Err != "" {
+				continue // missing or failed: re-run
+			}
+			if err := pio.load(i, ent.Result); err != nil {
+				return make([]error, n), fmt.Errorf("core: journal: restoring point %q: %w", pio.key(i), err)
+			}
+			skip[i] = true
+		}
+	}
+	return runPointsDetailed(opts, n, func(ctx context.Context, i int) error {
+		if skip[i] {
+			return nil
+		}
+		rerr := fn(ctx, i)
+		var raw json.RawMessage
+		if rerr == nil && pio.save != nil {
+			var serr error
+			if raw, serr = pio.save(i); serr != nil {
+				rerr = fmt.Errorf("core: journal: serializing point %q: %w", pio.key(i), serr)
+			}
+		}
+		if jerr := j.Record(pio.key(i), raw, rerr); jerr != nil && rerr == nil {
+			rerr = jerr
+		}
+		return rerr
+	})
+}

@@ -1,0 +1,209 @@
+package core
+
+// Resumable-sweep properties: a journal survives a torn final line, resume
+// restores completed points instead of re-running them, a resumed grid is
+// field-for-field identical to an uninterrupted one, and a per-point
+// deadline marks a point Failed without wedging the sweep.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sst/internal/sim"
+)
+
+// TestJournalTruncatedTail: a crash mid-append leaves a partial final
+// line; opening with resume must keep every complete record, drop the torn
+// tail, and leave the file appendable.
+func TestJournalTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	full := `{"key":"a","result":1}` + "\n" + `{"key":"b","err":"boom"}` + "\n"
+	if err := os.WriteFile(path, []byte(full+`{"key":"c","resu`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal holds %d keys after torn tail, want 2", j.Len())
+	}
+	if ent, ok := j.Completed("a"); !ok || ent.Err != "" || string(ent.Result) != "1" {
+		t.Fatalf("entry a = %+v, %v", ent, ok)
+	}
+	if ent, ok := j.Completed("b"); !ok || ent.Err != "boom" {
+		t.Fatalf("entry b = %+v, %v", ent, ok)
+	}
+	if _, ok := j.Completed("c"); ok {
+		t.Fatal("torn entry c survived")
+	}
+	if err := j.Record("c", json.RawMessage("3"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := full + `{"key":"c","result":3}` + "\n"; string(raw) != want {
+		t.Fatalf("journal file after truncate+append:\n%q\nwant:\n%q", raw, want)
+	}
+}
+
+// TestRunPointsJournaledResume kills a sweep after half its points (via
+// context cancellation), then resumes: the journaled points must be
+// restored without re-running, the rest must run, and the final state must
+// equal an uninterrupted sweep's.
+func TestRunPointsJournaledResume(t *testing.T) {
+	const n = 6
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	newPIO := func(out []int) pointIO {
+		return pointIO{
+			key:  func(i int) string { return fmt.Sprintf("p%d", i) },
+			save: func(i int) (json.RawMessage, error) { return json.Marshal(out[i]) },
+			load: func(i int, raw json.RawMessage) error { return json.Unmarshal(raw, &out[i]) },
+		}
+	}
+
+	// First run: single worker, cancel after 3 points complete.
+	out1 := make([]int, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran1 atomic.Int64
+	opts := SweepOptions{Workers: 1, Context: ctx, Journal: path}
+	errs, err := runPointsJournaled(opts, n, newPIO(out1), func(_ context.Context, i int) error {
+		out1[i] = 100 + i
+		if ran1.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep reported no error")
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("point %d failed before cancellation: %v", i, errs[i])
+		}
+	}
+	for i := 3; i < n; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("point %d error = %v, want skipped-by-cancellation", i, errs[i])
+		}
+	}
+
+	// Resume: the three journaled points are restored, the rest run.
+	out2 := make([]int, n)
+	var ran2 atomic.Int64
+	opts2 := SweepOptions{Workers: 1, Journal: path, Resume: true}
+	if _, err := runPointsJournaled(opts2, n, newPIO(out2), func(_ context.Context, i int) error {
+		out2[i] = 100 + i
+		ran2.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran2.Load(); got != n-3 {
+		t.Fatalf("resume ran %d points, want %d", got, n-3)
+	}
+	want := make([]int, n)
+	for i := range want {
+		want[i] = 100 + i
+	}
+	if !reflect.DeepEqual(out2, want) {
+		t.Fatalf("resumed results %v, want %v", out2, want)
+	}
+}
+
+// TestMemTechWidthSweepJournalResume: journal a real DSE sweep with a
+// torn tail injected, resume, and require the grid to be field-for-field
+// identical to the uninterrupted sweep.
+func TestMemTechWidthSweepJournalResume(t *testing.T) {
+	apps := []string{"stream"}
+	techs := []string{"ddr3-1333"}
+	widths := []int{1, 2}
+	ref, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dse.jsonl")
+	if _, err := MemTechWidthSweep(apps, techs, widths, Small,
+		SweepOptions{Workers: 2, Journal: path}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the journal: drop the final record's tail, as if the process
+	// died mid-append, leaving one complete point and one torn one.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != len(widths) {
+		t.Fatalf("journal has %d lines, want %d", len(lines), len(widths))
+	}
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MemTechWidthSweep(apps, techs, widths, Small,
+		SweepOptions{Workers: 2, Journal: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HostSeconds is host wall time — the one legitimately nondeterministic
+	// field; every simulated quantity must match exactly.
+	norm := func(g *DSEGrid) []DSEPoint {
+		out := make([]DSEPoint, len(g.Points))
+		for i, p := range g.Points {
+			r := *p.Result
+			r.HostSeconds = 0
+			p.Result = &r
+			out[i] = p
+		}
+		return out
+	}
+	if gotN, refN := norm(got), norm(ref); !reflect.DeepEqual(gotN, refN) {
+		t.Fatalf("resumed grid diverged\n got %+v\nwant %+v", gotN, refN)
+	}
+}
+
+// TestPointTimeoutMarksFailed: a sweep whose points cannot finish inside
+// PointTimeout must mark them Failed with an interruption error instead of
+// wedging the worker pool, and the sweep error must carry ErrPointFailed.
+func TestPointTimeoutMarksFailed(t *testing.T) {
+	g, err := MemTechWidthSweep([]string{"stream"}, []string{"ddr3-1333"}, []int{2}, Small,
+		SweepOptions{Workers: 1, PointTimeout: time.Nanosecond})
+	if err == nil {
+		t.Fatal("timed-out sweep reported no error")
+	}
+	if !errors.Is(err, ErrPointFailed) {
+		t.Fatalf("sweep error %v does not wrap ErrPointFailed", err)
+	}
+	failed := g.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("%d failed points, want 1", len(failed))
+	}
+	if !errors.Is(failed[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("point error %v does not wrap context.DeadlineExceeded", failed[0].Err)
+	}
+	// The timeout must not masquerade as a SIGINT-style interruption —
+	// commands map those to different exit codes.
+	if errors.Is(err, sim.ErrInterrupted) || errors.Is(err, context.Canceled) {
+		t.Fatalf("timeout error %v carries an interruption sentinel", err)
+	}
+	if failed[0].Result != nil {
+		t.Fatal("timed-out point still produced a result")
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 
 	"sst/internal/noc"
@@ -66,6 +69,13 @@ func torusFor(n int) (*noc.Torus3D, error) {
 // RunNetPoint executes one (profile, bandwidth fraction) cell and returns
 // the simulated runtime plus the network (for power/utilization analysis).
 func RunNetPoint(p workload.CommProfile, nodes, steps int, fraction float64) (sim.Time, *noc.Network, error) {
+	return RunNetPointCtx(context.Background(), p, nodes, steps, fraction)
+}
+
+// RunNetPointCtx is RunNetPoint with cooperative cancellation: an expired
+// ctx (sweep cancellation, a per-point deadline) interrupts the cell's
+// engine and the run returns an error wrapping sim.ErrInterrupted.
+func RunNetPointCtx(ctx context.Context, p workload.CommProfile, nodes, steps int, fraction float64) (sim.Time, *noc.Network, error) {
 	topo, err := torusFor(nodes)
 	if err != nil {
 		return 0, nil, err
@@ -83,8 +93,14 @@ func RunNetPoint(p workload.CommProfile, nodes, steps int, fraction float64) (si
 		return 0, nil, err
 	}
 	app.Start(nil)
+	stop := context.AfterFunc(ctx, engine.Interrupt)
 	engine.RunAll()
+	stop()
 	if !app.Done() {
+		if engine.Interrupted() {
+			return 0, nil, fmt.Errorf("core: net study %s interrupted at %v: %w",
+				p.Name, engine.Now(), sim.ErrInterrupted)
+		}
 		return 0, nil, fmt.Errorf("core: net study %s deadlocked", p.Name)
 	}
 	return app.Elapsed(), net, nil
@@ -94,7 +110,10 @@ func RunNetPoint(p workload.CommProfile, nodes, steps int, fraction float64) (si
 // sweep worker pool, returning elapsed[profile index][fraction index]. Each
 // cell owns a fresh engine, torus and application, so the cells are
 // independent; writing by index keeps the grid identical to a sequential
-// run at any worker count.
+// run at any worker count. With opts.Journal set, finished cells are
+// durably journaled (keyed "profile/fraction") and opts.Resume restores
+// them instead of re-running; a grid with failed cells returns an error
+// wrapping ErrPointFailed.
 func runNetGrid(cfg NetStudyConfig, opts SweepOptions) ([][]sim.Time, error) {
 	profiles := netStudyProfiles()
 	nf := len(cfg.Fractions)
@@ -102,15 +121,33 @@ func runNetGrid(cfg NetStudyConfig, opts SweepOptions) ([][]sim.Time, error) {
 	for i := range elapsed {
 		elapsed[i] = make([]sim.Time, nf)
 	}
-	err := runPoints(opts, len(profiles)*nf, func(i int) error {
+	pio := pointIO{
+		key: func(i int) string {
+			return fmt.Sprintf("%s/%g", profiles[i/nf].Name, cfg.Fractions[i%nf])
+		},
+		save: func(i int) (json.RawMessage, error) { return json.Marshal(elapsed[i/nf][i%nf]) },
+		load: func(i int, raw json.RawMessage) error { return json.Unmarshal(raw, &elapsed[i/nf][i%nf]) },
+	}
+	errs, err := runPointsJournaled(opts, len(profiles)*nf, pio, func(ctx context.Context, i int) error {
 		pi, fi := i/nf, i%nf
-		e, _, err := RunNetPoint(profiles[pi], cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
+		e, _, err := RunNetPointCtx(ctx, profiles[pi], cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
 		if err != nil {
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				// Timed out, not interrupted: see MemTechWidthSweep.
+				return fmt.Errorf("core: net study %s/%g timed out after %v: %w (%v)",
+					profiles[pi].Name, cfg.Fractions[fi], opts.PointTimeout, context.DeadlineExceeded, err)
+			}
 			return err
 		}
 		elapsed[pi][fi] = e
 		return nil
 	})
+	for _, perr := range errs {
+		if perr != nil {
+			err = fmt.Errorf("%w: %w", ErrPointFailed, err)
+			break
+		}
+	}
 	// The partial grid is returned even on error; failed or skipped cells
 	// stay zero and the table builders leave those rows out.
 	return elapsed, err

@@ -48,7 +48,32 @@ type SweepOptions struct {
 	// implementations must be safe for concurrent use (obs.SweepCollector
 	// is).
 	Metrics SweepMetrics
+
+	// Journal, when non-empty, is the path of an append-only JSONL journal
+	// in which journal-aware studies (MemTechWidthSweep, the network
+	// studies) durably record every completed design point. The file is
+	// fsync'd per record, so a sweep killed at any instant — including
+	// mid-write — can be resumed without repeating finished work.
+	Journal string
+
+	// Resume, with Journal set, loads the journal's successfully completed
+	// points into the grid instead of re-running them; failed or missing
+	// points run normally. A torn final line (crash mid-append) is
+	// tolerated and truncated. Without Resume the journal starts fresh.
+	Resume bool
+
+	// PointTimeout, when > 0, bounds each design point's wall-clock time:
+	// the per-point context passed to the point function expires after it,
+	// and context-aware studies interrupt the point's engine so a hung
+	// point is marked failed (with its error recorded) instead of wedging
+	// a pool worker forever.
+	PointTimeout time.Duration
 }
+
+// ErrPointFailed marks a sweep error that stems from at least one failed
+// (or timed-out, or skipped) design point, as opposed to the sweep being
+// unable to run at all. Commands map it to a distinct exit code.
+var ErrPointFailed = errors.New("sweep point failed")
 
 // SweepMetrics receives one report per design point. It is the hook the
 // observability layer plugs into instead of another package global.
@@ -141,8 +166,10 @@ func SetSweepContext(ctx context.Context) {
 // runPoint runs one design point, converting a panic into a per-point
 // error (with the component name when the model used sim.Guard) and
 // honouring sweep cancellation. One exploding point must cost exactly one
-// grid cell, never the process or the rest of the sweep.
-func runPoint(ctx context.Context, i int, fn func(i int) error) (err error) {
+// grid cell, never the process or the rest of the sweep. With a positive
+// timeout the point's context expires after it; context-aware point
+// functions (RunMachineCtx, RunNetPointCtx) then interrupt their engine.
+func runPoint(ctx context.Context, i int, timeout time.Duration, fn func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -157,7 +184,12 @@ func runPoint(ctx context.Context, i int, fn func(i int) error) (err error) {
 	if ctx.Err() != nil {
 		return fmt.Errorf("core: point %d skipped: %w", i, ctx.Err())
 	}
-	return fn(i)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return fn(ctx, i)
 }
 
 // runPoints executes fn(i) for every i in [0, n) on a pool of
@@ -167,14 +199,15 @@ func runPoint(ctx context.Context, i int, fn func(i int) error) (err error) {
 // writes to per-index state (and its own locals) — that is what makes the
 // fan-out race-free.
 func runPoints(opts SweepOptions, n int, fn func(i int) error) error {
-	_, err := runPointsDetailed(opts, n, fn)
+	_, err := runPointsDetailed(opts, n, func(_ context.Context, i int) error { return fn(i) })
 	return err
 }
 
 // runPointsDetailed is runPoints for callers that attach failures to
 // individual grid cells: it additionally returns the per-point error slice
-// (nil entries for successes), always of length n.
-func runPointsDetailed(opts SweepOptions, n int, fn func(i int) error) ([]error, error) {
+// (nil entries for successes), always of length n. The context passed to
+// fn is the sweep context, narrowed by opts.PointTimeout when set.
+func runPointsDetailed(opts SweepOptions, n int, fn func(ctx context.Context, i int) error) ([]error, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -186,7 +219,7 @@ func runPointsDetailed(opts SweepOptions, n int, fn func(i int) error) ([]error,
 	errs := make([]error, n)
 	one := func(worker, i int) {
 		start := time.Now()
-		errs[i] = runPoint(ctx, i, fn)
+		errs[i] = runPoint(ctx, i, opts.PointTimeout, fn)
 		if opts.Metrics != nil {
 			opts.Metrics.PointDone(PointReport{
 				Index: i, Worker: worker,

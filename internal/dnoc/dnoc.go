@@ -10,6 +10,12 @@
 // The conservative lookahead is the per-hop latency (link + router): a
 // packet leaving rank A can never affect rank B sooner than that, exactly
 // the property SST's conservative core exploits.
+//
+// All in-fabric work — packet hops, injections, local deliveries — is
+// scheduled through one checkpoint-owned event set per rank, so a network
+// built on a snapshot-enabled runner (par.Runner.EnableSnapshots before
+// New) can be saved at a window barrier and restored into a freshly built
+// twin: in-flight packets are plain data, never closures.
 package dnoc
 
 import (
@@ -21,7 +27,9 @@ import (
 	"sst/internal/stats"
 )
 
-// packet mirrors noc's wormhole-approximated transfer unit.
+// packet mirrors noc's wormhole-approximated transfer unit. Packets move
+// between events by value: exactly one pending event references a packet at
+// any time, so snapshots serialize them without aliasing concerns.
 type packet struct {
 	src, dst int
 	size     int
@@ -34,8 +42,74 @@ type packet struct {
 
 // xfer is the cross-rank payload: a packet plus the router to continue at.
 type xfer struct {
-	p      *packet
+	p      packet
 	router int
+}
+
+// devt is the per-rank event-set payload: a packet plus what to do with it.
+type devt struct {
+	kind   uint8 // devtHop or devtDeliver
+	p      packet
+	router int // continuation router for devtHop
+}
+
+const (
+	devtHop uint8 = iota
+	devtDeliver
+)
+
+func encodePacket(e *sim.Encoder, p packet) {
+	e.I64(int64(p.src))
+	e.I64(int64(p.dst))
+	e.I64(int64(p.size))
+	e.I64(int64(p.msgSize))
+	e.Bool(p.last)
+	sim.EncodePayload(e, p.payload)
+	e.Time(p.sentAt)
+	e.I64(int64(p.hops))
+}
+
+func decodePacket(d *sim.Decoder) (packet, error) {
+	p := packet{
+		src:     int(d.I64()),
+		dst:     int(d.I64()),
+		size:    int(d.I64()),
+		msgSize: int(d.I64()),
+		last:    d.Bool(),
+	}
+	payload, err := sim.DecodePayload(d)
+	if err != nil {
+		return p, err
+	}
+	p.payload = payload
+	p.sentAt = d.Time()
+	p.hops = int(d.I64())
+	return p, d.Err()
+}
+
+func init() {
+	sim.RegisterPayload("dnoc.xfer", xfer{},
+		func(e *sim.Encoder, v any) {
+			x := v.(xfer)
+			encodePacket(e, x.p)
+			e.I64(int64(x.router))
+		},
+		func(d *sim.Decoder) (any, error) {
+			p, err := decodePacket(d)
+			return xfer{p: p, router: int(d.I64())}, err
+		})
+	sim.RegisterPayload("dnoc.devt", devt{},
+		func(e *sim.Encoder, v any) {
+			ev := v.(devt)
+			e.U64(uint64(ev.kind))
+			encodePacket(e, ev.p)
+			e.I64(int64(ev.router))
+		},
+		func(d *sim.Decoder) (any, error) {
+			kind := uint8(d.U64())
+			p, err := decodePacket(d)
+			return devt{kind: kind, p: p, router: int(d.I64())}, err
+		})
 }
 
 // dlink is one directed link's serialization state, owned by the source
@@ -43,6 +117,58 @@ type xfer struct {
 type dlink struct {
 	freeAt sim.Time
 	bytes  uint64
+}
+
+// rankView is one rank's checkpointable slice of the network: the rank's
+// pending fabric events plus every piece of link/NIC/stats state its
+// engine mutates.
+type rankView struct {
+	d     *Network
+	rank  int
+	evs   *sim.EventSet
+	links []*dlink // directed links whose source router lives here
+	nics  []*NIC   // NICs homed here, ascending node id
+}
+
+func (v *rankView) dispatch(pl any) {
+	ev := pl.(devt)
+	switch ev.kind {
+	case devtHop:
+		v.d.hop(ev.p, ev.router)
+	case devtDeliver:
+		v.d.deliver(ev.p)
+	}
+}
+
+func (v *rankView) PendingOwned() int { return v.evs.PendingOwned() }
+
+func (v *rankView) SaveState(enc *sim.Encoder) {
+	v.evs.Save(enc)
+	for _, l := range v.links {
+		enc.Time(l.freeAt)
+		enc.U64(l.bytes)
+	}
+	for _, nc := range v.nics {
+		enc.Time(nc.freeAt)
+	}
+	v.d.regs[v.rank].SaveState(enc)
+}
+
+func (v *rankView) LoadState(dec *sim.Decoder) error {
+	if err := v.evs.Load(dec); err != nil {
+		return err
+	}
+	for _, l := range v.links {
+		l.freeAt = dec.Time()
+		l.bytes = dec.U64()
+	}
+	for _, nc := range v.nics {
+		nc.freeAt = dec.Time()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	return v.d.regs[v.rank].LoadState(dec)
 }
 
 // Network is the distributed interconnect.
@@ -54,8 +180,9 @@ type Network struct {
 
 	links map[[2]int]*dlink
 	// xmit[a][b] is the sending port of the a→b rank channel.
-	xmit map[int]map[int]*sim.Port
-	nics []*NIC
+	xmit  map[int]map[int]*sim.Port
+	nics  []*NIC
+	views []*rankView
 
 	// Per-rank stats registries keep rank goroutines from sharing
 	// counters; Totals() merges after the run.
@@ -66,7 +193,8 @@ type Network struct {
 }
 
 // New builds the distributed network on the runner. partition maps each
-// router to a rank; nil partitions round-robin.
+// router to a rank; nil partitions round-robin. On a snapshot-enabled
+// runner the network registers one checkpoint owner per rank.
 func New(runner *par.Runner, topo noc.Topology, cfg noc.NetConfig, partition func(router int) int) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -149,6 +277,26 @@ func New(runner *par.Runner, topo noc.Topology, cfg noc.NetConfig, partition fun
 		d.bytes[i] = sc.Counter("bytes")
 		d.msgLat[i] = sc.Histogram("latency_ps")
 	}
+	// Per-rank checkpoint views. Link and NIC orders are derived from the
+	// topology alone, so an identically built network restores into them.
+	d.views = make([]*rankView, runner.NumRanks())
+	for rank := range d.views {
+		v := &rankView{d: d, rank: rank}
+		v.evs = sim.NewEventSet(runner.Rank(rank).Engine(), fmt.Sprintf("dnoc.r%d", rank), v.dispatch)
+		d.views[rank] = v
+	}
+	for _, l := range topo.Links() {
+		d.views[d.part[l[0]]].links = append(d.views[d.part[l[0]]].links, d.links[[2]int{l[0], l[1]}])
+		d.views[d.part[l[1]]].links = append(d.views[d.part[l[1]]].links, d.links[[2]int{l[1], l[0]}])
+	}
+	for _, nc := range d.nics {
+		d.views[nc.rank].nics = append(d.views[nc.rank].nics, nc)
+	}
+	if runner.SnapshotsEnabled() {
+		for rank, v := range d.views {
+			runner.Rank(rank).Engine().RegisterCheckpoint("dnoc", v)
+		}
+	}
 	return d, nil
 }
 
@@ -209,7 +357,7 @@ func (d *Network) engineOf(r int) *sim.Engine {
 }
 
 // hop forwards the packet from router r on r's own rank.
-func (d *Network) hop(p *packet, r int) {
+func (d *Network) hop(p packet, r int) {
 	nxt := d.topo.Route(r, p.dst)
 	if nxt < 0 {
 		d.deliver(p)
@@ -231,7 +379,7 @@ func (d *Network) hop(p *packet, r int) {
 	p.hops++
 	arrive := start + ser + d.cfg.LinkLatency + d.cfg.RouterLatency
 	if d.part[nxt] == d.part[r] {
-		eng.ScheduleAt(arrive, sim.PrioLink, func(any) { d.hop(p, nxt) }, nil)
+		d.views[d.part[r]].evs.ScheduleAt(arrive, sim.PrioLink, devt{kind: devtHop, p: p, router: nxt})
 		return
 	}
 	// Cross-rank: channel latency covers link+router; any queueing and
@@ -241,12 +389,12 @@ func (d *Network) hop(p *packet, r int) {
 }
 
 // arrive continues a packet on its new rank.
-func (d *Network) arrive(p *packet, router int) {
+func (d *Network) arrive(p packet, router int) {
 	d.hop(p, router)
 }
 
 // deliver completes a packet at its destination NIC (on the local rank).
-func (d *Network) deliver(p *packet) {
+func (d *Network) deliver(p packet) {
 	nic := d.nics[p.dst]
 	if !p.last {
 		return
@@ -278,9 +426,12 @@ func (nc *NIC) Rank() int { return nc.rank }
 // node's rank).
 func (nc *NIC) SetReceiver(fn func(src, size int, payload any)) { nc.recv = fn }
 
-// Send mirrors noc.NIC.Send: injection-bandwidth-limited segmentation into
-// the fabric at the node's source router.
-func (nc *NIC) Send(dst, size int, payload any, onSent func()) {
+// SendTimed mirrors noc.NIC.Send's injection-bandwidth-limited segmentation
+// into the fabric, returning the time the last byte is injected (the send
+// buffer is free). Senders that need a completion wake-up schedule it
+// themselves at the returned time — through their own checkpoint-owned
+// events, so a snapshotted run carries no callback closures.
+func (nc *NIC) SendTimed(dst, size int, payload any) sim.Time {
 	d := nc.net
 	eng := d.runner.Rank(nc.rank).Engine()
 	now := eng.Now()
@@ -293,13 +444,14 @@ func (nc *NIC) Send(dst, size int, payload any, onSent func()) {
 		injectAt = nc.freeAt
 	}
 	srcRouter := d.topo.RouterOf(nc.node)
+	evs := d.views[nc.rank].evs
 	for remaining > 0 {
 		pk := remaining
 		if pk > d.cfg.MaxPacketBytes {
 			pk = d.cfg.MaxPacketBytes
 		}
 		remaining -= pk
-		p := &packet{
+		p := packet{
 			src: nc.node, dst: dst, size: pk,
 			last: remaining == 0, sentAt: now, msgSize: size,
 		}
@@ -309,13 +461,22 @@ func (nc *NIC) Send(dst, size int, payload any, onSent func()) {
 		injectAt += serialize(pk, d.cfg.InjectionBandwidth)
 		at := injectAt + d.cfg.LinkLatency
 		if nc.node == dst {
-			eng.ScheduleAt(at, sim.PrioLink, func(any) { d.deliver(p) }, nil)
+			evs.ScheduleAt(at, sim.PrioLink, devt{kind: devtDeliver, p: p})
 			continue
 		}
-		eng.ScheduleAt(at, sim.PrioLink, func(any) { d.hop(p, srcRouter) }, nil)
+		evs.ScheduleAt(at, sim.PrioLink, devt{kind: devtHop, p: p, router: srcRouter})
 	}
 	nc.freeAt = injectAt
+	return injectAt
+}
+
+// Send is the callback form of SendTimed, for callers that do not need
+// checkpointing: the onSent closure is scheduled as a raw (unowned) event,
+// so a snapshot taken while one is pending is rejected.
+func (nc *NIC) Send(dst, size int, payload any, onSent func()) {
+	doneAt := nc.SendTimed(dst, size, payload)
 	if onSent != nil {
-		eng.ScheduleAt(injectAt, sim.PrioLink, func(any) { onSent() }, nil)
+		eng := nc.net.runner.Rank(nc.rank).Engine()
+		eng.ScheduleAt(doneAt, sim.PrioLink, func(any) { onSent() }, nil)
 	}
 }

@@ -109,7 +109,9 @@ type Killable interface {
 	Kill()
 }
 
-// KillRecord describes one scheduled component kill.
+// KillRecord describes one scheduled component kill. When the engine has
+// snapshots enabled the record is also the checkpoint owner of its pending
+// kill event (snapshot.go).
 type KillRecord struct {
 	// Name is the component name.
 	Name string
@@ -117,6 +119,10 @@ type KillRecord struct {
 	At sim.Time
 	// Done reports whether the kill has fired.
 	Done bool
+
+	kill Killable
+	eng  *sim.Engine
+	seq  uint64
 }
 
 // KillAt schedules the named component's death at time t (absolute). The
@@ -135,10 +141,12 @@ func KillAt(s *sim.Simulation, name string, t sim.Time) (*KillRecord, error) {
 	if t < s.Now() {
 		return nil, fmt.Errorf("fault: kill of %q scheduled at %v, before now %v", name, t, s.Now())
 	}
-	rec := &KillRecord{Name: name, At: t}
-	s.Engine().ScheduleAt(t, sim.PrioLink, func(any) {
-		rec.Done = true
-		k.Kill()
-	}, nil)
+	eng := s.Engine()
+	rec := &KillRecord{Name: name, At: t, kill: k, eng: eng}
+	if eng.SnapshotsEnabled() {
+		rec.seq = eng.NextSeq()
+		eng.RegisterCheckpoint("kill:"+name+"@"+t.String(), rec)
+	}
+	eng.ScheduleAt(t, sim.PrioLink, rec.fire, nil)
 	return rec, nil
 }

@@ -101,6 +101,9 @@ func InjectLink(l *sim.Link, seed uint64, cfg LinkFaults) (*LinkInjector, error)
 		}
 		return inj.apply(d, delay, payload)
 	})
+	if l.Engine().SnapshotsEnabled() {
+		l.Engine().RegisterCheckpoint("fault:"+l.Name(), inj)
+	}
 	return inj, nil
 }
 

@@ -19,11 +19,15 @@ type ringNode struct {
 	count     uint64
 	corrupted uint64
 	sum       uint64
+	dead      bool
 }
 
 func (n *ringNode) Name() string { return n.name }
 
 func (n *ringNode) recv(payload any) {
+	if n.dead {
+		return
+	}
 	v, ok := payload.(int)
 	if !ok {
 		n.corrupted++ // a Corrupted wrapper: count it, do not forward

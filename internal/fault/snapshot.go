@@ -1,0 +1,120 @@
+package fault
+
+// Snapshot support: fault injectors carry their RNG streams, census
+// counters and recorded traces across an engine checkpoint, so a restored
+// run reproduces the remainder of its fault schedule — and its trace —
+// byte-for-byte. Pending KillAt events are owned by their KillRecord.
+
+import (
+	"fmt"
+
+	"sst/internal/sim"
+)
+
+func init() {
+	// Corrupted wrappers can be in flight on a tracked link when a snapshot
+	// is taken; the inner payload nests through the registry.
+	sim.RegisterPayload("fault.Corrupted", Corrupted{},
+		func(e *sim.Encoder, v any) {
+			sim.EncodePayload(e, v.(Corrupted).Payload)
+		},
+		func(d *sim.Decoder) (any, error) {
+			inner, err := sim.DecodePayload(d)
+			return Corrupted{Payload: inner}, err
+		})
+}
+
+// SaveState writes both directions' injector state. For a cross-rank link
+// the far direction's state is saved in the home rank's blob, which is safe
+// at a snapshot barrier: every rank is parked, so no direction is mutating.
+func (inj *LinkInjector) SaveState(enc *sim.Encoder) {
+	inj.a.save(enc)
+	inj.b.save(enc)
+}
+
+// LoadState restores both directions.
+func (inj *LinkInjector) LoadState(dec *sim.Decoder) error {
+	if err := inj.a.load(dec); err != nil {
+		return err
+	}
+	return inj.b.load(dec)
+}
+
+func (d *linkDir) save(enc *sim.Encoder) {
+	d.rng.SaveState(enc)
+	enc.U64(d.faults)
+	enc.U64(d.sent)
+	enc.U64(d.drops)
+	enc.U64(d.corrupts)
+	enc.U64(d.delays)
+	enc.U64(uint64(len(d.trace)))
+	for _, ev := range d.trace {
+		enc.Time(ev.At)
+		enc.U64(uint64(ev.Kind))
+		enc.U64(ev.Seq)
+	}
+}
+
+func (d *linkDir) load(dec *sim.Decoder) error {
+	if err := d.rng.LoadState(dec); err != nil {
+		return err
+	}
+	d.faults = dec.U64()
+	d.sent = dec.U64()
+	d.drops = dec.U64()
+	d.corrupts = dec.U64()
+	d.delays = dec.U64()
+	n := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n > 0 && !d.record {
+		return fmt.Errorf("fault: snapshot of %q has a recorded trace but the rebuilt injector has Record off", d.target)
+	}
+	d.trace = d.trace[:0]
+	for i := uint64(0); i < n; i++ {
+		d.trace = append(d.trace, Event{
+			At:     dec.Time(),
+			Kind:   Kind(dec.U64()),
+			Target: d.target,
+			Seq:    dec.U64(),
+		})
+	}
+	return dec.Err()
+}
+
+// fire executes the scheduled kill.
+func (rec *KillRecord) fire(any) {
+	rec.Done = true
+	rec.kill.Kill()
+}
+
+// PendingOwned implements sim.PendingOwner: an unfired kill owns its event.
+func (rec *KillRecord) PendingOwned() int {
+	if rec.Done {
+		return 0
+	}
+	return 1
+}
+
+// SaveState writes the kill's schedule and whether it already fired.
+func (rec *KillRecord) SaveState(enc *sim.Encoder) {
+	enc.Time(rec.At)
+	enc.Bool(rec.Done)
+	enc.U64(rec.seq)
+}
+
+// LoadState restores the record, re-creating the kill event if it had not
+// fired by the snapshot barrier.
+func (rec *KillRecord) LoadState(dec *sim.Decoder) error {
+	rec.At = dec.Time()
+	rec.Done = dec.Bool()
+	rec.seq = dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if !rec.Done {
+		rec.eng.ScheduleRestoredAt(rec.At, sim.PrioLink, rec.seq, "", rec.fire, nil)
+	}
+	return nil
+}

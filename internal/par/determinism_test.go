@@ -143,8 +143,24 @@ func genDetTopo(seed int64) detTopo {
 }
 
 // buildDetTopo instantiates a generated topology on a runner, node i on
-// rank i mod nranks.
+// rank i mod nranks, with injections scheduled as raw engine events.
 func buildDetTopo(t *testing.T, r *Runner, tp detTopo) []*detNode {
+	t.Helper()
+	nodes := buildDetNodes(t, r, tp)
+	for _, inj := range tp.inject {
+		inj := inj
+		node := nodes[inj.node]
+		node.eng.ScheduleAt(inj.at, sim.PrioLink, func(any) {
+			node.recv(detToken{id: inj.id, hops: inj.hops})
+		}, nil)
+	}
+	return nodes
+}
+
+// buildDetNodes instantiates the nodes and links of a generated topology
+// without scheduling its injections; the snapshot tests route those through
+// checkpoint-owned event sets instead (see snapshot_test.go).
+func buildDetNodes(t *testing.T, r *Runner, tp detTopo) []*detNode {
 	t.Helper()
 	nranks := r.NumRanks()
 	rankOf := func(i int) int { return i % nranks }
@@ -172,13 +188,6 @@ func buildDetTopo(t *testing.T, r *Runner, tp detTopo) []*detNode {
 	}
 	for k, ch := range tp.chords {
 		connect("chord"+string(rune('a'+k)), ch[0], ch[1], sim.Time(ch[2])*sim.Nanosecond)
-	}
-	for _, inj := range tp.inject {
-		inj := inj
-		node := nodes[inj.node]
-		node.eng.ScheduleAt(inj.at, sim.PrioLink, func(any) {
-			node.recv(detToken{id: inj.id, hops: inj.hops})
-		}, nil)
 	}
 	return nodes
 }

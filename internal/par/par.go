@@ -174,6 +174,13 @@ type Runner struct {
 	interrupted  atomic.Bool
 	windows      uint64
 	fastForwards uint64
+
+	// snapPorts indexes cross-rank ports by name for coordinated snapshots
+	// (staged remote events serialize their destination by port name);
+	// snapDups flags names that appeared more than once. Nil unless
+	// EnableSnapshots was called. See snapshot.go.
+	snapPorts map[string]*sim.Port
+	snapDups  map[string]bool
 }
 
 // NewRunner creates nranks empty partitions.
@@ -258,6 +265,10 @@ func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.
 	// The link object nominally lives on rankA's engine, but delivery is
 	// fully intercepted, so the home engine is never used for sends.
 	a, b := sim.Connect(r.ranks[rankA].sim.Engine(), name, latency)
+	if r.snapPorts != nil {
+		r.recordSnapPort(a)
+		r.recordSnapPort(b)
+	}
 	r.crossLinks++
 	if latency < r.lookahead {
 		r.lookahead = latency

@@ -31,6 +31,11 @@ type Clock struct {
 	armed  bool
 	prio   Priority
 	label  string
+
+	// tickSeq is the engine sequence number of the pending tick event,
+	// captured at scheduling time so a restored clock can re-create the
+	// tick with identical same-timestamp ordering (see checkpoint.go).
+	tickSeq uint64
 }
 
 // NewClock creates a clock at freq driven by engine. The clock stays dormant
@@ -89,6 +94,7 @@ func (c *Clock) arm() {
 	if c.cycle < c.NextCycle() {
 		c.cycle = c.NextCycle()
 	}
+	c.tickSeq = c.engine.seq
 	c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tick, nil)
 }
 
@@ -143,6 +149,7 @@ func (c *Clock) tick(any) {
 	c.armed = false
 	if len(c.handlers) > 0 {
 		c.armed = true
+		c.tickSeq = c.engine.seq
 		c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tick, nil)
 	}
 }

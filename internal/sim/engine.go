@@ -70,6 +70,11 @@ type Engine struct {
 	// tracer, when set, observes every dispatched event. Nil in normal
 	// runs: the disabled path costs one predictable branch per event.
 	tracer Tracer
+
+	// snap, when allocated by EnableSnapshots, holds the checkpoint
+	// registry (see checkpoint.go). Nil in normal runs; the dispatch and
+	// schedule paths never touch it.
+	snap *engineSnap
 }
 
 // Tracer observes dispatched events when installed with SetTracer. at is

@@ -91,6 +91,10 @@ func (p *Port) SendDelayed(extra Time, payload any) {
 	if peer.handler == nil {
 		panic(fmt.Sprintf("sim: port %q has no handler (send from %q)", peer.name, p.name))
 	}
+	if l.inflight != nil {
+		l.trackSend(p, delay, payload)
+		return
+	}
 	l.engine.ScheduleLabeled(delay, peer.prio, l.name, peer.handler, payload)
 }
 
@@ -112,6 +116,12 @@ type Link struct {
 	// deliver: interception happens first, on the sending side, so it
 	// behaves identically for local and cross-rank links.
 	intercept LinkInterceptor
+
+	// inflight, when allocated by trackForSnapshots, records local
+	// deliveries still pending by their event sequence so the link can
+	// carry them across a checkpoint (see checkpoint.go). Nil unless the
+	// engine has snapshots enabled.
+	inflight map[uint64]linkEvent
 }
 
 // LinkInterceptor inspects a send in flight: it receives the sending port,

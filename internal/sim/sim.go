@@ -55,6 +55,9 @@ func (s *Simulation) Clock(freq Hz) *Clock {
 	if !ok {
 		c = NewClock(s.engine, freq)
 		s.clocks[freq] = c
+		if s.engine.SnapshotsEnabled() {
+			s.engine.RegisterCheckpoint(c.label, c)
+		}
 	}
 	return c
 }
@@ -69,6 +72,9 @@ func (s *Simulation) Add(c Component) {
 	s.comps[name] = c
 	s.order = append(s.order, c)
 	s.sorted = nil
+	if ck, ok := c.(Checkpointable); ok && s.engine.SnapshotsEnabled() {
+		s.engine.RegisterCheckpoint("comp:"+name, ck)
+	}
 }
 
 // Component returns the named component, or nil.
@@ -90,9 +96,15 @@ func (s *Simulation) Components() []Component {
 }
 
 // Connect creates a link between two components' ports and records it.
+// When the engine has snapshots enabled the link tracks its in-flight
+// deliveries and registers as a checkpoint owner.
 func (s *Simulation) Connect(name string, latency Time) (*Port, *Port) {
 	a, b := Connect(s.engine, name, latency)
 	s.links = append(s.links, a.link)
+	if s.engine.SnapshotsEnabled() {
+		a.link.trackForSnapshots()
+		s.engine.RegisterCheckpoint("link:"+name, a.link)
+	}
 	return a, b
 }
 

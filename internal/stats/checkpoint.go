@@ -1,0 +1,136 @@
+package stats
+
+// Snapshot support: every statistic kind knows how to serialize its exact
+// state with the sim package's deterministic encoder, so components can
+// carry their counters across an engine checkpoint (sim.Checkpointable).
+// Floats are saved bit-exactly (Welford partial sums included), which is
+// what makes a restored run's statistics indistinguishable from an
+// uninterrupted one.
+
+import (
+	"fmt"
+
+	"sst/internal/sim"
+)
+
+// SaveState writes the counter's state.
+func (c *Counter) SaveState(enc *sim.Encoder) { enc.U64(c.n) }
+
+// LoadState restores the counter's state.
+func (c *Counter) LoadState(dec *sim.Decoder) error {
+	c.n = dec.U64()
+	return dec.Err()
+}
+
+// SaveState writes the accumulator's exact running state.
+func (a *Accumulator) SaveState(enc *sim.Encoder) {
+	enc.U64(a.n)
+	enc.F64(a.mean)
+	enc.F64(a.m2)
+	enc.F64(a.sum)
+	enc.F64(a.min)
+	enc.F64(a.max)
+}
+
+// LoadState restores the accumulator's state.
+func (a *Accumulator) LoadState(dec *sim.Decoder) error {
+	a.n = dec.U64()
+	a.mean = dec.F64()
+	a.m2 = dec.F64()
+	a.sum = dec.F64()
+	a.min = dec.F64()
+	a.max = dec.F64()
+	return dec.Err()
+}
+
+// SaveState writes the histogram's buckets (sparsely: index/count pairs for
+// the nonzero ones) and its embedded accumulator.
+func (h *Histogram) SaveState(enc *sim.Encoder) {
+	nz := 0
+	for _, b := range h.buckets {
+		if b != 0 {
+			nz++
+		}
+	}
+	enc.U64(uint64(nz))
+	for i, b := range h.buckets {
+		if b != 0 {
+			enc.U64(uint64(i))
+			enc.U64(b)
+		}
+	}
+	h.acc.SaveState(enc)
+}
+
+// LoadState restores the histogram's state.
+func (h *Histogram) LoadState(dec *sim.Decoder) error {
+	h.buckets = [65]uint64{}
+	n := dec.U64()
+	for j := uint64(0); j < n; j++ {
+		i := dec.U64()
+		b := dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if i >= uint64(len(h.buckets)) {
+			return fmt.Errorf("stats: snapshot histogram %q bucket %d out of range", h.name, i)
+		}
+		h.buckets[i] = b
+	}
+	return h.acc.LoadState(dec)
+}
+
+// SaveState writes the gauge's current value and peak watermark.
+func (g *Gauge) SaveState(enc *sim.Encoder) {
+	enc.I64(g.cur)
+	enc.I64(g.peak)
+}
+
+// LoadState restores the gauge's state.
+func (g *Gauge) LoadState(dec *sim.Decoder) error {
+	g.cur = dec.I64()
+	g.peak = dec.I64()
+	return dec.Err()
+}
+
+// SaveState writes every statistic in registration order (the rebuild
+// contract: the restored model registers the same stats in the same order).
+func (r *Registry) SaveState(enc *sim.Encoder) {
+	enc.U64(uint64(len(r.order)))
+	for _, name := range r.order {
+		enc.String(name)
+		r.stats[name].(checkpointable).SaveState(enc)
+	}
+}
+
+// LoadState restores every statistic, verifying names against registration
+// order.
+func (r *Registry) LoadState(dec *sim.Decoder) error {
+	n := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if int(n) != len(r.order) {
+		return fmt.Errorf("stats: snapshot has %d statistics, model registered %d", n, len(r.order))
+	}
+	for _, want := range r.order {
+		name := dec.String()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if name != want {
+			return fmt.Errorf("stats: snapshot statistic %q, model registered %q", name, want)
+		}
+		if err := r.stats[want].(checkpointable).LoadState(dec); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
+}
+
+// checkpointable mirrors sim.Checkpointable without widening the Stat
+// interface (all four concrete kinds implement it).
+type checkpointable interface {
+	SaveState(*sim.Encoder)
+	LoadState(*sim.Decoder) error
+}

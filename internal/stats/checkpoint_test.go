@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"sst/internal/sim"
+)
+
+func TestRegistrySaveLoadRoundTrip(t *testing.T) {
+	build := func() (*Registry, *Counter, *Accumulator, *Histogram, *Gauge) {
+		r := NewRegistry()
+		s := r.Scope("comp")
+		return r, s.Counter("events"), s.Accumulator("lat"), s.Histogram("dist"), s.Gauge("occ")
+	}
+
+	r1, c1, a1, h1, g1 := build()
+	c1.Add(12345)
+	for _, v := range []float64{1.5, 2.25, -3.125, 1e-9, 7e12} {
+		a1.Observe(v)
+	}
+	for _, v := range []uint64{0, 1, 2, 1023, 1 << 40} {
+		h1.Observe(v)
+	}
+	g1.Add(7)
+	g1.Add(-3)
+
+	enc := sim.NewEncoder()
+	r1.SaveState(enc)
+
+	r2, c2, a2, h2, g2 := build()
+	dec := sim.NewDecoder(enc.Bytes())
+	if err := r2.LoadState(dec); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if dec.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", dec.Remaining())
+	}
+	if *c2 != *c1 {
+		t.Errorf("counter: %+v != %+v", c2, c1)
+	}
+	if *a2 != *a1 {
+		t.Errorf("accumulator: %+v != %+v", a2, a1)
+	}
+	if *h2 != *h1 {
+		t.Errorf("histogram mismatch")
+	}
+	if *g2 != *g1 {
+		t.Errorf("gauge: %+v != %+v", g2, g1)
+	}
+
+	// Saving the restored registry must reproduce the bytes exactly.
+	enc2 := sim.NewEncoder()
+	r2.SaveState(enc2)
+	if string(enc2.Bytes()) != string(enc.Bytes()) {
+		t.Error("re-save is not byte-identical")
+	}
+}
+
+func TestRegistryLoadEmptyAccumulator(t *testing.T) {
+	// min=+Inf / max=-Inf of an untouched accumulator must survive.
+	r1 := NewRegistry()
+	a1 := r1.Scope("x").Accumulator("a")
+	enc := sim.NewEncoder()
+	r1.SaveState(enc)
+	r2 := NewRegistry()
+	a2 := r2.Scope("x").Accumulator("a")
+	a2.Observe(5) // dirty, must be overwritten
+	if err := r2.LoadState(sim.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a2.Min(), 1) || !math.IsInf(a2.Max(), -1) || a2.N() != 0 {
+		t.Errorf("empty accumulator not restored: %+v vs %+v", a2, a1)
+	}
+}
+
+func TestRegistryLoadShapeMismatch(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Scope("x").Counter("a")
+	enc := sim.NewEncoder()
+	r1.SaveState(enc)
+
+	r2 := NewRegistry()
+	r2.Scope("x").Counter("b")
+	if err := r2.LoadState(sim.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("name mismatch not rejected")
+	}
+	r3 := NewRegistry()
+	if err := r3.LoadState(sim.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+// Checkpoint support: an App's whole execution state is its per-rank script
+// positions plus the pending wake-up events in its event set. It registers
+// itself on snapshot-enabled engines ("app:"+name) at construction; a
+// restored App must be rebuilt identically and must NOT be Started — the
+// restored ranks resume from their snapshotted positions.
+
+import (
+	"fmt"
+	"sort"
+
+	"sst/internal/sim"
+)
+
+// PendingOwned reports the app's pending wake-ups.
+func (a *App) PendingOwned() int { return a.wake.PendingOwned() }
+
+// SaveState writes the app and per-rank execution state.
+func (a *App) SaveState(enc *sim.Encoder) {
+	enc.I64(int64(a.live))
+	enc.Time(a.start)
+	enc.Time(a.finish)
+	a.wake.Save(enc)
+	enc.U64(uint64(len(a.ranks)))
+	for _, r := range a.ranks {
+		enc.I64(int64(r.pc))
+		enc.I64(int64(r.waiting))
+		enc.Bool(r.done)
+		enc.Time(r.blockedSince)
+		enc.Time(r.waitTime)
+		srcs := make([]int, 0, len(r.arrived))
+		for src, n := range r.arrived {
+			if n != 0 {
+				srcs = append(srcs, src)
+			}
+		}
+		sort.Ints(srcs)
+		enc.U64(uint64(len(srcs)))
+		for _, src := range srcs {
+			enc.I64(int64(src))
+			enc.I64(int64(r.arrived[src]))
+		}
+	}
+}
+
+// LoadState restores the app and per-rank execution state.
+func (a *App) LoadState(dec *sim.Decoder) error {
+	a.live = int(dec.I64())
+	a.start = dec.Time()
+	a.finish = dec.Time()
+	if err := a.wake.Load(dec); err != nil {
+		return err
+	}
+	if n := dec.U64(); int(n) != len(a.ranks) {
+		return fmt.Errorf("workload: snapshot of app %q has %d ranks, rebuilt app has %d", a.name, n, len(a.ranks))
+	}
+	for _, r := range a.ranks {
+		r.pc = int(dec.I64())
+		r.waiting = int(dec.I64())
+		r.done = dec.Bool()
+		r.blockedSince = dec.Time()
+		r.waitTime = dec.Time()
+		clear(r.arrived)
+		n := dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			src := int(dec.I64())
+			r.arrived[src] = int(dec.I64())
+		}
+	}
+	return dec.Err()
+}

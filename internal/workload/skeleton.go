@@ -87,6 +87,14 @@ type MessagePort interface {
 	SetReceiver(fn func(src, size int, payload any))
 }
 
+// TimedPort is the checkpoint-friendly send capability: the port reports
+// when injection completes instead of calling back, so the app can own the
+// completion wake-up as a serializable event (dnoc.NIC implements it).
+// Apps prefer it over the callback form whenever the port provides it.
+type TimedPort interface {
+	SendTimed(dst, size int, payload any) sim.Time
+}
+
 // App runs a set of rank scripts over a network. Build the scripts, call
 // Start, then run the engine; onDone fires when every rank's script has
 // completed.
@@ -99,6 +107,10 @@ type App struct {
 	onDone func()
 	start  sim.Time
 	finish sim.Time
+	// wake owns every pending rank wake-up (compute continuations, timed
+	// send completions) as checkpointable events; the payload is the rank
+	// index to advance.
+	wake *sim.EventSet
 }
 
 // NewApp wires scripts[i] to network node i of the fast model. len(scripts)
@@ -133,12 +145,16 @@ func NewAppOnPorts(engine *sim.Engine, name string, ports []MessagePort, scripts
 		return nil, fmt.Errorf("workload: %d ports for %d scripts", len(ports), len(scripts))
 	}
 	a := &App{name: name, engine: engine, ports: ports}
+	a.wake = sim.NewEventSet(engine, "app:"+name, func(pl any) { a.ranks[pl.(int)].advance() })
 	for i, s := range scripts {
 		r := &rankState{app: a, id: i, script: s, waiting: -1, arrived: make(map[int]int)}
 		a.ranks = append(a.ranks, r)
 		ports[i].SetReceiver(func(src, size int, payload any) { r.deliver(src) })
 	}
 	a.live = len(a.ranks)
+	if engine.SnapshotsEnabled() {
+		engine.RegisterCheckpoint("app:"+name, a)
+	}
 	return a, nil
 }
 
@@ -200,10 +216,17 @@ func (r *rankState) advance() {
 		switch op.kind {
 		case sopCompute:
 			r.pc++
-			a.engine.Schedule(op.dur, func(any) { r.advance() }, nil)
+			a.wake.ScheduleAt(a.engine.Now()+op.dur, sim.PrioLink, r.id)
 			return
 		case sopSend:
 			r.pc++
+			if tp, ok := a.ports[r.id].(TimedPort); ok {
+				// Timed form: block until injection completes, with
+				// the wake-up owned by the app's event set.
+				doneAt := tp.SendTimed(op.peer, op.bytes, nil)
+				a.wake.ScheduleAt(doneAt, sim.PrioLink, r.id)
+				return
+			}
 			sent := false
 			resumed := false
 			a.ports[r.id].Send(op.peer, op.bytes, nil, func() {
