@@ -5,11 +5,13 @@
 #                     sweeps, fault injection) + a short fuzz pass over the
 #                     config parsers and the rank-partitioning lookahead
 #   make bench      — the perf gate: the event-kernel hot loop, the parallel
-#                     window barrier (both sync modes) and the sweep
-#                     scheduler, with -benchmem, checked against the
-#                     committed BENCH_baseline.json (alloc counts must not
-#                     grow; ns/op within tolerance). `make check bench` is
-#                     the full pre-merge gate.
+#                     window barrier (both sync modes), the sweep scheduler
+#                     at 1/2/4/8 workers and the result cache's hit and miss
+#                     paths, with -benchmem, checked against the committed
+#                     BENCH_baseline.json (alloc counts must not grow;
+#                     ns/op within tolerance; a baseline benchmark missing
+#                     from the run fails). `make check bench` is the full
+#                     pre-merge gate.
 #   make bench-baseline — rerun the perf benchmarks and rewrite the baseline
 #   make tables     — regenerate every experiment table ("reproduce the paper")
 #   make fuzz-short — a few seconds of coverage-guided fuzzing per config
@@ -17,6 +19,10 @@
 #   make resume-smoke — the crash-safety gate: SIGINT a journaled sweep
 #                     mid-flight, resume it, and require the resumed grid to
 #                     be byte-identical to an uninterrupted run
+#   make cache-smoke — the warm-start gate: run a sweep twice sharing a
+#                     -cache-file; the second invocation must serve every
+#                     point from the cache (misses=0) and print an
+#                     identical grid
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -27,9 +33,9 @@ FUZZTIME ?= 5s
 # same thing.
 BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./internal/sim && \
           $(GO) test -run='^$$' -bench='^BenchmarkParallelWindow$$' -benchmem ./internal/par && \
-          $(GO) test -run='^$$' -bench='^BenchmarkSweepWorkers$$' -benchmem .
+          $(GO) test -run='^$$' -bench='^BenchmarkSweep(Workers|CacheHit|CacheMiss)$$' -benchmem .
 
-.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -43,11 +49,12 @@ vet:
 	$(GO) vet ./...
 
 # The sweep scheduler (internal/core), the PDES runtime (internal/par), the
-# event kernel they drive (internal/sim) and the fault injectors that hook
-# all three (internal/fault) are the only places goroutines touch shared
-# structures; the race detector must stay clean there.
+# event kernel they drive (internal/sim), the fault injectors that hook
+# all three (internal/fault) and the shared result cache the sweep workers
+# probe concurrently (internal/cache) are the only places goroutines touch
+# shared structures; the race detector must stay clean there.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/...
+	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/... ./internal/cache/...
 
 # Coverage-guided fuzzing of the AMM JSON loaders (arbitrary input must
 # produce a validated config or an error, never a panic or a NaN/Inf/zero
@@ -83,6 +90,25 @@ resume-smoke:
 
 # The perf gate runs vet and the concurrency race subset first so a data
 # race can never hide behind a good-looking number.
+# End-to-end warm-start check of the persistent result cache: run the grid
+# once with a -cache-file (all misses), then again from a fresh process
+# sharing the file. The second run must re-simulate nothing — its stderr
+# summary shows misses=0 and one hit per design point — and its grid CSV
+# must be byte-identical to the first run's.
+cache-smoke:
+	$(GO) build -o bin/sst-dse ./cmd/sst-dse
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' 0 && \
+	./bin/sst-dse -cache-file "$$tmp/results.jsonl" $(RESUME_ARGS) \
+	    >"$$tmp/cold.csv" 2>"$$tmp/cold.err" && \
+	grep -q 'cache policy=.* hits=0 misses=16 ' "$$tmp/cold.err" || \
+	    { echo "cache-smoke: first run summary wrong:"; cat "$$tmp/cold.err"; exit 1; } && \
+	./bin/sst-dse -cache-file "$$tmp/results.jsonl" $(RESUME_ARGS) \
+	    >"$$tmp/warm.csv" 2>"$$tmp/warm.err" && \
+	grep -q 'cache policy=.* hits=16 misses=0 ' "$$tmp/warm.err" || \
+	    { echo "cache-smoke: warm run re-simulated:"; cat "$$tmp/warm.err"; exit 1; } && \
+	cmp "$$tmp/cold.csv" "$$tmp/warm.csv" && \
+	echo "cache-smoke: warm-started grid identical, zero re-simulation"
+
 bench: vet race
 	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json
 

@@ -18,11 +18,11 @@ package sst_test
 import (
 	"fmt"
 	"os"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"sst/internal/cache"
 	"sst/internal/core"
 	"sst/internal/dnoc"
 	"sst/internal/noc"
@@ -50,17 +50,14 @@ func printOnce(t *stats.Table) {
 }
 
 // BenchmarkSweepWorkers measures the concurrent sweep scheduler: the same
-// Small-scale Fig. 10/11/12 sweep on one worker versus one worker per host
-// core. The design points are independent simulations, so on an N-core
-// host the wall-clock ratio between the two sub-benchmarks approaches N;
-// the grids themselves are identical at any worker count (asserted by
+// Small-scale Fig. 10/11/12 sweep at 1, 2, 4 and 8 workers. The design
+// points are independent simulations, so up to the host's core count the
+// wall-clock ratio to the 1-worker run approaches the worker count
+// (oversubscribed counts just measure scheduler overhead); the grids
+// themselves are identical at any worker count (asserted by
 // TestConcurrentSweepDeterminism in internal/core).
 func BenchmarkSweepWorkers(b *testing.B) {
-	counts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		counts = append(counts, n)
-	}
-	for _, workers := range counts {
+	for _, workers := range []int{1, 2, 4, 8} {
 		opts := core.SweepOptions{Workers: workers}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -69,6 +66,50 @@ func BenchmarkSweepWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweepCacheHit measures the all-hit path: the same sweep served
+// entirely from a warm result cache. The perf gate pins this orders of
+// magnitude below the workers=1 cold sweep — a hit is a hash, a map probe
+// and a struct copy, not a simulation.
+func BenchmarkSweepCacheHit(b *testing.B) {
+	c, err := core.NewSweepCache(256, cache.LRU, nil, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	opts := core.SweepOptions{Workers: 1, Cache: c}
+	if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCacheMiss measures the all-miss path: a fresh cache every
+// iteration, so each point simulates and then pays the key hash, encode
+// and insert. The gate keeps the overhead over the uncached sweep small.
+func BenchmarkSweepCacheMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := core.NewSweepCache(256, cache.LRU, nil, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, err = core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small,
+			core.SweepOptions{Workers: 1, Cache: c})
+		b.StopTimer()
+		c.Close()
+		b.StartTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

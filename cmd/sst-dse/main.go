@@ -10,6 +10,8 @@
 //	        [-widths 1,2,4,8] [-scale full|small] [-table all|fig10|fig11|fig12]
 //	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
 //	        [-journal sweep.jsonl] [-resume] [-point-timeout 5m]
+//	        [-cache] [-cache-size 4096] [-cache-policy lru|lfu|fifo|tinylfu]
+//	        [-cache-shadow lfu,tinylfu] [-cache-file results.jsonl]
 //	sst-dse -resilience [-mtbf 1,4,24] [-ckpt-cost 60] [-restart-cost 120]
 //	        [-work 24] [-trials 5] [-fault-seed 1] [-format json] [-j N]
 //
@@ -27,6 +29,16 @@
 // same tables. -point-timeout bounds each point's wall-clock time; a point
 // that exceeds it is marked failed instead of wedging a worker.
 //
+// -cache memoizes design points content-addressed by their fully-resolved
+// configuration, so repeated or overlapping grids re-simulate only what is
+// new; a hit is field-for-field identical to a fresh simulation.
+// -cache-policy picks the eviction policy, -cache-size the capacity in
+// points, -cache-shadow runs extra policies as metadata-only hit-rate
+// sensors, and -cache-file persists results to an fsync'd JSONL file so a
+// later invocation warm-starts from them (-cache-file implies -cache). A
+// one-line hit/miss summary prints to stderr; -metrics-out includes the
+// full cache and shadow counters.
+//
 // Exit codes: 0 success, 1 failure, 2 configuration error, 3 sweep
 // completed with failed points, 130 interrupted (Ctrl-C).
 package main
@@ -42,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sst/internal/cache"
 	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
@@ -62,6 +75,12 @@ func main() {
 		journal    = flag.String("journal", "", "journal completed design points to this JSONL file (fsync'd per point)")
 		resume     = flag.Bool("resume", false, "with -journal: restore completed points instead of re-running them")
 		pointTO    = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = none); timed-out points are marked failed")
+
+		cacheFlag   = flag.Bool("cache", false, "memoize design points by config hash (repeated grids re-simulate only what is new)")
+		cacheSize   = flag.Int("cache-size", 4096, "result cache capacity in design points")
+		cachePolicy = flag.String("cache-policy", "lru", "eviction policy: fifo, lru, lfu or tinylfu")
+		cacheShadow = flag.String("cache-shadow", "", "comma-separated policies to run as metadata-only hit-rate sensors")
+		cacheFile   = flag.String("cache-file", "", "persist cached results to this JSONL file and warm-start from it (implies -cache)")
 
 		resFlag     = flag.Bool("resilience", false, "run the checkpoint/MTBF resilience study instead of the DSE sweep")
 		mtbfFlag    = flag.String("mtbf", "1,4,24", "machine MTBF values to study, hours")
@@ -93,6 +112,14 @@ func main() {
 		Workers: *jFlag, Context: ctx,
 		Journal: *journal, Resume: *resume, PointTimeout: *pointTO,
 	}
+	sc, cerr := newSweepCache(*cacheFlag, *cacheSize, *cachePolicy, *cacheShadow, *cacheFile)
+	if cerr != nil {
+		cli.Exit("sst-dse", cli.Configf("%v", cerr))
+	}
+	if sc != nil {
+		defer sc.Close()
+		opts.Cache = sc
+	}
 	var col *obs.SweepCollector
 	if *metricsOut != "" || *traceOut != "" {
 		col = &obs.SweepCollector{}
@@ -104,19 +131,65 @@ func main() {
 	} else {
 		err = run(*appsFlag, *techsFlag, *widthsFlag, *scaleFlag, *tableFlag, format, opts)
 	}
-	if werr := writeSweepObs(col, *metricsOut, *traceOut); werr != nil && err == nil {
+	if sc != nil {
+		printCacheSummary("sst-dse", sc)
+	}
+	if werr := writeSweepObs(col, sc, *metricsOut, *traceOut); werr != nil && err == nil {
 		err = werr
 	}
 	cli.Exit("sst-dse", err)
 }
 
-// writeSweepObs flushes the sweep collector to the requested files.
-func writeSweepObs(col *obs.SweepCollector, metricsOut, traceOut string) error {
+// newSweepCache builds the result cache from the -cache* flags; nil when
+// caching is off. A -cache-file implies -cache.
+func newSweepCache(enabled bool, size int, policy, shadow, file string) (*cache.Cache, error) {
+	if !enabled && file == "" {
+		return nil, nil
+	}
+	pol, err := cache.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	shadows, err := cache.ParsePolicies(shadow)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSweepCache(size, pol, shadows, file)
+}
+
+// printCacheSummary emits the one-line greppable hit/miss roll-up (plus
+// one line per shadow sensor) to stderr.
+func printCacheSummary(prog string, sc *cache.Cache) {
+	st := sc.Stats()
+	fmt.Fprintf(os.Stderr,
+		"%s: cache policy=%s entries=%d hits=%d misses=%d hit_rate=%.3f evictions=%d rejected=%d bytes=%d warm_starts=%d\n",
+		prog, st.Policy, st.Entries, st.Hits, st.Misses, st.HitRate, st.Evictions, st.Rejected, st.Bytes, st.WarmStarts)
+	for _, sh := range st.Shadows {
+		fmt.Fprintf(os.Stderr, "%s: cache shadow policy=%s hits=%d misses=%d hit_rate=%.3f\n",
+			prog, sh.Policy, sh.Hits, sh.Misses, sh.HitRate)
+	}
+}
+
+// writeSweepObs flushes the sweep collector to the requested files. With a
+// cache attached, the metrics JSON carries the cache's RunReport snapshot
+// (hits/misses/evictions/bytes and per-shadow-policy stats) after the
+// per-point metrics.
+func writeSweepObs(col *obs.SweepCollector, sc *cache.Cache, metricsOut, traceOut string) error {
 	if col == nil {
 		return nil
 	}
 	if metricsOut != "" {
-		if err := writeFile(metricsOut, col.WriteJSON); err != nil {
+		if err := writeFile(metricsOut, func(w io.Writer) error {
+			if err := col.WriteJSON(w); err != nil {
+				return err
+			}
+			if sc == nil {
+				return nil
+			}
+			rcol := obs.NewCollector()
+			rcol.AttachCache(sc)
+			return rcol.Report().WriteJSON(w)
+		}); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"os"
@@ -42,7 +43,7 @@ func TestDSESweepObs(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "m.json")
 	trace := filepath.Join(dir, "t.json")
-	if err := writeSweepObs(col, metrics, trace); err != nil {
+	if err := writeSweepObs(col, nil, metrics, trace); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{metrics, trace} {
@@ -130,5 +131,128 @@ func TestDSEJournalResume(t *testing.T) {
 	opts.Resume = true
 	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV, opts); err != nil {
 		t.Fatalf("resume: %v", err)
+	}
+}
+
+// TestDSECacheFlags pins the flag-to-cache wiring: parsing, the
+// -cache-file-implies--cache rule, and bad policy rejection.
+func TestDSECacheFlags(t *testing.T) {
+	if c, err := newSweepCache(false, 0, "lru", "", ""); err != nil || c != nil {
+		t.Fatalf("disabled cache = %v, %v; want nil, nil", c, err)
+	}
+	c, err := newSweepCache(true, 16, "tinylfu", "lru,lfu", "")
+	if err != nil || c == nil {
+		t.Fatalf("newSweepCache: %v", err)
+	}
+	st := c.Stats()
+	if st.Policy != "tinylfu" || st.Capacity != 16 || len(st.Shadows) != 2 {
+		t.Fatalf("cache built wrong: %+v", st)
+	}
+	c.Close()
+	// -cache-file implies -cache.
+	fc, err := newSweepCache(false, 8, "lru", "", filepath.Join(t.TempDir(), "c.jsonl"))
+	if err != nil || fc == nil {
+		t.Fatalf("cache-file without -cache: %v, %v", fc, err)
+	}
+	fc.Close()
+	if _, err := newSweepCache(true, 8, "arc", "", ""); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := newSweepCache(true, 8, "lru", "lfu,arc", ""); err == nil {
+		t.Error("bad shadow policy accepted")
+	}
+}
+
+// TestDSECachedSweep runs the same grid twice through one cache and
+// requires the second pass to be all hits; the cache stats also land in
+// the -metrics-out JSON.
+func TestDSECachedSweep(t *testing.T) {
+	sc, err := newSweepCache(true, 64, "lru", "lfu,tinylfu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	opts := core.SweepOptions{Workers: 2, Cache: sc}
+	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV, opts); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("cold pass stats %+v", st)
+	}
+	col := &obs.SweepCollector{}
+	opts.Metrics = col
+	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("warm pass stats %+v, want 2 hits 2 misses", st)
+	}
+
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	if err := writeSweepObs(col, sc, metrics, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var points any
+	if err := dec.Decode(&points); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	var rep struct {
+		Cache *struct {
+			Policy  string `json:"policy"`
+			Hits    int64  `json:"hits"`
+			Shadows []struct {
+				Policy string `json:"policy"`
+			} `json:"shadows"`
+		} `json:"cache"`
+	}
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("metrics JSON cache report: %v", err)
+	}
+	if rep.Cache == nil || rep.Cache.Policy != "lru" || rep.Cache.Hits != 2 || len(rep.Cache.Shadows) != 2 {
+		t.Fatalf("cache report in metrics JSON = %+v", rep.Cache)
+	}
+}
+
+// TestDSECacheFileWarmStart simulates two separate CLI invocations sharing
+// a -cache-file: the second builds a fresh cache from the file and serves
+// every point without re-simulating.
+func TestDSECacheFileWarmStart(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "results.jsonl")
+	sc1, err := newSweepCache(false, 64, "lru", "", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV,
+		core.SweepOptions{Workers: 2, Cache: sc1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc1.Stats(); st.Misses != 2 {
+		t.Fatalf("first invocation stats %+v", st)
+	}
+	if err := sc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc2, err := newSweepCache(false, 64, "lru", "", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc2.Close()
+	if st := sc2.Stats(); st.WarmStarts != 2 {
+		t.Fatalf("second invocation warm-started %d points, want 2", st.WarmStarts)
+	}
+	if err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV,
+		core.SweepOptions{Workers: 2, Cache: sc2}); err != nil {
+		t.Fatal(err)
+	}
+	st := sc2.Stats()
+	if st.Hits != 2 || st.Misses != 0 {
+		t.Fatalf("second invocation stats %+v, want 2 hits 0 misses (no re-simulation)", st)
 	}
 }

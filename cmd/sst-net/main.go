@@ -7,6 +7,8 @@
 //	sst-net [-nodes 32] [-steps 6] [-fractions 1,0.5,0.25,0.125]
 //	        [-format table|json|csv] [-j N] [-metrics-out m.json] [-trace-out t.json]
 //	        [-journal net.jsonl] [-resume]
+//	        [-cache] [-cache-size 4096] [-cache-policy lru|lfu|fifo|tinylfu]
+//	        [-cache-shadow lfu,tinylfu] [-cache-file results.jsonl]
 //	sst-net -scaling [-nodes 16] [-ranks 1,2,4,8] [-horizon 2ms] [-format ...]
 //
 // The study's (proxy app, bandwidth fraction) cells are independent
@@ -19,6 +21,15 @@
 // -journal appends every completed cell to an fsync'd JSONL file;
 // -resume restores the journal's completed cells instead of re-running
 // them, so a killed study continues where it stopped.
+//
+// -cache memoizes study cells content-addressed by their configuration;
+// the degradation and power studies share one cache (and run the same
+// grid), so the power study's cells hit instead of simulating twice.
+// -cache-file persists results to an fsync'd JSONL file so a later
+// invocation warm-starts from them (implies -cache); -cache-shadow runs
+// extra eviction policies as metadata-only hit-rate sensors. A one-line
+// hit/miss summary prints to stderr; -metrics-out includes the full cache
+// and shadow counters.
 //
 // Exit codes: 0 success, 1 failure, 2 configuration error, 3 study
 // completed with failed cells, 130 interrupted (Ctrl-C).
@@ -41,6 +52,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sst/internal/cache"
 	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
@@ -62,6 +74,12 @@ func main() {
 		horizonFlag = flag.String("horizon", "2ms", "simulated horizon for -scaling")
 		journal     = flag.String("journal", "", "journal completed study cells to this JSONL file (fsync'd per cell)")
 		resume      = flag.Bool("resume", false, "with -journal: restore completed cells instead of re-running them")
+
+		cacheFlag   = flag.Bool("cache", false, "memoize study cells by config hash (the power study hits on the degradation study's cells)")
+		cacheSize   = flag.Int("cache-size", 4096, "result cache capacity in study cells")
+		cachePolicy = flag.String("cache-policy", "lru", "eviction policy: fifo, lru, lfu or tinylfu")
+		cacheShadow = flag.String("cache-shadow", "", "comma-separated policies to run as metadata-only hit-rate sensors")
+		cacheFile   = flag.String("cache-file", "", "persist cached results to this JSONL file and warm-start from it (implies -cache)")
 	)
 	flag.Parse()
 	format, err := core.ParseFormat(*formatFlag)
@@ -79,7 +97,52 @@ func main() {
 	if *scalingFlag {
 		cli.Exit("sst-net", runScaling(*nodesFlag, *ranksFlag, *horizonFlag, format, ctx))
 	}
-	cli.Exit("sst-net", run(*nodesFlag, *stepsFlag, *fracFlag, format, *jFlag, ctx, *metricsOut, *traceOut, *journal, *resume))
+	sc, cerr := newSweepCache(*cacheFlag, *cacheSize, *cachePolicy, *cacheShadow, *cacheFile)
+	if cerr != nil {
+		cli.Exit("sst-net", cli.Configf("%v", cerr))
+	}
+	opts := core.SweepOptions{
+		Workers: *jFlag, Context: ctx,
+		Journal: *journal, Resume: *resume, Cache: sc,
+	}
+	err = run(*nodesFlag, *stepsFlag, *fracFlag, format, opts, *metricsOut, *traceOut)
+	if sc != nil {
+		printCacheSummary("sst-net", sc)
+		if cerr := sc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	cli.Exit("sst-net", err)
+}
+
+// newSweepCache builds the result cache from the -cache* flags; nil when
+// caching is off. A -cache-file implies -cache.
+func newSweepCache(enabled bool, size int, policy, shadow, file string) (*cache.Cache, error) {
+	if !enabled && file == "" {
+		return nil, nil
+	}
+	pol, err := cache.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	shadows, err := cache.ParsePolicies(shadow)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSweepCache(size, pol, shadows, file)
+}
+
+// printCacheSummary emits the one-line greppable hit/miss roll-up (plus
+// one line per shadow sensor) to stderr.
+func printCacheSummary(prog string, sc *cache.Cache) {
+	st := sc.Stats()
+	fmt.Fprintf(os.Stderr,
+		"%s: cache policy=%s entries=%d hits=%d misses=%d hit_rate=%.3f evictions=%d rejected=%d bytes=%d warm_starts=%d\n",
+		prog, st.Policy, st.Entries, st.Hits, st.Misses, st.HitRate, st.Evictions, st.Rejected, st.Bytes, st.WarmStarts)
+	for _, sh := range st.Shadows {
+		fmt.Fprintf(os.Stderr, "%s: cache shadow policy=%s hits=%d misses=%d hit_rate=%.3f\n",
+			prog, sh.Policy, sh.Hits, sh.Misses, sh.HitRate)
+	}
 }
 
 // runScaling drives the E6 parallel-scaling study: the heterogeneous
@@ -104,7 +167,7 @@ func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ct
 	return core.WriteResults(os.Stdout, format, res)
 }
 
-func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx context.Context, metricsOut, traceOut, journal string, resume bool) error {
+func run(nodes, steps int, fracFlag string, format core.Format, opts core.SweepOptions, metricsOut, traceOut string) error {
 	cfg := core.NetStudyConfig{Nodes: nodes, Steps: steps}
 	for _, f := range strings.Split(fracFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -114,12 +177,12 @@ func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx
 		cfg.Fractions = append(cfg.Fractions, v)
 	}
 	// Each study is one sweep, so each gets its own collector (point
-	// indices are per-sweep). The journal is shared: both studies run the
-	// same grid, so the power study resumes off the degradation study's
+	// indices are per-sweep). The journal — and the result cache, which
+	// rides in opts.Cache — are shared: both studies run the same grid, so
+	// the power study resumes (or hits) off the degradation study's
 	// completed cells instead of simulating them twice.
-	opts := core.SweepOptions{Workers: workers, Context: ctx, Journal: journal, Resume: resume}
 	popts := opts
-	if journal != "" {
+	if opts.Journal != "" {
 		popts.Resume = true
 	}
 	var dcol, pcol *obs.SweepCollector
@@ -137,7 +200,15 @@ func run(nodes, steps int, fracFlag string, format core.Format, workers int, ctx
 	}
 	if metricsOut != "" {
 		if err := writeFile(metricsOut, func(w io.Writer) error {
-			return core.WriteResults(w, core.FormatJSON, dcol, pcol)
+			if err := core.WriteResults(w, core.FormatJSON, dcol, pcol); err != nil {
+				return err
+			}
+			if opts.Cache == nil {
+				return nil
+			}
+			rcol := obs.NewCollector()
+			rcol.AttachCache(opts.Cache)
+			return rcol.Report().WriteJSON(w)
 		}); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"os"
@@ -12,10 +13,10 @@ import (
 )
 
 func TestNetStudySmall(t *testing.T) {
-	if err := run(8, 2, "1,0.5", core.FormatTable, 0, context.Background(), "", "", "", false); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatTable, core.SweepOptions{}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(8, 2, "1", core.FormatCSV, 2, context.Background(), "", "", "", false); err != nil {
+	if err := run(8, 2, "1", core.FormatCSV, core.SweepOptions{Workers: 2}, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,7 +25,7 @@ func TestNetStudyObsFiles(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "m.json")
 	trace := filepath.Join(dir, "t.json")
-	if err := run(8, 2, "1,0.5", core.FormatJSON, 2, context.Background(), metrics, trace, "", false); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatJSON, core.SweepOptions{Workers: 2}, metrics, trace); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{metrics, trace} {
@@ -58,13 +59,13 @@ func TestNetScalingStudy(t *testing.T) {
 }
 
 func TestNetStudyBadFractions(t *testing.T) {
-	err := run(8, 2, "1,zero", core.FormatTable, 0, context.Background(), "", "", "", false)
+	err := run(8, 2, "1,zero", core.FormatTable, core.SweepOptions{}, "", "")
 	if err == nil {
 		t.Error("bad fraction accepted")
 	} else if cli.Code(err) != cli.ExitConfig {
 		t.Errorf("bad fraction maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
-	if err := run(8, 2, "2.5", core.FormatTable, 0, context.Background(), "", "", "", false); err == nil {
+	if err := run(8, 2, "2.5", core.FormatTable, core.SweepOptions{}, "", ""); err == nil {
 		t.Error("fraction > 1 accepted")
 	}
 }
@@ -75,7 +76,7 @@ func TestNetStudyBadFractions(t *testing.T) {
 func TestNetStudyJournalResume(t *testing.T) {
 	dir := t.TempDir()
 	journal := filepath.Join(dir, "net.jsonl")
-	if err := run(8, 2, "1,0.5", core.FormatCSV, 2, context.Background(), "", "", journal, false); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatCSV, core.SweepOptions{Workers: 2, Journal: journal}, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(journal)
@@ -87,7 +88,7 @@ func TestNetStudyJournalResume(t *testing.T) {
 	}
 	// Resume against the complete journal: every cell restores, no
 	// simulation re-runs, and the study still succeeds.
-	if err := run(8, 2, "1,0.5", core.FormatCSV, 2, context.Background(), "", "", journal, true); err != nil {
+	if err := run(8, 2, "1,0.5", core.FormatCSV, core.SweepOptions{Workers: 2, Journal: journal, Resume: true}, "", ""); err != nil {
 		t.Fatalf("resume: %v", err)
 	}
 }
@@ -97,11 +98,75 @@ func TestNetStudyJournalResume(t *testing.T) {
 func TestNetStudyInterruptedExitCode(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(8, 2, "1,0.5", core.FormatTable, 1, ctx, "", "", "", false)
+	err := run(8, 2, "1,0.5", core.FormatTable, core.SweepOptions{Workers: 1, Context: ctx}, "", "")
 	if err == nil {
 		t.Fatal("cancelled study reported success")
 	}
 	if cli.Code(err) != cli.ExitInterrupted {
 		t.Fatalf("cancelled study maps to exit %d, want %d (err: %v)", cli.Code(err), cli.ExitInterrupted, err)
+	}
+}
+
+// TestNetStudyCacheSharedAcrossStudies: with -cache, the degradation and
+// power studies share one cache over the same grid, so the power study's
+// cells are served from the degradation study's results — half the
+// accesses hit on the very first run, and a rerun is all hits.
+func TestNetStudyCacheSharedAcrossStudies(t *testing.T) {
+	sc, err := newSweepCache(true, 64, "lru", "lfu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if err := run(8, 2, "1,0.5", core.FormatCSV, core.SweepOptions{Workers: 2, Cache: sc}, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Misses == 0 || st.Hits != st.Misses {
+		t.Fatalf("first run stats %+v, want every degradation miss mirrored by a power hit", st)
+	}
+	cells := st.Misses
+	if err := run(8, 2, "1,0.5", core.FormatCSV, core.SweepOptions{Workers: 2, Cache: sc}, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	st = sc.Stats()
+	if st.Misses != cells || st.Hits != 3*cells {
+		t.Fatalf("second run stats %+v, want %d hits %d misses (no re-simulation)", st, 3*cells, cells)
+	}
+}
+
+// TestNetStudyCacheMetricsOut: the -metrics-out JSON carries the cache
+// report after the per-point metrics.
+func TestNetStudyCacheMetricsOut(t *testing.T) {
+	sc, err := newSweepCache(true, 64, "lru", "tinylfu", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	if err := run(8, 2, "1", core.FormatCSV, core.SweepOptions{Workers: 2, Cache: sc}, metrics, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var points any
+	if err := dec.Decode(&points); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	var rep struct {
+		Cache *struct {
+			Policy  string `json:"policy"`
+			Shadows []struct {
+				Policy string `json:"policy"`
+			} `json:"shadows"`
+		} `json:"cache"`
+	}
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("metrics JSON cache report: %v", err)
+	}
+	if rep.Cache == nil || rep.Cache.Policy != "lru" || len(rep.Cache.Shadows) != 1 {
+		t.Fatalf("cache report in metrics JSON = %+v", rep.Cache)
 	}
 }

@@ -1,0 +1,504 @@
+// Package cache implements a content-addressed memoization layer for
+// design-space sweeps: values keyed by a canonical hash of the fully
+// resolved configuration that produced them. Because a sweep point is a
+// pure function of its configuration, a hit is — by construction —
+// equivalent to re-simulating the point, and invalidation reduces to "the
+// key changed".
+//
+// The cache separates the value store from eviction metadata: pluggable
+// policies (FIFO, LRU, LFU, TinyLFU with doorkeeper admission) order keys
+// and nominate victims without ever touching values. That split buys two
+// server-grade features:
+//
+//   - Shadow sensors: extra policies run metadata-only against the live
+//     access stream and report the hit rate they *would* achieve, so an
+//     operator can compare policies on real traffic before switching.
+//   - Warm/gradual migration: the active policy can be replaced without
+//     dropping values — warm rebuilds the new policy's order in one step,
+//     gradual drains the old order key by key — so a resident server
+//     switches strategies without a miss spike.
+//
+// An optional persistent tier appends every stored entry to an fsync'd
+// JSONL file (the same crash-tolerant encoding the sweep journal uses,
+// including torn-tail truncation on load), so a cache survives process
+// restarts and a new invocation warm-starts from disk.
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MigrationStrategy controls how the key order is transferred when the
+// active eviction policy changes.
+type MigrationStrategy int
+
+const (
+	// MigrationCold starts the new policy empty and drops every cached
+	// value — the simplest switch, at the price of a miss spike.
+	MigrationCold MigrationStrategy = iota
+	// MigrationWarm rebuilds the new policy's metadata from the old
+	// policy's cold→hot order in one step. No values are dropped, so the
+	// hit rate is unaffected.
+	MigrationWarm
+	// MigrationGradual starts the new policy empty but keeps the old
+	// policy's metadata alive: each access promotes its key into the new
+	// policy, each store drains one additional cold key across, and
+	// evictions prefer the old policy's victims. No values are dropped.
+	MigrationGradual
+)
+
+// ParseMigration parses "cold", "warm" or "gradual".
+func ParseMigration(s string) (MigrationStrategy, error) {
+	switch s {
+	case "cold":
+		return MigrationCold, nil
+	case "", "warm":
+		return MigrationWarm, nil
+	case "gradual":
+		return MigrationGradual, nil
+	}
+	return MigrationWarm, fmt.Errorf("cache: unknown migration strategy %q (want cold, warm or gradual)", s)
+}
+
+// Codec serializes cache values for the persistent tier. Encode/Decode
+// must round-trip exactly (encoding/json on float64 fields does).
+type Codec struct {
+	Encode func(v any) ([]byte, error)
+	Decode func(data []byte) (any, error)
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Capacity bounds resident entries; <= 0 means 1024.
+	Capacity int
+	// Policy selects the active eviction policy (default LRU).
+	Policy PolicyType
+	// Shadows lists policies to run as metadata-only hit/miss sensors.
+	Shadows []PolicyType
+	// Path, when non-empty, names the persistent JSONL tier: existing
+	// entries are loaded at New (tolerating a torn final line) and every
+	// Put is appended and fsync'd. Requires Codec.
+	Path string
+	// Codec serializes values for the persistent tier; also used to size
+	// entries whose Put passes size <= 0.
+	Codec Codec
+}
+
+// Stats is a point-in-time snapshot of cache behavior, including the
+// shadow sensors' counters. It marshals to the JSON reported through
+// internal/obs RunReports.
+type Stats struct {
+	Policy     string        `json:"policy"`
+	Capacity   int           `json:"capacity"`
+	Entries    int           `json:"entries"`
+	Bytes      int64         `json:"bytes"`
+	Hits       int64         `json:"hits"`
+	Misses     int64         `json:"misses"`
+	Evictions  int64         `json:"evictions"`
+	Rejected   int64         `json:"rejected"`
+	WarmStarts int64         `json:"warm_starts"`
+	HitRate    float64       `json:"hit_rate"`
+	Migrating  string        `json:"migrating_from,omitempty"`
+	Shadows    []ShadowStats `json:"shadows,omitempty"`
+}
+
+// ShadowStats is one shadow sensor's would-be hit/miss tally.
+type ShadowStats struct {
+	Policy  string  `json:"policy"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// shadow runs one policy metadata-only against the live access stream.
+type shadow struct {
+	typ      PolicyType
+	capacity int
+	pol      evictor
+	hits     int64
+	misses   int64
+}
+
+// access mirrors Cache.Get on metadata: a resident key is a would-be hit.
+func (s *shadow) access(key string) {
+	if r, ok := s.pol.(recorder); ok {
+		r.record(key)
+	}
+	if s.pol.has(key) {
+		s.hits++
+		s.pol.touch(key)
+		return
+	}
+	s.misses++
+}
+
+// insert mirrors Cache.Put on metadata, honoring the policy's admission
+// filter and capacity.
+func (s *shadow) insert(key string) {
+	if s.pol.has(key) {
+		s.pol.touch(key)
+		return
+	}
+	if a, ok := s.pol.(admitter); ok && s.pol.len() >= s.capacity && !a.admit(key) {
+		return
+	}
+	s.pol.add(key)
+	for s.pol.len() > s.capacity {
+		v, ok := s.pol.victim()
+		if !ok {
+			break
+		}
+		s.pol.remove(v)
+	}
+}
+
+// entry is one resident value plus its size accounting.
+type entry struct {
+	v    any
+	size int64
+}
+
+// Cache is a bounded, content-addressed key→value store with pluggable
+// eviction. All methods are safe for concurrent use by sweep workers.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ptype    PolicyType
+	policy   evictor
+	oldType  PolicyType
+	old      evictor // non-nil while a gradual migration drains
+	values   map[string]entry
+	shadows  []*shadow
+	codec    Codec
+
+	f    *os.File
+	path string
+
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+	rejected   int64
+	warmStarts int64
+}
+
+// fileEntry is one persistent-tier JSONL record.
+type fileEntry struct {
+	Key  string          `json:"key"`
+	Size int64           `json:"size"`
+	Val  json.RawMessage `json:"val"`
+}
+
+// New builds a cache; with Options.Path set it warm-starts from the file's
+// surviving records and opens it for fsync'd appends.
+func New(opts Options) (*Cache, error) {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	c := &Cache{
+		capacity: capacity,
+		ptype:    opts.Policy,
+		policy:   newEvictor(opts.Policy, capacity),
+		values:   make(map[string]entry, capacity),
+		codec:    opts.Codec,
+		path:     opts.Path,
+	}
+	for _, st := range opts.Shadows {
+		c.shadows = append(c.shadows, &shadow{typ: st, capacity: capacity, pol: newEvictor(st, capacity)})
+	}
+	if opts.Path != "" {
+		if opts.Codec.Encode == nil || opts.Codec.Decode == nil {
+			return nil, fmt.Errorf("cache: persistent tier %q needs a codec", opts.Path)
+		}
+		if err := c.openFile(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// openFile loads the persistent tier (truncating a torn tail, exactly like
+// the sweep journal) and reopens it for append.
+func (c *Cache) openFile() error {
+	raw, err := os.ReadFile(c.path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: file tier: %w", err)
+	}
+	valid := 0
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // no terminator: torn final line
+		}
+		line := raw[off : off+nl]
+		off += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			valid = off
+			continue
+		}
+		var fe fileEntry
+		if json.Unmarshal(line, &fe) != nil || fe.Key == "" {
+			break // torn or corrupt: drop it and everything after
+		}
+		v, derr := c.codec.Decode(fe.Val)
+		if derr != nil {
+			break
+		}
+		c.insertLocked(fe.Key, v, fe.Size)
+		c.warmStarts++
+		valid = off
+	}
+	if valid < len(raw) {
+		if err := os.Truncate(c.path, int64(valid)); err != nil {
+			return fmt.Errorf("cache: file tier: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cache: file tier: %w", err)
+	}
+	c.f = f
+	return nil
+}
+
+// Get returns the value stored under key. Every lookup — hit or miss —
+// feeds the active policy's frequency estimator and the shadow sensors.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shadows {
+		s.access(key)
+	}
+	if r, ok := c.policy.(recorder); ok {
+		r.record(key)
+	}
+	ent, ok := c.values[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	if c.old != nil && c.old.has(key) {
+		// Gradual migration: an accessed key promotes into the new policy.
+		c.old.remove(key)
+		c.policy.add(key)
+	} else {
+		c.policy.touch(key)
+	}
+	c.drainOne()
+	return ent.v, true
+}
+
+// Put stores a deep-copy-owned value under key. size is the caller's
+// resident-footprint estimate; <= 0 falls back to the codec's encoded
+// length (or 1). The only error source is the persistent tier's append.
+func (c *Cache) Put(key string, v any, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shadows {
+		s.insert(key)
+	}
+	var encoded []byte
+	if c.codec.Encode != nil && (size <= 0 || c.f != nil) {
+		var err error
+		if encoded, err = c.codec.Encode(v); err != nil {
+			return fmt.Errorf("cache: encoding %q: %w", key, err)
+		}
+	}
+	if size <= 0 {
+		size = int64(len(encoded))
+		if size <= 0 {
+			size = 1
+		}
+	}
+	if old, ok := c.values[key]; ok {
+		// Content-addressed: a re-store under the same key carries the
+		// same value; refresh size accounting and recency only.
+		c.bytes += size - old.size
+		c.values[key] = entry{v: v, size: size}
+		c.policy.touch(key)
+		return nil
+	}
+	if a, ok := c.policy.(admitter); ok && len(c.values) >= c.capacity && !a.admit(key) {
+		c.rejected++
+		return nil
+	}
+	c.insertLocked(key, v, size)
+	c.drainOne()
+	if c.f != nil {
+		return c.appendLocked(key, encoded, size)
+	}
+	return nil
+}
+
+// insertLocked stores the value and evicts past capacity. Caller holds mu.
+func (c *Cache) insertLocked(key string, v any, size int64) {
+	if old, ok := c.values[key]; ok {
+		c.bytes += size - old.size
+		c.values[key] = entry{v: v, size: size}
+		c.policy.touch(key)
+		return
+	}
+	c.values[key] = entry{v: v, size: size}
+	c.bytes += size
+	c.policy.add(key)
+	for len(c.values) > c.capacity {
+		victim, ok := c.victimLocked()
+		if !ok {
+			break
+		}
+		c.removeLocked(victim)
+		c.evictions++
+	}
+}
+
+// victimLocked nominates the next eviction: during a gradual migration the
+// old policy's coldest key goes first.
+func (c *Cache) victimLocked() (string, bool) {
+	if c.old != nil {
+		if v, ok := c.old.victim(); ok {
+			return v, true
+		}
+	}
+	return c.policy.victim()
+}
+
+// removeLocked drops a key from the store and both policies.
+func (c *Cache) removeLocked(key string) {
+	if ent, ok := c.values[key]; ok {
+		c.bytes -= ent.size
+		delete(c.values, key)
+	}
+	c.policy.remove(key)
+	if c.old != nil {
+		c.old.remove(key)
+	}
+}
+
+// drainOne advances a gradual migration by one key and retires the old
+// policy once empty. Caller holds mu.
+func (c *Cache) drainOne() {
+	if c.old == nil {
+		return
+	}
+	if k, ok := c.old.victim(); ok {
+		c.old.remove(k)
+		c.policy.addCold(k)
+	}
+	if c.old.len() == 0 {
+		c.old = nil
+	}
+}
+
+// appendLocked writes one persistent-tier record and fsyncs it, mirroring
+// the sweep journal's durability contract.
+func (c *Cache) appendLocked(key string, encoded []byte, size int64) error {
+	line, err := json.Marshal(fileEntry{Key: key, Size: size, Val: encoded})
+	if err != nil {
+		return fmt.Errorf("cache: file tier: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("cache: file tier: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("cache: file tier: %w", err)
+	}
+	return nil
+}
+
+// Migrate switches the active eviction policy. Warm and gradual migrations
+// keep every cached value (no miss spike); cold drops them all.
+func (c *Cache) Migrate(to PolicyType, strategy MigrationStrategy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Flatten any in-flight gradual migration first so the order we hand
+	// to the next policy covers every resident key.
+	for c.old != nil {
+		c.drainOne()
+	}
+	next := newEvictor(to, c.capacity)
+	switch strategy {
+	case MigrationCold:
+		c.evictions += int64(len(c.values))
+		c.values = make(map[string]entry, c.capacity)
+		c.bytes = 0
+		c.policy = next
+		c.oldType = 0
+		c.old = nil
+	case MigrationGradual:
+		c.oldType = c.ptype
+		c.old = c.policy
+		c.policy = next
+	default: // MigrationWarm
+		for _, k := range c.policy.keys() {
+			next.add(k) // cold→hot insertion preserves relative temperature
+		}
+		c.policy = next
+		c.oldType = 0
+		c.old = nil
+	}
+	c.ptype = to
+}
+
+// Migrating reports whether a gradual migration is still draining.
+func (c *Cache) Migrating() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.old != nil
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.values)
+}
+
+// Stats snapshots the counters, including each shadow sensor's.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Policy:     c.ptype.String(),
+		Capacity:   c.capacity,
+		Entries:    len(c.values),
+		Bytes:      c.bytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Rejected:   c.rejected,
+		WarmStarts: c.warmStarts,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	if c.old != nil {
+		s.Migrating = c.oldType.String()
+	}
+	for _, sh := range c.shadows {
+		ss := ShadowStats{Policy: sh.typ.String(), Hits: sh.hits, Misses: sh.misses}
+		if total := sh.hits + sh.misses; total > 0 {
+			ss.HitRate = float64(sh.hits) / float64(total)
+		}
+		s.Shadows = append(s.Shadows, ss)
+	}
+	return s
+}
+
+// Close closes the persistent tier, if any. Safe to call repeatedly.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

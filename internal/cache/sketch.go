@@ -1,0 +1,133 @@
+package cache
+
+// TinyLFU's frequency estimator: a doorkeeper bloom filter in front of a
+// count-min sketch of 8-bit counters, with periodic halving so the
+// estimate tracks recent popularity instead of all-time counts. The
+// doorkeeper absorbs the one-hit wonders (a key's first appearance in a
+// sample window only sets bloom bits); only repeat keys reach the sketch,
+// which keeps its counters meaningful at small widths.
+
+const (
+	// sketchRows is the count-min depth: the estimate is the minimum over
+	// this many independently hashed counter rows.
+	sketchRows = 4
+	// sampleFactor sets the aging window: after capacity×sampleFactor
+	// recorded accesses every counter is halved and the doorkeeper reset.
+	sampleFactor = 10
+	// counterMax caps a counter; with halving this bounds estimates
+	// without letting hot keys saturate neighbours via collisions.
+	counterMax = 255
+)
+
+type sketch struct {
+	rows    [sketchRows][]uint8
+	door    []uint64 // doorkeeper bloom bitset
+	mask    uint64   // row width - 1 (width is a power of two)
+	doorLen uint64   // doorkeeper bits
+	samples uint64   // recorded accesses since the last reset
+	window  uint64   // samples that trigger an aging reset
+}
+
+// newSketch sizes the estimator for a cache of the given entry capacity.
+func newSketch(capacity int) *sketch {
+	if capacity < 16 {
+		capacity = 16
+	}
+	width := uint64(1)
+	for width < uint64(capacity)*4 {
+		width <<= 1
+	}
+	s := &sketch{
+		mask:    width - 1,
+		doorLen: width * 8,
+		window:  uint64(capacity) * sampleFactor,
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, width)
+	}
+	s.door = make([]uint64, (s.doorLen+63)/64)
+	return s
+}
+
+// fnv1a is the 64-bit FNV-1a hash — the repo's standard cheap stable hash
+// (the fault package seeds its RNG streams the same way).
+func fnv1a(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// rowIndex derives the i-th row's counter index from the base hash by
+// remixing with an odd constant per row (cheap double hashing).
+func (s *sketch) rowIndex(h uint64, i int) uint64 {
+	h = h + uint64(i+1)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & s.mask
+}
+
+// doorBit tests and sets the doorkeeper bit for the hash, reporting
+// whether it was already set.
+func (s *sketch) doorBit(h uint64) bool {
+	b := h % s.doorLen
+	word, bit := b/64, uint64(1)<<(b%64)
+	seen := s.door[word]&bit != 0
+	s.door[word] |= bit
+	return seen
+}
+
+// record notes one access to key.
+func (s *sketch) record(key string) {
+	h := fnv1a(key)
+	if s.doorBit(h) {
+		for i := range s.rows {
+			if c := &s.rows[i][s.rowIndex(h, i)]; *c < counterMax {
+				*c++
+			}
+		}
+	}
+	s.samples++
+	if s.samples >= s.window {
+		s.age()
+	}
+}
+
+// estimate returns the key's approximate access count within the current
+// aging window (doorkeeper membership counts as one).
+func (s *sketch) estimate(key string) uint64 {
+	h := fnv1a(key)
+	est := uint64(counterMax)
+	for i := range s.rows {
+		if c := uint64(s.rows[i][s.rowIndex(h, i)]); c < est {
+			est = c
+		}
+	}
+	b := h % s.doorLen
+	if s.door[b/64]&(uint64(1)<<(b%64)) != 0 {
+		est++
+	}
+	return est
+}
+
+// age halves every counter and clears the doorkeeper, so estimates decay
+// toward recent behavior instead of accumulating forever.
+func (s *sketch) age() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] >>= 1
+		}
+	}
+	for i := range s.door {
+		s.door[i] = 0
+	}
+	s.samples = 0
+}

@@ -1,0 +1,122 @@
+package config
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"sst/internal/sim"
+)
+
+// Canonical content hashing. A sweep point is a pure function of its
+// fully-resolved configuration, so a stable hash of that configuration is a
+// content address for the point's result: two configs that resolve to the
+// same machine hash identically (JSON field order, whitespace, and
+// defaulted-vs-explicit spellings all wash out), and any semantic change
+// produces a different hash. The serialization is Go struct field order via
+// %#v over the *converted* component configurations — which are pure value
+// types (no maps, pointers or slices), so the rendering is deterministic —
+// never map-order-dependent JSON.
+//
+// The "amm/v1" / "sys/v1" prefixes version the key space: a future change
+// to simulation semantics that is not visible in the config (a bug fix in a
+// core model, say) bumps the version and orphans every stale cache entry by
+// construction.
+
+// canonVersionMachine tags the machine-config key space.
+const canonVersionMachine = "amm/v1"
+
+// canonVersionSystem tags the system-config key space.
+const canonVersionSystem = "sys/v1"
+
+// CanonicalHash returns a stable content address for the machine
+// description, or an error if the config does not validate.
+func (m MachineConfig) CanonicalHash() (string, error) {
+	cp := m // Validate fills defaults on the copy, not the caller's value
+	if err := cp.Validate(); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nname=%q\ncores=%d\n", canonVersionMachine, cp.Name, cp.Node.Cores)
+	coherence := cp.Node.Coherence
+	if coherence == "" {
+		coherence = "bus"
+	}
+	fmt.Fprintf(h, "coherence=%s\nmax_ops=%d\n", coherence, cp.MaxOps)
+
+	// cpu.Config has no Kind field (the kind selects which core type is
+	// built), so it rides alongside the resolved struct.
+	core, err := cp.Node.CPU.ToCoreConfig("cpu")
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "cpu.kind=%s\ncpu=%#v\n", cp.Node.CPU.Kind, core)
+
+	freq := core.Freq
+	if err := hashCacheLevel(h, "l1", cp.Node.L1, freq); err != nil {
+		return "", err
+	}
+	if err := hashCacheLevel(h, "l2", cp.Node.L2, freq); err != nil {
+		return "", err
+	}
+
+	dcfg, err := cp.Node.Mem.ToDRAMConfig()
+	if err != nil {
+		return "", err
+	}
+	if err := dcfg.Validate(); err != nil { // fills WindowPerChannel etc.
+		return "", err
+	}
+	fmt.Fprintf(h, "dram=%#v\ndram.capacity_gb=%v\n", dcfg, cp.Node.Mem.Capacity())
+
+	// Workload: cp.Validate already filled N/Iters/Ops defaults.
+	fmt.Fprintf(h, "workload=%#v\n", cp.Workload)
+	return fmt.Sprintf("m1:%x", h.Sum(nil)), nil
+}
+
+// hashCacheLevel writes one resolved cache level (or its absence) into the
+// hash stream. A nil spec hashes as an explicit absence marker so "no L2"
+// can never collide with any real L2.
+func hashCacheLevel(w io.Writer, name string, spec *CacheSpec, freq sim.Hz) error {
+	if spec == nil {
+		fmt.Fprintf(w, "%s=none\n", name)
+		return nil
+	}
+	cfg, err := spec.ToCacheConfig(name, freq)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s=%#v\n", name, cfg)
+	return nil
+}
+
+// CanonicalHash returns a stable content address for the system
+// description, or an error if the config does not validate.
+func (s SystemConfig) CanonicalHash() (string, error) {
+	cp := s
+	if err := cp.Validate(); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nname=%q\napp=%s\n", canonVersionSystem, cp.Name, cp.App)
+
+	// Hash the built topology's identity, not the spec: defaulted spec
+	// fields (torus z=0 → 1) wash out, and Name() encodes the shape.
+	topo, err := cp.Topo.Build()
+	if err != nil {
+		return "", err
+	}
+	ranks := cp.Ranks
+	if ranks == 0 {
+		ranks = topo.NumNodes()
+	}
+	fmt.Fprintf(h, "topo=%s routers=%d nodes=%d\nranks=%d\nsteps=%d\n",
+		topo.Name(), topo.NumRouters(), topo.NumNodes(), ranks, cp.Steps)
+
+	net, err := cp.Net.ToNetConfig()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "net=%#v\n", net)
+	return fmt.Sprintf("s1:%x", h.Sum(nil)), nil
+}

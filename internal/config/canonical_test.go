@@ -1,0 +1,214 @@
+package config
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustMachine(t *testing.T, js string) *MachineConfig {
+	t.Helper()
+	m, err := LoadMachine(strings.NewReader(js))
+	if err != nil {
+		t.Fatalf("LoadMachine: %v", err)
+	}
+	return m
+}
+
+func mustHash(t *testing.T, m *MachineConfig) string {
+	t.Helper()
+	h, err := m.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	return h
+}
+
+func TestCanonicalHashStable(t *testing.T) {
+	m := mustMachine(t, fuzzMachineSeed)
+	h1 := mustHash(t, m)
+	h2 := mustHash(t, m)
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if !strings.HasPrefix(h1, "m1:") || len(h1) != 3+64 {
+		t.Errorf("unexpected hash shape %q", h1)
+	}
+}
+
+func TestCanonicalHashFieldOrderInvariant(t *testing.T) {
+	// Same machine with JSON keys in a different order.
+	reordered := `{
+  "workload": {"iters": 1, "n": 8192, "kind": "lulesh"},
+  "node": {
+    "memory": {"capacity_gb": 4, "channels": 1, "preset": "ddr3-1333"},
+    "l2": {"prefetch_degree": 8, "prefetch": true, "mshrs": 32, "hit_lat": 10, "assoc": 8, "size": "256KB"},
+    "l1": {"prefetch_degree": 2, "prefetch": true, "mshrs": 16, "hit_lat": 2, "assoc": 4, "size": "32KB"},
+    "cpu": {"predictor": 1024, "storeq": 32, "loadq": 32, "width": 4, "freq": "3.2GHz", "kind": "superscalar"},
+    "cores": 1
+  },
+  "name": "node-ddr3-w4"
+}`
+	a := mustHash(t, mustMachine(t, fuzzMachineSeed))
+	b := mustHash(t, mustMachine(t, reordered))
+	if a != b {
+		t.Errorf("field order changed the hash: %s vs %s", a, b)
+	}
+}
+
+func TestCanonicalHashDefaultedVsExplicit(t *testing.T) {
+	// Defaults left implicit vs spelled out: cores=1, line=64, mshrs=8,
+	// iters=1, coherence=bus, scheduler fr-fcfs is ddr3-1333's preset
+	// default, capacity_gb=16.
+	implicit := `{
+  "name": "d",
+  "node": {
+    "cpu": {"kind": "inorder", "freq": "1GHz"},
+    "l1": {"size": "32KB", "assoc": 4, "hit_lat": 2},
+    "memory": {"preset": "ddr3-1333"}
+  },
+  "workload": {"kind": "stream"}
+}`
+	explicit := `{
+  "name": "d",
+  "node": {
+    "cores": 1,
+    "coherence": "bus",
+    "cpu": {"kind": "inorder", "freq": "1GHz", "width": 1, "int_lat": 1, "float_lat": 4, "branch_penalty": 8, "loadq": 8, "storeq": 8, "threads": 1},
+    "l1": {"size": "32KB", "line": 64, "assoc": 4, "hit_lat": 2, "mshrs": 8, "policy": "writeback", "repl": "lru"},
+    "memory": {"preset": "ddr3-1333", "capacity_gb": 16}
+  },
+  "workload": {"kind": "stream", "n": 4096, "iters": 1}
+}`
+	a := mustHash(t, mustMachine(t, implicit))
+	b := mustHash(t, mustMachine(t, explicit))
+	if a != b {
+		t.Errorf("defaulted vs explicit configs hash differently: %s vs %s", a, b)
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := mustHash(t, mustMachine(t, fuzzMachineSeed))
+	mutate := func(name string, f func(m *MachineConfig)) {
+		m := mustMachine(t, fuzzMachineSeed)
+		f(m)
+		if got := mustHash(t, m); got == base {
+			t.Errorf("%s: mutation did not change the hash", name)
+		}
+	}
+	mutate("name", func(m *MachineConfig) { m.Name = "other" })
+	mutate("cores", func(m *MachineConfig) { m.Node.Cores = 2 })
+	mutate("cpu width", func(m *MachineConfig) { m.Node.CPU.Width = 2 })
+	mutate("cpu kind", func(m *MachineConfig) { m.Node.CPU.Kind = "ooo" })
+	mutate("freq", func(m *MachineConfig) { m.Node.CPU.Freq = "2GHz" })
+	mutate("l1 size", func(m *MachineConfig) { m.Node.L1.Size = "64KB" })
+	mutate("l1 dropped", func(m *MachineConfig) { m.Node.L1, m.Node.L2 = nil, nil })
+	mutate("l2 dropped", func(m *MachineConfig) { m.Node.L2 = nil })
+	mutate("mem preset", func(m *MachineConfig) { m.Node.Mem.Preset = "ddr3-1600" })
+	mutate("mem channels", func(m *MachineConfig) { m.Node.Mem.Channels = 2 })
+	mutate("workload kind", func(m *MachineConfig) { m.Workload.Kind = "stream" })
+	mutate("workload n", func(m *MachineConfig) { m.Workload.N = 16384 })
+	mutate("workload seed", func(m *MachineConfig) { m.Workload.Seed = 7 })
+	mutate("max ops", func(m *MachineConfig) { m.MaxOps = 1000 })
+	mutate("coherence", func(m *MachineConfig) {
+		m.Node.Cores = 4
+		m.Node.Coherence = "directory"
+	})
+}
+
+func TestCanonicalHashInvalidConfig(t *testing.T) {
+	var m MachineConfig // no name, no cpu kind
+	if _, err := m.CanonicalHash(); err == nil {
+		t.Error("want error hashing an invalid config")
+	}
+	// Hashing must not mutate the caller's config.
+	m2 := *mustMachine(t, `{"name":"d","node":{"cpu":{"kind":"inorder","freq":"1GHz"},"memory":{"preset":"ddr3-1333"}},"workload":{"kind":"stream"}}`)
+	m2.Node.Cores = 0 // pretend pre-validation state
+	_, _ = m2.CanonicalHash()
+	if m2.Node.Cores != 0 {
+		t.Error("CanonicalHash mutated its receiver")
+	}
+}
+
+func TestCanonicalHashSystem(t *testing.T) {
+	s, err := LoadSystem(strings.NewReader(fuzzSystemSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(h1, "s1:") {
+		t.Errorf("unexpected system hash shape %q", h1)
+	}
+	// Ranks defaulted vs explicit node count hash identically.
+	s2 := *s
+	s2.Ranks = 32 // 4×4×2 torus has 32 nodes
+	h2, err := s2.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("defaulted vs explicit ranks hash differently")
+	}
+	s3 := *s
+	s3.App = "sage"
+	h3, err := s3.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("app change did not change the system hash")
+	}
+}
+
+// FuzzConfigHash asserts canonical-hash stability under re-serialization:
+// any config that loads must (a) hash deterministically, (b) hash the same
+// after a marshal→unmarshal round trip (which re-orders nothing
+// semantically but rewrites all JSON syntax), and (c) hash differently
+// when a load-bearing field is changed.
+func FuzzConfigHash(f *testing.F) {
+	f.Add(fuzzMachineSeed)
+	f.Add(`{"name":"x","node":{"cpu":{"kind":"inorder","freq":"1GHz"},"memory":{"preset":"ddr3-1333"}},"workload":{"kind":"stream"}}`)
+	f.Add(`{"name":"x","node":{"cores":4,"coherence":"directory","cpu":{"kind":"ooo","freq":"2GHz","rob":64},"l1":{"size":"16KB","assoc":2,"hit_lat":1},"memory":{"preset":"gddr5-4000"}},"workload":{"kind":"gups"}}`)
+	f.Add(`{"name":"x","node":{"cpu":{"kind":"threaded","freq":"1GHz","threads":4},"memory":{"preset":"ddr3-1066"}},"workload":{"kind":"synthetic","profile":"stream"}}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := LoadMachine(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		h1, err := m.CanonicalHash()
+		if err != nil {
+			t.Fatalf("validated config fails CanonicalHash: %v", err)
+		}
+		if h2, _ := m.CanonicalHash(); h2 != h1 {
+			t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+		}
+
+		// Round trip through JSON: syntax normalizes, semantics identical.
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		m2, err := LoadMachine(strings.NewReader(string(blob)))
+		if err != nil {
+			t.Fatalf("reload of marshaled config failed: %v", err)
+		}
+		if h2, err := m2.CanonicalHash(); err != nil || h2 != h1 {
+			t.Fatalf("round-tripped config hashes %s (err %v), want %s", h2, err, h1)
+		}
+
+		// Changed fields change the hash.
+		m3 := *m
+		m3.Workload.Seed = m.Workload.Seed + 1
+		if h3, err := m3.CanonicalHash(); err == nil && h3 == h1 {
+			t.Fatal("seed change did not change the hash")
+		}
+		m4 := *m
+		m4.Name = m.Name + "x"
+		if h4, err := m4.CanonicalHash(); err == nil && h4 == h1 {
+			t.Fatal("name change did not change the hash")
+		}
+	})
+}

@@ -231,7 +231,7 @@ func MemTechWidthSweep(apps, techs []string, widths []int, scale Scale, opts Swe
 	}
 	errs, err := runPointsJournaled(opts, len(g.Points), pio, func(ctx context.Context, i int) error {
 		p := &g.Points[i]
-		res, rerr := RunMachineCtx(ctx, SweepMachine(p.App, p.Tech, p.Width, scale))
+		res, rerr := runMachinePoint(ctx, opts, SweepMachine(p.App, p.Tech, p.Width, scale))
 		if rerr != nil {
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				// A hung point cut off by PointTimeout is a point
@@ -348,9 +348,9 @@ func MemSpeedStudy(grades []string, scale Scale, opts SweepOptions) (*MemSpeedRe
 	// The app × grade cells are independent node runs: fan them out, then
 	// derive the relative columns in the original row order.
 	flat := make([]*NodeResult, len(apps)*len(grades))
-	err := runPoints(opts, len(flat), func(i int) error {
+	_, err := runPointsDetailed(opts, len(flat), func(ctx context.Context, i int) error {
 		app, gr := apps[i/len(grades)], grades[i%len(grades)]
-		res, err := RunMachine(SweepMachine(app, gr, 4, scale))
+		res, err := runMachinePoint(ctx, opts, SweepMachine(app, gr, 4, scale))
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ package core
 // deadline marks a point Failed without wedging the sweep.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -18,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	cachepkg "sst/internal/cache"
 	"sst/internal/sim"
 )
 
@@ -176,6 +178,90 @@ func TestMemTechWidthSweepJournalResume(t *testing.T) {
 	}
 	if gotN, refN := norm(got), norm(ref); !reflect.DeepEqual(gotN, refN) {
 		t.Fatalf("resumed grid diverged\n got %+v\nwant %+v", gotN, refN)
+	}
+}
+
+// TestJournalResumeWithWarmCacheByteIdentical: the cache × journal
+// interaction. A journaled sweep is torn mid-grid (crash mid-append), then
+// resumed with a warm result cache: journaled points restore from the
+// journal, the torn point comes back as a cache hit, and the final grid
+// must render byte-identical (CSV) — and field-for-field equal — to an
+// uninterrupted, uncached run.
+func TestJournalResumeWithWarmCacheByteIdentical(t *testing.T) {
+	apps := []string{"stream"}
+	techs := []string{"ddr3-1333"}
+	widths := []int{1, 2}
+
+	// Reference: uninterrupted, uncached.
+	ref, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := ref.WriteCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache with a full run, journaling as we go.
+	c, err := NewSweepCache(64, cachepkg.LRU, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	path := filepath.Join(t.TempDir(), "dse.jsonl")
+	if _, err := MemTechWidthSweep(apps, techs, widths, Small,
+		SweepOptions{Workers: 2, Journal: path, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the journal's final record, as if the process died mid-append.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with the warm cache: the torn point must be served from the
+	// cache, not re-simulated.
+	before := c.Stats()
+	got, err := MemTechWidthSweep(apps, techs, widths, Small,
+		SweepOptions{Workers: 2, Journal: path, Resume: true, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("resume took %d cache hits, want exactly 1 (the torn point)", after.Hits-before.Hits)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("resume re-simulated %d points, want 0", after.Misses-before.Misses)
+	}
+
+	var gotCSV bytes.Buffer
+	if err := got.WriteCSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), refCSV.Bytes()) {
+		t.Errorf("resumed+cached grid CSV differs from uninterrupted uncached run\n got %s\nwant %s",
+			gotCSV.Bytes(), refCSV.Bytes())
+	}
+	norm := func(g *DSEGrid) []DSEPoint {
+		out := make([]DSEPoint, len(g.Points))
+		for i, p := range g.Points {
+			r := *p.Result
+			r.HostSeconds = 0
+			p.Result = &r
+			out[i] = p
+		}
+		return out
+	}
+	if gotN, refN := norm(got), norm(ref); !reflect.DeepEqual(gotN, refN) {
+		t.Fatalf("resumed+cached grid diverged\n got %+v\nwant %+v", gotN, refN)
 	}
 }
 

@@ -130,7 +130,11 @@ func runNetGrid(cfg NetStudyConfig, opts SweepOptions) ([][]sim.Time, error) {
 	}
 	errs, err := runPointsJournaled(opts, len(profiles)*nf, pio, func(ctx context.Context, i int) error {
 		pi, fi := i/nf, i%nf
-		e, _, err := RunNetPointCtx(ctx, profiles[pi], cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
+		key := netPointKey(profiles[pi].Name, cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
+		e, err := cachedTime(opts.Cache, key, func() (sim.Time, error) {
+			t, _, err := RunNetPointCtx(ctx, profiles[pi], cfg.Nodes, cfg.Steps, cfg.Fractions[fi])
+			return t, err
+		})
 		if err != nil {
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				// Timed out, not interrupted: see MemTechWidthSweep.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sst/internal/config"
@@ -72,13 +73,13 @@ func PIMStudy(apps []string, scale Scale, opts SweepOptions) (*PIMResult, error)
 	// Both machines of every app comparison are independent design points:
 	// flatten to app-major {conventional, pim} pairs and fan them out.
 	flat := make([]*NodeResult, 2*len(apps))
-	err := runPoints(opts, len(flat), func(i int) error {
+	_, err := runPointsDetailed(opts, len(flat), func(ctx context.Context, i int) error {
 		app := apps[i/2]
 		cfg, kind := ConventionalMachine(app, scale), "conventional"
 		if i%2 == 1 {
 			cfg, kind = PIMMachine(app, scale), "pim"
 		}
-		res, err := RunMachine(cfg)
+		res, err := runMachinePoint(ctx, opts, cfg)
 		if err != nil {
 			return fmt.Errorf("core: pim study %s %s: %w", app, kind, err)
 		}

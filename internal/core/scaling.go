@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sst/internal/config"
@@ -28,12 +29,12 @@ func CoreScalingStudy(apps []string, coreCounts []int, scale Scale, opts SweepOp
 	// them out and derive speedup/efficiency in row order afterwards.
 	nc := len(coreCounts)
 	flat := make([]*NodeResult, len(apps)*nc)
-	err := runPoints(opts, len(flat), func(i int) error {
+	_, err := runPointsDetailed(opts, len(flat), func(ctx context.Context, i int) error {
 		app, cores := apps[i/nc], coreCounts[i%nc]
 		cfg := SweepMachine(app, "ddr3-1333", 4, scale)
 		cfg.Name = fmt.Sprintf("%s-%dc", app, cores)
 		cfg.Node.Cores = cores
-		res, err := RunMachine(cfg)
+		res, err := runMachinePoint(ctx, opts, cfg)
 		if err != nil {
 			return fmt.Errorf("core: scaling %s/%d: %w", app, cores, err)
 		}

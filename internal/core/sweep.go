@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sst/internal/cache"
 	"sst/internal/config"
 	"sst/internal/sim"
 )
@@ -68,6 +69,15 @@ type SweepOptions struct {
 	// point is marked failed (with its error recorded) instead of wedging
 	// a pool worker forever.
 	PointTimeout time.Duration
+
+	// Cache, when non-nil, memoizes completed design points content-
+	// addressed by their fully-resolved configuration: a repeated or
+	// overlapping grid re-simulates only what is new. The cache is safe
+	// for concurrent use, so one instance may serve several sweeps (and
+	// several workers) at once; a hit is field-for-field identical to a
+	// fresh simulation by construction. See internal/cache and
+	// RunMachineCached.
+	Cache *cache.Cache
 }
 
 // ErrPointFailed marks a sweep error that stems from at least one failed
@@ -263,8 +273,8 @@ func runPointsDetailed(opts SweepOptions, n int, fn func(ctx context.Context, i 
 // their results, and the error joins the per-config failures in order.
 func RunMachines(cfgs []*config.MachineConfig, opts SweepOptions) ([]*NodeResult, error) {
 	out := make([]*NodeResult, len(cfgs))
-	err := runPoints(opts, len(cfgs), func(i int) error {
-		res, err := RunMachine(cfgs[i])
+	_, err := runPointsDetailed(opts, len(cfgs), func(ctx context.Context, i int) error {
+		res, err := runMachinePoint(ctx, opts, cfgs[i])
 		if err != nil {
 			return err
 		}

@@ -123,7 +123,10 @@ func WeakScalingStudy(rankCounts []int, iters int, opts SweepOptions) (*WeakScal
 	nr := len(rankCounts)
 	flat := make([]sim.Time, len(profiles)*nr)
 	err := runPoints(opts, len(flat), func(i int) error {
-		tp, err := runWeakPoint(profiles[i/nr], rankCounts[i%nr], iters)
+		p, ranks := profiles[i/nr], rankCounts[i%nr]
+		tp, err := cachedTime(opts.Cache, weakPointKey(p, ranks, iters), func() (sim.Time, error) {
+			return runWeakPoint(p, ranks, iters)
+		})
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"sst/internal/cache"
 	"sst/internal/par"
 	"sst/internal/sim"
 	"sst/internal/stats"
@@ -32,6 +33,9 @@ type RunReport struct {
 	Engine EngineMetrics      `json:"engine"`
 	Links  []LinkStats        `json:"links,omitempty"`
 	Par    *par.RunnerMetrics `json:"par,omitempty"`
+	// Cache is the sweep result cache's counter snapshot, including each
+	// shadow policy's would-be hit rate.
+	Cache *cache.Stats `json:"cache,omitempty"`
 }
 
 // Table renders the report as one metric/value table.
@@ -62,6 +66,23 @@ func (r *RunReport) Table() *stats.Table {
 			t.AddRow(prefix+"lookahead_ps", uint64(rk.Lookahead))
 		}
 	}
+	if cs := r.Cache; cs != nil {
+		t.AddRow("cache.policy", cs.Policy)
+		t.AddRow("cache.entries", cs.Entries)
+		t.AddRow("cache.bytes", cs.Bytes)
+		t.AddRow("cache.hits", cs.Hits)
+		t.AddRow("cache.misses", cs.Misses)
+		t.AddRow("cache.hit_rate", cs.HitRate)
+		t.AddRow("cache.evictions", cs.Evictions)
+		t.AddRow("cache.rejected", cs.Rejected)
+		t.AddRow("cache.warm_starts", cs.WarmStarts)
+		for _, ss := range cs.Shadows {
+			prefix := "cache.shadow." + ss.Policy + "."
+			t.AddRow(prefix+"hits", ss.Hits)
+			t.AddRow(prefix+"misses", ss.Misses)
+			t.AddRow(prefix+"hit_rate", ss.HitRate)
+		}
+	}
 	return t
 }
 
@@ -85,6 +106,7 @@ type Collector struct {
 	engine *sim.Engine
 	links  []*LinkStats
 	runner *par.Runner
+	cache  *cache.Cache
 	start  time.Time
 	base   uint64 // events already handled at Attach
 }
@@ -111,6 +133,11 @@ func (c *Collector) Attach(engine *sim.Engine, links ...*sim.Link) {
 // attach per-rank links explicitly if needed.
 func (c *Collector) AttachRunner(r *par.Runner) { c.runner = r }
 
+// AttachCache additionally records a sweep result cache whose counter
+// snapshot (hit/miss/eviction/bytes plus per-shadow-policy stats) is
+// folded into the report.
+func (c *Collector) AttachCache(sc *cache.Cache) { c.cache = sc }
+
 // Report snapshots the metrics. Call it after the run completes (it reads
 // engine and runner state that must not be mid-flight).
 func (c *Collector) Report() *RunReport {
@@ -132,6 +159,10 @@ func (c *Collector) Report() *RunReport {
 	if c.runner != nil {
 		m := c.runner.Metrics()
 		rep.Par = &m
+	}
+	if c.cache != nil {
+		s := c.cache.Stats()
+		rep.Cache = &s
 	}
 	return rep
 }

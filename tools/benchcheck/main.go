@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -46,11 +47,15 @@ type baseline struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
-func parse(r *bufio.Scanner) map[string]entry {
+// parse reads `go test -bench` output, echoing every line to echo (the
+// raw output passes through for the log) and collecting the benchmark
+// measurements by name.
+func parse(r io.Reader, echo io.Writer) map[string]entry {
 	got := map[string]entry{}
-	for r.Scan() {
-		line := r.Text()
-		fmt.Println(line) // pass the raw output through for the log
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -64,13 +69,68 @@ func parse(r *bufio.Scanner) map[string]entry {
 	return got
 }
 
+// compare applies the gate: every baseline entry must be present in the
+// run (a missing benchmark fails — a renamed or silently-skipped benchmark
+// must not pass the gate by absence), allocs/op and B/op may not exceed
+// the baseline by more than 1%, and ns/op may not regress beyond the
+// entry's tolerance (defTol when the entry sets none). Verdict lines go
+// to w; the return value reports whether any entry failed.
+func compare(base baseline, got map[string]entry, defTol float64, w io.Writer) bool {
+	names := make([]string, 0, len(base.Entries))
+	for name := range base.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Entries[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(w, "benchcheck: FAIL %s: in baseline but not run\n", name)
+			failed = true
+			continue
+		}
+		if have.AllocsPerOp > want.AllocsPerOp*1.01 {
+			fmt.Fprintf(w, "benchcheck: FAIL %s: %.0f allocs/op, baseline %.0f\n",
+				name, have.AllocsPerOp, want.AllocsPerOp)
+			failed = true
+		}
+		if have.BytesPerOp > want.BytesPerOp*1.01 {
+			fmt.Fprintf(w, "benchcheck: FAIL %s: %.0f B/op, baseline %.0f\n",
+				name, have.BytesPerOp, want.BytesPerOp)
+			failed = true
+		}
+		t := want.Tolerance
+		if t == 0 {
+			t = defTol
+		}
+		if want.NsPerOp > 0 {
+			delta := have.NsPerOp/want.NsPerOp - 1
+			mark := "ok  "
+			if delta > t {
+				mark = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "benchcheck: %s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, tol %.0f%%)\n",
+				mark, name, have.NsPerOp, want.NsPerOp, 100*delta, 100*t)
+		}
+	}
+	for name := range got {
+		if _, ok := base.Entries[name]; !ok {
+			fmt.Fprintf(w, "benchcheck: note: %s not in baseline (add with -update)\n", name)
+		}
+	}
+	return failed
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	tol := flag.Float64("tol", 0.25, "default allowed fractional ns/op regression")
 	flag.Parse()
 
-	got := parse(bufio.NewScanner(os.Stdin))
+	got := parse(os.Stdin, os.Stdout)
 	if len(got) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin")
 		os.Exit(1)
@@ -116,52 +176,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	names := make([]string, 0, len(base.Entries))
-	for name := range base.Entries {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	failed := false
-	for _, name := range names {
-		want := base.Entries[name]
-		have, ok := got[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: in baseline but not run\n", name)
-			failed = true
-			continue
-		}
-		if have.AllocsPerOp > want.AllocsPerOp*1.01 {
-			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %.0f allocs/op, baseline %.0f\n",
-				name, have.AllocsPerOp, want.AllocsPerOp)
-			failed = true
-		}
-		if have.BytesPerOp > want.BytesPerOp*1.01 {
-			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %.0f B/op, baseline %.0f\n",
-				name, have.BytesPerOp, want.BytesPerOp)
-			failed = true
-		}
-		t := want.Tolerance
-		if t == 0 {
-			t = *tol
-		}
-		if want.NsPerOp > 0 {
-			delta := have.NsPerOp/want.NsPerOp - 1
-			mark := "ok  "
-			if delta > t {
-				mark = "FAIL"
-				failed = true
-			}
-			fmt.Fprintf(os.Stderr, "benchcheck: %s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, tol %.0f%%)\n",
-				mark, name, have.NsPerOp, want.NsPerOp, 100*delta, 100*t)
-		}
-	}
-	for name := range got {
-		if _, ok := base.Entries[name]; !ok {
-			fmt.Fprintf(os.Stderr, "benchcheck: note: %s not in baseline (add with -update)\n", name)
-		}
-	}
-	if failed {
+	if compare(base, got, *tol, os.Stderr) {
 		os.Exit(1)
 	}
 }

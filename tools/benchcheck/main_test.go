@@ -1,0 +1,161 @@
+package main
+
+// The perf gate's own contract: benchmark lines parse (and echo through),
+// a baseline benchmark missing from the run fails, alloc and byte growth
+// beyond 1% fails, ns/op noise inside tolerance passes, and benchmarks
+// not yet in the baseline are a note, never a failure.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkEngineHotLoop-8   \t12345678\t  85.3 ns/op\t  0 B/op\t  0 allocs/op",
+		"BenchmarkSweepWorkers/workers=1-8 \t5\t 200000000 ns/op\t 88568526 B/op\t 1869492 allocs/op",
+		"BenchmarkNoMem-4 \t100\t 12.5 ns/op",
+		"PASS",
+	}, "\n")
+	var echo strings.Builder
+	got := parse(strings.NewReader(in), &echo)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	}
+	e := got["BenchmarkEngineHotLoop"]
+	if e.NsPerOp != 85.3 || e.BytesPerOp != 0 || e.AllocsPerOp != 0 {
+		t.Errorf("EngineHotLoop = %+v", e)
+	}
+	e = got["BenchmarkSweepWorkers/workers=1"]
+	if e.NsPerOp != 200000000 || e.AllocsPerOp != 1869492 {
+		t.Errorf("SweepWorkers = %+v", e)
+	}
+	if e := got["BenchmarkNoMem"]; e.NsPerOp != 12.5 || e.BytesPerOp != 0 {
+		t.Errorf("NoMem = %+v", e)
+	}
+	// The raw output passes through untouched for the log.
+	if echo.String() != in+"\n" {
+		t.Errorf("echo mangled the output:\n%q", echo.String())
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := baseline{Entries: map[string]entry{
+		"BenchmarkA": {NsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 100},
+	}}
+	got := map[string]entry{"BenchmarkA": {NsPerOp: 100}}
+	var out strings.Builder
+	if !compare(base, got, 0.25, &out) {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkB: in baseline but not run") {
+		t.Errorf("missing-benchmark verdict absent:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocAndByteRegressions(t *testing.T) {
+	base := baseline{Entries: map[string]entry{
+		"BenchmarkZeroAlloc": {NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkHeavy":     {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 100},
+	}}
+	// A single new allocation on a zero-alloc baseline fails (1% of 0 is 0).
+	got := map[string]entry{
+		"BenchmarkZeroAlloc": {NsPerOp: 100, BytesPerOp: 16, AllocsPerOp: 1},
+		"BenchmarkHeavy":     {NsPerOp: 100, BytesPerOp: 1005, AllocsPerOp: 100},
+	}
+	var out strings.Builder
+	if !compare(base, got, 0.25, &out) {
+		t.Fatal("alloc regression passed the gate")
+	}
+	s := out.String()
+	if !strings.Contains(s, "FAIL BenchmarkZeroAlloc: 1 allocs/op") {
+		t.Errorf("alloc verdict absent:\n%s", s)
+	}
+	if !strings.Contains(s, "FAIL BenchmarkZeroAlloc: 16 B/op") {
+		t.Errorf("bytes verdict absent:\n%s", s)
+	}
+	// Heavy's +0.5% B/op rides inside the 1% amortization slack.
+	if strings.Contains(s, "FAIL BenchmarkHeavy") {
+		t.Errorf("within-slack growth failed:\n%s", s)
+	}
+}
+
+func TestCompareNsTolerance(t *testing.T) {
+	base := baseline{Entries: map[string]entry{
+		"BenchmarkDefault": {NsPerOp: 100},
+		"BenchmarkTight":   {NsPerOp: 100, Tolerance: 0.02},
+	}}
+	// +20% is inside the 25% default but outside the per-entry 2%.
+	got := map[string]entry{
+		"BenchmarkDefault": {NsPerOp: 120},
+		"BenchmarkTight":   {NsPerOp: 120},
+	}
+	var out strings.Builder
+	if !compare(base, got, 0.25, &out) {
+		t.Fatal("over-tolerance regression passed the gate")
+	}
+	s := out.String()
+	if !strings.Contains(s, "ok   BenchmarkDefault") {
+		t.Errorf("in-tolerance verdict wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "FAIL BenchmarkTight") {
+		t.Errorf("per-entry tolerance not applied:\n%s", s)
+	}
+	// A faster run always passes.
+	out.Reset()
+	if compare(base, map[string]entry{
+		"BenchmarkDefault": {NsPerOp: 50},
+		"BenchmarkTight":   {NsPerOp: 99},
+	}, 0.25, &out) {
+		t.Fatalf("faster run failed the gate:\n%s", out.String())
+	}
+}
+
+func TestCompareExtraBenchmarkIsNoteNotFailure(t *testing.T) {
+	base := baseline{Entries: map[string]entry{"BenchmarkA": {NsPerOp: 100}}}
+	got := map[string]entry{
+		"BenchmarkA":   {NsPerOp: 100},
+		"BenchmarkNew": {NsPerOp: 5},
+	}
+	var out strings.Builder
+	if compare(base, got, 0.25, &out) {
+		t.Fatalf("extra benchmark failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "note: BenchmarkNew not in baseline") {
+		t.Errorf("extra-benchmark note absent:\n%s", out.String())
+	}
+}
+
+// TestBaselineCacheHitSpeedup gates the committed baseline itself: the
+// all-hit sweep must stay orders of magnitude below the cold 1-worker
+// sweep (>=50x ns/op, >=100x B/op). A baseline regeneration that erodes
+// this means the hit path started doing real work.
+func TestBaselineCacheHitSpeedup(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	cold, ok := base.Entries["BenchmarkSweepWorkers/workers=1"]
+	if !ok {
+		t.Fatal("baseline lacks BenchmarkSweepWorkers/workers=1")
+	}
+	hit, ok := base.Entries["BenchmarkSweepCacheHit"]
+	if !ok {
+		t.Fatal("baseline lacks BenchmarkSweepCacheHit")
+	}
+	if hit.NsPerOp*50 > cold.NsPerOp {
+		t.Errorf("cache hit %.0f ns/op is less than 50x below cold %.0f", hit.NsPerOp, cold.NsPerOp)
+	}
+	if hit.BytesPerOp*100 > cold.BytesPerOp {
+		t.Errorf("cache hit %.0f B/op is less than 100x below cold %.0f", hit.BytesPerOp, cold.BytesPerOp)
+	}
+}
