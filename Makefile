@@ -23,6 +23,10 @@
 #                     -cache-file; the second invocation must serve every
 #                     point from the cache (misses=0) and print an
 #                     identical grid
+#   make serve-smoke — the service gate: against real sst-serve processes,
+#                     require a SIGTERM drain to exit 0, a kill -9 restart
+#                     to converge on byte-identical results, and a full
+#                     queue to shed submissions with 429 + Retry-After
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -35,7 +39,7 @@ BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./i
           $(GO) test -run='^$$' -bench='^BenchmarkParallelWindow$$' -benchmem ./internal/par && \
           $(GO) test -run='^$$' -bench='^BenchmarkSweep(Workers|CacheHit|CacheMiss)$$' -benchmem .
 
-.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -50,11 +54,12 @@ vet:
 
 # The sweep scheduler (internal/core), the PDES runtime (internal/par), the
 # event kernel they drive (internal/sim), the fault injectors that hook
-# all three (internal/fault) and the shared result cache the sweep workers
-# probe concurrently (internal/cache) are the only places goroutines touch
+# all three (internal/fault), the shared result cache the sweep workers
+# probe concurrently (internal/cache) and the sweep service's worker pool
+# and admission queue (internal/serve) are the only places goroutines touch
 # shared structures; the race detector must stay clean there.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/... ./internal/cache/...
+	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/... ./internal/cache/... ./internal/serve/...
 
 # Coverage-guided fuzzing of the AMM JSON loaders (arbitrary input must
 # produce a validated config or an error, never a panic or a NaN/Inf/zero
@@ -66,7 +71,7 @@ fuzz-short:
 	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadSystem -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzPartitionLookahead -fuzztime=$(FUZZTIME)
 
-check: build vet test race fuzz-short
+check: build vet test race fuzz-short serve-smoke
 
 # End-to-end crash-safety check of the resumable sweep path: run the grid
 # once clean for reference, kill a journaled single-worker run mid-flight
@@ -108,6 +113,13 @@ cache-smoke:
 	    { echo "cache-smoke: warm run re-simulated:"; cat "$$tmp/warm.err"; exit 1; } && \
 	cmp "$$tmp/cold.csv" "$$tmp/warm.csv" && \
 	echo "cache-smoke: warm-started grid identical, zero re-simulation"
+
+# End-to-end crash-tolerance check of the sweep service; the three
+# scenarios live in tools/serve_smoke.sh (graceful drain, kill -9
+# recovery with byte-identical results, 429 load shedding).
+serve-smoke:
+	$(GO) build -o bin/sst-serve ./cmd/sst-serve
+	@sh tools/serve_smoke.sh bin/sst-serve
 
 bench: vet race
 	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json

@@ -50,7 +50,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
@@ -103,10 +102,11 @@ func main() {
 		cli.Exit("sst-dse", cli.Configf("-resume needs -journal"))
 	}
 
-	// Ctrl-C cancels the sweep context: running design points finish and
-	// keep their results, everything not yet started is skipped, and the
-	// partial tables are still printed before the 130 exit.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or a supervisor's SIGTERM cancels the sweep context: running
+	// design points finish and keep their results (journaled, when -journal
+	// is set), everything not yet started is skipped, and the partial
+	// tables are still printed before the 130 exit.
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	opts := core.SweepOptions{
 		Workers: *jFlag, Context: ctx,

@@ -12,6 +12,7 @@ import (
 	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
+	"syscall"
 )
 
 func TestDSESmallSweep(t *testing.T) {
@@ -254,5 +255,29 @@ func TestDSECacheFileWarmStart(t *testing.T) {
 	st := sc2.Stats()
 	if st.Hits != 2 || st.Misses != 0 {
 		t.Fatalf("second invocation stats %+v, want 2 hits 0 misses (no re-simulation)", st)
+	}
+}
+
+// TestDSESIGTERMDrains: a supervisor's SIGTERM behaves exactly like
+// Ctrl-C — the signal context cancels, the sweep drains, and the error
+// maps to the interrupted exit code.
+func TestDSESIGTERMDrains(t *testing.T) {
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the signal context")
+	}
+	err := run("stream", "ddr3-1333", "1,2", "small", "grid", core.FormatCSV,
+		core.SweepOptions{Workers: 1, Context: ctx})
+	if err == nil {
+		t.Fatal("sweep under SIGTERM reported success")
+	}
+	if cli.Code(err) != cli.ExitInterrupted {
+		t.Fatalf("SIGTERM maps to exit %d, want %d (err: %v)", cli.Code(err), cli.ExitInterrupted, err)
 	}
 }

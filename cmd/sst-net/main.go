@@ -48,7 +48,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
@@ -92,7 +91,8 @@ func main() {
 	if *resume && *journal == "" {
 		cli.Exit("sst-net", cli.Configf("-resume needs -journal"))
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Either SIGINT or SIGTERM drains the sweep and flushes journals.
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	if *scalingFlag {
 		cli.Exit("sst-net", runScaling(*nodesFlag, *ranksFlag, *horizonFlag, format, ctx))

@@ -10,6 +10,8 @@ import (
 
 	"sst/internal/cli"
 	"sst/internal/core"
+	"syscall"
+	"time"
 )
 
 func TestNetStudySmall(t *testing.T) {
@@ -168,5 +170,27 @@ func TestNetStudyCacheMetricsOut(t *testing.T) {
 	}
 	if rep.Cache == nil || rep.Cache.Policy != "lru" || len(rep.Cache.Shadows) != 1 {
 		t.Fatalf("cache report in metrics JSON = %+v", rep.Cache)
+	}
+}
+
+// TestNetSIGTERMDrains: SIGTERM lands on the same 130 contract as
+// SIGINT — the study drains instead of dying mid-cell.
+func TestNetSIGTERMDrains(t *testing.T) {
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the signal context")
+	}
+	err := run(8, 2, "1,0.5", core.FormatTable, core.SweepOptions{Workers: 1, Context: ctx}, "", "")
+	if err == nil {
+		t.Fatal("study under SIGTERM reported success")
+	}
+	if cli.Code(err) != cli.ExitInterrupted {
+		t.Fatalf("SIGTERM maps to exit %d, want %d (err: %v)", cli.Code(err), cli.ExitInterrupted, err)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"sst/internal/core"
 	"sst/internal/par"
 	"sst/internal/sim"
+	"syscall"
+	"time"
 )
 
 const testMachine = `{
@@ -280,5 +282,22 @@ func TestExitCodes(t *testing.T) {
 	}
 	if got := cli.Code(fmt.Errorf("deadlocked")); got != cli.ExitFailure {
 		t.Errorf("generic failure maps to exit %d, want %d", got, cli.ExitFailure)
+	}
+}
+
+// TestSIGTERMTriggersInterrupt: cli.OnInterrupt fires on SIGTERM as
+// well as SIGINT, so a supervisor's termination signal lands the
+// simulation at its next poll point instead of killing the process.
+func TestSIGTERMTriggersInterrupt(t *testing.T) {
+	fired := make(chan struct{})
+	detach := cli.OnInterrupt(func() { close(fired) })
+	defer detach()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnInterrupt did not fire on SIGTERM")
 	}
 }

@@ -1,8 +1,12 @@
 // Package cli holds the conventions shared by the sst commands: the exit
-// code contract and SIGINT handling. Every command distinguishes a clean
+// code contract and signal handling. Every command distinguishes a clean
 // run, a generic failure, a configuration mistake, a sweep that completed
 // with failed points, and an interrupted run, so scripts driving the
 // tools (the resume workflow in particular) can branch on what happened.
+// SIGINT and SIGTERM are handled identically everywhere: both drain
+// in-flight work, flush journals, and land on the 130 contract —
+// supervisors (systemd, Kubernetes, the serve-smoke harness) send
+// SIGTERM, humans send SIGINT, and neither should lose journaled points.
 package cli
 
 import (
@@ -11,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"sst/internal/core"
 	"sst/internal/sim"
@@ -36,11 +41,13 @@ func Configf(format string, args ...any) error {
 }
 
 // Code maps a command's terminal error to its exit code. Interruption
-// (SIGINT surfaces as context cancellation or an interrupted engine)
-// takes priority over failed sweep points, which in turn outrank generic
-// failure; a timed-out design point is a point failure, not an
+// (SIGINT/SIGTERM surface as context cancellation or an interrupted
+// engine) takes priority over failed sweep points, which in turn outrank
+// generic failure; a timed-out design point is a point failure, not an
 // interruption, because its error carries context.DeadlineExceeded rather
-// than cancellation.
+// than cancellation. A broken journal (core.ErrJournal) is a generic
+// failure — exit 1 — even though it surfaces through a point error: the
+// crash-safety layer failing must not look like an unlucky design point.
 func Code(err error) int {
 	switch {
 	case err == nil:
@@ -49,6 +56,8 @@ func Code(err error) int {
 		return ExitConfig
 	case errors.Is(err, context.Canceled), errors.Is(err, sim.ErrInterrupted):
 		return ExitInterrupted
+	case errors.Is(err, core.ErrJournal):
+		return ExitFailure
 	case errors.Is(err, core.ErrPointFailed):
 		return ExitPointFailed
 	default:
@@ -65,13 +74,14 @@ func Exit(cmd string, err error) {
 	os.Exit(Code(err))
 }
 
-// OnInterrupt runs stop on the first SIGINT, so Ctrl-C lands a simulation
-// at its next poll point (engine interrupt, sweep-context cancellation)
-// instead of killing the process mid-run. The returned func detaches the
-// handler; a second SIGINT then terminates the process normally.
+// OnInterrupt runs stop on the first SIGINT or SIGTERM, so Ctrl-C and a
+// supervisor's termination signal both land a simulation at its next poll
+// point (engine interrupt, sweep-context cancellation) instead of killing
+// the process mid-run. The returned func detaches the handler; a second
+// signal then terminates the process normally.
 func OnInterrupt(stop func()) func() {
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		select {
@@ -84,4 +94,14 @@ func OnInterrupt(stop func()) func() {
 		signal.Stop(sigc)
 		close(done)
 	}
+}
+
+// SignalContext returns a context cancelled by the first SIGINT or
+// SIGTERM — the sweep commands pass it as SweepOptions.Context so either
+// signal drains the sweep: running points finish and are journaled,
+// everything not yet started is skipped, and the partial tables still
+// render before the 130 exit. The stop func detaches the handler; a
+// second signal then terminates the process normally.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 }

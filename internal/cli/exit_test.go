@@ -26,6 +26,12 @@ func TestCode(t *testing.T) {
 		{"failed point", fmt.Errorf("%w: %w", core.ErrPointFailed, errors.New("panic")), ExitPointFailed},
 		{"timed-out point", fmt.Errorf("%w: %w", core.ErrPointFailed,
 			fmt.Errorf("timed out: %w", context.DeadlineExceeded)), ExitPointFailed},
+		{"journal failure", fmt.Errorf("sweep: %w", core.ErrJournal), ExitFailure},
+		// A point that failed AND could not be journaled is a journal
+		// failure first: the crash-safety layer broke, so exit 1 outranks 3.
+		{"journal failure joined with point failure", errors.Join(
+			fmt.Errorf("%w: %w", core.ErrPointFailed, errors.New("panic")),
+			fmt.Errorf("record: %w", core.ErrJournal)), ExitFailure},
 	}
 	for _, c := range cases {
 		if got := Code(c.err); got != c.want {

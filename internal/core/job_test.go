@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sst/internal/leakcheck"
+)
+
+func TestJobSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string // substring of the error; "" = valid
+	}{
+		{"dse ok", JobSpec{Kind: "dse", Apps: []string{"stream"}, Techs: []string{"ddr3-1333"}, Widths: []int{1, 2}}, ""},
+		{"net ok minimal", JobSpec{Kind: "net"}, ""},
+		{"missing kind", JobSpec{}, "missing kind"},
+		{"unknown kind", JobSpec{Kind: "quantum"}, "unknown kind"},
+		{"dse empty axes", JobSpec{Kind: "dse", Apps: []string{"stream"}}, "needs apps"},
+		{"dse blank tech", JobSpec{Kind: "dse", Apps: []string{"stream"}, Techs: []string{" "}, Widths: []int{1}}, "blank"},
+		{"dse bad width", JobSpec{Kind: "dse", Apps: []string{"stream"}, Techs: []string{"ddr3-1333"}, Widths: []int{0}}, "width"},
+		{"dse bad scale", JobSpec{Kind: "dse", Apps: []string{"stream"}, Techs: []string{"ddr3-1333"}, Widths: []int{1}, Scale: "huge"}, "scale"},
+		{"net bad fraction", JobSpec{Kind: "net", Fractions: []float64{1.5}}, "fraction"},
+		{"net negative", JobSpec{Kind: "net", Nodes: -1}, "negative"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestJobSpecPoints(t *testing.T) {
+	dse := JobSpec{Kind: "dse", Apps: []string{"stream", "gups"}, Techs: []string{"ddr3-1333"}, Widths: []int{1, 2, 4}}
+	if got := dse.Points(); got != 6 {
+		t.Errorf("dse points = %d, want 6", got)
+	}
+	net := JobSpec{Kind: "net", Fractions: []float64{1, 0.5}}
+	if got, profiles := net.Points(), len(netStudyProfiles()); got != 2*profiles {
+		t.Errorf("net points = %d, want %d", got, 2*profiles)
+	}
+	// A minimal net spec resolves to the default study's shape.
+	if got := (JobSpec{Kind: "net"}).Points(); got == 0 {
+		t.Error("defaulted net spec reports zero points")
+	}
+}
+
+func TestJobSpecRunDSE(t *testing.T) {
+	leakcheck.Check(t)
+	spec := JobSpec{Kind: "dse", Apps: []string{"stream"}, Techs: []string{"ddr3-1333"}, Widths: []int{1, 2}}
+	res, err := spec.Run(SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result from successful job")
+	}
+	var sb strings.Builder
+	if err := WriteResults(&sb, FormatCSV, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stream") {
+		t.Fatalf("result CSV missing app rows:\n%s", sb.String())
+	}
+}
+
+func TestJobSpecRunNet(t *testing.T) {
+	leakcheck.Check(t)
+	spec := JobSpec{Kind: "net", Nodes: 8, Steps: 2, Fractions: []float64{1, 0.5}}
+	res, err := spec.Run(SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result from successful job")
+	}
+}
+
+func TestJobSpecRunInvalid(t *testing.T) {
+	if _, err := (JobSpec{Kind: "dse"}).Run(SweepOptions{}); err == nil {
+		t.Fatal("invalid spec ran")
+	}
+}

@@ -15,24 +15,45 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
 
+// ErrJournal marks a failure to open or durably write the sweep journal.
+// It is a first-class sweep failure — exit code 1, not a failed-point
+// exit 3 — because a sweep whose crash-safety layer is broken must not
+// look like a sweep that merely had unlucky points: the operator has to
+// fix the disk, not the design.
+var ErrJournal = errors.New("journal write failed")
+
 // journalEntry is one JSONL record: a point's stable key plus either its
-// serialized result or its failure text.
+// serialized result or its failure text, and any retries the point took
+// on the way. Retries carry seeded backoff delays, so the record — and
+// therefore the whole journal — is byte-identical across runs.
 type journalEntry struct {
-	Key    string          `json:"key"`
-	Err    string          `json:"err,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
+	Key     string          `json:"key"`
+	Err     string          `json:"err,omitempty"`
+	Retries []RetryRecord   `json:"retries,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// journalFile is the slice of *os.File the journal writes through; tests
+// substitute a failing implementation to prove write and fsync errors
+// surface as sweep failures.
+type journalFile interface {
+	io.Writer
+	Sync() error
+	Close() error
 }
 
 // Journal is an append-only, crash-tolerant record of completed sweep
 // points. Record is safe for concurrent use by the sweep worker pool.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    journalFile
 	done map[string]journalEntry
 }
 
@@ -45,14 +66,14 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	if !resume {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 		if err != nil {
-			return nil, fmt.Errorf("core: journal: %w", err)
+			return nil, fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
 		}
 		j.f = f
 		return j, nil
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("core: journal: %w", err)
+		return nil, fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
 	}
 	// Scan complete lines, remembering the byte offset just past the last
 	// record that parses; everything after it is a torn tail to discard.
@@ -77,12 +98,12 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	}
 	if valid < len(raw) {
 		if err := os.Truncate(path, int64(valid)); err != nil {
-			return nil, fmt.Errorf("core: journal: truncating torn tail: %w", err)
+			return nil, fmt.Errorf("core: journal: truncating torn tail: %w: %w", ErrJournal, err)
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("core: journal: %w", err)
+		return nil, fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
 	}
 	j.f = f
 	return j, nil
@@ -104,27 +125,32 @@ func (j *Journal) Len() int {
 	return len(j.done)
 }
 
-// Record appends one point's outcome and fsyncs it. result is ignored when
-// perr is non-nil.
-func (j *Journal) Record(key string, result json.RawMessage, perr error) error {
-	ent := journalEntry{Key: key}
+// Record appends one point's outcome — including its retry history — and
+// fsyncs it. result is ignored when perr is non-nil. Write and fsync
+// failures wrap ErrJournal: the record cannot be trusted to survive a
+// crash, so the sweep must fail loudly rather than pretend the point is
+// durable.
+func (j *Journal) Record(key string, result json.RawMessage, retries []RetryRecord, perr error) error {
+	ent := journalEntry{Key: key, Retries: retries}
 	if perr != nil {
-		ent.Err = perr.Error()
+		// First line only: the message without the stack trace behind it,
+		// so failure records are as deterministic as success records.
+		ent.Err = firstLine(perr.Error())
 	} else {
 		ent.Result = result
 	}
 	line, err := json.Marshal(ent)
 	if err != nil {
-		return fmt.Errorf("core: journal: %w", err)
+		return fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
 	}
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("core: journal: %w", err)
+		return fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("core: journal: %w", err)
+		return fmt.Errorf("core: journal: fsync: %w: %w", ErrJournal, err)
 	}
 	j.done[key] = ent
 	return nil
@@ -152,16 +178,23 @@ type pointIO struct {
 	load func(i int, raw json.RawMessage) error
 }
 
+// journalOpen is OpenJournal behind a test seam: journal fault-injection
+// tests substitute an opener whose file fails writes or fsyncs.
+var journalOpen = OpenJournal
+
 // runPointsJournaled is runPointsDetailed plus the crash-safety layer:
-// with opts.Journal set, every finished point is durably recorded, and
-// with opts.Resume the journal's successful points are restored instead of
-// re-run. Points skipped by sweep cancellation are not journaled — they
-// never ran — so a later resume picks them up.
+// with opts.Journal set, every finished point is durably recorded —
+// retries included — and with opts.Resume the journal's successful points
+// are restored instead of re-run. Points skipped by sweep cancellation
+// are not journaled — they never ran — so a later resume picks them up.
+// A journal write failure becomes the point's error (wrapping ErrJournal)
+// rather than a silent skip; when the point itself also failed, the two
+// errors are joined so neither is lost.
 func runPointsJournaled(opts SweepOptions, n int, pio pointIO, fn func(ctx context.Context, i int) error) ([]error, error) {
 	if opts.Journal == "" {
 		return runPointsDetailed(opts, n, fn)
 	}
-	j, err := OpenJournal(opts.Journal, opts.Resume)
+	j, err := journalOpen(opts.Journal, opts.Resume)
 	if err != nil {
 		return make([]error, n), err
 	}
@@ -179,11 +212,16 @@ func runPointsJournaled(opts SweepOptions, n int, pio pointIO, fn func(ctx conte
 			skip[i] = true
 		}
 	}
-	return runPointsDetailed(opts, n, func(ctx context.Context, i int) error {
+	wrapped := func(ctx context.Context, i int) error {
 		if skip[i] {
 			return nil
 		}
-		rerr := fn(ctx, i)
+		return fn(ctx, i)
+	}
+	return runPointsHooked(opts, n, wrapped, func(i int, retries []RetryRecord, rerr error) error {
+		if skip[i] || errors.Is(rerr, errSkipped) {
+			return rerr
+		}
 		var raw json.RawMessage
 		if rerr == nil && pio.save != nil {
 			var serr error
@@ -191,8 +229,12 @@ func runPointsJournaled(opts SweepOptions, n int, pio pointIO, fn func(ctx conte
 				rerr = fmt.Errorf("core: journal: serializing point %q: %w", pio.key(i), serr)
 			}
 		}
-		if jerr := j.Record(pio.key(i), raw, rerr); jerr != nil && rerr == nil {
-			rerr = jerr
+		if jerr := j.Record(pio.key(i), raw, retries, rerr); jerr != nil {
+			if rerr == nil {
+				rerr = jerr
+			} else {
+				rerr = errors.Join(rerr, jerr)
+			}
 		}
 		return rerr
 	})

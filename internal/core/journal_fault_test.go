@@ -1,0 +1,143 @@
+package core
+
+// Fault injection for the journal's durability promise: a write or fsync
+// failure is a first-class sweep failure (wrapping ErrJournal), never a
+// silently skipped record — a sweep whose crash-safety layer is broken
+// must fail loudly.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"sst/internal/leakcheck"
+)
+
+// faultFile is a journalFile whose write or fsync fails on command.
+type faultFile struct {
+	failWrite bool
+	failSync  bool
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.failWrite {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	if f.failSync {
+		return errors.New("device ejected")
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error { return nil }
+
+// withFaultyJournal swaps the journalOpen seam for one whose file is ff,
+// restoring it at cleanup.
+func withFaultyJournal(t *testing.T, ff *faultFile) {
+	t.Helper()
+	orig := journalOpen
+	journalOpen = func(string, bool) (*Journal, error) {
+		return &Journal{f: ff, done: make(map[string]journalEntry)}, nil
+	}
+	t.Cleanup(func() { journalOpen = orig })
+}
+
+func testPointIO() pointIO {
+	return pointIO{
+		key:  func(i int) string { return fmt.Sprintf("pt/%d", i) },
+		save: func(i int) (json.RawMessage, error) { return json.RawMessage("1"), nil },
+		load: func(int, json.RawMessage) error { return nil },
+	}
+}
+
+func TestJournalWriteFailureFailsSweep(t *testing.T) {
+	leakcheck.Check(t)
+	withFaultyJournal(t, &faultFile{failWrite: true})
+	opts := SweepOptions{Workers: 1, Journal: "ignored.jsonl"}
+	errs, err := runPointsJournaled(opts, 2, testPointIO(), func(context.Context, int) error {
+		return nil // the simulation is fine; only the journal is broken
+	})
+	if err == nil {
+		t.Fatal("sweep with failing journal writes reported success")
+	}
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("sweep error does not wrap ErrJournal: %v", err)
+	}
+	for i, e := range errs {
+		if !errors.Is(e, ErrJournal) {
+			t.Errorf("point %d error does not wrap ErrJournal: %v", i, e)
+		}
+	}
+}
+
+func TestJournalFsyncFailureFailsSweep(t *testing.T) {
+	leakcheck.Check(t)
+	withFaultyJournal(t, &faultFile{failSync: true})
+	opts := SweepOptions{Workers: 1, Journal: "ignored.jsonl"}
+	_, err := runPointsJournaled(opts, 1, testPointIO(), func(context.Context, int) error {
+		return nil
+	})
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("fsync failure does not wrap ErrJournal: %v", err)
+	}
+}
+
+// TestJournalFailureJoinsPointFailure: when the point failed AND its
+// failure record could not be written, neither error may be lost.
+func TestJournalFailureJoinsPointFailure(t *testing.T) {
+	leakcheck.Check(t)
+	withFaultyJournal(t, &faultFile{failWrite: true})
+	boom := errors.New("model diverged")
+	opts := SweepOptions{Workers: 1, Journal: "ignored.jsonl"}
+	errs, err := runPointsJournaled(opts, 1, testPointIO(), func(context.Context, int) error {
+		return boom
+	})
+	if err == nil {
+		t.Fatal("sweep reported success")
+	}
+	if !errors.Is(errs[0], boom) || !errors.Is(errs[0], ErrJournal) {
+		t.Fatalf("point error must join the point failure and the journal failure, got: %v", errs[0])
+	}
+}
+
+func TestOpenJournalUnwritablePath(t *testing.T) {
+	if runtime.GOOS == "windows" || os.Getuid() == 0 {
+		t.Skip("permission bits not enforced for this user")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+	_, err := OpenJournal(filepath.Join(dir, "j.jsonl"), false)
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("unwritable journal path error does not wrap ErrJournal: %v", err)
+	}
+}
+
+// TestJournalFailureDistinctFromPointFailure pins the exit-code contract
+// at the core layer: a pure journal failure wraps ErrJournal but NOT the
+// point-failure sentinel path callers map to exit 3 via errs — the cli
+// layer then maps ErrJournal to exit 1 ahead of ErrPointFailed.
+func TestJournalFailureDistinctFromPointFailure(t *testing.T) {
+	withFaultyJournal(t, &faultFile{failWrite: true})
+	opts := SweepOptions{Workers: 1, Journal: "ignored.jsonl"}
+	_, err := runPointsJournaled(opts, 1, testPointIO(), func(context.Context, int) error {
+		return nil
+	})
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("want ErrJournal, got %v", err)
+	}
+	if errors.Is(err, ErrPanicked) || errors.Is(err, ErrQuarantined) {
+		t.Fatalf("journal failure misclassified as a point pathology: %v", err)
+	}
+}

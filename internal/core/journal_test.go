@@ -48,7 +48,7 @@ func TestJournalTruncatedTail(t *testing.T) {
 	if _, ok := j.Completed("c"); ok {
 		t.Fatal("torn entry c survived")
 	}
-	if err := j.Record("c", json.RawMessage("3"), nil); err != nil {
+	if err := j.Record("c", json.RawMessage("3"), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {

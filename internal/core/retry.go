@@ -1,0 +1,196 @@
+package core
+
+// Transient-failure retry for sweep points. A design point can fail for
+// two reasons that say nothing about the design: a model bug that panics
+// under a rare event interleaving, or a wedged simulation cut off by
+// PointTimeout. Both are worth one more try before the point is written
+// off — but retries must not cost determinism. The backoff schedule is
+// therefore derived from the sweep seed and the point's index through the
+// same named-stream construction the fault injectors use
+// (fault.StreamSeed), so two runs of the same flaky sweep produce the same
+// delays, the same journal bytes and the same tables. A point that keeps
+// failing is quarantined: it is marked Failed after its attempt budget and
+// never wedges a pool worker again, which is what lets a long-running
+// sweep service survive a pathological design point.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"sst/internal/fault"
+)
+
+// ErrPanicked marks a per-point error that came from a recovered panic.
+// Panics are the transient class the retry policy re-attempts: a model
+// that panics under one event interleaving may complete under the next,
+// and a model that panics deterministically exhausts its budget and is
+// quarantined.
+var ErrPanicked = errors.New("point panicked")
+
+// ErrQuarantined marks a point that failed every attempt its retry policy
+// allowed. The point is Failed in the grid like any other failure; the
+// distinct sentinel lets schedulers (internal/serve) keep a quarantine
+// list and report it.
+var ErrQuarantined = errors.New("point quarantined")
+
+// RetryPolicy configures per-point retry. The zero value disables retry
+// entirely (one attempt, no quarantine wrapping), which keeps existing
+// sweeps byte-identical to previous releases.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per point, including the
+	// first run; <= 1 means panics are not retried.
+	MaxAttempts int
+
+	// BaseBackoff is the delay before the second attempt; each further
+	// retry doubles it. Zero means retry immediately.
+	BaseBackoff time.Duration
+
+	// MaxBackoff caps the exponential growth when > 0.
+	MaxBackoff time.Duration
+
+	// Jitter spreads each backoff uniformly over
+	// [1-Jitter/2, 1+Jitter/2) × the exponential delay. The spread is
+	// drawn from a stream seeded by (Seed, point index), so it is
+	// identical across runs of the same sweep.
+	Jitter float64
+
+	// Seed is the root seed of the backoff jitter streams.
+	Seed uint64
+
+	// RetryTimeouts grants a point that exceeded PointTimeout exactly one
+	// extra attempt, run at TimeoutScale × the original deadline. One —
+	// not MaxAttempts — because a wedged point usually stays wedged, and
+	// the longer deadline is what distinguishes "slow" from "stuck".
+	RetryTimeouts bool
+
+	// TimeoutScale stretches the retried attempt's deadline; values <= 1
+	// default to 2.
+	TimeoutScale float64
+}
+
+// enabled reports whether the policy can ever re-run a point.
+func (p RetryPolicy) enabled() bool {
+	return p.MaxAttempts > 1 || p.RetryTimeouts
+}
+
+// backoff returns the delay before the retry that follows failed attempt a
+// (1-based), jittered from the point's deterministic stream.
+func (p RetryPolicy) backoff(a int, rng interface{ Float64() float64 }) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < a && d < 1<<40; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if d > 0 && p.Jitter > 0 {
+		f := 1 + p.Jitter*(rng.Float64()-0.5)
+		if f < 0 {
+			f = 0
+		}
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// RetryRecord describes one failed attempt of a design point: which
+// attempt failed, how long the scheduler backed off before the next one,
+// and the failure's first line. Records land in the sweep journal, so
+// they must be deterministic: the backoff is seeded and the error text is
+// truncated before any stack trace.
+type RetryRecord struct {
+	// Attempt is the 1-based attempt that failed.
+	Attempt int `json:"attempt"`
+	// BackoffUS is the delay before the next attempt, microseconds.
+	BackoffUS int64 `json:"backoff_us"`
+	// Err is the first line of the attempt's error.
+	Err string `json:"err"`
+}
+
+// firstLine truncates s at its first newline — retry records and table
+// cells keep the message, not the stack trace behind it.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// sleepCtx waits d, abandoning the wait (and returning false) when ctx is
+// cancelled; a sweep being drained must not sit out a backoff.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runPointRetry runs one design point under the sweep's retry policy,
+// returning the final error plus one RetryRecord per failed-then-retried
+// attempt. Deterministic failures return after one attempt, untouched;
+// transient ones (panics, and — once — PointTimeout expiry when the
+// policy allows it) are re-run after a seeded backoff until they succeed
+// or the budget runs out, at which point the final error additionally
+// wraps ErrQuarantined.
+func runPointRetry(ctx context.Context, i int, opts SweepOptions, fn func(ctx context.Context, i int) error) ([]RetryRecord, error) {
+	pol := opts.Retry
+	err := runPoint(ctx, i, opts.PointTimeout, fn)
+	if err == nil || !pol.enabled() {
+		return nil, err
+	}
+	maxAttempts := pol.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	rng := fault.NewStream(pol.Seed, fmt.Sprintf("retry/point/%d", i))
+	var recs []RetryRecord
+	attempt := 1
+	timeoutRetried := false
+	for {
+		if ctx.Err() != nil {
+			// The sweep itself is cancelled or out of time; the failure
+			// stands and resume (or the next job run) will retry it.
+			return recs, err
+		}
+		timeout := opts.PointTimeout
+		isTimeout := opts.PointTimeout > 0 && errors.Is(err, context.DeadlineExceeded)
+		switch {
+		case isTimeout && pol.RetryTimeouts && !timeoutRetried:
+			// One cheaper retry at a longer deadline: a point that is
+			// merely slow completes, a wedged one fails again and is done.
+			timeoutRetried = true
+			scale := pol.TimeoutScale
+			if scale <= 1 {
+				scale = 2
+			}
+			timeout = time.Duration(float64(timeout) * scale)
+		case errors.Is(err, ErrPanicked) && attempt < maxAttempts:
+			// Plain transient retry.
+		default:
+			if attempt > 1 {
+				err = fmt.Errorf("%w after %d attempts: %w", ErrQuarantined, attempt, err)
+			}
+			return recs, err
+		}
+		d := pol.backoff(attempt, rng)
+		recs = append(recs, RetryRecord{Attempt: attempt, BackoffUS: d.Microseconds(), Err: firstLine(err.Error())})
+		if !sleepCtx(ctx, d) {
+			return recs, err
+		}
+		attempt++
+		err = runPoint(ctx, i, timeout, fn)
+		if err == nil {
+			return recs, nil
+		}
+	}
+}

@@ -78,6 +78,13 @@ type SweepOptions struct {
 	// fresh simulation by construction. See internal/cache and
 	// RunMachineCached.
 	Cache *cache.Cache
+
+	// Retry re-runs transient point failures (recovered panics, and —
+	// once, at a stretched deadline — PointTimeout expiries) with
+	// seeded-deterministic exponential backoff; a point that exhausts the
+	// budget is quarantined: marked Failed with an error wrapping
+	// ErrQuarantined. The zero value disables retry. See RetryPolicy.
+	Retry RetryPolicy
 }
 
 // ErrPointFailed marks a sweep error that stems from at least one failed
@@ -100,6 +107,9 @@ type PointReport struct {
 	// Start and Wall are the host-time bounds of the point's execution.
 	Start time.Time
 	Wall  time.Duration
+	// Attempts is how many times the point ran (1 = no retries). Zero for
+	// points that never ran (skipped by sweep cancellation).
+	Attempts int
 	// Err is the point's failure (or skip reason), nil on success.
 	Err error
 }
@@ -173,12 +183,19 @@ func SetSweepContext(ctx context.Context) {
 	legacyCtx.Store(ctxBox{ctx})
 }
 
+// errSkipped marks a point that never ran because the sweep context was
+// already dead. Journaling skips these — they carry no outcome — and
+// metrics report zero attempts for them.
+var errSkipped = errors.New("skipped")
+
 // runPoint runs one design point, converting a panic into a per-point
 // error (with the component name when the model used sim.Guard) and
 // honouring sweep cancellation. One exploding point must cost exactly one
 // grid cell, never the process or the rest of the sweep. With a positive
 // timeout the point's context expires after it; context-aware point
 // functions (RunMachineCtx, RunNetPointCtx) then interrupt their engine.
+// Panic-born errors wrap ErrPanicked so the retry policy can tell the
+// transient class from deterministic simulation failures.
 func runPoint(ctx context.Context, i int, timeout time.Duration, fn func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		r := recover()
@@ -186,13 +203,13 @@ func runPoint(ctx context.Context, i int, timeout time.Duration, fn func(ctx con
 			return
 		}
 		if pe, ok := r.(*sim.PanicError); ok {
-			err = fmt.Errorf("core: point %d: %w\n%s", i, pe, pe.Stack)
+			err = fmt.Errorf("core: point %d: %w: %w\n%s", i, ErrPanicked, pe, pe.Stack)
 			return
 		}
-		err = fmt.Errorf("core: point %d panicked: %v\n%s", i, r, debug.Stack())
+		err = fmt.Errorf("core: point %d %w: %v\n%s", i, ErrPanicked, r, debug.Stack())
 	}()
 	if ctx.Err() != nil {
-		return fmt.Errorf("core: point %d skipped: %w", i, ctx.Err())
+		return fmt.Errorf("core: point %d %w: %w", i, errSkipped, ctx.Err())
 	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -218,6 +235,19 @@ func runPoints(opts SweepOptions, n int, fn func(i int) error) error {
 // (nil entries for successes), always of length n. The context passed to
 // fn is the sweep context, narrowed by opts.PointTimeout when set.
 func runPointsDetailed(opts SweepOptions, n int, fn func(ctx context.Context, i int) error) ([]error, error) {
+	return runPointsHooked(opts, n, fn, nil)
+}
+
+// pointHook observes one executed point — its retry history and final
+// error — before metrics see it, and may replace the error. The journal
+// layer records the outcome here, so a failed journal write becomes the
+// point's failure instead of a silent skip.
+type pointHook func(i int, retries []RetryRecord, err error) error
+
+// runPointsHooked is the sweep engine under runPointsDetailed and
+// runPointsJournaled: the worker pool, the per-point retry loop, the
+// completion hook and the metrics report, in that order.
+func runPointsHooked(opts SweepOptions, n int, fn func(ctx context.Context, i int) error, hook pointHook) ([]error, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -229,12 +259,21 @@ func runPointsDetailed(opts SweepOptions, n int, fn func(ctx context.Context, i 
 	errs := make([]error, n)
 	one := func(worker, i int) {
 		start := time.Now()
-		errs[i] = runPoint(ctx, i, opts.PointTimeout, fn)
+		retries, err := runPointRetry(ctx, i, opts, fn)
+		if hook != nil {
+			err = hook(i, retries, err)
+		}
+		errs[i] = err
 		if opts.Metrics != nil {
+			attempts := 1 + len(retries)
+			if errors.Is(err, errSkipped) {
+				attempts = 0
+			}
 			opts.Metrics.PointDone(PointReport{
 				Index: i, Worker: worker,
 				Start: start, Wall: time.Since(start),
-				Err: errs[i],
+				Attempts: attempts,
+				Err:      errs[i],
 			})
 		}
 	}

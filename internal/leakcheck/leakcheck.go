@@ -1,0 +1,148 @@
+// Package leakcheck is a stdlib-only goroutine-leak guard for tests, in
+// the style of go.uber.org/goleak: snapshot the live goroutines when the
+// test starts, and at cleanup time require everything started since to
+// have exited. The sweep scheduler, the retry loop and the serve worker
+// pool all promise that a cancelled, timed-out or drained run leaves
+// nothing behind; this is the test-side teeth of that promise.
+//
+// Goroutines are identified by a stable signature — the function at the
+// top of the stack plus the "created by" frame — rather than goroutine
+// IDs, so unrelated runtime goroutines coming and going between snapshot
+// and check do not flap the test. Shutdown is asynchronous (a worker may
+// be a few instructions from returning when the test body ends), so the
+// check polls until the leak set is empty or a deadline passes.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; taking the interface
+// keeps the package free of a testing import cycle and lets the checker
+// test itself with a fake.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails the test if goroutines created during the test are still running
+// after a short grace period. Call it first in the test body.
+func Check(t TB) {
+	t.Helper()
+	base := signatures()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("leakcheck: %d goroutine(s) survived the test:\n%s",
+					len(leaked), strings.Join(leaked, "\n---\n"))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// leakedSince returns the stacks of goroutines whose signature count now
+// exceeds the baseline, ignoring the runtime/testing machinery.
+func leakedSince(base map[string]int) []string {
+	var leaked []string
+	now := stacks()
+	counts := make(map[string]int, len(now))
+	for _, g := range now {
+		counts[signature(g)]++
+	}
+	seen := make(map[string]int, len(now))
+	for _, g := range now {
+		sig := signature(g)
+		seen[sig]++
+		if ignored(g) {
+			continue
+		}
+		// Report only the overflow beyond the baseline for this signature:
+		// pre-existing pool goroutines with the same shape are not leaks.
+		if counts[sig] > base[sig] && seen[sig] > base[sig] {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// signatures counts the current goroutines by signature.
+func signatures() map[string]int {
+	out := map[string]int{}
+	for _, g := range stacks() {
+		out[signature(g)]++
+	}
+	return out
+}
+
+// stacks returns one stanza per live goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// signature reduces a stack stanza to (top function, created-by), which
+// is stable across runs — unlike goroutine IDs, addresses or argument
+// values.
+func signature(g string) string {
+	lines := strings.Split(g, "\n")
+	top, created := "", ""
+	if len(lines) > 1 {
+		top = strings.TrimSpace(lines[1])
+		if i := strings.IndexByte(top, '('); i > 0 {
+			top = top[:i]
+		}
+	}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "created by ") {
+			created = strings.TrimSpace(strings.TrimPrefix(l, "created by "))
+			if i := strings.Index(created, " in goroutine"); i > 0 {
+				created = created[:i]
+			}
+		}
+	}
+	return fmt.Sprintf("%s|%s", top, created)
+}
+
+// ignored reports stanzas the checker never counts as leaks: the test
+// runner itself and the runtime's own service goroutines.
+func ignored(g string) bool {
+	for _, frame := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runFuzzing",
+		"testing.tRunner",
+		"runtime.goexit",
+		"created by runtime",
+		"runtime.MHeap_Scavenger",
+		"signal.signal_recv",
+		"signal.loop",
+		"runtime.ensureSigM",
+		"time.goFunc",
+	} {
+		if strings.Contains(g, frame) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,219 @@
+package serve
+
+// The HTTP/JSON surface over the Server. Routes (Go 1.22 method
+// patterns):
+//
+//	POST   /v1/jobs             submit {tenant, spec, deadline_ms} → 202
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/result the rendered CSV (terminal jobs)
+//	GET    /v1/jobs/{id}/events journal lines as NDJSON, streamed live
+//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: drain)
+//	GET    /v1/metrics          ServiceReport (?format=json|csv|table)
+//	GET    /healthz             process liveness (always 200)
+//	GET    /readyz              admission readiness (503 while draining)
+//
+// Backpressure is visible at the edge: a full queue answers 429 with a
+// Retry-After header, a draining server answers 503, and both leave the
+// submitted spec unpersisted so the client knows to retry elsewhere.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"sst/internal/core"
+)
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Tenant string       `json:"tenant"`
+	Spec   core.JobSpec `json:"spec"`
+	// DeadlineMS bounds the job's total runtime in milliseconds; omitted
+	// or zero means no job-level deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	st, err := s.Submit(req.Tenant, req.Spec, time.Duration(req.DeadlineMS)*time.Millisecond)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// The shed path: tell the client when to come back rather than
+		// letting it hammer a saturated service.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	path := s.jobs[id].resultPath()
+	s.mu.Unlock()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no result for job %s (state %s)", id, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Write(raw)
+}
+
+// handleEvents streams the job's journal as NDJSON: every line already
+// in the file, then new lines as points complete, until the job leaves
+// the queued/running states (or the client goes away). Only complete
+// lines are emitted — the journal's torn-tail discipline applies to
+// readers too.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var offset int64
+	emit := func() bool {
+		raw, err := os.ReadFile(j.journalPath())
+		if err != nil || int64(len(raw)) <= offset {
+			return false
+		}
+		chunk := raw[offset:]
+		// Stop at the last newline: a torn tail is re-read next round.
+		last := -1
+		for i := len(chunk) - 1; i >= 0; i-- {
+			if chunk[i] == '\n' {
+				last = i
+				break
+			}
+		}
+		if last < 0 {
+			return false
+		}
+		w.Write(chunk[:last+1])
+		offset += int64(last + 1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		emit()
+		select {
+		case <-j.done:
+			emit() // final drain of anything journaled at completion
+			return
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := s.Report()
+	format, err := core.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "" {
+		format = core.FormatJSON
+	}
+	switch format {
+	case core.FormatCSV:
+		w.Header().Set("Content-Type", "text/csv")
+	case core.FormatJSON:
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	core.WriteResults(w, format, rep)
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"sst/internal/core"
+)
+
+// Job states. Queued and running jobs have no status.json on disk; the
+// terminal states (done, failed, cancelled) do. Interrupted is the one
+// non-terminal "finished" state: a drain stopped the job mid-sweep, its
+// completed points are journaled, and the next server over the same state
+// directory resumes it — which is also exactly what happens after a
+// kill -9, where the state is simply never written.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted"
+)
+
+// terminal reports whether a state ends the job for good: such jobs are
+// never resumed by a restart.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// job is the server-side record of one submitted sweep. Mutable fields
+// are guarded by the Server's mutex.
+type job struct {
+	id     string
+	tenant string
+	spec   core.JobSpec
+	// deadline bounds the job's total runtime; zero means none.
+	deadline time.Duration
+	dir      string
+
+	state     string
+	errText   string
+	cancelled bool // DELETE requested (distinguishes cancel from drain)
+	recovered bool // resumed from a previous process's state dir
+	cancel    func()
+
+	points       int
+	pointsDone   int
+	pointsFailed int
+	retries      int
+	quarantined  int
+
+	// done is closed when the job reaches any non-queued, non-running
+	// state; Drain and the tests wait on it.
+	done chan struct{}
+}
+
+// JobStatus is the wire (and status.json) form of a job.
+type JobStatus struct {
+	ID           string `json:"id"`
+	Tenant       string `json:"tenant"`
+	State        string `json:"state"`
+	Points       int    `json:"points"`
+	PointsDone   int    `json:"points_done"`
+	PointsFailed int    `json:"points_failed"`
+	Retries      int    `json:"retries"`
+	Quarantined  int    `json:"quarantined"`
+	Err          string `json:"err,omitempty"`
+	Recovered    bool   `json:"recovered,omitempty"`
+}
+
+// status snapshots the job. Caller holds the Server mutex.
+func (j *job) status() JobStatus {
+	return JobStatus{
+		ID: j.id, Tenant: j.tenant, State: j.state,
+		Points: j.points, PointsDone: j.pointsDone, PointsFailed: j.pointsFailed,
+		Retries: j.retries, Quarantined: j.quarantined,
+		Err: j.errText, Recovered: j.recovered,
+	}
+}
+
+// jobSpecFile is what spec.json holds: everything needed to re-create the
+// job after a crash. It is written before the job is admitted to the
+// queue, so a job the client saw accepted is never lost.
+type jobSpecFile struct {
+	ID         string       `json:"id"`
+	Tenant     string       `json:"tenant"`
+	Spec       core.JobSpec `json:"spec"`
+	DeadlineMS int64        `json:"deadline_ms,omitempty"`
+}
+
+var jobCounter atomic.Uint64
+
+// newJobID builds a unique, time-sortable job ID.
+func newJobID() string {
+	return fmt.Sprintf("j%016x-%04x", uint64(time.Now().UnixNano()), jobCounter.Add(1)&0xffff)
+}
+
+// journalPath is the job's sweep journal: the crash-safety layer the
+// resume path reads.
+func (j *job) journalPath() string { return filepath.Join(j.dir, "journal.jsonl") }
+
+// resultPath is the job's rendered CSV, written when the sweep produced a
+// (possibly partial) grid.
+func (j *job) resultPath() string { return filepath.Join(j.dir, "result.csv") }
+
+// statusPath is the terminal-state marker; its absence after a restart
+// means the job is incomplete and must be resumed.
+func (j *job) statusPath() string { return filepath.Join(j.dir, "status.json") }
+
+func (j *job) specPath() string { return filepath.Join(j.dir, "spec.json") }
+
+// persistSpec durably writes spec.json: temp file, fsync, rename.
+func (j *job) persistSpec() error {
+	data, err := json.MarshalIndent(jobSpecFile{
+		ID: j.id, Tenant: j.tenant, Spec: j.spec,
+		DeadlineMS: j.deadline.Milliseconds(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeDurable(j.specPath(), data)
+}
+
+// persistStatus durably writes the terminal status.json marker.
+func (j *job) persistStatus(st JobStatus) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeDurable(j.statusPath(), data)
+}
+
+// readStatus loads a status.json marker.
+func readStatus(path string) (JobStatus, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// writeDurable writes data to path via a temp file, fsync and rename, so
+// a crash never leaves a torn file where a marker should be.
+func writeDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,98 @@
+package serve
+
+// The admission queue. Capacity is global — that is what backpressure
+// means — but dequeue order is fair across tenants: a round-robin ring
+// over tenants with queued work, FIFO within each tenant. A tenant that
+// dumps fifty jobs cannot starve a tenant that submitted one; it can only
+// fill the queue, and then admission control starts shedding its
+// submissions with 429, which is the correct party to penalize.
+
+// tenantQueue is not safe for concurrent use; the Server serializes
+// access under its mutex.
+type tenantQueue struct {
+	capacity int
+	size     int
+	ring     []string          // tenants with queued jobs, first-seen order
+	next     int               // ring index the next pop starts from
+	byTenant map[string][]*job // FIFO per tenant
+}
+
+func newTenantQueue(capacity int) *tenantQueue {
+	return &tenantQueue{capacity: capacity, byTenant: make(map[string][]*job)}
+}
+
+func (q *tenantQueue) len() int { return q.size }
+
+func (q *tenantQueue) full() bool { return q.size >= q.capacity }
+
+// push enqueues j, reporting false when the queue is at capacity.
+func (q *tenantQueue) push(j *job) bool {
+	if q.full() {
+		return false
+	}
+	if _, ok := q.byTenant[j.tenant]; !ok {
+		q.ring = append(q.ring, j.tenant)
+	}
+	q.byTenant[j.tenant] = append(q.byTenant[j.tenant], j)
+	q.size++
+	return true
+}
+
+// pop dequeues the next job round-robin across tenants, nil when empty.
+func (q *tenantQueue) pop() *job {
+	if q.size == 0 {
+		return nil
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	tenant := q.ring[q.next]
+	jobs := q.byTenant[tenant]
+	j := jobs[0]
+	if len(jobs) == 1 {
+		q.dropTenant(q.next)
+	} else {
+		q.byTenant[tenant] = jobs[1:]
+		q.next++
+	}
+	q.size--
+	return j
+}
+
+// remove deletes the queued job with the given id, reporting whether it
+// was present. Cancellation of a queued job goes through here.
+func (q *tenantQueue) remove(id string) bool {
+	for ti, tenant := range q.ring {
+		jobs := q.byTenant[tenant]
+		for i, j := range jobs {
+			if j.id != id {
+				continue
+			}
+			if len(jobs) == 1 {
+				q.dropTenant(ti)
+			} else {
+				q.byTenant[tenant] = append(jobs[:i:i], jobs[i+1:]...)
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// dropTenant removes the ring entry at index i (its queue just emptied),
+// keeping the round-robin cursor pointing at the tenant that would have
+// been next.
+func (q *tenantQueue) dropTenant(i int) {
+	delete(q.byTenant, q.ring[i])
+	q.ring = append(q.ring[:i:i], q.ring[i+1:]...)
+	if q.next > i {
+		q.next--
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+}
+
+// tenants reports how many tenants have queued jobs.
+func (q *tenantQueue) tenants() int { return len(q.ring) }

@@ -1,0 +1,552 @@
+// Package serve is the sweep service behind cmd/sst-serve: a daemon that
+// accepts sweep jobs (core.JobSpec as data), runs them on a bounded
+// worker pool with per-tenant fair queuing, and survives everything the
+// ISSUE's failure menu can throw at it — panicking points (retried, then
+// quarantined), wedged points (cut by PointTimeout, retried once at a
+// stretched deadline), full queues (shed with 429), SIGTERM (graceful
+// drain: stop admitting, finish and journal in-flight points, exit 0)
+// and kill -9 (restart scans the state directory and resumes incomplete
+// jobs off their journals, losing at most the points in flight).
+//
+// The durability scheme is the sweep journal plus two markers per job:
+//
+//	jobs/<id>/spec.json      written before admission — the job exists
+//	jobs/<id>/journal.jsonl  fsync'd per completed point (internal/core)
+//	jobs/<id>/result.csv     the rendered grid, written at completion
+//	jobs/<id>/status.json    written only at a terminal state
+//
+// A job directory with spec.json and no status.json is, by construction,
+// an incomplete job: queued, running or interrupted when the process
+// died. Recovery re-queues exactly those, and the resume path re-runs
+// only points absent from the journal, so the final result.csv is
+// byte-identical to an uninterrupted run.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"sst/internal/cache"
+	"sst/internal/core"
+	"sst/internal/fault"
+	"sst/internal/obs"
+	"sst/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value of each field resolves
+// to a sane default in New.
+type Config struct {
+	// StateDir is the root of the durable state (required).
+	StateDir string
+	// JobWorkers is how many jobs run concurrently (default 2).
+	JobWorkers int
+	// PointWorkers is each job's sweep worker count (default GOMAXPROCS).
+	PointWorkers int
+	// QueueCapacity bounds the admission queue across all tenants
+	// (default 16); a full queue sheds submissions with 429.
+	QueueCapacity int
+	// PointTimeout bounds each design point's wall clock (0 = none).
+	PointTimeout time.Duration
+	// Retry is the per-point retry policy applied to every job; each
+	// job's backoff streams are re-seeded from (Retry.Seed, job ID) so
+	// schedules are deterministic per job and stable across restarts.
+	Retry core.RetryPolicy
+	// Cache, when non-nil, is shared by all jobs: overlapping grids
+	// re-simulate only what is new. The caller owns its lifecycle.
+	Cache *cache.Cache
+}
+
+// ErrDraining rejects submissions while the server is shutting down.
+var ErrDraining = errors.New("serve: draining, not admitting jobs")
+
+// ErrQueueFull is the admission-control rejection; HTTP maps it to 429.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrUnknownJob reports a job ID the server has no record of.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// runSpec is the job execution seam: tests substitute controllable fakes
+// (blocking jobs, instant jobs) without simulating anything.
+var runSpec = func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+	return spec.Run(opts)
+}
+
+// Server is the sweep service: admission queue, worker pool, durable
+// job state, and the metrics roll-up.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// baseCtx parents every job's sweep context; drain cancels it, which
+	// also covers the race with a job that is just starting.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wake chan struct{} // pokes an idle worker after a push
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	queue    *tenantQueue
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	draining bool
+	running  int
+
+	// Counters for the ServiceReport.
+	shed, jobsDone, jobsFailed, jobsCancelled, jobsInterrupted, jobsRecovered int64
+	pointsDone, pointsFailed, retries, quarantined                            int64
+}
+
+// New builds a Server over cfg.StateDir, creating the directory tree and
+// recovering any incomplete jobs a previous process left behind. Call
+// Start to begin executing jobs.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 16
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg: cfg, start: time.Now(),
+		baseCtx: ctx, baseCancel: cancel,
+		wake:  make(chan struct{}, 1),
+		queue: newTenantQueue(cfg.QueueCapacity),
+		jobs:  make(map[string]*job),
+	}
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the state directory: terminal jobs are loaded so their
+// status stays queryable, incomplete ones (spec.json without
+// status.json) are re-queued with Resume semantics. Runs before the
+// worker pool starts, so no locking subtleties.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(filepath.Join(s.cfg.StateDir, "jobs"))
+	if err != nil {
+		return fmt.Errorf("serve: recovery scan: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids) // job IDs are time-sortable: re-queue in submission order
+	for _, id := range ids {
+		dir := filepath.Join(s.cfg.StateDir, "jobs", id)
+		raw, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			continue // admission never finished; nothing durable was promised
+		}
+		var sf jobSpecFile
+		if err := json.Unmarshal(raw, &sf); err != nil {
+			return fmt.Errorf("serve: recovery: %s/spec.json: %w", id, err)
+		}
+		j := &job{
+			id: sf.ID, tenant: sf.Tenant, spec: sf.Spec,
+			deadline: time.Duration(sf.DeadlineMS) * time.Millisecond,
+			dir:      dir, points: sf.Spec.Points(),
+			done: make(chan struct{}),
+		}
+		if st, err := readStatus(j.statusPath()); err == nil && terminal(st.State) {
+			// Finished in a previous life: load for queryability only.
+			j.state = st.State
+			j.errText = st.Err
+			j.pointsDone, j.pointsFailed = st.PointsDone, st.PointsFailed
+			j.retries, j.quarantined = st.Retries, st.Quarantined
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			continue
+		}
+		j.state = StateQueued
+		j.recovered = true
+		s.jobsRecovered++
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue.push(j)
+	}
+	return nil
+}
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() {
+	for w := 0; w < s.cfg.JobWorkers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.workerLoop()
+		}()
+	}
+	s.poke()
+}
+
+// Submit validates, persists and enqueues a job. The spec.json write
+// happens before the queue push: once the caller sees an ID, a crash
+// cannot lose the job. deadline <= 0 means no job-level deadline.
+func (s *Server) Submit(tenant string, spec core.JobSpec, deadline time.Duration) (JobStatus, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	j := &job{
+		id: newJobID(), tenant: tenant, spec: spec,
+		deadline: max(deadline, 0),
+		state:    StateQueued, points: spec.Points(),
+		done: make(chan struct{}),
+	}
+	j.dir = filepath.Join(s.cfg.StateDir, "jobs", j.id)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	if s.queue.full() {
+		s.shed++
+		s.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.mu.Unlock()
+
+	// Persist outside the lock — it is an fsync — then re-check admission:
+	// the queue may have filled (or the drain begun) while we wrote.
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return JobStatus{}, fmt.Errorf("serve: job dir: %w", err)
+	}
+	if err := j.persistSpec(); err != nil {
+		return JobStatus{}, fmt.Errorf("serve: persisting spec: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		os.RemoveAll(j.dir)
+		return JobStatus{}, ErrDraining
+	}
+	if !s.queue.push(j) {
+		s.shed++
+		os.RemoveAll(j.dir)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.poke()
+	return j.status(), nil
+}
+
+// Status returns a job's current snapshot.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued one leaves the queue and is terminal
+// immediately; a running one has its sweep context cancelled and drains
+// (running points finish and are journaled) before going terminal.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		s.queue.remove(id)
+		j.cancelled = true
+		s.finishLocked(j, StateCancelled, "cancelled while queued")
+		return nil
+	case StateRunning:
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: job %s already %s", id, j.state)
+	}
+}
+
+// Wait blocks until the job leaves the queued/running states or ctx
+// expires. Tests and the smoke harness poll GET instead; Wait is the
+// in-process equivalent.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: admission stops, the base
+// context cancels (in-flight sweeps finish their running points and
+// journal them; queued jobs stay durably queued for the next process),
+// and the worker pool is awaited up to budget. Exceeding the budget
+// returns an error wrapping sim.ErrInterrupted, which the CLI maps to
+// exit 130 — the supervisor's signal for "killed before finishing".
+func (s *Server) Drain(budget time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if budget <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(budget):
+		return fmt.Errorf("serve: drain budget %v exceeded: %w", budget, sim.ErrInterrupted)
+	}
+}
+
+// poke wakes one idle worker; the token cascades (each worker that pops
+// a job re-pokes) so a burst of pushes reaches every idle worker.
+func (s *Server) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// workerLoop pops jobs until the server drains.
+func (s *Server) workerLoop() {
+	for {
+		s.mu.Lock()
+		j := s.queue.pop()
+		if j != nil {
+			j.state = StateRunning
+			s.running++
+		}
+		s.mu.Unlock()
+		if j == nil {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.baseCtx.Done():
+				return
+			}
+		}
+		s.poke() // cascade: more queued jobs may fit other idle workers
+		s.runJob(j)
+		select {
+		case <-s.baseCtx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// runJob executes one job end to end: sweep with journal+resume, retry
+// and the shared cache; result.csv on (possibly partial) completion; a
+// terminal status.json unless the job was interrupted by a drain.
+func (s *Server) runJob(j *job) {
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	if j.deadline > 0 {
+		jctx, cancel = context.WithTimeout(s.baseCtx, j.deadline)
+	}
+	defer cancel()
+	s.mu.Lock()
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	pol := s.cfg.Retry
+	if pol.MaxAttempts > 1 || pol.RetryTimeouts {
+		// Stable per-job seed: the same job resumes with the same backoff
+		// schedule after a restart, keeping its journal byte-deterministic.
+		pol.Seed = fault.StreamSeed(pol.Seed, "job/"+j.id)
+	}
+	res, err := runSpec(j.spec, core.SweepOptions{
+		Workers: s.cfg.PointWorkers, Context: jctx,
+		Journal: j.journalPath(), Resume: true,
+		PointTimeout: s.cfg.PointTimeout,
+		Cache:        s.cfg.Cache,
+		Retry:        pol,
+		Metrics:      &jobMetrics{s: s, j: j},
+	})
+	if res != nil {
+		if werr := writeResultCSV(j.resultPath(), res); werr != nil && err == nil {
+			err = werr
+		}
+	}
+
+	// Classify the outcome off the job context, not the sweep error: a
+	// point-level timeout also smells like DeadlineExceeded, but only the
+	// job context expiring means the job deadline fired.
+	state, errText := StateDone, ""
+	switch {
+	case errors.Is(jctx.Err(), context.DeadlineExceeded):
+		state, errText = StateFailed, fmt.Sprintf("job deadline %v exceeded", j.deadline)
+	case jctx.Err() != nil && j.cancelled:
+		state, errText = StateCancelled, "cancelled"
+	case jctx.Err() != nil:
+		// The drain cancelled the base context: in-flight points are
+		// journaled, the job itself is not terminal and will resume.
+		state, errText = StateInterrupted, "interrupted by shutdown"
+	case err != nil:
+		state, errText = StateFailed, err.Error()
+	}
+	s.mu.Lock()
+	s.running--
+	s.finishLocked(j, state, errText)
+	s.mu.Unlock()
+}
+
+// finishLocked moves j to a finished state, persists status.json for
+// terminal states and bumps the server counters. Caller holds s.mu.
+func (s *Server) finishLocked(j *job, state, errText string) {
+	j.state = state
+	j.errText = errText
+	switch state {
+	case StateDone:
+		s.jobsDone++
+	case StateFailed:
+		s.jobsFailed++
+	case StateCancelled:
+		s.jobsCancelled++
+	case StateInterrupted:
+		s.jobsInterrupted++
+	}
+	if terminal(state) {
+		if err := j.persistStatus(j.status()); err != nil && j.errText == "" {
+			j.state = StateFailed
+			j.errText = fmt.Sprintf("persisting status: %v", err)
+		}
+	}
+	close(j.done)
+}
+
+// Report snapshots the service metrics as a core.Result-shaped report.
+func (s *Server) Report() *obs.ServiceReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &obs.ServiceReport{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining,
+		QueueDepth:    s.queue.len(),
+		QueueCapacity: s.cfg.QueueCapacity,
+		Shed:          s.shed,
+		Tenants:       s.queue.tenants(),
+		JobsQueued:    s.queue.len(),
+		JobsRunning:   s.running,
+		JobsDone:      s.jobsDone, JobsFailed: s.jobsFailed,
+		JobsCancelled: s.jobsCancelled, JobsInterrupted: s.jobsInterrupted,
+		JobsRecovered: s.jobsRecovered,
+		PointsDone:    s.pointsDone, PointsFailed: s.pointsFailed,
+		Retries: s.retries, Quarantined: s.quarantined,
+	}
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		r.Cache = &cs
+	}
+	return r
+}
+
+// jobMetrics folds per-point reports into the job's and the server's
+// counters. PointDone is called from sweep worker goroutines.
+type jobMetrics struct {
+	s *Server
+	j *job
+}
+
+func (m *jobMetrics) PointDone(r core.PointReport) {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if r.Attempts > 1 {
+		m.j.retries += r.Attempts - 1
+		m.s.retries += int64(r.Attempts - 1)
+	}
+	switch {
+	case r.Err == nil:
+		m.j.pointsDone++
+		m.s.pointsDone++
+	case r.Attempts == 0:
+		// Skipped by cancellation: never ran, neither done nor failed.
+	default:
+		m.j.pointsFailed++
+		m.s.pointsFailed++
+		if errors.Is(r.Err, core.ErrQuarantined) {
+			m.j.quarantined++
+			m.s.quarantined++
+		}
+	}
+}
+
+// writeResultCSV renders res durably at path.
+func writeResultCSV(path string, res core.Result) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteResults(f, core.FormatCSV, res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,589 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sst/internal/core"
+	"sst/internal/leakcheck"
+	"sst/internal/sim"
+)
+
+// dseSpec is the small reference grid used throughout: 2 apps × 2 techs
+// × 2 widths = 8 points, fast at small scale.
+func dseSpec() core.JobSpec {
+	return core.JobSpec{
+		Kind: "dse",
+		Apps: []string{"stream", "gups"}, Techs: []string{"ddr3-1333", "gddr5-4000"},
+		Widths: []int{1, 2},
+	}
+}
+
+// directCSV runs spec through the study machinery with no server at all:
+// the byte-identity oracle.
+func directCSV(t *testing.T, spec core.JobSpec) []byte {
+	t.Helper()
+	res, err := spec.Run(core.SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.WriteResults(&buf, core.FormatCSV, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startServer builds and starts a Server, draining it at cleanup so the
+// leak check sees an empty pool.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		if err := s.Drain(10 * time.Second); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+	})
+	return s
+}
+
+// withRunSpec swaps the job-execution seam for the test's fake.
+func withRunSpec(t *testing.T, fn func(core.JobSpec, core.SweepOptions) (core.Result, error)) {
+	t.Helper()
+	orig := runSpec
+	runSpec = fn
+	t.Cleanup(func() { runSpec = orig })
+}
+
+// blockingRunSpec returns a fake that parks jobs until their sweep
+// context dies, plus a channel that reports each started job.
+func blockingRunSpec(t *testing.T) (started chan string) {
+	t.Helper()
+	started = make(chan string, 64)
+	withRunSpec(t, func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+		started <- spec.Kind
+		<-opts.Context.Done()
+		return nil, opts.Context.Err()
+	})
+	return started
+}
+
+func waitState(t *testing.T, s *Server, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s (err: %s)", id, st.State, want, st.Err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubmitToCompletionMatchesDirectRun(t *testing.T) {
+	leakcheck.Check(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1, PointWorkers: 2})
+	st, err := s.Submit("alice", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job in state %s", st.State)
+	}
+	if st.Points != 8 {
+		t.Fatalf("job reports %d points, want 8", st.Points)
+	}
+	final := waitState(t, s, st.ID, StateDone)
+	if final.PointsDone != 8 || final.PointsFailed != 0 {
+		t.Fatalf("done job counts %+v", final)
+	}
+	got, err := os.ReadFile(s.jobs[st.ID].resultPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directCSV(t, dseSpec()); !bytes.Equal(got, want) {
+		t.Fatalf("service result differs from direct run:\n--- serve ---\n%s--- direct ---\n%s", got, want)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	leakcheck.Check(t)
+	started := blockingRunSpec(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1, QueueCapacity: 1})
+	// First job occupies the worker, second fills the queue.
+	if _, err := s.Submit("a", dseSpec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Submit("a", dseSpec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit("a", dseSpec(), 0)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit got %v, want ErrQueueFull", err)
+	}
+	if rep := s.Report(); rep.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", rep.Shed)
+	}
+}
+
+func TestTenantFairness(t *testing.T) {
+	q := newTenantQueue(16)
+	push := func(tenant, id string) {
+		if !q.push(&job{id: id, tenant: tenant}) {
+			t.Fatalf("push %s rejected", id)
+		}
+	}
+	// Tenant A floods first; B and C each submit one.
+	push("A", "a1")
+	push("A", "a2")
+	push("A", "a3")
+	push("B", "b1")
+	push("C", "c1")
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.id)
+	}
+	want := "a1 b1 c1 a2 a3"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("pop order %v, want %s", got, want)
+	}
+}
+
+func TestTenantQueueRemove(t *testing.T) {
+	q := newTenantQueue(4)
+	q.push(&job{id: "a1", tenant: "A"})
+	q.push(&job{id: "b1", tenant: "B"})
+	q.push(&job{id: "a2", tenant: "A"})
+	if !q.remove("a1") {
+		t.Fatal("remove a1 failed")
+	}
+	if q.remove("a1") {
+		t.Fatal("double remove succeeded")
+	}
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.id)
+	}
+	if strings.Join(got, " ") != "a2 b1" && strings.Join(got, " ") != "b1 a2" {
+		t.Fatalf("pop after remove = %v", got)
+	}
+	if q.len() != 0 || q.tenants() != 0 {
+		t.Fatalf("queue not empty after drain: len=%d tenants=%d", q.len(), q.tenants())
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	leakcheck.Check(t)
+	started := blockingRunSpec(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1, QueueCapacity: 4})
+	if _, err := s.Submit("a", dseSpec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	st, err := s.Submit("a", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateCancelled)
+	if final.State != StateCancelled {
+		t.Fatalf("state %s", final.State)
+	}
+	// Terminal: survives a restart as cancelled, never re-run.
+	if _, err := os.Stat(s.jobs[st.ID].statusPath()); err != nil {
+		t.Fatalf("cancelled job has no status.json: %v", err)
+	}
+	if err := s.Cancel(st.ID); err == nil {
+		t.Fatal("cancelling a terminal job succeeded")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	leakcheck.Check(t)
+	started := blockingRunSpec(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1})
+	st, err := s.Submit("a", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateCancelled)
+	if final.Err == "" {
+		t.Fatal("cancelled job carries no reason")
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	blockingRunSpec(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1})
+	st, err := s.Submit("a", dseSpec(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateFailed)
+	if !strings.Contains(final.Err, "deadline") {
+		t.Fatalf("deadline failure reads %q", final.Err)
+	}
+}
+
+func TestDrainInterruptsAndRestartResumesByteIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	// Gate the real study behind a start signal so the drain reliably
+	// catches the job mid-flight.
+	entered := make(chan struct{})
+	withRunSpec(t, func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+		close(entered)
+		return spec.Run(opts)
+	})
+	s1, err := New(Config{StateDir: dir, JobWorkers: 1, PointWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	st, err := s1.Submit("alice", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := s1.Drain(30 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	after, err := s1.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != StateInterrupted && after.State != StateDone {
+		t.Fatalf("post-drain state %s", after.State)
+	}
+	if after.State == StateInterrupted {
+		if _, err := os.Stat(s1.jobs[st.ID].statusPath()); err == nil {
+			t.Fatal("interrupted job has a terminal status.json")
+		}
+	}
+
+	// A new server over the same state directory resumes the job off its
+	// journal and converges on the exact bytes a direct run produces.
+	withRunSpec(t, func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+		return spec.Run(opts)
+	})
+	s2 := startServer(t, Config{StateDir: dir, JobWorkers: 1, PointWorkers: 1})
+	if after.State == StateInterrupted {
+		if got := s2.Report().JobsRecovered; got != 1 {
+			t.Fatalf("recovered %d jobs, want 1", got)
+		}
+	}
+	final := waitState(t, s2, st.ID, StateDone)
+	if after.State == StateInterrupted && !final.Recovered {
+		t.Fatal("resumed job not flagged recovered")
+	}
+	got, err := os.ReadFile(s2.jobs[st.ID].resultPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directCSV(t, dseSpec()); !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from direct run:\n--- resumed ---\n%s--- direct ---\n%s", got, want)
+	}
+}
+
+func TestRecoveryRequeuesUnstartedJob(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	// Server 1 admits but never starts its worker pool — the moral
+	// equivalent of a kill -9 between admission and execution.
+	s1, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s1.Submit("alice", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.baseCancel() // release resources; no goroutines ever ran
+
+	s2 := startServer(t, Config{StateDir: dir, JobWorkers: 1, PointWorkers: 2})
+	if got := s2.Report().JobsRecovered; got != 1 {
+		t.Fatalf("recovered %d jobs, want 1", got)
+	}
+	final := waitState(t, s2, st.ID, StateDone)
+	if !final.Recovered {
+		t.Fatal("recovered job not flagged")
+	}
+	if got, want := mustRead(t, s2.jobs[st.ID].resultPath()), directCSV(t, dseSpec()); !bytes.Equal(got, want) {
+		t.Fatal("recovered job's result differs from direct run")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestRetryAndQuarantineCounters(t *testing.T) {
+	leakcheck.Check(t)
+	withRunSpec(t, func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+		// Simulate a sweep that retried one point twice and quarantined
+		// another, reporting through the real metrics plumbing.
+		opts.Metrics.PointDone(core.PointReport{Index: 0, Attempts: 3})
+		opts.Metrics.PointDone(core.PointReport{Index: 1, Attempts: 2,
+			Err: fmt.Errorf("%w after 2 attempts: boom", core.ErrQuarantined)})
+		opts.Metrics.PointDone(core.PointReport{Index: 2, Attempts: 1})
+		return nil, fmt.Errorf("%w: point 1", core.ErrPointFailed)
+	})
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1})
+	st, err := s.Submit("a", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateFailed)
+	if final.Retries != 3 || final.Quarantined != 1 || final.PointsDone != 2 || final.PointsFailed != 1 {
+		t.Fatalf("counters %+v", final)
+	}
+	rep := s.Report()
+	if rep.Retries != 3 || rep.Quarantined != 1 || rep.PointsDone != 2 || rep.PointsFailed != 1 {
+		t.Fatalf("service counters %+v", rep)
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1, PointWorkers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+
+	// Liveness and readiness.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+
+	// Submit.
+	body := `{"tenant":"alice","spec":{"kind":"dse","apps":["stream"],"techs":["ddr3-1333"],"widths":[1,2]}}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	waitState(t, s, st.ID, StateDone)
+
+	// Status, list, result, events, metrics.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.State != StateDone || got.PointsDone != 2 {
+		t.Fatalf("GET status %+v", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("list has %d jobs", len(list))
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(csv, []byte("stream")) {
+		t.Fatalf("result = %d:\n%s", resp.StatusCode, csv)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := bytes.Split(bytes.TrimSpace(events), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("events streamed %d lines, want 2:\n%s", len(lines), events)
+	}
+	for _, line := range lines {
+		var ent struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(line, &ent); err != nil || ent.Key == "" {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if rep["points_done"].(float64) != 2 {
+		t.Fatalf("metrics %+v", rep)
+	}
+
+	// Unknown job and invalid spec.
+	resp, _ = http.Get(ts.URL + "/v1/jobs/nope")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"spec":{"kind":"warp"}}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	leakcheck.Check(t)
+	started := blockingRunSpec(t)
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1, QueueCapacity: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	submit := func() *http.Response {
+		body := `{"tenant":"burst","spec":{"kind":"dse","apps":["stream"],"techs":["ddr3-1333"],"widths":[1]}}`
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1 := submit()
+	r1.Body.Close()
+	<-started
+	r2 := submit()
+	r2.Body.Close()
+	r3 := submit()
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit = %d, want 429", r3.StatusCode)
+	}
+	if r3.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestReadyzDuringDrain(t *testing.T) {
+	leakcheck.Check(t)
+	s, err := New(Config{StateDir: t.TempDir(), JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays green: the process is healthy, just not admitting.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d", resp.StatusCode)
+	}
+	// And admission answers 503.
+	if _, err := s.Submit("a", dseSpec(), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v", err)
+	}
+}
+
+func TestDrainBudgetExceeded(t *testing.T) {
+	// A job that ignores its context (the worst case a buggy model can
+	// produce) must not let Drain hang: the budget expires and the error
+	// maps to the interrupted exit code.
+	release := make(chan struct{})
+	withRunSpec(t, func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+		<-release
+		return nil, nil
+	})
+	s, err := New(Config{StateDir: t.TempDir(), JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if _, err := s.Submit("a", dseSpec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the worker enter the job
+	derr := s.Drain(50 * time.Millisecond)
+	if derr == nil {
+		t.Fatal("drain returned despite wedged job")
+	}
+	if !errors.Is(derr, sim.ErrInterrupted) {
+		t.Fatalf("drain-budget error does not wrap sim.ErrInterrupted: %v", derr)
+	}
+	close(release)
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatalf("second drain after release: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+#!/bin/sh
+# serve-smoke: end-to-end crash-tolerance gate for the sweep service.
+#
+# Three scenarios against real sst-serve processes over HTTP:
+#
+#   1. reference — submit the 16-point DSE grid, wait for completion,
+#      fetch the result CSV, then SIGTERM the server and require a clean
+#      exit 0 (graceful drain).
+#   2. crash — submit the same grid to a fresh server, kill -9 it
+#      mid-sweep, restart over the same state directory, and require the
+#      recovered job's CSV to be byte-identical to the reference.
+#   3. shed — a server with -jobs 1 -queue 1 under a submission burst
+#      must answer at least one 429 with a Retry-After header.
+#
+# Usage: tools/serve_smoke.sh [path-to-sst-serve]
+set -eu
+
+BIN=${1:-bin/sst-serve}
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup 0
+
+SPEC='{"tenant":"smoke","spec":{"kind":"dse","apps":["stream","gups"],"techs":["ddr3-1333","gddr5-4000"],"widths":[1,2,4,8],"scale":"small"}}'
+
+die() { echo "serve-smoke: $*" >&2; exit 1; }
+
+# wait_addr STATE — poll for the published listen address.
+wait_addr() {
+    i=0
+    while [ $i -lt 200 ]; do
+        if [ -s "$1/addr" ]; then head -n1 "$1/addr"; return 0; fi
+        i=$((i + 1)); sleep 0.05
+    done
+    die "server over $1 never published its address"
+}
+
+# submit URL — POST the reference spec, print the job ID.
+submit() {
+    curl -s -X POST -H 'Content-Type: application/json' -d "$SPEC" "$1/v1/jobs" |
+        sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
+}
+
+# wait_done URL ID — poll until the job is done (fail on failed/cancelled).
+wait_done() {
+    i=0
+    while [ $i -lt 600 ]; do
+        st=$(curl -s "$1/v1/jobs/$2")
+        case "$st" in
+        *'"state": "done"'*) return 0 ;;
+        *'"state": "failed"'* | *'"state": "cancelled"'*) die "job $2 ended badly: $st" ;;
+        esac
+        i=$((i + 1)); sleep 0.1
+    done
+    die "job $2 never completed"
+}
+
+# --- 1. reference run + graceful drain --------------------------------
+mkdir -p "$TMP/ref"
+"$BIN" -state "$TMP/ref" -addr 127.0.0.1:0 -drain 30s &
+PID=$!
+URL="http://$(wait_addr "$TMP/ref")"
+ID=$(submit "$URL")
+[ -n "$ID" ] || die "reference submit returned no job ID"
+wait_done "$URL" "$ID"
+curl -s "$URL/v1/jobs/$ID/result" >"$TMP/ref.csv"
+[ -s "$TMP/ref.csv" ] || die "empty reference result"
+kill -TERM "$PID"
+rc=0; wait "$PID" || rc=$?
+PID=
+[ "$rc" -eq 0 ] || die "SIGTERM drain exited $rc, want 0"
+echo "serve-smoke: graceful drain exited 0"
+
+# --- 2. kill -9 mid-sweep, restart, byte-identical result -------------
+mkdir -p "$TMP/crash"
+"$BIN" -state "$TMP/crash" -addr 127.0.0.1:0 -j 1 -drain 30s &
+PID=$!
+URL="http://$(wait_addr "$TMP/crash")"
+ID=$(submit "$URL")
+[ -n "$ID" ] || die "crash-run submit returned no job ID"
+sleep 0.35
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+PID=
+rm -f "$TMP/crash/addr"
+"$BIN" -state "$TMP/crash" -addr 127.0.0.1:0 -j 1 -drain 30s &
+PID=$!
+URL="http://$(wait_addr "$TMP/crash")"
+wait_done "$URL" "$ID"
+curl -s "$URL/v1/jobs/$ID/result" >"$TMP/crash.csv"
+cmp "$TMP/ref.csv" "$TMP/crash.csv" ||
+    die "recovered result differs from uninterrupted run"
+kill -TERM "$PID"
+rc=0; wait "$PID" || rc=$?
+PID=
+[ "$rc" -eq 0 ] || die "post-recovery drain exited $rc, want 0"
+echo "serve-smoke: kill -9 recovery converged on byte-identical results"
+
+# --- 3. load shedding: full queue answers 429 + Retry-After -----------
+mkdir -p "$TMP/shed"
+"$BIN" -state "$TMP/shed" -addr 127.0.0.1:0 -jobs 1 -queue 1 -drain 60s &
+PID=$!
+URL="http://$(wait_addr "$TMP/shed")"
+shed=0
+i=0
+while [ $i -lt 8 ]; do
+    code=$(curl -s -o "$TMP/shed/resp.$i" -w '%{http_code}' \
+        -D "$TMP/shed/hdr.$i" \
+        -X POST -H 'Content-Type: application/json' -d "$SPEC" "$URL/v1/jobs")
+    if [ "$code" = "429" ]; then
+        shed=$((shed + 1))
+        grep -qi '^Retry-After:' "$TMP/shed/hdr.$i" ||
+            die "429 response missing Retry-After header"
+    fi
+    i=$((i + 1))
+done
+[ "$shed" -ge 1 ] || die "burst of 8 submits onto -jobs 1 -queue 1 shed nothing"
+kill -TERM "$PID"
+rc=0; wait "$PID" || rc=$?
+PID=
+[ "$rc" -eq 0 ] || die "shed-scenario drain exited $rc, want 0"
+echo "serve-smoke: backpressure shed $shed/8 submissions with 429 + Retry-After"
+
+echo "serve-smoke: OK"
