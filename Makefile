@@ -27,6 +27,12 @@
 #                     require a SIGTERM drain to exit 0, a kill -9 restart
 #                     to converge on byte-identical results, and a full
 #                     queue to shed submissions with 429 + Retry-After
+#   make soak       — the memory-discipline gate: serve 250 journaled jobs
+#                     through one resident server and require flat heap and
+#                     goroutine counts plus full arena reuse, with a heap
+#                     profile left in bin/soak.mprof for pprof. The short
+#                     mode (100 jobs, `make soak-short`) runs inside
+#                     `make check`
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -39,7 +45,15 @@ BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./i
           $(GO) test -run='^$$' -bench='^BenchmarkParallelWindow$$' -benchmem ./internal/par && \
           $(GO) test -run='^$$' -bench='^BenchmarkSweep(Workers|CacheHit|CacheMiss)$$' -benchmem .
 
-.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke
+# The memory-discipline contract, committed into BENCH_baseline.json as
+# absolute hard ceilings by bench-baseline and enforced by every `make
+# bench`: the warm-arena sweep stays ~10-60x below the pre-arena numbers
+# (88,572,996 B/op and 1,869,553 allocs/op) however the baseline is
+# regenerated, and the cold cache-miss path cannot quietly bloat either.
+BENCH_CEILINGS = -max-bytes 'BenchmarkSweepWorkers/workers=1=9000000,BenchmarkSweepWorkers/workers=2=9000000,BenchmarkSweepWorkers/workers=4=9000000,BenchmarkSweepWorkers/workers=8=9000000,BenchmarkSweepCacheMiss=60000000' \
+                 -max-allocs 'BenchmarkSweepWorkers/workers=1=32000,BenchmarkSweepWorkers/workers=2=32000,BenchmarkSweepWorkers/workers=4=32000,BenchmarkSweepWorkers/workers=8=32000,BenchmarkSweepCacheMiss=36000'
+
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke soak soak-short
 
 build:
 	$(GO) build ./...
@@ -71,7 +85,7 @@ fuzz-short:
 	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadSystem -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzPartitionLookahead -fuzztime=$(FUZZTIME)
 
-check: build vet test race fuzz-short serve-smoke
+check: build vet test race fuzz-short soak-short serve-smoke
 
 # End-to-end crash-safety check of the resumable sweep path: run the grid
 # once clean for reference, kill a journaled single-worker run mid-flight
@@ -121,11 +135,21 @@ serve-smoke:
 	$(GO) build -o bin/sst-serve ./cmd/sst-serve
 	@sh tools/serve_smoke.sh bin/sst-serve
 
+# The soak gate: TestServerSoak streams real simulation jobs through one
+# resident Server and asserts flat heap/goroutines and full arena reuse.
+# The full run leaves a heap profile for `go tool pprof bin/soak.mprof`.
+soak:
+	@mkdir -p bin
+	$(GO) test -run='^TestServerSoak$$' -count=1 -v -memprofile=soak.mprof -outputdir=bin ./internal/serve
+
+soak-short:
+	$(GO) test -run='^TestServerSoak$$' -short -count=1 ./internal/serve
+
 bench: vet race
 	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json
 
 bench-baseline:
-	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json -update
+	{ $(BENCHES); } | $(GO) run ./tools/benchcheck -baseline BENCH_baseline.json -update $(BENCH_CEILINGS)
 
 tables:
 	$(GO) test -bench=. -benchtime=1x

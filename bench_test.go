@@ -49,17 +49,29 @@ func printOnce(t *stats.Table) {
 	t.Render(os.Stdout)
 }
 
-// BenchmarkSweepWorkers measures the concurrent sweep scheduler: the same
-// Small-scale Fig. 10/11/12 sweep at 1, 2, 4 and 8 workers. The design
-// points are independent simulations, so up to the host's core count the
-// wall-clock ratio to the 1-worker run approaches the worker count
-// (oversubscribed counts just measure scheduler overhead); the grids
-// themselves are identical at any worker count (asserted by
-// TestConcurrentSweepDeterminism in internal/core).
+// BenchmarkSweepWorkers measures the concurrent sweep scheduler on the
+// warm-arena path: the same Small-scale Fig. 10/11/12 sweep at 1, 2, 4 and
+// 8 workers, every worker drawing its point storage from a shared
+// ArenaPool warmed by one untimed sweep. The design points are independent
+// simulations, so up to the host's core count the wall-clock ratio to the
+// 1-worker run approaches the worker count (oversubscribed counts just
+// measure scheduler overhead); the grids themselves are identical at any
+// worker count and with or without arenas (asserted by
+// TestConcurrentSweepDeterminism and TestSweepArenaDeterminism in
+// internal/core). bytes/op and allocs/op here are hard-gated by
+// tools/benchcheck -max-bytes/-max-allocs — this is the resident sweep
+// service's steady state, and it must stay flat.
 func BenchmarkSweepWorkers(b *testing.B) {
+	arenas := core.NewArenaPool()
 	for _, workers := range []int{1, 2, 4, 8} {
-		opts := core.SweepOptions{Workers: workers}
+		opts := core.SweepOptions{Workers: workers, Arena: arenas}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Warm the pool: the first sweep pays the arena build cost so
+			// the timed iterations measure steady-state reuse.
+			if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.MemTechWidthSweep(sweepApps, sweepTechs, sweepWidths, core.Small, opts); err != nil {
 					b.Fatal(err)

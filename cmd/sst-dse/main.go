@@ -225,16 +225,17 @@ func run(appsFlag, techsFlag, widthsFlag, scaleFlag, tableFlag string, format co
 		}
 		widths = append(widths, v)
 	}
-	scale := core.Full
-	switch scaleFlag {
-	case "full":
-	case "small":
-		scale = core.Small
-	default:
-		return cli.Configf("bad scale %q", scaleFlag)
+	// Dispatch through the study registry: the same JobSpec surface the
+	// sweep service admits, so the CLI and the service cannot drift on
+	// what a "dse" study means or accepts.
+	study, err := core.NewStudy(core.JobSpec{
+		Kind: "dse", Apps: apps, Techs: techs, Widths: widths, Scale: scaleFlag,
+	})
+	if err != nil {
+		return cli.Configf("%v", err)
 	}
-
-	grid, err := core.MemTechWidthSweep(apps, techs, widths, scale, opts)
+	res, err := study.Run(opts)
+	grid, _ := res.(*core.DSEGrid)
 	if grid == nil {
 		return err
 	}

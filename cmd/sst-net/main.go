@@ -168,13 +168,25 @@ func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ct
 }
 
 func run(nodes, steps int, fracFlag string, format core.Format, opts core.SweepOptions, metricsOut, traceOut string) error {
-	cfg := core.NetStudyConfig{Nodes: nodes, Steps: steps}
+	spec := core.JobSpec{Kind: "net", Nodes: nodes, Steps: steps}
 	for _, f := range strings.Split(fracFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil || v <= 0 || v > 1 {
 			return cli.Configf("bad fraction %q", f)
 		}
-		cfg.Fractions = append(cfg.Fractions, v)
+		spec.Fractions = append(spec.Fractions, v)
+	}
+	// Dispatch both studies through the study registry — the same JobSpec
+	// surface the sweep service admits, so the CLI and the service cannot
+	// drift on what the net studies mean or accept.
+	degStudy, err := core.NewStudy(spec)
+	if err != nil {
+		return cli.Configf("%v", err)
+	}
+	spec.Kind = "net-power"
+	powStudy, err := core.NewStudy(spec)
+	if err != nil {
+		return cli.Configf("%v", err)
 	}
 	// Each study is one sweep, so each gets its own collector (point
 	// indices are per-sweep). The journal — and the result cache, which
@@ -193,9 +205,15 @@ func run(nodes, steps int, fracFlag string, format core.Format, opts core.SweepO
 	// Both studies render whatever cells completed even when some failed
 	// or the sweep was interrupted; the error still propagates so the
 	// exit code reflects the incomplete run.
-	deg, derr := core.NetDegradationStudy(cfg, opts)
-	pow, perr := core.NetPowerStudy(cfg, popts)
-	if err := core.WriteResults(os.Stdout, format, deg, pow); err != nil {
+	deg, derr := degStudy.Run(opts)
+	pow, perr := powStudy.Run(popts)
+	var show []core.Result
+	for _, r := range []core.Result{deg, pow} {
+		if r != nil {
+			show = append(show, r)
+		}
+	}
+	if err := core.WriteResults(os.Stdout, format, show...); err != nil {
 		return err
 	}
 	if metricsOut != "" {

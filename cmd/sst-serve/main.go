@@ -14,12 +14,13 @@
 //
 // API (see DESIGN.md §10 and the README quick-start):
 //
-//	POST   /v1/jobs             submit {tenant, spec, deadline_ms} → 202
-//	GET    /v1/jobs[/{id}]      job status; /result for the CSV
-//	GET    /v1/jobs/{id}/events journal lines streamed as NDJSON
-//	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/metrics          service metrics (?format=json|csv|table)
-//	GET    /healthz, /readyz    liveness; readiness (503 while draining)
+//	POST   /v1/jobs              submit {tenant, spec, deadline_ms} → 202
+//	GET    /v1/jobs[/{id}]       job status; /result for the CSV
+//	GET    /v1/jobs/{id}/events  journal lines streamed as NDJSON
+//	GET    /v1/jobs/{id}/metrics per-point host timings (capped ring)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/metrics           service metrics (?format=json|csv|table)
+//	GET    /healthz, /readyz     liveness; readiness (503 while draining)
 //
 // A full queue sheds submissions with 429 + Retry-After. SIGINT/SIGTERM
 // start a graceful drain: admission stops, in-flight points finish and

@@ -226,6 +226,9 @@ func runSystem(path string, ob obsFlags, nranks int, mode par.SyncMode, snap sna
 	tracer := ob.attachTracer(engine)
 	col := obs.NewCollector()
 	col.Attach(engine)
+	if tracer != nil {
+		col.AttachTracer(tracer)
+	}
 	app.Start(nil)
 	defer cli.OnInterrupt(engine.Interrupt)()
 	engine.RunAll()
@@ -308,6 +311,10 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 	col := obs.NewCollector()
 	col.Attach(runner.Rank(0).Engine())
 	col.AttachRunner(runner)
+	if tracers != nil {
+		// The report's trace counters follow rank 0, like the engine row.
+		col.AttachTracer(tracers[0])
+	}
 	if snap.restore != "" {
 		f, err := os.Open(snap.restore)
 		if err != nil {
@@ -462,6 +469,9 @@ func run(cfgPath string, dumpStats bool, ob obsFlags, timeline, samplePd string)
 	tracer := ob.attachTracer(engine)
 	col := obs.NewCollector()
 	col.Attach(engine, node.Sim.Links()...)
+	if tracer != nil {
+		col.AttachTracer(tracer)
+	}
 	res, err := node.Run()
 	if err != nil {
 		return err

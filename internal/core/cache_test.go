@@ -55,7 +55,10 @@ func TestCachedPointBitIdentical(t *testing.T) {
 		for _, workers := range []int{1, 3} {
 			t.Run("dse/"+policy.String(), func(t *testing.T) {
 				c := newTestCache(t, policy)
-				opts := SweepOptions{Workers: workers, Cache: c}
+				// Arena-reusing workers must not perturb the cached bytes:
+				// the miss pass simulates on warm arenas, the hit pass reads
+				// back, and both must match the arena-free cold run.
+				opts := SweepOptions{Workers: workers, Cache: c, Arena: NewArenaPool()}
 				if _, err := MemTechWidthSweep(apps, techs, widths, Small, opts); err != nil {
 					t.Fatal(err)
 				}

@@ -95,7 +95,10 @@ func RunMachine(cfg *config.MachineConfig) (*NodeResult, error) {
 // interrupted at its next event and the run returns an error wrapping
 // sim.ErrInterrupted instead of running to completion.
 func RunMachineCtx(ctx context.Context, cfg *config.MachineConfig) (*NodeResult, error) {
-	n, err := BuildNode(cfg)
+	// Inside a sweep the worker's arena rides the context (see
+	// runPointsHooked); outside one arenaFrom returns nil and the build
+	// allocates fresh.
+	n, err := BuildNodeArena(cfg, arenaFrom(ctx))
 	if err != nil {
 		return nil, err
 	}

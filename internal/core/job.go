@@ -4,23 +4,21 @@ package core
 // data: serializable, validatable, and re-runnable, which is exactly what
 // a long-running sweep service needs — it persists the spec at admission,
 // runs it through the normal SweepOptions machinery (journal, resume,
-// retry, cache, timeout), and after a crash re-runs the same spec with
-// Resume set to converge on the same result. The CLIs keep calling the
-// study functions directly; JobSpec is the scheduler-facing surface.
+// retry, cache, arena, timeout), and after a crash re-runs the same spec
+// with Resume set to converge on the same result. The CLIs and the
+// service resolve specs through the study registry (see study.go);
+// JobSpec's methods are thin delegations to it, so the registry is the
+// single source of truth for which kinds exist and what they mean.
 
-import (
-	"fmt"
-	"strings"
-)
-
-// JobSpec describes one sweep job. Kind selects the study; the remaining
-// fields parameterize it and unused ones are ignored. The zero values of
-// optional fields resolve to the study defaults in withDefaults, so a
-// minimal spec is a valid job.
+// JobSpec describes one sweep job. Kind selects the study from the
+// registry (StudyKinds lists the valid values); the remaining fields
+// parameterize it and unused ones are ignored. The zero values of
+// optional fields resolve to the study defaults, so a minimal spec is a
+// valid job.
 type JobSpec struct {
 	// Kind is the study family: "dse" (the memory-technology × issue-width
-	// grid behind Figs. 10–12) or "net" (the Fig. 9 injection-bandwidth
-	// degradation study).
+	// grid behind Figs. 10–12), "net" (the Fig. 9 injection-bandwidth
+	// degradation study) or "net-power" (its energy roll-up).
 	Kind string `json:"kind"`
 
 	// dse: the grid axes and problem scale ("small" or "full"; default
@@ -37,113 +35,36 @@ type JobSpec struct {
 	Fractions []float64 `json:"fractions,omitempty"`
 }
 
-// withDefaults resolves optional fields to study defaults without
-// mutating the receiver — the persisted spec stays exactly what the
-// client submitted.
-func (s JobSpec) withDefaults() JobSpec {
-	switch s.Kind {
-	case "dse":
-		if s.Scale == "" {
-			s.Scale = "small"
-		}
-	case "net":
-		def := DefaultNetStudy()
-		if s.Nodes == 0 {
-			s.Nodes = def.Nodes
-		}
-		if s.Steps == 0 {
-			s.Steps = def.Steps
-		}
-		if len(s.Fractions) == 0 {
-			s.Fractions = def.Fractions
-		}
-	}
-	return s
-}
-
 // Validate checks the spec structurally — unknown kind, empty axes, bad
 // scale — so admission can reject a job before persisting it. Semantic
 // failures (an app name no frontend implements) surface later as point
 // failures, like they do for the CLIs.
 func (s JobSpec) Validate() error {
-	switch s.Kind {
-	case "dse":
-		if len(s.Apps) == 0 || len(s.Techs) == 0 || len(s.Widths) == 0 {
-			return fmt.Errorf("core: job spec: dse needs apps, techs and widths")
-		}
-		for _, a := range append(append([]string{}, s.Apps...), s.Techs...) {
-			if strings.TrimSpace(a) == "" {
-				return fmt.Errorf("core: job spec: blank app or tech name")
-			}
-		}
-		for _, w := range s.Widths {
-			if w <= 0 {
-				return fmt.Errorf("core: job spec: width %d out of range", w)
-			}
-		}
-		switch s.Scale {
-		case "", "small", "full":
-		default:
-			return fmt.Errorf("core: job spec: scale %q (want small or full)", s.Scale)
-		}
-	case "net":
-		if s.Nodes < 0 || s.Steps < 0 {
-			return fmt.Errorf("core: job spec: negative nodes or steps")
-		}
-		for _, f := range s.Fractions {
-			if f <= 0 || f > 1 {
-				return fmt.Errorf("core: job spec: fraction %v out of (0, 1]", f)
-			}
-		}
-	case "":
-		return fmt.Errorf("core: job spec: missing kind")
-	default:
-		return fmt.Errorf("core: job spec: unknown kind %q (want dse or net)", s.Kind)
+	def, err := studyFor(s.Kind)
+	if err != nil {
+		return err
 	}
-	return nil
+	return def.validate(s)
 }
 
 // Points reports how many design points the job will run, for progress
-// and admission accounting.
+// and admission accounting. Zero for specs whose kind is unknown.
 func (s JobSpec) Points() int {
-	s = s.withDefaults()
-	switch s.Kind {
-	case "dse":
-		return len(s.Apps) * len(s.Techs) * len(s.Widths)
-	case "net":
-		return len(netStudyProfiles()) * len(s.Fractions)
+	def, err := studyFor(s.Kind)
+	if err != nil {
+		return 0
 	}
-	return 0
+	return def.points(def.defaults(s))
 }
 
-// Run executes the job under opts — journal, resume, retry, cache and
-// cancellation all compose exactly as they do for the CLIs. The returned
-// Result is non-nil whenever a partial grid exists, even on error, so a
-// scheduler can persist what completed next to the failure.
+// Run executes the job under opts — journal, resume, retry, cache, arena
+// and cancellation all compose exactly as they do for the CLIs. The
+// returned Result is non-nil whenever a partial grid exists, even on
+// error, so a scheduler can persist what completed next to the failure.
 func (s JobSpec) Run(opts SweepOptions) (Result, error) {
-	if err := s.Validate(); err != nil {
+	study, err := NewStudy(s)
+	if err != nil {
 		return nil, err
 	}
-	s = s.withDefaults()
-	switch s.Kind {
-	case "dse":
-		scale := Small
-		if s.Scale == "full" {
-			scale = Full
-		}
-		g, err := MemTechWidthSweep(s.Apps, s.Techs, s.Widths, scale, opts)
-		if g == nil {
-			return nil, err
-		}
-		return g, err
-	case "net":
-		res, err := NetDegradationStudy(NetStudyConfig{
-			Nodes: s.Nodes, Steps: s.Steps, Fractions: s.Fractions,
-		}, opts)
-		if res == nil {
-			return nil, err
-		}
-		return res, err
-	}
-	return nil, fmt.Errorf("core: job spec: unknown kind %q", s.Kind)
+	return study.Run(opts)
 }

@@ -81,6 +81,10 @@ func RunNetPointCtx(ctx context.Context, p workload.CommProfile, nodes, steps in
 		return 0, nil, err
 	}
 	engine := sim.NewEngine()
+	if arena := arenaFrom(ctx); arena != nil {
+		arena.Events.Lend(engine)
+		defer arena.Events.Harvest(engine)
+	}
 	cfg := noc.DefaultConfig()
 	cfg.InjectionBandwidth *= fraction
 	net, err := noc.NewNetwork(engine, "net", topo, cfg, nil)

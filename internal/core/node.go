@@ -43,6 +43,10 @@ type NodeModel struct {
 	Thermal power.ThermalParams
 	Rel     power.ReliabilityParams
 	closer  []func()
+
+	// arena, when non-nil, is the sweep worker's PointArena this model's
+	// storage was drawn from; Close hands the storage back.
+	arena *PointArena
 }
 
 // NodeResult summarizes one run for the experiment harnesses.
@@ -95,6 +99,15 @@ func (r *NodeResult) PerfPerDollar() float64 {
 
 // BuildNode assembles a node model from a validated machine config.
 func BuildNode(cfg *config.MachineConfig) (*NodeModel, error) {
+	return BuildNodeArena(cfg, nil)
+}
+
+// BuildNodeArena is BuildNode drawing the model's bulk storage — the
+// engine's event free list, cache backing arrays and kernel batch buffers —
+// from a sweep worker's PointArena. A nil arena behaves exactly like
+// BuildNode. Close (deferred by Run) hands the storage back scrubbed;
+// simulation results are bit-identical either way.
+func BuildNodeArena(cfg *config.MachineConfig, arena *PointArena) (*NodeModel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,8 +119,15 @@ func BuildNode(cfg *config.MachineConfig) (*NodeModel, error) {
 		Cost:    power.DefaultCostParams(),
 		Thermal: power.DefaultThermalParams(),
 		Rel:     power.DefaultReliabilityParams(),
+		arena:   arena,
 	}
 	engine := n.Sim.Engine()
+	if arena != nil {
+		// Lend is a move: the arena is empty until the harvest closer runs,
+		// so a point that dies mid-build loses buffers, never shares them.
+		arena.Events.Lend(engine)
+		n.closer = append(n.closer, func() { arena.Events.Harvest(engine) })
+	}
 
 	dramCfg, err := cfg.Node.Mem.ToDRAMConfig()
 	if err != nil {
@@ -138,7 +158,7 @@ func BuildNode(cfg *config.MachineConfig) (*NodeModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.L2, err = mem.NewCache(engine, l2cfg, lowest, n.Reg.Scope("l2"))
+		n.L2, err = n.newCache(l2cfg, lowest, "l2")
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +202,7 @@ func BuildNode(cfg *config.MachineConfig) (*NodeModel, error) {
 					l1Lower = busPort
 				}
 			}
-			l1, err := mem.NewCache(engine, l1cfg, l1Lower, n.Reg.Scope(fmt.Sprintf("l1.%d", i)))
+			l1, err := n.newCache(l1cfg, l1Lower, fmt.Sprintf("l1.%d", i))
 			if err != nil {
 				return nil, err
 			}
@@ -218,6 +238,23 @@ func BuildNode(cfg *config.MachineConfig) (*NodeModel, error) {
 		n.Sim.Add(core)
 	}
 	return n, nil
+}
+
+// newCache builds one cache level, drawing the backing array from the
+// model's arena (when it has one) and scheduling the return at Close.
+func (n *NodeModel) newCache(cfg mem.CacheConfig, lower mem.Device, scope string) (*mem.Cache, error) {
+	var pool *mem.LinePool
+	if n.arena != nil {
+		pool = n.arena.Lines
+	}
+	c, err := mem.NewCachePool(n.Sim.Engine(), cfg, lower, n.Reg.Scope(scope), pool)
+	if err != nil {
+		return nil, err
+	}
+	if pool != nil {
+		n.closer = append(n.closer, c.ReleaseLines)
+	}
+	return c, nil
 }
 
 // Close releases kernel-stream goroutines; safe to call repeatedly.

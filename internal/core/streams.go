@@ -87,8 +87,12 @@ func splitCount(n, units int) int {
 func (n *NodeModel) buildUnitStream(u, units int) (frontend.Stream, func(), error) {
 	w := n.Cfg.Workload
 	off := uint64(u) * unitOffset
+	var ops *frontend.OpPool
+	if n.arena != nil {
+		ops = n.arena.Ops
+	}
 	wrap := func(k *workload.Kernel) (frontend.Stream, func(), error) {
-		ks := k.Stream()
+		ks := k.StreamPool(ops)
 		return &offsetStream{inner: ks, off: off}, ks.Close, nil
 	}
 	switch w.Kind {

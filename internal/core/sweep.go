@@ -85,6 +85,16 @@ type SweepOptions struct {
 	// budget is quarantined: marked Failed with an error wrapping
 	// ErrQuarantined. The zero value disables retry. See RetryPolicy.
 	Retry RetryPolicy
+
+	// Arena, when non-nil, gives each sweep worker a reusable PointArena
+	// for the duration of the sweep: consecutive design points on a worker
+	// share one event free list, cache backing pool and kernel batch-buffer
+	// pool instead of growing fresh ones per point. Results are
+	// bit-identical with or without an arena (the arena only moves scrubbed
+	// storage, never state); nil means every point allocates fresh. One
+	// pool may serve several sweeps and outlive them all — a resident
+	// service passes the same pool to every job.
+	Arena *ArenaPool
 }
 
 // ErrPointFailed marks a sweep error that stems from at least one failed
@@ -114,73 +124,20 @@ type PointReport struct {
 	Err error
 }
 
-// workers resolves the pool size: explicit option, then the deprecated
-// package default, then GOMAXPROCS.
+// workers resolves the pool size: explicit option or GOMAXPROCS.
 func (o SweepOptions) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	if n := legacyWorkers.Load(); n > 0 {
-		return int(n)
-	}
 	return runtime.GOMAXPROCS(0)
 }
 
-// context resolves the sweep context: explicit option, then the deprecated
-// package default, then background.
+// context resolves the sweep context: explicit option or background.
 func (o SweepOptions) context() context.Context {
 	if o.Context != nil {
 		return o.Context
 	}
-	if b, ok := legacyCtx.Load().(ctxBox); ok {
-		return b.ctx
-	}
 	return context.Background()
-}
-
-// Deprecated package-level defaults. These exist only so that callers of
-// the old SetSweepWorkers/SetSweepContext API keep working while they
-// migrate; they are consulted solely as fallbacks when the corresponding
-// SweepOptions field is zero. New code should pass SweepOptions instead.
-var legacyWorkers atomic.Int64
-
-// ctxBox wraps the legacy context so legacyCtx always stores one concrete
-// type (atomic.Value requires it; context.Context is an interface whose
-// dynamic type varies).
-type ctxBox struct{ ctx context.Context }
-
-var legacyCtx atomic.Value
-
-// SetSweepWorkers fixes the default worker count used by sweeps whose
-// SweepOptions.Workers is zero. n <= 0 restores GOMAXPROCS.
-//
-// Deprecated: pass SweepOptions{Workers: n} to the study instead; a
-// process-wide default cannot serve two concurrent sweeps that want
-// different pool sizes.
-func SetSweepWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	legacyWorkers.Store(int64(n))
-}
-
-// SweepWorkers reports the worker count a sweep with zero options would
-// use.
-//
-// Deprecated: use SweepOptions and its per-call Workers field.
-func SweepWorkers() int {
-	return SweepOptions{}.workers()
-}
-
-// SetSweepContext installs the default context consulted by sweeps whose
-// SweepOptions.Context is nil. Nil restores the background context.
-//
-// Deprecated: pass SweepOptions{Context: ctx} to the study instead.
-func SetSweepContext(ctx context.Context) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	legacyCtx.Store(ctxBox{ctx})
 }
 
 // errSkipped marks a point that never ran because the sweep context was
@@ -257,7 +214,7 @@ func runPointsHooked(opts SweepOptions, n int, fn func(ctx context.Context, i in
 		workers = n
 	}
 	errs := make([]error, n)
-	one := func(worker, i int) {
+	one := func(ctx context.Context, worker, i int) {
 		start := time.Now()
 		retries, err := runPointRetry(ctx, i, opts, fn)
 		if hook != nil {
@@ -277,10 +234,22 @@ func runPointsHooked(opts SweepOptions, n int, fn func(ctx context.Context, i in
 			})
 		}
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			one(0, i)
+	// Each worker borrows one PointArena for its whole run of points and
+	// threads it down through the context; the arena goes back to the pool
+	// — reset — when the worker drains. See internal/core/arena.go.
+	workerCtx := func() (context.Context, func()) {
+		if opts.Arena == nil {
+			return ctx, func() {}
 		}
+		a := opts.Arena.Get()
+		return withArena(ctx, a), func() { opts.Arena.Put(a) }
+	}
+	if workers <= 1 {
+		wctx, release := workerCtx()
+		for i := 0; i < n; i++ {
+			one(wctx, 0, i)
+		}
+		release()
 		return errs, errors.Join(errs...)
 	}
 	var (
@@ -291,12 +260,14 @@ func runPointsHooked(opts SweepOptions, n int, fn func(ctx context.Context, i in
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			wctx, release := workerCtx()
+			defer release()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				one(worker, i)
+				one(wctx, worker, i)
 			}
 		}(w)
 	}

@@ -13,38 +13,25 @@ import (
 	"sst/internal/config"
 )
 
-func TestSweepWorkersLegacyShim(t *testing.T) {
-	defer SetSweepWorkers(0)
-	SetSweepWorkers(3)
-	if SweepWorkers() != 3 {
-		t.Fatalf("SweepWorkers = %d, want 3", SweepWorkers())
+func TestSweepOptionsDefaults(t *testing.T) {
+	// The zero value is the documented default: GOMAXPROCS workers over
+	// the background context, with explicit options taking precedence.
+	if got := (SweepOptions{}).workers(); got < 1 {
+		t.Fatalf("zero-options workers = %d, want >= 1 (GOMAXPROCS)", got)
 	}
-	// An explicit option beats the legacy default.
 	if got := (SweepOptions{Workers: 5}).workers(); got != 5 {
 		t.Fatalf("option workers = %d, want 5", got)
 	}
-	SetSweepWorkers(-5)
-	if SweepWorkers() < 1 {
-		t.Fatalf("SweepWorkers = %d after reset, want >= 1 (GOMAXPROCS)", SweepWorkers())
+	if got := (SweepOptions{Workers: -2}).workers(); got < 1 {
+		t.Fatalf("negative workers = %d, want GOMAXPROCS fallback", got)
 	}
-}
-
-func TestSweepContextLegacyShim(t *testing.T) {
-	defer SetSweepContext(nil)
-	ctx, cancel := context.WithCancel(context.Background())
+	if got := (SweepOptions{}).context(); got != context.Background() {
+		t.Fatal("zero-options context is not background")
+	}
+	own, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	SetSweepContext(ctx)
-	if got := (SweepOptions{}).context(); got != ctx {
-		t.Fatal("legacy context not consulted")
-	}
-	// An explicit option beats the legacy default.
-	own := context.Background()
 	if got := (SweepOptions{Context: own}).context(); got != own {
-		t.Fatal("explicit context overridden by legacy default")
-	}
-	SetSweepContext(nil)
-	if got := (SweepOptions{}).context(); got == ctx {
-		t.Fatal("nil reset did not clear the legacy context")
+		t.Fatal("explicit context not honoured")
 	}
 }
 
@@ -139,9 +126,10 @@ func TestRunPointsReportsMetrics(t *testing.T) {
 }
 
 // TestConcurrentSweepDeterminism asserts the headline safety property of
-// the concurrent scheduler: a sweep run on several workers produces a grid
-// identical — every NodeResult field of every point — to the same sweep on
-// one worker, so the Fig. 10/11/12 tables are byte-identical at any -j.
+// the concurrent scheduler: a sweep run on several workers — with or
+// without per-worker arenas — produces a grid identical — every
+// NodeResult field of every point — to the same sweep on one worker, so
+// the Fig. 10/11/12 tables are byte-identical at any -j.
 func TestConcurrentSweepDeterminism(t *testing.T) {
 	apps := []string{"stream", "gups"}
 	techs := []string{"ddr3-1333", "gddr5-4000"}
@@ -157,30 +145,37 @@ func TestConcurrentSweepDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// One pool across all the arena runs: arenas warmed by one sweep are
+	// handed to the next, exactly how the sweep service reuses them.
+	pool := NewArenaPool()
 	for _, workers := range []int{2, 4} {
-		conc, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: workers})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(conc.Points) != len(seq.Points) {
-			t.Fatalf("workers=%d: %d points, want %d", workers, len(conc.Points), len(seq.Points))
-		}
-		for i := range seq.Points {
-			a, b := &seq.Points[i], &conc.Points[i]
-			if a.App != b.App || a.Tech != b.Tech || a.Width != b.Width {
-				t.Fatalf("workers=%d: point %d is (%s,%s,%d), want (%s,%s,%d)",
-					workers, i, b.App, b.Tech, b.Width, a.App, a.Tech, a.Width)
+		for _, arenas := range []*ArenaPool{nil, pool} {
+			conc, err := MemTechWidthSweep(apps, techs, widths, Small,
+				SweepOptions{Workers: workers, Arena: arenas})
+			if err != nil {
+				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(normalize(*a.Result), normalize(*b.Result)) {
-				t.Errorf("workers=%d: point %d (%s/%s/w%d) diverged:\nseq:  %+v\nconc: %+v",
-					workers, i, a.App, a.Tech, a.Width, *a.Result, *b.Result)
+			label := fmt.Sprintf("workers=%d arena=%v", workers, arenas != nil)
+			if len(conc.Points) != len(seq.Points) {
+				t.Fatalf("%s: %d points, want %d", label, len(conc.Points), len(seq.Points))
 			}
-		}
-		// The rendered tables must match byte for byte.
-		seqTab := Fig10Table(seq, apps, techs, widths, "ddr3-1333").String()
-		concTab := Fig10Table(conc, apps, techs, widths, "ddr3-1333").String()
-		if seqTab != concTab {
-			t.Errorf("workers=%d: Fig10 table differs from sequential render", workers)
+			for i := range seq.Points {
+				a, b := &seq.Points[i], &conc.Points[i]
+				if a.App != b.App || a.Tech != b.Tech || a.Width != b.Width {
+					t.Fatalf("%s: point %d is (%s,%s,%d), want (%s,%s,%d)",
+						label, i, b.App, b.Tech, b.Width, a.App, a.Tech, a.Width)
+				}
+				if !reflect.DeepEqual(normalize(*a.Result), normalize(*b.Result)) {
+					t.Errorf("%s: point %d (%s/%s/w%d) diverged:\nseq:  %+v\nconc: %+v",
+						label, i, a.App, a.Tech, a.Width, *a.Result, *b.Result)
+				}
+			}
+			// The rendered tables must match byte for byte.
+			seqTab := Fig10Table(seq, apps, techs, widths, "ddr3-1333").String()
+			concTab := Fig10Table(conc, apps, techs, widths, "ddr3-1333").String()
+			if seqTab != concTab {
+				t.Errorf("%s: Fig10 table differs from sequential render", label)
+			}
 		}
 	}
 }

@@ -47,6 +47,23 @@ type Superscalar struct {
 	onDone     func()
 	startCycle sim.Cycle
 	endCycle   sim.Cycle
+
+	// tickFn/storeDoneFn are bound once so waking the core or completing a
+	// store never allocates; loadFree recycles per-load completion slots
+	// (bounded by LoadQ), each carrying its own stable callback.
+	tickFn      sim.ClockHandler
+	storeDoneFn func()
+	loadFree    []*loadSlot
+}
+
+// loadSlot carries one in-flight load's writeback target. Slots are
+// recycled, and fn is created once per slot, so a load costs no closure
+// allocation in steady state.
+type loadSlot struct {
+	c   *Superscalar
+	dst uint8
+	tag uint64
+	fn  func()
 }
 
 // NewSuperscalar builds the core. scope may be nil.
@@ -63,7 +80,37 @@ func NewSuperscalar(engine *sim.Engine, clock *sim.Clock, cfg Config, stream fro
 		pred:   newPredictor(cfg.PredictorEntries),
 		st:     newCoreStats(ensureScope(scope, cfg.Name)),
 	}
+	c.tickFn = c.tick
+	c.storeDoneFn = func() {
+		c.storesOut--
+		c.wake()
+	}
 	return c, nil
+}
+
+// newLoadSlot takes a recycled slot or makes one with its callback bound.
+func (c *Superscalar) newLoadSlot(dst uint8, tag uint64) *loadSlot {
+	var s *loadSlot
+	if n := len(c.loadFree) - 1; n >= 0 {
+		s, c.loadFree[n] = c.loadFree[n], nil
+		c.loadFree = c.loadFree[:n]
+	} else {
+		s = &loadSlot{c: c}
+		s.fn = func() { s.c.loadDone(s) }
+	}
+	s.dst, s.tag = dst, tag
+	return s
+}
+
+// loadDone retires one in-flight load: writeback (unless a younger writer
+// superseded it), slot recycling, and a wake.
+func (c *Superscalar) loadDone(s *loadSlot) {
+	c.loadsOut--
+	if s.dst != 0 && c.regTag[s.dst] == s.tag {
+		c.regReady[s.dst] = c.clock.NextCycle() + 1
+	}
+	c.loadFree = append(c.loadFree, s)
+	c.wake()
 }
 
 // Name implements sim.Component.
@@ -81,7 +128,7 @@ func (c *Superscalar) wake() {
 		return
 	}
 	c.running = true
-	c.clock.RegisterNamed(c.cfg.Name, c.tick)
+	c.clock.RegisterNamed(c.cfg.Name, c.tickFn)
 }
 
 func (c *Superscalar) sleep() bool {
@@ -146,14 +193,8 @@ func (c *Superscalar) tick(cycle sim.Cycle) bool {
 			c.st.loads.Inc()
 			c.loadsOut++
 			tag := c.setWriter(op.Dst, regInfinity)
-			dst := op.Dst
-			c.memory.Access(mem.Read, op.Addr, int(op.Size), func() {
-				c.loadsOut--
-				if dst != 0 && c.regTag[dst] == tag {
-					c.regReady[dst] = c.clock.NextCycle() + 1
-				}
-				c.wake()
-			})
+			s := c.newLoadSlot(op.Dst, tag)
+			c.memory.Access(mem.Read, op.Addr, int(op.Size), s.fn)
 		case frontend.ClassStore:
 			if c.storesOut >= c.cfg.StoreQ {
 				c.st.stallMem.Inc()
@@ -162,10 +203,7 @@ func (c *Superscalar) tick(cycle sim.Cycle) bool {
 			}
 			c.st.stores.Inc()
 			c.storesOut++
-			c.memory.Access(mem.Write, op.Addr, int(op.Size), func() {
-				c.storesOut--
-				c.wake()
-			})
+			c.memory.Access(mem.Write, op.Addr, int(op.Size), c.storeDoneFn)
 		case frontend.ClassBranch:
 			c.st.branches.Inc()
 			if c.pred.mispredicted(op.PC, op.Taken) {

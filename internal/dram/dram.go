@@ -7,14 +7,19 @@ import (
 	"sst/internal/stats"
 )
 
-// request is one in-flight line transfer.
+// request is one in-flight line transfer. Requests are recycled through the
+// Memory's free list; ch and dataEnd carry what the completion handler
+// needs so one shared handler serves every request without a per-issue
+// closure.
 type request struct {
-	addr   uint64
-	write  bool
-	done   func()
-	arrive sim.Time
-	row    uint64
-	bank   int
+	addr    uint64
+	write   bool
+	done    func()
+	arrive  sim.Time
+	row     uint64
+	bank    int
+	ch      *channel
+	dataEnd sim.Time
 }
 
 // bank tracks one DRAM bank's row-buffer and timing state.
@@ -35,6 +40,11 @@ type channel struct {
 
 	refreshArmed bool
 	lastAccess   sim.Time
+
+	// kickFn/refreshFn are the channel's retry and refresh events, bound
+	// once at construction so arming them never allocates.
+	kickFn    sim.Handler
+	refreshFn sim.Handler
 }
 
 // Memory is a multi-channel DRAM subsystem driven by the simulation engine.
@@ -51,6 +61,11 @@ type Memory struct {
 	linesPerRow int
 
 	transfer sim.Time
+
+	// freeReqs recycles request structs; completeFn is the shared
+	// completion handler (payload: the *request), bound once.
+	freeReqs   []*request
+	completeFn sim.Handler
 
 	// Statistics.
 	reads, writes   *stats.Counter
@@ -88,12 +103,18 @@ func New(engine *sim.Engine, name string, cfg Config, scope *stats.Scope) (*Memo
 	m.lineMask = ^uint64(cfg.LineBytes - 1)
 	m.linesPerRow = cfg.RowBytes / cfg.LineBytes
 	m.transfer = cfg.lineTransferTime()
+	m.completeFn = func(p any) { m.complete(p.(*request)) }
 	m.chans = make([]*channel, cfg.Channels)
 	for i := range m.chans {
 		ch := &channel{id: i, banks: make([]bank, cfg.BanksPerChannel)}
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
 		}
+		ch.kickFn = func(any) {
+			ch.kickArmed = false
+			m.kick(ch)
+		}
+		ch.refreshFn = func(any) { m.refresh(ch) }
 		m.chans[i] = ch
 	}
 	if scope == nil {
@@ -146,7 +167,14 @@ func (m *Memory) mapAddr(addr uint64) (ch, bk int, row uint64) {
 func (m *Memory) Access(addr uint64, write bool, done func()) {
 	now := m.engine.Now()
 	chIdx, bk, row := m.mapAddr(addr)
-	req := &request{addr: addr & m.lineMask, write: write, done: done, arrive: now, row: row, bank: bk}
+	var req *request
+	if n := len(m.freeReqs) - 1; n >= 0 {
+		req, m.freeReqs[n] = m.freeReqs[n], nil
+		m.freeReqs = m.freeReqs[:n]
+	} else {
+		req = new(request)
+	}
+	req.addr, req.write, req.done, req.arrive, req.row, req.bank = addr&m.lineMask, write, done, now, row, bk
 	ch := m.chans[chIdx]
 	if write {
 		m.writes.Inc()
@@ -244,14 +272,24 @@ func (m *Memory) issue(ch *channel, req *request, now sim.Time) {
 	m.dynamicJ += m.cfg.Energy.PerByteJ * float64(m.cfg.LineBytes)
 	m.bytes.Add(uint64(m.cfg.LineBytes))
 
-	m.engine.ScheduleLabeledAt(dataEnd, sim.PrioLink, m.name, func(any) {
-		ch.inflight--
-		m.latency.Observe(uint64(dataEnd - req.arrive))
-		if req.done != nil {
-			req.done()
-		}
-		m.kick(ch)
-	}, nil)
+	req.ch, req.dataEnd = ch, dataEnd
+	m.engine.ScheduleLabeledAt(dataEnd, sim.PrioLink, m.name, m.completeFn, req)
+}
+
+// complete finishes one transfer: the request is recycled before its done
+// callback runs, so a callback that immediately issues a new access reuses
+// the same struct.
+func (m *Memory) complete(req *request) {
+	ch := req.ch
+	ch.inflight--
+	m.latency.Observe(uint64(req.dataEnd - req.arrive))
+	done := req.done
+	req.done, req.ch = nil, nil
+	m.freeReqs = append(m.freeReqs, req)
+	if done != nil {
+		done()
+	}
+	m.kick(ch)
 }
 
 // armKick schedules a retry at the earliest time any queued request's bank
@@ -272,10 +310,7 @@ func (m *Memory) armKick(ch *channel, now sim.Time) {
 		return
 	}
 	ch.kickArmed = true
-	m.engine.ScheduleLabeledAt(earliest, sim.PrioLink, m.name, func(any) {
-		ch.kickArmed = false
-		m.kick(ch)
-	}, nil)
+	m.engine.ScheduleLabeledAt(earliest, sim.PrioLink, m.name, ch.kickFn, nil)
 }
 
 // armRefresh starts the periodic refresh machinery for a channel. Refresh
@@ -287,7 +322,7 @@ func (m *Memory) armRefresh(ch *channel) {
 		return
 	}
 	ch.refreshArmed = true
-	m.engine.ScheduleLabeled(m.cfg.TREFI, sim.PrioLink, m.name, func(any) { m.refresh(ch) }, nil)
+	m.engine.ScheduleLabeled(m.cfg.TREFI, sim.PrioLink, m.name, ch.refreshFn, nil)
 }
 
 func (m *Memory) refresh(ch *channel) {

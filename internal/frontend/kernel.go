@@ -8,23 +8,75 @@ package frontend
 //
 // The kernel goroutine is strictly rate-limited by the consumer (bounded
 // channel), and Close tears it down if the consumer stops early.
+//
+// Batch buffers circulate: the consumer returns exhausted batches to the
+// producer over the recycle channel, so a stream allocates a handful of
+// buffers at startup and then runs allocation-free no matter how many
+// operations it emits. With an OpPool attached the buffers also survive the
+// stream itself — Close harvests them for the next stream (the sweep
+// arena's workload-buffer reuse).
 type KernelStream struct {
-	out  chan []Op
-	stop chan struct{}
-	cur  []Op
-	pos  int
-	done bool
+	out     chan []Op
+	stop    chan struct{}
+	recycle chan []Op
+	cur     []Op
+	pos     int
+	done    bool
+	pool    *OpPool
 }
 
 // batchSize balances channel crossings against buffering latency.
 const batchSize = 4096
 
+// OpPool recycles op batch buffers across streams. It is not safe for
+// concurrent use: a pool belongs to one consumer goroutine (in a sweep, one
+// worker's arena), and only stream construction and Close touch it.
+type OpPool struct {
+	bufs [][]Op
+}
+
+// get returns a pooled buffer (length 0) or a fresh one.
+func (p *OpPool) get() []Op {
+	if n := len(p.bufs) - 1; n >= 0 {
+		b := p.bufs[n]
+		p.bufs[n] = nil
+		p.bufs = p.bufs[:n]
+		return b
+	}
+	return make([]Op, 0, batchSize)
+}
+
+// put returns a buffer to the pool.
+func (p *OpPool) put(b []Op) {
+	if cap(b) == 0 {
+		return
+	}
+	p.bufs = append(p.bufs, b[:0])
+}
+
+// Len reports how many buffers the pool holds.
+func (p *OpPool) Len() int { return len(p.bufs) }
+
+// Trim drops pooled buffers beyond max, bounding a long-lived pool.
+func (p *OpPool) Trim(max int) {
+	if max < 0 {
+		max = 0
+	}
+	for i := max; i < len(p.bufs); i++ {
+		p.bufs[i] = nil
+	}
+	if len(p.bufs) > max {
+		p.bufs = p.bufs[:max]
+	}
+}
+
 // Emitter is the kernel-side handle for producing operations.
 type Emitter struct {
-	batch []Op
-	out   chan<- []Op
-	stop  <-chan struct{}
-	pc    uint64
+	batch   []Op
+	out     chan<- []Op
+	stop    <-chan struct{}
+	recycle <-chan []Op
+	pc      uint64
 	// aborted is set once the consumer has gone away.
 	aborted bool
 }
@@ -51,7 +103,14 @@ func (e *Emitter) flush() bool {
 		return !e.aborted
 	}
 	b := e.batch
-	e.batch = make([]Op, 0, batchSize)
+	// Prefer a buffer the consumer has finished with; allocate only while
+	// the circulation is still filling up.
+	select {
+	case nb := <-e.recycle:
+		e.batch = nb
+	default:
+		e.batch = make([]Op, 0, batchSize)
+	}
 	select {
 	case e.out <- b:
 		return true
@@ -101,14 +160,37 @@ func (e *Emitter) Branch(taken bool) bool {
 // NewKernelStream starts fn in a goroutine. fn must return when Emit
 // reports false.
 func NewKernelStream(fn func(*Emitter)) *KernelStream {
+	return NewKernelStreamPool(fn, nil)
+}
+
+// NewKernelStreamPool is NewKernelStream drawing its batch buffers from
+// pool (nil behaves like NewKernelStream). Close returns the stream's
+// buffers to the pool, so consecutive streams on the same goroutine reuse
+// one working set.
+func NewKernelStreamPool(fn func(*Emitter), pool *OpPool) *KernelStream {
 	k := &KernelStream{
-		out:  make(chan []Op, 4),
-		stop: make(chan struct{}),
+		out:     make(chan []Op, 4),
+		stop:    make(chan struct{}),
+		recycle: make(chan []Op, 8),
+		pool:    pool,
+	}
+	var first []Op
+	if pool != nil {
+		first = pool.get()
+		// Prefill the recycle channel so the producer's startup ramp —
+		// before the consumer returns anything — draws pooled buffers
+		// instead of allocating its circulation from scratch.
+		for i := 0; i < cap(k.recycle) && pool.Len() > 0; i++ {
+			k.recycle <- pool.get()
+		}
+	} else {
+		first = make([]Op, 0, batchSize)
 	}
 	em := &Emitter{
-		batch: make([]Op, 0, batchSize),
-		out:   k.out,
-		stop:  k.stop,
+		batch:   first,
+		out:     k.out,
+		stop:    k.stop,
+		recycle: k.recycle,
 	}
 	go func() {
 		defer close(k.out)
@@ -129,6 +211,15 @@ func (k *KernelStream) Next(op *Op) bool {
 			k.done = true
 			return false
 		}
+		if cap(k.cur) > 0 {
+			select {
+			case k.recycle <- k.cur[:0]:
+			default:
+				if k.pool != nil {
+					k.pool.put(k.cur)
+				}
+			}
+		}
 		k.cur, k.pos = b, 0
 	}
 	*op = k.cur[k.pos]
@@ -136,8 +227,9 @@ func (k *KernelStream) Next(op *Op) bool {
 	return true
 }
 
-// Close releases the kernel goroutine if the consumer stops early. It is
-// idempotent and safe after natural exhaustion.
+// Close releases the kernel goroutine if the consumer stops early, and
+// harvests the stream's batch buffers into its pool. It is idempotent and
+// safe after natural exhaustion.
 func (k *KernelStream) Close() {
 	if k.stop != nil {
 		select {
@@ -145,9 +237,27 @@ func (k *KernelStream) Close() {
 		default:
 			close(k.stop)
 		}
-		// Drain so the producer's in-flight send unblocks.
-		for range k.out {
+		// Drain so the producer's in-flight send unblocks. The producer has
+		// exited once out closes, making the recycle channel ours alone.
+		for b := range k.out {
+			if k.pool != nil {
+				k.pool.put(b)
+			}
 		}
 		k.done = true
+	}
+	if k.pool != nil {
+		if cap(k.cur) > 0 {
+			k.pool.put(k.cur)
+			k.cur = nil
+		}
+		for {
+			select {
+			case b := <-k.recycle:
+				k.pool.put(b)
+			default:
+				return
+			}
+		}
 	}
 }

@@ -108,13 +108,26 @@ type line struct {
 	pref bool
 }
 
-// mshr tracks one outstanding miss and its waiters.
+// mshr tracks one outstanding miss and its waiters. MSHRs are recycled
+// through the cache's free list, so each carries closures bound once at
+// first allocation (fillFn/fillTrueFn/fetchFn/upgradeFn) instead of
+// allocating fresh ones per miss — the miss path is the cache's hottest
+// allocation site and the closure set is identical every time.
 type mshr struct {
+	cache    *Cache
+	op       Op
+	tag      uint64
 	lineAddr uint64
-	write    bool // fill target state is modified
-	upgrade  bool // line present in S, waiting for exclusivity
-	prefetch bool // fill initiated by the prefetcher, no demand waiter yet
+	start    sim.Time // miss issue time, for the latency histogram
+	write    bool     // fill target state is modified
+	upgrade  bool     // line present in S, waiting for exclusivity
+	prefetch bool     // fill initiated by the prefetcher, no demand waiter yet
 	waiters  []func()
+
+	fillFn     func(excl bool) // lower fill completion (Fetcher path)
+	fillTrueFn func()          // lower fill completion (plain Device path)
+	fetchFn    sim.Handler     // deferred lowerFetch after lookup latency
+	upgradeFn  func()          // upgrade completion
 }
 
 // stalled is an access waiting for a free MSHR.
@@ -141,6 +154,78 @@ type WritebackSink interface {
 	WriteBack(addr uint64, size int)
 }
 
+// LinePool recycles cache line backing arrays across cache constructions —
+// the sweep arena hands one to consecutive design points so each point's
+// caches reuse the previous point's tag arrays instead of allocating a few
+// hundred kilobytes per build. Slabs are keyed by exact length and zeroed
+// on reuse, so a recycled cache starts cold exactly like a fresh one. Not
+// safe for concurrent use; a pool belongs to one sweep worker.
+type LinePool struct {
+	slabs map[int][][]line
+}
+
+// get returns a zeroed slab of exactly n lines.
+func (p *LinePool) get(n int) []line {
+	if p != nil && p.slabs != nil {
+		if list := p.slabs[n]; len(list) > 0 {
+			s := list[len(list)-1]
+			list[len(list)-1] = nil
+			p.slabs[n] = list[:len(list)-1]
+			clear(s)
+			return s
+		}
+	}
+	return make([]line, n)
+}
+
+// put accepts a retired slab.
+func (p *LinePool) put(s []line) {
+	if p == nil || len(s) == 0 {
+		return
+	}
+	if p.slabs == nil {
+		p.slabs = make(map[int][][]line)
+	}
+	p.slabs[len(s)] = append(p.slabs[len(s)], s)
+}
+
+// Len reports how many slabs the pool holds across all sizes.
+func (p *LinePool) Len() int {
+	n := 0
+	for _, list := range p.slabs {
+		n += len(list)
+	}
+	return n
+}
+
+// DefaultLinePoolSlabs bounds how many slabs Trim keeps per size class:
+// enough for the deepest node the sweeps build (per-core L1s plus a shared
+// L2), small enough that a long-lived pool tracks the current sweep's
+// shapes instead of accumulating every size it has ever seen.
+const DefaultLinePoolSlabs = 12
+
+// Trim drops slabs beyond max per size class, releasing them to the
+// garbage collector. Long-lived pools (a sweep worker's arena between
+// points) call it so one unusually wide design point cannot make every
+// later point carry its backing arrays.
+func (p *LinePool) Trim(max int) {
+	if p == nil {
+		return
+	}
+	if max < 0 {
+		max = 0
+	}
+	for n, list := range p.slabs {
+		if len(list) <= max {
+			continue
+		}
+		for i := max; i < len(list); i++ {
+			list[i] = nil
+		}
+		p.slabs[n] = list[:max]
+	}
+}
+
 // Cache is a set-associative, non-blocking (MSHR-based) cache with MESI
 // states. It implements Device for its upper level and drives a lower
 // Device (another cache, a bus port, or a memory adapter).
@@ -155,8 +240,14 @@ type Cache struct {
 	rng       *sim.RNG
 
 	mshrs    map[uint64]*mshr
+	mshrFree []*mshr
 	stalls   []stalled
 	portFree sim.Time
+
+	// backing is the contiguous line array behind sets; linePool, when
+	// non-nil, is where ReleaseLines returns it at teardown.
+	backing  []line
+	linePool *LinePool
 
 	// hooks used by the coherence bus.
 	busPort *BusPort
@@ -179,6 +270,13 @@ type Cache struct {
 
 // NewCache builds a cache above the given lower device. scope may be nil.
 func NewCache(engine *sim.Engine, cfg CacheConfig, lower Device, scope *stats.Scope) (*Cache, error) {
+	return NewCachePool(engine, cfg, lower, scope, nil)
+}
+
+// NewCachePool is NewCache drawing its line backing array from pool (nil
+// behaves like NewCache). Call ReleaseLines at teardown to hand the array
+// back for the next construction.
+func NewCachePool(engine *sim.Engine, cfg CacheConfig, lower Device, scope *stats.Scope, pool *LinePool) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,11 +284,12 @@ func NewCache(engine *sim.Engine, cfg CacheConfig, lower Device, scope *stats.Sc
 		return nil, fmt.Errorf("cache %s: nil lower device", cfg.Name)
 	}
 	c := &Cache{
-		cfg:    cfg,
-		engine: engine,
-		lower:  lower,
-		mshrs:  make(map[uint64]*mshr),
-		rng:    sim.NewRNG(cfg.Seed ^ 0xcafe),
+		cfg:      cfg,
+		engine:   engine,
+		lower:    lower,
+		mshrs:    make(map[uint64]*mshr),
+		rng:      sim.NewRNG(cfg.Seed ^ 0xcafe),
+		linePool: pool,
 	}
 	for s := uint(0); ; s++ {
 		if 1<<s == cfg.LineBytes {
@@ -201,9 +300,9 @@ func NewCache(engine *sim.Engine, cfg CacheConfig, lower Device, scope *stats.Sc
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
 	c.setMask = uint64(nsets - 1)
 	c.sets = make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Assoc)
+	c.backing = pool.get(nsets * cfg.Assoc)
 	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+		c.sets[i] = c.backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	if scope == nil {
 		scope = stats.NewRegistry().Scope(cfg.Name)
@@ -289,12 +388,49 @@ func (c *Cache) portDelay() sim.Time {
 	return start - now
 }
 
+// runPayload invokes its payload, a func(). Scheduling (runPayload, done)
+// instead of wrapping done in a fresh closure keeps the response path
+// allocation-free: func values are pointer-shaped, so storing one in the
+// event's `any` payload does not box.
+func runPayload(p any) { p.(func())() }
+
 // respond schedules done after the hit latency plus port queuing.
 func (c *Cache) respond(extra sim.Time, done func()) {
 	if done == nil {
 		return
 	}
-	c.engine.ScheduleLabeled(c.cfg.HitLatency+extra, sim.PrioLink, c.cfg.Name, func(any) { done() }, nil)
+	c.engine.ScheduleLabeled(c.cfg.HitLatency+extra, sim.PrioLink, c.cfg.Name, runPayload, done)
+}
+
+// newMSHR takes an MSHR from the free list (or allocates one) and binds
+// its identity fields. The completion closures are created once per object
+// and survive recycling; they read the miss's current fields at call time.
+func (c *Cache) newMSHR(op Op, tag, lineAddr uint64) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree) - 1; n >= 0 {
+		m = c.mshrFree[n]
+		c.mshrFree[n] = nil
+		c.mshrFree = c.mshrFree[:n]
+	} else {
+		m = &mshr{cache: c}
+		m.fillFn = func(excl bool) { m.cache.finishFill(m, excl) }
+		m.fillTrueFn = func() { m.cache.finishFill(m, true) }
+		m.fetchFn = func(any) { m.cache.lowerFetch(m) }
+		m.upgradeFn = func() { m.cache.finishUpgrade(m) }
+	}
+	m.op, m.tag, m.lineAddr, m.start = op, tag, lineAddr, c.engine.Now()
+	return m
+}
+
+// freeMSHR recycles a retired MSHR. The waiters backing array is kept so
+// steady-state misses append into existing capacity.
+func (c *Cache) freeMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = nil
+	}
+	m.waiters = m.waiters[:0]
+	m.write, m.upgrade, m.prefetch = false, false, false
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 func (c *Cache) accessLine(op Op, lineAddr uint64, done func()) {
@@ -406,19 +542,14 @@ func (c *Cache) startMiss(op Op, tag, lineAddr uint64, done func()) {
 	} else {
 		c.writeMisses.Inc()
 	}
-	m := &mshr{lineAddr: lineAddr, write: op == Write && c.cfg.WriteBack}
+	m := c.newMSHR(op, tag, lineAddr)
+	m.write = op == Write && c.cfg.WriteBack
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
 	c.mshrs[tag] = m
-	start := c.engine.Now()
-	fill := func(excl bool) {
-		c.finishFill(tag, m, excl, start)
-	}
 	// Charge the lookup latency before the fetch leaves this level.
-	c.engine.ScheduleLabeled(c.cfg.HitLatency, sim.PrioLink, c.cfg.Name, func(any) {
-		c.lowerFetch(op, lineAddr, fill)
-	}, nil)
+	c.engine.ScheduleLabeled(c.cfg.HitLatency, sim.PrioLink, c.cfg.Name, m.fetchFn, nil)
 }
 
 // startUpgrade requests exclusivity for a Shared line.
@@ -440,28 +571,35 @@ func (c *Cache) startUpgrade(tag, lineAddr uint64, done func()) {
 		c.respond(0, done)
 		return
 	}
-	m := &mshr{lineAddr: lineAddr, write: true, upgrade: true}
+	m := c.newMSHR(Write, tag, lineAddr)
+	m.write, m.upgrade = true, true
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
 	c.mshrs[tag] = m
-	up.Upgrade(lineAddr, c.cfg.LineBytes, func() {
-		delete(c.mshrs, tag)
-		if ln := c.findLine(tag); ln != nil {
-			ln.st = modified
-		}
-		for _, w := range m.waiters {
-			w()
-		}
-		c.retryStalls()
-	})
+	up.Upgrade(lineAddr, c.cfg.LineBytes, m.upgradeFn)
+}
+
+// finishUpgrade completes an exclusivity request: the Shared line becomes
+// Modified and the waiters run.
+func (c *Cache) finishUpgrade(m *mshr) {
+	delete(c.mshrs, m.tag)
+	if ln := c.findLine(m.tag); ln != nil {
+		ln.st = modified
+	}
+	for _, w := range m.waiters {
+		w()
+	}
+	c.retryStalls()
+	c.freeMSHR(m)
 }
 
 // finishFill installs the fetched line, responds to all waiters, and
 // retries stalled accesses.
-func (c *Cache) finishFill(tag uint64, m *mshr, excl bool, start sim.Time) {
+func (c *Cache) finishFill(m *mshr, excl bool) {
+	tag := m.tag
 	delete(c.mshrs, tag)
-	c.missLatency.Observe(uint64(c.engine.Now() - start))
+	c.missLatency.Observe(uint64(c.engine.Now() - m.start))
 	ln := c.victim(tag)
 	ln.valid = true
 	ln.tag = tag
@@ -480,6 +618,7 @@ func (c *Cache) finishFill(tag uint64, m *mshr, excl bool, start sim.Time) {
 		w()
 	}
 	c.retryStalls()
+	c.freeMSHR(m)
 }
 
 // retryStalls re-runs accesses that were blocked on a full MSHR file.
@@ -541,10 +680,10 @@ func (c *Cache) maybePrefetch(lineAddr uint64) {
 		return
 	}
 	c.prefetches.Inc()
-	m := &mshr{lineAddr: lineAddr, prefetch: true}
+	m := c.newMSHR(Read, tag, lineAddr)
+	m.prefetch = true
 	c.mshrs[tag] = m
-	start := c.engine.Now()
-	c.lowerFetch(Read, lineAddr, func(excl bool) { c.finishFill(tag, m, excl, start) })
+	c.lowerFetch(m)
 }
 
 func (c *Cache) findLine(tag uint64) *line {
@@ -557,14 +696,14 @@ func (c *Cache) findLine(tag uint64) *line {
 	return nil
 }
 
-// lowerFetch fetches a line from the lower device, adapting plain Devices
-// (which cannot have other sharers, so fills are exclusive).
-func (c *Cache) lowerFetch(op Op, lineAddr uint64, done func(excl bool)) {
+// lowerFetch fetches the miss's line from the lower device, adapting plain
+// Devices (which cannot have other sharers, so fills are exclusive).
+func (c *Cache) lowerFetch(m *mshr) {
 	if f, ok := c.lower.(Fetcher); ok {
-		f.Fetch(op, lineAddr, c.cfg.LineBytes, done)
+		f.Fetch(m.op, m.lineAddr, c.cfg.LineBytes, m.fillFn)
 		return
 	}
-	c.lower.Access(Read, lineAddr, c.cfg.LineBytes, func() { done(true) })
+	c.lower.Access(Read, m.lineAddr, c.cfg.LineBytes, m.fillTrueFn)
 }
 
 // lowerWrite forwards a posted write-through write.
@@ -608,6 +747,19 @@ func (c *Cache) snoopInvalidate(lineAddr uint64) (had, dirty bool) {
 	ln.valid = false
 	ln.st = invalid
 	return true, dirty
+}
+
+// ReleaseLines returns the cache's line backing array to its LinePool and
+// detaches the sets, so a torn-down model cannot alias the next point's
+// tags. Only call when the cache will no longer be accessed; no-op without
+// a pool, idempotent.
+func (c *Cache) ReleaseLines() {
+	if c.linePool == nil || c.backing == nil {
+		return
+	}
+	c.linePool.put(c.backing)
+	c.backing = nil
+	c.sets = nil
 }
 
 // Contents returns (valid lines, dirty lines) for invariant checks in tests.

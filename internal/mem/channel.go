@@ -15,6 +15,11 @@ import "sst/internal/sim"
 type ChannelDevice struct {
 	send  *sim.Port
 	lower Device
+	// free recycles request envelopes: sending a struct by value would box
+	// it into the link payload's `any` on every access, while a recycled
+	// pointer crosses for free. Requests dropped by a fault interceptor are
+	// simply never recycled.
+	free []*channelReq
 }
 
 // channelReq is one memory access crossing the channel link.
@@ -26,7 +31,7 @@ type channelReq struct {
 }
 
 // PayloadBytes implements sim.Sized for link byte accounting.
-func (r channelReq) PayloadBytes() int { return r.size }
+func (r *channelReq) PayloadBytes() int { return r.size }
 
 // NewChannelDevice wires lower behind the link owning ports (a, b):
 // accesses enter at a and are serviced by lower on the b side. Build the
@@ -34,13 +39,24 @@ func (r channelReq) PayloadBytes() int { return r.size }
 func NewChannelDevice(a, b *sim.Port, lower Device) *ChannelDevice {
 	d := &ChannelDevice{send: a, lower: lower}
 	b.SetHandler(func(p any) {
-		r := p.(channelReq)
-		d.lower.Access(r.op, r.addr, r.size, r.done)
+		r := p.(*channelReq)
+		op, addr, size, done := r.op, r.addr, r.size, r.done
+		r.done = nil
+		d.free = append(d.free, r)
+		d.lower.Access(op, addr, size, done)
 	})
 	return d
 }
 
 // Access implements Device by sending the request across the channel link.
 func (d *ChannelDevice) Access(op Op, addr uint64, size int, done func()) {
-	d.send.Send(channelReq{op: op, addr: addr, size: size, done: done})
+	var r *channelReq
+	if n := len(d.free) - 1; n >= 0 {
+		r, d.free[n] = d.free[n], nil
+		d.free = d.free[:n]
+	} else {
+		r = new(channelReq)
+	}
+	r.op, r.addr, r.size, r.done = op, addr, size, done
+	d.send.Send(r)
 }

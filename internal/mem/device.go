@@ -94,7 +94,7 @@ func (m *SimpleMemory) Access(op Op, addr uint64, size int, done func()) {
 	occupancy := m.perByte * sim.Time(size)
 	m.freeAt = start + occupancy
 	if done != nil {
-		m.engine.ScheduleLabeledAt(start+occupancy+m.latency, sim.PrioLink, m.name, func(any) { done() }, nil)
+		m.engine.ScheduleLabeledAt(start+occupancy+m.latency, sim.PrioLink, m.name, runPayload, done)
 	}
 }
 
@@ -121,6 +121,12 @@ func (d *DRAMDevice) Access(op Op, addr uint64, size int, done func()) {
 				break
 			}
 		}
+		return
+	}
+	if n == 1 {
+		// Single-line transfer — the overwhelmingly common case for
+		// line-sized fills from the cache above: no countdown closure.
+		d.Mem.Access(first, op == Write, done)
 		return
 	}
 	remaining := n

@@ -403,3 +403,90 @@ func TestRunReportCacheShadowZipf(t *testing.T) {
 		}
 	}
 }
+
+// TestTracerDropped: ring overwrites are counted, never silently
+// swallowed — the tracer, its summary title and an attached collector's
+// report all say how many spans the cap let go.
+func TestTracerDropped(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Event(sim.Time(i), "x", time.Duration(i))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	if got := tr.Total() - tr.Dropped(); got != uint64(len(tr.Spans())) {
+		t.Fatalf("Total-Dropped = %d, retained = %d", got, len(tr.Spans()))
+	}
+	if s := tr.Summary().String(); !strings.Contains(s, "6 oldest dropped") {
+		t.Fatalf("summary does not flag the drop:\n%s", s)
+	}
+
+	col := NewCollector()
+	col.Attach(nil)
+	col.AttachTracer(tr)
+	rep := col.Report()
+	if rep.Trace == nil || rep.Trace.Spans != 10 || rep.Trace.Retained != 4 || rep.Trace.Dropped != 6 {
+		t.Fatalf("report trace metrics = %+v", rep.Trace)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"trace.spans", "trace.retained", "trace.dropped"} {
+		if !strings.Contains(buf.String(), row) {
+			t.Fatalf("report table missing %q:\n%s", row, buf.String())
+		}
+	}
+}
+
+// TestTracerNoDropsWithinCap: a trace that fits its ring reports zero
+// drops (the fix must not spook complete traces).
+func TestTracerNoDropsWithinCap(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 16; i++ {
+		tr.Event(sim.Time(i), "x", 0)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+	if s := tr.Summary().String(); strings.Contains(s, "dropped") {
+		t.Fatalf("summary flags drops on a complete trace:\n%s", s)
+	}
+}
+
+// TestSweepCollectorCap: the per-point report ring is hard-capped — the
+// most recent reports survive, evictions are counted, and the table
+// title says the view is a tail.
+func TestSweepCollectorCap(t *testing.T) {
+	col := &SweepCollector{Cap: 3}
+	for i := 0; i < 8; i++ {
+		col.PointDone(core.PointReport{Index: i, Wall: time.Millisecond})
+	}
+	if col.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", col.Dropped())
+	}
+	pts := col.Points()
+	if len(pts) != 3 {
+		t.Fatalf("retained %d reports, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if want := 5 + i; p.Index != want {
+			t.Fatalf("report %d has index %d, want %d (most recent retained)", i, p.Index, want)
+		}
+	}
+	if s := col.Table().String(); !strings.Contains(s, "5 oldest dropped") {
+		t.Fatalf("table does not flag the drop:\n%s", s)
+	}
+}
+
+// TestSweepCollectorDefaultCap: the zero value is still usable and gets
+// the documented default capacity.
+func TestSweepCollectorDefaultCap(t *testing.T) {
+	col := &SweepCollector{}
+	col.PointDone(core.PointReport{Index: 0})
+	if col.Dropped() != 0 || len(col.Points()) != 1 {
+		t.Fatalf("zero-value collector misbehaves: dropped=%d points=%d",
+			col.Dropped(), len(col.Points()))
+	}
+}

@@ -26,11 +26,21 @@ type EngineMetrics struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// TraceMetrics is the tracer's slice of a RunReport: how many spans the
+// run produced, how many the ring retained, and how many the cap
+// overwrote. Dropped > 0 flags a trace that shows only the run's tail.
+type TraceMetrics struct {
+	Spans    uint64 `json:"spans"`
+	Retained uint64 `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
+}
+
 // RunReport is one run's metrics roll-up. It satisfies core.Result
 // structurally, so CLIs render it with the same table/json/csv machinery
 // as study results.
 type RunReport struct {
 	Engine EngineMetrics      `json:"engine"`
+	Trace  *TraceMetrics      `json:"trace,omitempty"`
 	Links  []LinkStats        `json:"links,omitempty"`
 	Par    *par.RunnerMetrics `json:"par,omitempty"`
 	// Cache is the sweep result cache's counter snapshot, including each
@@ -46,6 +56,11 @@ func (r *RunReport) Table() *stats.Table {
 	t.AddRow("sim_seconds", r.Engine.SimSeconds)
 	t.AddRow("host_seconds", r.Engine.HostSeconds)
 	t.AddRow("events_per_sec", r.Engine.EventsPerSec)
+	if tr := r.Trace; tr != nil {
+		t.AddRow("trace.spans", tr.Spans)
+		t.AddRow("trace.retained", tr.Retained)
+		t.AddRow("trace.dropped", tr.Dropped)
+	}
 	for _, l := range r.Links {
 		t.AddRow("link."+l.Name+".msgs", l.Msgs)
 		t.AddRow("link."+l.Name+".bytes", l.Bytes)
@@ -104,6 +119,7 @@ func (r *RunReport) WriteCSV(w io.Writer) error {
 // installed.
 type Collector struct {
 	engine *sim.Engine
+	tracer *Tracer
 	links  []*LinkStats
 	runner *par.Runner
 	cache  *cache.Cache
@@ -127,6 +143,11 @@ func (c *Collector) Attach(engine *sim.Engine, links ...*sim.Link) {
 	}
 	c.start = time.Now()
 }
+
+// AttachTracer additionally records the run's span tracer so the report
+// carries its ring counters — total spans, retained spans, and how many
+// the cap dropped (a trace that only shows the tail says so).
+func (c *Collector) AttachTracer(t *Tracer) { c.tracer = t }
 
 // AttachRunner additionally records a parallel runner whose Metrics are
 // folded into the report. The runner's rank engines are not instrumented;
@@ -152,6 +173,13 @@ func (c *Collector) Report() *RunReport {
 	}
 	if rep.Engine.HostSeconds > 0 {
 		rep.Engine.EventsPerSec = float64(rep.Engine.Events) / rep.Engine.HostSeconds
+	}
+	if t := c.tracer; t != nil {
+		rep.Trace = &TraceMetrics{
+			Spans:    t.Total(),
+			Retained: t.Total() - t.Dropped(),
+			Dropped:  t.Dropped(),
+		}
 	}
 	for _, l := range c.links {
 		rep.Links = append(rep.Links, *l)

@@ -47,6 +47,13 @@ type ServiceReport struct {
 	Retries      int64 `json:"retries"`
 	Quarantined  int64 `json:"quarantined"`
 
+	// ReportsDropped counts per-point reports evicted from the jobs'
+	// hard-capped report rings (each job retains only its most recent
+	// reports; see SweepCollector). Non-zero means the per-job metrics
+	// endpoints describe tails, not whole sweeps — the drop is counted
+	// here instead of being silently swallowed.
+	ReportsDropped int64 `json:"reports_dropped"`
+
 	// Cache is the shared result cache's counter snapshot, nil when the
 	// server runs without one.
 	Cache *cache.Stats `json:"cache,omitempty"`
@@ -72,6 +79,7 @@ func (r *ServiceReport) Table() *stats.Table {
 	t.AddRow("points.failed", r.PointsFailed)
 	t.AddRow("points.retries", r.Retries)
 	t.AddRow("points.quarantined", r.Quarantined)
+	t.AddRow("points.reports_dropped", r.ReportsDropped)
 	if cs := r.Cache; cs != nil {
 		t.AddRow("cache.policy", cs.Policy)
 		t.AddRow("cache.entries", cs.Entries)

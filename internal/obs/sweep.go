@@ -11,20 +11,54 @@ import (
 	"sst/internal/stats"
 )
 
+// DefaultPointReportCap bounds a SweepCollector whose Cap is zero: 16k
+// point reports, plenty for any CLI-sized sweep, while keeping a
+// collector attached to an unbounded stream of points (a resident
+// service) from growing without limit.
+const DefaultPointReportCap = 1 << 14
+
 // SweepCollector implements core.SweepMetrics: it accumulates one
-// PointReport per design point. It is safe for concurrent use — sweep
-// workers call PointDone from their own goroutines — and one collector
-// observes exactly one sweep (point indices would collide across sweeps).
+// PointReport per design point into a hard-capped ring (Cap reports;
+// zero selects DefaultPointReportCap). When the ring fills, the oldest
+// reports are dropped and counted in Dropped — the collector keeps the
+// most recent points, and its tables say how many it let go rather than
+// silently narrowing. It is safe for concurrent use — sweep workers call
+// PointDone from their own goroutines — and one collector observes
+// exactly one sweep (point indices would collide across sweeps).
 type SweepCollector struct {
-	mu     sync.Mutex
-	points []core.PointReport
+	// Cap is the maximum retained reports; zero means
+	// DefaultPointReportCap. Set it before the first PointDone.
+	Cap int
+
+	mu      sync.Mutex
+	points  []core.PointReport
+	next    int // ring cursor once len(points) == cap
+	dropped uint64
 }
 
 // PointDone implements core.SweepMetrics.
 func (c *SweepCollector) PointDone(p core.PointReport) {
 	c.mu.Lock()
-	c.points = append(c.points, p)
+	capacity := c.Cap
+	if capacity <= 0 {
+		capacity = DefaultPointReportCap
+	}
+	if len(c.points) < capacity {
+		c.points = append(c.points, p)
+	} else {
+		c.points[c.next] = p
+		c.next = (c.next + 1) % len(c.points)
+		c.dropped++
+	}
 	c.mu.Unlock()
+}
+
+// Dropped returns how many point reports the ring cap discarded; the
+// retained reports are the most recent ones.
+func (c *SweepCollector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Points returns the collected reports sorted by point index.
@@ -42,8 +76,13 @@ func (c *SweepCollector) Points() []core.PointReport {
 }
 
 // Table renders per-point host timings: index, worker, wall time, error.
+// A capped collector says in the title how many reports it dropped.
 func (c *SweepCollector) Table() *stats.Table {
-	t := stats.NewTable("Sweep metrics (per design point)",
+	title := "Sweep metrics (per design point)"
+	if d := c.Dropped(); d > 0 {
+		title = fmt.Sprintf("Sweep metrics (per design point; %d oldest dropped by report cap)", d)
+	}
+	t := stats.NewTable(title,
 		"point", "worker", "wall_ms", "err")
 	for _, p := range c.Points() {
 		msg := ""

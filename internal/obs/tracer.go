@@ -35,14 +35,16 @@ type Span struct {
 // Tracer records dispatch spans into a bounded ring buffer; it implements
 // sim.Tracer. Attach with engine.SetTracer(t). When the ring fills, the
 // oldest spans are overwritten — the trace keeps the end of the run, where
-// post-mortems usually look.
+// post-mortems usually look — and every overwrite is counted in Dropped,
+// so a capped trace is never mistaken for a complete one.
 //
 // A Tracer belongs to one engine goroutine; it is not safe for concurrent
 // use (neither is the engine).
 type Tracer struct {
-	spans []Span
-	next  int
-	total uint64
+	spans   []Span
+	next    int
+	total   uint64
+	dropped uint64
 }
 
 // NewTracer creates a tracer holding up to capacity spans; capacity <= 0
@@ -62,6 +64,7 @@ func (t *Tracer) Event(at sim.Time, label string, dur time.Duration) {
 	} else {
 		t.spans[t.next] = s
 		t.next = (t.next + 1) % len(t.spans)
+		t.dropped++
 	}
 	t.total++
 }
@@ -69,6 +72,11 @@ func (t *Tracer) Event(at sim.Time, label string, dur time.Duration) {
 // Total returns the number of spans recorded over the tracer's lifetime,
 // including spans already overwritten in the ring.
 func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many spans the ring cap overwrote: Total - Dropped
+// spans are retained. A non-zero Dropped means Spans, Summary and the
+// trace files describe only the tail of the run.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
 
 // Spans returns the retained spans in recording order (oldest first). The
 // slice is freshly allocated; the ring is unchanged.
@@ -133,9 +141,14 @@ func (t *Tracer) WriteCSV(w io.Writer) error {
 }
 
 // Summary aggregates the retained spans per label: event count and total
-// host time, ordered by first appearance.
+// host time, ordered by first appearance. A capped trace says so in the
+// title rather than passing the tail off as the whole run.
 func (t *Tracer) Summary() *stats.Table {
-	tab := stats.NewTable("Trace summary (retained spans)",
+	title := "Trace summary (retained spans)"
+	if t.dropped > 0 {
+		title = fmt.Sprintf("Trace summary (retained spans; %d oldest dropped by ring cap)", t.dropped)
+	}
+	tab := stats.NewTable(title,
 		"label", "events", "host_ms")
 	type agg struct {
 		n   uint64

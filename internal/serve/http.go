@@ -3,13 +3,16 @@ package serve
 // The HTTP/JSON surface over the Server. Routes (Go 1.22 method
 // patterns):
 //
-//	POST   /v1/jobs             submit {tenant, spec, deadline_ms} → 202
-//	GET    /v1/jobs             list all jobs
-//	GET    /v1/jobs/{id}        one job's status
-//	GET    /v1/jobs/{id}/result the rendered CSV (terminal jobs)
-//	GET    /v1/jobs/{id}/events journal lines as NDJSON, streamed live
-//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: drain)
-//	GET    /v1/metrics          ServiceReport (?format=json|csv|table)
+//	POST   /v1/jobs              submit {tenant, spec, deadline_ms} → 202
+//	GET    /v1/jobs              list all jobs
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/result  the rendered CSV (terminal jobs)
+//	GET    /v1/jobs/{id}/events  journal lines as NDJSON, streamed live
+//	GET    /v1/jobs/{id}/metrics per-point host timings (capped ring)
+//	DELETE /v1/jobs/{id}         cancel (queued: immediate; running: drain)
+//	GET    /v1/metrics           ServiceReport (?format=json|csv|table);
+//	                             includes reports_dropped, the count of
+//	                             per-point reports the capped rings evicted
 //	GET    /healthz             process liveness (always 200)
 //	GET    /readyz              admission readiness (503 while draining)
 //
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"sst/internal/core"
+	"sst/internal/obs"
 )
 
 // submitRequest is the POST /v1/jobs body.
@@ -46,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -198,7 +203,34 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	rep := s.Report()
+	writeResult(w, r, s.Report())
+}
+
+// handleJobMetrics serves one job's retained per-point reports — the
+// most recent jobReportCap points; the table title and the service
+// report's reports_dropped say when older ones were evicted. A job that
+// has not started yet has no reports.
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var col *obs.SweepCollector
+	if ok {
+		col = j.metrics
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	if col == nil {
+		col = &obs.SweepCollector{}
+	}
+	writeResult(w, r, col)
+}
+
+// writeResult renders a core.Result under the request's ?format= (JSON
+// when unspecified — this is an API, not a terminal).
+func writeResult(w http.ResponseWriter, r *http.Request, res core.Result) {
 	format, err := core.ParseFormat(r.URL.Query().Get("format"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -215,5 +247,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	core.WriteResults(w, format, rep)
+	core.WriteResults(w, format, res)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sst/internal/core"
+	"sst/internal/obs"
 )
 
 // Job states. Queued and running jobs have no status.json on disk; the
@@ -53,6 +54,12 @@ type job struct {
 	pointsFailed int
 	retries      int
 	quarantined  int
+
+	// metrics retains the job's most recent per-point reports in a
+	// hard-capped ring (jobReportCap); evictions are counted, not
+	// swallowed, and roll up into the service report's reports_dropped.
+	// Created when the job first runs; nil for jobs loaded terminal.
+	metrics *obs.SweepCollector
 
 	// done is closed when the job reaches any non-queued, non-running
 	// state; Drain and the tests wait on it.

@@ -92,6 +92,12 @@ type Server struct {
 	wake chan struct{} // pokes an idle worker after a push
 	wg   sync.WaitGroup
 
+	// arenas is shared by every job's sweep workers: consecutive points —
+	// and consecutive jobs — reuse the same simulation arenas, which is
+	// what keeps a resident server's allocation rate flat no matter how
+	// many jobs it serves (asserted by TestServerSoak).
+	arenas *core.ArenaPool
+
 	mu       sync.Mutex
 	queue    *tenantQueue
 	jobs     map[string]*job
@@ -124,9 +130,10 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg, start: time.Now(),
 		baseCtx: ctx, baseCancel: cancel,
-		wake:  make(chan struct{}, 1),
-		queue: newTenantQueue(cfg.QueueCapacity),
-		jobs:  make(map[string]*job),
+		wake:   make(chan struct{}, 1),
+		queue:  newTenantQueue(cfg.QueueCapacity),
+		jobs:   make(map[string]*job),
+		arenas: core.NewArenaPool(),
 	}
 	if err := s.recover(); err != nil {
 		cancel()
@@ -414,6 +421,11 @@ func (s *Server) runJob(j *job) {
 		// schedule after a restart, keeping its journal byte-deterministic.
 		pol.Seed = fault.StreamSeed(pol.Seed, "job/"+j.id)
 	}
+	s.mu.Lock()
+	if j.metrics == nil {
+		j.metrics = &obs.SweepCollector{Cap: jobReportCap}
+	}
+	s.mu.Unlock()
 	res, err := runSpec(j.spec, core.SweepOptions{
 		Workers: s.cfg.PointWorkers, Context: jctx,
 		Journal: j.journalPath(), Resume: true,
@@ -421,6 +433,7 @@ func (s *Server) runJob(j *job) {
 		Cache:        s.cfg.Cache,
 		Retry:        pol,
 		Metrics:      &jobMetrics{s: s, j: j},
+		Arena:        s.arenas,
 	})
 	if res != nil {
 		if werr := writeResultCSV(j.resultPath(), res); werr != nil && err == nil {
@@ -493,6 +506,11 @@ func (s *Server) Report() *obs.ServiceReport {
 		PointsDone:    s.pointsDone, PointsFailed: s.pointsFailed,
 		Retries: s.retries, Quarantined: s.quarantined,
 	}
+	for _, j := range s.jobs {
+		if j.metrics != nil {
+			r.ReportsDropped += int64(j.metrics.Dropped())
+		}
+	}
 	if s.cfg.Cache != nil {
 		cs := s.cfg.Cache.Stats()
 		r.Cache = &cs
@@ -500,14 +518,23 @@ func (s *Server) Report() *obs.ServiceReport {
 	return r
 }
 
+// jobReportCap bounds each job's retained per-point reports: a resident
+// server must not hold one report per point for jobs of arbitrary size,
+// so only the most recent reports survive and evictions are counted
+// (surfaced as reports_dropped in /v1/metrics).
+const jobReportCap = 1024
+
 // jobMetrics folds per-point reports into the job's and the server's
-// counters. PointDone is called from sweep worker goroutines.
+// counters, and retains the report itself in the job's capped ring.
+// PointDone is called from sweep worker goroutines.
 type jobMetrics struct {
 	s *Server
 	j *job
 }
 
 func (m *jobMetrics) PointDone(r core.PointReport) {
+	// The ring has its own lock; push outside s.mu to keep ordering flat.
+	m.j.metrics.PointDone(r)
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
 	if r.Attempts > 1 {

@@ -476,6 +476,29 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if rep["points_done"].(float64) != 2 {
 		t.Fatalf("metrics %+v", rep)
 	}
+	if _, ok := rep["reports_dropped"]; !ok {
+		t.Fatalf("metrics missing reports_dropped: %+v", rep)
+	}
+
+	// Per-job metrics: the capped ring retains this job's two reports.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job metrics = %d:\n%s", resp.StatusCode, jm)
+	}
+	var jdoc struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(jm, &jdoc); err != nil {
+		t.Fatalf("job metrics not JSON: %v\n%s", err, jm)
+	}
+	if len(jdoc.Rows) != 2 {
+		t.Fatalf("job metrics rows = %d, want 2:\n%s", len(jdoc.Rows), jm)
+	}
 
 	// Unknown job and invalid spec.
 	resp, _ = http.Get(ts.URL + "/v1/jobs/nope")
@@ -585,5 +608,40 @@ func TestDrainBudgetExceeded(t *testing.T) {
 	close(release)
 	if err := s.Drain(5 * time.Second); err != nil {
 		t.Fatalf("second drain after release: %v", err)
+	}
+}
+
+// TestJobReportRingCapped: a job producing more point reports than the
+// per-job ring holds keeps only the most recent ones, and the evictions
+// surface as reports_dropped in the service report instead of being
+// silently swallowed.
+func TestJobReportRingCapped(t *testing.T) {
+	leakcheck.Check(t)
+	const over = 7
+	withRunSpec(t, func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
+		for i := 0; i < jobReportCap+over; i++ {
+			opts.Metrics.PointDone(core.PointReport{Index: i, Attempts: 1})
+		}
+		return nil, nil
+	})
+	s := startServer(t, Config{StateDir: t.TempDir(), JobWorkers: 1})
+	st, err := s.Submit("a", dseSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateDone)
+	rep := s.Report()
+	if rep.ReportsDropped != over {
+		t.Fatalf("reports_dropped = %d, want %d", rep.ReportsDropped, over)
+	}
+	// The counters still saw every point; only the retained ring is capped.
+	if rep.PointsDone != int64(jobReportCap+over) {
+		t.Fatalf("points_done = %d, want %d", rep.PointsDone, jobReportCap+over)
+	}
+	s.mu.Lock()
+	retained := len(s.jobs[st.ID].metrics.Points())
+	s.mu.Unlock()
+	if retained != jobReportCap {
+		t.Fatalf("retained %d reports, want %d", retained, jobReportCap)
 	}
 }

@@ -1,0 +1,133 @@
+package serve
+
+// The soak gate (`make soak`; short mode inside `make check`): a resident
+// server fed a long stream of real simulation jobs must hold its heap and
+// goroutine counts flat. This is the end-to-end teeth of the memory
+// discipline — per-worker arenas reused across jobs, capped report rings,
+// trimmed free lists. Before the arenas, every served point retained
+// nothing but allocated ~88 MB; a regression anywhere in that stack shows
+// up here as monotone heap growth over the job stream.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"sst/internal/core"
+	"sst/internal/leakcheck"
+)
+
+// heapAfterGC reports live heap bytes after the collector has settled —
+// two cycles so freshly unreachable spans from the last job are swept.
+func heapAfterGC() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// soakHeapSlack is the allowed live-heap growth across the whole soak:
+// generous against GC noise, tiny against the ~88 MB/point the pre-arena
+// sweep path allocated — a single leaked point's worth of state trips it.
+const soakHeapSlack = 8 << 20
+
+// TestServerSoak serves >=100 jobs (>=230 in full mode) through one
+// in-process Server and asserts the steady state: live heap flat within
+// soakHeapSlack of the post-warmup mark, goroutine count flat, every job
+// done, and the shared ArenaPool serving every worker session out of a
+// handful of arenas instead of growing with the job count.
+func TestServerSoak(t *testing.T) {
+	leakcheck.Check(t)
+	jobs := 250
+	spec := core.JobSpec{
+		Kind: "dse",
+		Apps: []string{"stream"}, Techs: []string{"ddr3-1333"}, Widths: []int{1, 2},
+	}
+	if testing.Short() {
+		// Still >=100 served jobs — the acceptance floor — on a 1-point grid.
+		jobs = 100
+		spec.Widths = []int{1}
+	}
+	s := startServer(t, Config{
+		StateDir: t.TempDir(), JobWorkers: 2, PointWorkers: 2, QueueCapacity: 8,
+	})
+
+	// run serves n jobs keeping at most four in flight (two running, two
+	// queued) so the soak measures steady-state churn, not queue depth.
+	run := func(n int) {
+		t.Helper()
+		for done := 0; done < n; {
+			batch := min(4, n-done)
+			ids := make([]string, 0, batch)
+			for k := 0; k < batch; k++ {
+				st, err := s.Submit("soak", spec, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, st.ID)
+			}
+			for _, id := range ids {
+				if st := waitState(t, s, id, StateDone); st.PointsFailed != 0 {
+					t.Fatalf("job %s failed points: %+v", id, st)
+				}
+			}
+			done += batch
+		}
+	}
+
+	// Warm up first: the pool builds its arenas, the runtime sizes its
+	// spans, the journal path opens its first files. Steady state starts
+	// at the post-warmup heap mark.
+	warmup := jobs / 10
+	run(warmup)
+	heap0 := heapAfterGC()
+	goroutines0 := runtime.NumGoroutine()
+
+	run(jobs - warmup)
+
+	heap1 := heapAfterGC()
+	growth := int64(heap1) - int64(heap0)
+	made, served := s.arenas.Stats()
+	t.Logf("soak: %d jobs served; heap %d -> %d B (%+d); arenas made=%d served=%d",
+		jobs, heap0, heap1, growth, made, served)
+	if growth > soakHeapSlack {
+		t.Errorf("live heap grew %d bytes across %d jobs, budget %d — the resident server is retaining per-job state",
+			growth, jobs-warmup, soakHeapSlack)
+	}
+
+	// The workers idle between jobs; give shutdown-asynchronous goroutines
+	// a moment before calling the count a leak (leakcheck guards the end
+	// state with stacks either way).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= goroutines0+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines grew across the soak: %d -> %d", goroutines0, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Arena discipline: at most JobWorkers x PointWorkers sessions run at
+	// once, so the pool must never need more than that (doubled for slack
+	// against transient Get/Put races), while serving every session.
+	if maxMade := 2 * 2 * 2; made > maxMade {
+		t.Errorf("pool made %d arenas for %d jobs, want <= %d — arenas are not being reused",
+			made, jobs, maxMade)
+	}
+	if served < jobs {
+		t.Errorf("pool served %d worker sessions across %d jobs — sweeps are bypassing the arena pool",
+			served, jobs)
+	}
+
+	rep := s.Report()
+	if rep.JobsDone != int64(jobs) || rep.JobsFailed != 0 {
+		t.Errorf("report counts %d done %d failed, want %d/0", rep.JobsDone, rep.JobsFailed, jobs)
+	}
+	if want := int64(jobs * len(spec.Widths)); rep.PointsDone != want {
+		t.Errorf("report counts %d points done, want %d", rep.PointsDone, want)
+	}
+}

@@ -784,7 +784,7 @@ func (c *Clock) LoadState(dec *Decoder) error {
 	c.armed = armed
 	c.tickSeq = tickSeq
 	if armed {
-		c.engine.ScheduleRestoredAt(c.freq.CycleTime(c.cycle), c.prio, tickSeq, c.label, c.tick, nil)
+		c.engine.ScheduleRestoredAt(c.freq.CycleTime(c.cycle), c.prio, tickSeq, c.label, c.tickFn, nil)
 	}
 	return nil
 }

@@ -32,6 +32,11 @@ type Clock struct {
 	prio   Priority
 	label  string
 
+	// tickFn is c.tick bound once at construction. Converting a method
+	// value to a Handler allocates; doing it per arm would cost one
+	// allocation per cycle on the hottest scheduling path in the system.
+	tickFn Handler
+
 	// tickSeq is the engine sequence number of the pending tick event,
 	// captured at scheduling time so a restored clock can re-create the
 	// tick with identical same-timestamp ordering (see checkpoint.go).
@@ -44,8 +49,10 @@ func NewClock(engine *Engine, freq Hz) *Clock {
 	if freq == 0 {
 		panic("sim: zero-frequency clock")
 	}
-	return &Clock{engine: engine, freq: freq, prio: PrioClock,
+	c := &Clock{engine: engine, freq: freq, prio: PrioClock,
 		label: fmt.Sprintf("clock@%v", freq)}
+	c.tickFn = c.tick
+	return c
 }
 
 // Freq returns the clock frequency.
@@ -95,7 +102,7 @@ func (c *Clock) arm() {
 		c.cycle = c.NextCycle()
 	}
 	c.tickSeq = c.engine.seq
-	c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tick, nil)
+	c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tickFn, nil)
 }
 
 // invoke runs one handler with its label as the engine's current label, so
@@ -150,6 +157,6 @@ func (c *Clock) tick(any) {
 	if len(c.handlers) > 0 {
 		c.armed = true
 		c.tickSeq = c.engine.seq
-		c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tick, nil)
+		c.engine.ScheduleLabeledAt(c.freq.CycleTime(c.cycle), c.prio, c.label, c.tickFn, nil)
 	}
 }

@@ -32,6 +32,11 @@ func (k *Kernel) Stream() *frontend.KernelStream {
 	return frontend.NewKernelStream(k.Run)
 }
 
+// StreamPool is Stream drawing batch buffers from pool (nil = Stream).
+func (k *Kernel) StreamPool(pool *frontend.OpPool) *frontend.KernelStream {
+	return frontend.NewKernelStreamPool(k.Run, pool)
+}
+
 // Intensity returns arithmetic intensity, flops per byte.
 func (k *Kernel) Intensity() float64 {
 	if k.Bytes == 0 {

@@ -12,6 +12,13 @@
 // dependent, so it only fails beyond the per-entry tolerance (default
 // -tol); a slower CI box should regenerate with -update rather than widen
 // tolerances.
+//
+// Entries may additionally carry absolute hard ceilings (max_bytes_per_op,
+// max_allocs_per_op), set with repeated name=value pairs in -max-bytes and
+// -max-allocs. A ceiling is the memory-discipline contract for the resident
+// sweep service: the run fails the moment B/op or allocs/op exceeds it,
+// however the relative baseline has drifted, and -update refuses to commit
+// a baseline that is itself above a ceiling.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type entry struct {
@@ -33,6 +41,13 @@ type entry struct {
 	// Tolerance is the allowed fractional ns/op regression for this entry
 	// (0.02 = 2%). Zero means use the -tol flag's default.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// MaxBytesPerOp and MaxAllocsPerOp are absolute hard ceilings — the
+	// memory-discipline contract, set with -max-bytes/-max-allocs. When
+	// non-zero, a run above the ceiling fails no matter how the relative
+	// baseline has drifted, and -update refuses to commit a baseline
+	// above it. Preserved across -update like Tolerance.
+	MaxBytesPerOp  float64 `json:"max_bytes_per_op,omitempty"`
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op,omitempty"`
 }
 
 type baseline struct {
@@ -101,6 +116,16 @@ func compare(base baseline, got map[string]entry, defTol float64, w io.Writer) b
 				name, have.BytesPerOp, want.BytesPerOp)
 			failed = true
 		}
+		if want.MaxAllocsPerOp > 0 && have.AllocsPerOp > want.MaxAllocsPerOp {
+			fmt.Fprintf(w, "benchcheck: FAIL %s: %.0f allocs/op exceeds hard ceiling %.0f\n",
+				name, have.AllocsPerOp, want.MaxAllocsPerOp)
+			failed = true
+		}
+		if want.MaxBytesPerOp > 0 && have.BytesPerOp > want.MaxBytesPerOp {
+			fmt.Fprintf(w, "benchcheck: FAIL %s: %.0f B/op exceeds hard ceiling %.0f\n",
+				name, have.BytesPerOp, want.MaxBytesPerOp)
+			failed = true
+		}
 		t := want.Tolerance
 		if t == 0 {
 			t = defTol
@@ -124,11 +149,92 @@ func compare(base baseline, got map[string]entry, defTol float64, w io.Writer) b
 	return failed
 }
 
+// parseCeilings parses a -max-bytes/-max-allocs value: comma-separated
+// name=ceiling pairs. Benchmark names themselves contain '='
+// (BenchmarkSweepWorkers/workers=4), so the ceiling starts after the
+// LAST '=' of each pair.
+func parseCeilings(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		i := strings.LastIndex(pair, "=")
+		if i <= 0 || i == len(pair)-1 {
+			return nil, fmt.Errorf("bad ceiling %q, want name=value", pair)
+		}
+		v, err := strconv.ParseFloat(pair[i+1:], 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad ceiling value in %q", pair)
+		}
+		out[pair[:i]] = v
+	}
+	return out, nil
+}
+
+// applyCeilings writes the flag-supplied hard ceilings into entries,
+// overriding any committed ones. A ceiling naming a benchmark that is
+// not in entries is an error: a typo must not silently gate nothing.
+func applyCeilings(entries map[string]entry, maxBytes, maxAllocs map[string]float64) error {
+	for name, v := range maxBytes {
+		e, ok := entries[name]
+		if !ok {
+			return fmt.Errorf("-max-bytes names unknown benchmark %q", name)
+		}
+		e.MaxBytesPerOp = v
+		entries[name] = e
+	}
+	for name, v := range maxAllocs {
+		e, ok := entries[name]
+		if !ok {
+			return fmt.Errorf("-max-allocs names unknown benchmark %q", name)
+		}
+		e.MaxAllocsPerOp = v
+		entries[name] = e
+	}
+	return nil
+}
+
+// checkCeilings rejects a baseline whose measured values already sit
+// above their own ceilings — `-update` must never commit a baseline
+// the very next `bench` run would fail.
+func checkCeilings(entries map[string]entry, w io.Writer) bool {
+	bad := false
+	for name, e := range entries {
+		if e.MaxBytesPerOp > 0 && e.BytesPerOp > e.MaxBytesPerOp {
+			fmt.Fprintf(w, "benchcheck: refusing baseline: %s measured %.0f B/op above its hard ceiling %.0f\n",
+				name, e.BytesPerOp, e.MaxBytesPerOp)
+			bad = true
+		}
+		if e.MaxAllocsPerOp > 0 && e.AllocsPerOp > e.MaxAllocsPerOp {
+			fmt.Fprintf(w, "benchcheck: refusing baseline: %s measured %.0f allocs/op above its hard ceiling %.0f\n",
+				name, e.AllocsPerOp, e.MaxAllocsPerOp)
+			bad = true
+		}
+	}
+	return bad
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	tol := flag.Float64("tol", 0.25, "default allowed fractional ns/op regression")
+	maxBytesFlag := flag.String("max-bytes", "",
+		"comma-separated name=ceiling pairs: absolute B/op hard ceilings (committed by -update)")
+	maxAllocsFlag := flag.String("max-allocs", "",
+		"comma-separated name=ceiling pairs: absolute allocs/op hard ceilings (committed by -update)")
 	flag.Parse()
+
+	maxBytes, err := parseCeilings(*maxBytesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: -max-bytes:", err)
+		os.Exit(1)
+	}
+	maxAllocs, err := parseCeilings(*maxAllocsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: -max-allocs:", err)
+		os.Exit(1)
+	}
 
 	got := parse(os.Stdin, os.Stdout)
 	if len(got) == 0 {
@@ -137,7 +243,8 @@ func main() {
 	}
 
 	if *update {
-		// Preserve per-entry tolerances across regeneration.
+		// Preserve per-entry tolerances and hard ceilings across
+		// regeneration; flag-supplied ceilings override committed ones.
 		var old baseline
 		if data, err := os.ReadFile(*baselinePath); err == nil {
 			_ = json.Unmarshal(data, &old)
@@ -149,8 +256,17 @@ func main() {
 		for name, e := range out.Entries {
 			if prev, ok := old.Entries[name]; ok {
 				e.Tolerance = prev.Tolerance
+				e.MaxBytesPerOp = prev.MaxBytesPerOp
+				e.MaxAllocsPerOp = prev.MaxAllocsPerOp
 				out.Entries[name] = e
 			}
+		}
+		if err := applyCeilings(out.Entries, maxBytes, maxAllocs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		if checkCeilings(out.Entries, os.Stderr) {
+			os.Exit(1)
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -173,6 +289,10 @@ func main() {
 	var base baseline
 	if err := json.Unmarshal(data, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: bad baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := applyCeilings(base.Entries, maxBytes, maxAllocs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 

@@ -131,10 +131,96 @@ func TestCompareExtraBenchmarkIsNoteNotFailure(t *testing.T) {
 	}
 }
 
+func TestParseCeilings(t *testing.T) {
+	// Benchmark names carry their own '=' — the ceiling is after the last.
+	got, err := parseCeilings("BenchmarkSweepWorkers/workers=4=12000000,BenchmarkSweepCacheMiss=9.5e7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkSweepWorkers/workers=4"] != 12000000 {
+		t.Errorf("subbench ceiling = %v", got)
+	}
+	if got["BenchmarkSweepCacheMiss"] != 9.5e7 {
+		t.Errorf("scientific-notation ceiling = %v", got)
+	}
+	if m, err := parseCeilings(""); err != nil || len(m) != 0 {
+		t.Errorf("empty flag: %v %v", m, err)
+	}
+	for _, bad := range []string{"=5", "BenchmarkA=", "BenchmarkA=zero", "BenchmarkA=-1", "BenchmarkA"} {
+		if _, err := parseCeilings(bad); err == nil {
+			t.Errorf("ceiling %q accepted", bad)
+		}
+	}
+}
+
+func TestCompareHardCeilings(t *testing.T) {
+	// The run is within the 1% relative slack of its baseline, but above
+	// the absolute ceiling: the ceiling must fail it anyway.
+	base := baseline{Entries: map[string]entry{
+		"BenchmarkWarm": {NsPerOp: 100, BytesPerOp: 20000, AllocsPerOp: 200,
+			MaxBytesPerOp: 20050, MaxAllocsPerOp: 201},
+	}}
+	got := map[string]entry{
+		"BenchmarkWarm": {NsPerOp: 100, BytesPerOp: 20100, AllocsPerOp: 202},
+	}
+	var out strings.Builder
+	if !compare(base, got, 0.25, &out) {
+		t.Fatal("over-ceiling run passed the gate")
+	}
+	s := out.String()
+	if !strings.Contains(s, "FAIL BenchmarkWarm: 20100 B/op exceeds hard ceiling 20050") {
+		t.Errorf("bytes ceiling verdict absent:\n%s", s)
+	}
+	if !strings.Contains(s, "FAIL BenchmarkWarm: 202 allocs/op exceeds hard ceiling 201") {
+		t.Errorf("allocs ceiling verdict absent:\n%s", s)
+	}
+	// Under the ceiling (and the relative slack) passes; a zero ceiling
+	// means no ceiling at all.
+	out.Reset()
+	if compare(base, map[string]entry{
+		"BenchmarkWarm": {NsPerOp: 100, BytesPerOp: 19000, AllocsPerOp: 199},
+	}, 0.25, &out) {
+		t.Fatalf("under-ceiling run failed:\n%s", out.String())
+	}
+}
+
+func TestApplyAndCheckCeilings(t *testing.T) {
+	entries := map[string]entry{"BenchmarkA": {BytesPerOp: 500, AllocsPerOp: 50}}
+	if err := applyCeilings(entries, map[string]float64{"BenchmarkA": 1000},
+		map[string]float64{"BenchmarkA": 100}); err != nil {
+		t.Fatal(err)
+	}
+	e := entries["BenchmarkA"]
+	if e.MaxBytesPerOp != 1000 || e.MaxAllocsPerOp != 100 {
+		t.Fatalf("ceilings not applied: %+v", e)
+	}
+	// A typo'd name must not silently gate nothing.
+	if err := applyCeilings(entries, map[string]float64{"BenchmarkTypo": 1}, nil); err == nil {
+		t.Error("unknown -max-bytes benchmark accepted")
+	}
+	if err := applyCeilings(entries, nil, map[string]float64{"BenchmarkTypo": 1}); err == nil {
+		t.Error("unknown -max-allocs benchmark accepted")
+	}
+	// checkCeilings refuses a baseline already above its own ceiling.
+	var out strings.Builder
+	if checkCeilings(entries, &out) {
+		t.Fatalf("healthy baseline refused:\n%s", out.String())
+	}
+	entries["BenchmarkA"] = entry{BytesPerOp: 2000, AllocsPerOp: 50, MaxBytesPerOp: 1000}
+	if !checkCeilings(entries, &out) {
+		t.Fatal("over-ceiling baseline accepted")
+	}
+	if !strings.Contains(out.String(), "refusing baseline: BenchmarkA measured 2000 B/op") {
+		t.Errorf("refusal verdict absent:\n%s", out.String())
+	}
+}
+
 // TestBaselineCacheHitSpeedup gates the committed baseline itself: the
-// all-hit sweep must stay orders of magnitude below the cold 1-worker
-// sweep (>=50x ns/op, >=100x B/op). A baseline regeneration that erodes
-// this means the hit path started doing real work.
+// all-hit sweep must stay orders of magnitude below the cold all-miss
+// sweep (>=50x ns/op, >=100x B/op). The cold reference is the cache-miss
+// benchmark — the sweep-workers path now runs on warm arenas and is
+// itself orders of magnitude below cold. A baseline regeneration that
+// erodes this means the hit path started doing real work.
 func TestBaselineCacheHitSpeedup(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_baseline.json"))
 	if err != nil {
@@ -144,9 +230,9 @@ func TestBaselineCacheHitSpeedup(t *testing.T) {
 	if err := json.Unmarshal(data, &base); err != nil {
 		t.Fatal(err)
 	}
-	cold, ok := base.Entries["BenchmarkSweepWorkers/workers=1"]
+	cold, ok := base.Entries["BenchmarkSweepCacheMiss"]
 	if !ok {
-		t.Fatal("baseline lacks BenchmarkSweepWorkers/workers=1")
+		t.Fatal("baseline lacks BenchmarkSweepCacheMiss")
 	}
 	hit, ok := base.Entries["BenchmarkSweepCacheHit"]
 	if !ok {
@@ -157,5 +243,48 @@ func TestBaselineCacheHitSpeedup(t *testing.T) {
 	}
 	if hit.BytesPerOp*100 > cold.BytesPerOp {
 		t.Errorf("cache hit %.0f B/op is less than 100x below cold %.0f", hit.BytesPerOp, cold.BytesPerOp)
+	}
+}
+
+// TestBaselineMemoryDiscipline pins the PR's headline acceptance
+// criterion into the committed baseline forever: the warm-arena sweep at
+// 4 workers must carry hard ceilings at least 5x below the pre-arena
+// cold numbers (88,572,996 B/op and 1,869,553 allocs/op at the time the
+// arenas landed), and the cold cache-miss sweep must be ceiling-gated so
+// the cold path cannot quietly bloat either.
+func TestBaselineMemoryDiscipline(t *testing.T) {
+	const (
+		preArenaBytes  = 88572996.0
+		preArenaAllocs = 1869553.0
+	)
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	warm, ok := base.Entries["BenchmarkSweepWorkers/workers=4"]
+	if !ok {
+		t.Fatal("baseline lacks BenchmarkSweepWorkers/workers=4")
+	}
+	if warm.MaxBytesPerOp <= 0 || warm.MaxAllocsPerOp <= 0 {
+		t.Fatalf("workers=4 carries no hard ceilings: %+v", warm)
+	}
+	if warm.MaxBytesPerOp*5 > preArenaBytes {
+		t.Errorf("workers=4 B/op ceiling %.0f is not 5x below the pre-arena %.0f",
+			warm.MaxBytesPerOp, preArenaBytes)
+	}
+	if warm.MaxAllocsPerOp*5 > preArenaAllocs {
+		t.Errorf("workers=4 allocs/op ceiling %.0f is not 5x below the pre-arena %.0f",
+			warm.MaxAllocsPerOp, preArenaAllocs)
+	}
+	miss, ok := base.Entries["BenchmarkSweepCacheMiss"]
+	if !ok {
+		t.Fatal("baseline lacks BenchmarkSweepCacheMiss")
+	}
+	if miss.MaxBytesPerOp <= 0 || miss.MaxAllocsPerOp <= 0 {
+		t.Fatalf("cache-miss sweep carries no hard ceilings: %+v", miss)
 	}
 }
