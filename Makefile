@@ -5,7 +5,9 @@
 #                     sweeps, fault injection) + a short fuzz pass over the
 #                     config parsers and the rank-partitioning lookahead
 #   make bench      — the perf gate: the event-kernel hot loop, the parallel
-#                     window barrier (both sync modes), the sweep scheduler
+#                     window barrier (conservative sync modes plus the
+#                     low-lookahead lattice where speculative sync must
+#                     beat pairwise), the sweep scheduler
 #                     at 1/2/4/8 workers and the result cache's hit and miss
 #                     paths, with -benchmem, checked against the committed
 #                     BENCH_baseline.json (alloc counts must not grow;
@@ -19,6 +21,11 @@
 #   make resume-smoke — the crash-safety gate: SIGINT a journaled sweep
 #                     mid-flight, resume it, and require the resumed grid to
 #                     be byte-identical to an uninterrupted run
+#   make spec-smoke — the optimistic-sync crash gate: SIGKILL a speculative
+#                     multi-rank system run mid-flight, restore from its
+#                     last snapshot, and require the finished summary
+#                     (including rollback counters) to be byte-identical to
+#                     an uninterrupted run. Runs inside `make check`
 #   make cache-smoke — the warm-start gate: run a sweep twice sharing a
 #                     -cache-file; the second invocation must serve every
 #                     point from the cache (misses=0) and print an
@@ -53,7 +60,7 @@ BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./i
 BENCH_CEILINGS = -max-bytes 'BenchmarkSweepWorkers/workers=1=9000000,BenchmarkSweepWorkers/workers=2=9000000,BenchmarkSweepWorkers/workers=4=9000000,BenchmarkSweepWorkers/workers=8=9000000,BenchmarkSweepCacheMiss=60000000' \
                  -max-allocs 'BenchmarkSweepWorkers/workers=1=32000,BenchmarkSweepWorkers/workers=2=32000,BenchmarkSweepWorkers/workers=4=32000,BenchmarkSweepWorkers/workers=8=32000,BenchmarkSweepCacheMiss=36000'
 
-.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke soak soak-short
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke spec-smoke soak soak-short
 
 build:
 	$(GO) build ./...
@@ -84,8 +91,9 @@ fuzz-short:
 	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadMachine -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/config -run='^$$' -fuzz=FuzzLoadSystem -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzPartitionLookahead -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzSpeculativeReplay -fuzztime=$(FUZZTIME)
 
-check: build vet test race fuzz-short soak-short serve-smoke
+check: build vet test race fuzz-short soak-short serve-smoke spec-smoke
 
 # End-to-end crash-safety check of the resumable sweep path: run the grid
 # once clean for reference, kill a journaled single-worker run mid-flight
@@ -127,6 +135,27 @@ cache-smoke:
 	    { echo "cache-smoke: warm run re-simulated:"; cat "$$tmp/warm.err"; exit 1; } && \
 	cmp "$$tmp/cold.csv" "$$tmp/warm.csv" && \
 	echo "cache-smoke: warm-started grid identical, zero re-simulation"
+
+# End-to-end crash check of the optimistic (Time Warp) sync path: run a
+# speculative 2-rank system simulation sliced into periodic snapshots for
+# reference, SIGKILL an identical run mid-flight (exit 137; 0 if it won
+# the race and finished), restore from the snapshot it left behind, and
+# require the finished summary — simulated time, message totals, window
+# and rollback counters — to be byte-identical to the uninterrupted run.
+# The reference is sliced with the same -snapshot-every so both runs
+# commit speculation at the same barriers.
+SPEC_SMOKE_ARGS = -system configs/system-torus-small.json -par 2 -sync speculative -snapshot-every 500us
+
+spec-smoke:
+	$(GO) build -o bin/sst ./cmd/sst
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' 0 && \
+	./bin/sst $(SPEC_SMOKE_ARGS) -snapshot-out "$$tmp/ref.snap" >"$$tmp/ref.out" && \
+	{ timeout --preserve-status -s KILL -k 5 0.8 ./bin/sst $(SPEC_SMOKE_ARGS) -snapshot-out "$$tmp/run.snap" \
+	    >/dev/null 2>&1; rc=$$?; [ $$rc -eq 137 ] || [ $$rc -eq 0 ] || \
+	    { echo "spec-smoke: killed run exited $$rc, want 137 (or 0)"; exit 1; }; } && \
+	./bin/sst $(SPEC_SMOKE_ARGS) -restore "$$tmp/run.snap" -snapshot-out "$$tmp/run.snap" >"$$tmp/restored.out" && \
+	cmp "$$tmp/ref.out" "$$tmp/restored.out" && \
+	echo "spec-smoke: restored speculative run identical to uninterrupted run"
 
 # End-to-end crash-tolerance check of the sweep service; the three
 # scenarios live in tools/serve_smoke.sh (graceful drain, kill -9

@@ -9,7 +9,8 @@
 //	        [-journal net.jsonl] [-resume]
 //	        [-cache] [-cache-size 4096] [-cache-policy lru|lfu|fifo|tinylfu]
 //	        [-cache-shadow lfu,tinylfu] [-cache-file results.jsonl]
-//	sst-net -scaling [-nodes 16] [-ranks 1,2,4,8] [-horizon 2ms] [-format ...]
+//	sst-net -scaling [-nodes 16] [-ranks 1,2,4,8] [-horizon 2ms]
+//	        [-sync all|global,pairwise,speculative,adaptive] [-format ...]
 //
 // The study's (proxy app, bandwidth fraction) cells are independent
 // simulations; -j sets how many run concurrently (default: GOMAXPROCS).
@@ -36,10 +37,12 @@
 //
 // -scaling instead runs the parallel-simulator scaling study (E6): the
 // heterogeneous-latency lattice partitioned over each rank count, under
-// both conservative sync modes (global window vs topology-aware pairwise
-// horizons), reporting wall time and dispatched synchronization windows
-// side by side. It is sequential by design (each point times the host),
-// so -j is ignored there.
+// the sync modes selected by -sync (default all four: the conservative
+// global window and topology-aware pairwise horizons, plus the optimistic
+// speculative and adaptive modes with their rollback counts), reporting
+// wall time and dispatched synchronization windows side by side. It is
+// sequential by design (each point times the host), so -j is ignored
+// there.
 package main
 
 import (
@@ -55,6 +58,7 @@ import (
 	"sst/internal/cli"
 	"sst/internal/core"
 	"sst/internal/obs"
+	"sst/internal/par"
 	"sst/internal/sim"
 )
 
@@ -71,6 +75,7 @@ func main() {
 		scalingFlag = flag.Bool("scaling", false, "run the parallel-simulator scaling study instead (E6)")
 		ranksFlag   = flag.String("ranks", "1,2,4,8", "rank counts for -scaling")
 		horizonFlag = flag.String("horizon", "2ms", "simulated horizon for -scaling")
+		syncFlag    = flag.String("sync", "all", "sync modes for -scaling: all, or comma-separated from "+strings.Join(par.SyncModeNames(), ", "))
 		journal     = flag.String("journal", "", "journal completed study cells to this JSONL file (fsync'd per cell)")
 		resume      = flag.Bool("resume", false, "with -journal: restore completed cells instead of re-running them")
 
@@ -95,7 +100,7 @@ func main() {
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	if *scalingFlag {
-		cli.Exit("sst-net", runScaling(*nodesFlag, *ranksFlag, *horizonFlag, format, ctx))
+		cli.Exit("sst-net", runScaling(*nodesFlag, *ranksFlag, *horizonFlag, *syncFlag, format, ctx))
 	}
 	sc, cerr := newSweepCache(*cacheFlag, *cacheSize, *cachePolicy, *cacheShadow, *cacheFile)
 	if cerr != nil {
@@ -146,8 +151,9 @@ func printCacheSummary(prog string, sc *cache.Cache) {
 }
 
 // runScaling drives the E6 parallel-scaling study: the heterogeneous
-// lattice over each rank count, global and pairwise sync side by side.
-func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ctx context.Context) error {
+// lattice over each rank count, with the -sync flag choosing which sync
+// modes run side by side (default: all four, conservative and optimistic).
+func runScaling(nodes int, ranksFlag, horizonFlag, syncFlag string, format core.Format, ctx context.Context) error {
 	var ranks []int
 	for _, s := range strings.Split(ranksFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -160,7 +166,22 @@ func runScaling(nodes int, ranksFlag, horizonFlag string, format core.Format, ct
 	if err != nil {
 		return cli.Configf("bad horizon: %w", err)
 	}
-	res, err := core.ParallelScalingStudy(ranks, nodes, horizon, core.SweepOptions{Context: ctx})
+	var modes []par.SyncMode
+	if syncFlag == "all" || syncFlag == "" {
+		for _, name := range par.SyncModeNames() {
+			m, _ := par.ParseSyncMode(name)
+			modes = append(modes, m)
+		}
+	} else {
+		for _, s := range strings.Split(syncFlag, ",") {
+			m, err := par.ParseSyncMode(strings.TrimSpace(s))
+			if err != nil {
+				return cli.Configf("%v", err)
+			}
+			modes = append(modes, m)
+		}
+	}
+	res, err := core.ParallelScalingStudyModes(ranks, nodes, horizon, core.SweepOptions{Context: ctx}, modes)
 	if err != nil {
 		return err
 	}

@@ -43,20 +43,26 @@ func TestNetStudyObsFiles(t *testing.T) {
 }
 
 func TestNetScalingStudy(t *testing.T) {
-	if err := runScaling(8, "1,2", "100us", core.FormatTable, context.Background()); err != nil {
+	if err := runScaling(8, "1,2", "100us", "pairwise,speculative", core.FormatTable, context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	err := runScaling(8, "1,x", "100us", core.FormatTable, context.Background())
+	err := runScaling(8, "1,x", "100us", "all", core.FormatTable, context.Background())
 	if err == nil {
 		t.Error("bad rank count accepted")
 	} else if cli.Code(err) != cli.ExitConfig {
 		t.Errorf("bad rank count maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
-	err = runScaling(8, "1", "soon", core.FormatTable, context.Background())
+	err = runScaling(8, "1", "soon", "all", core.FormatTable, context.Background())
 	if err == nil {
 		t.Error("bad horizon accepted")
 	} else if cli.Code(err) != cli.ExitConfig {
 		t.Errorf("bad horizon maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
+	}
+	err = runScaling(8, "1", "100us", "warp-speed", core.FormatTable, context.Background())
+	if err == nil {
+		t.Error("bad sync mode accepted")
+	} else if cli.Code(err) != cli.ExitConfig {
+		t.Errorf("bad sync mode maps to exit %d, want %d", cli.Code(err), cli.ExitConfig)
 	}
 }
 

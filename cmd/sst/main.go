@@ -8,7 +8,7 @@
 //
 //	sst -config machine.json [-stats] [-format table|json|csv]
 //	    [-trace-out run.json] [-trace-cap N] [-metrics-out m.json]
-//	sst -system system.json [-par N] [-sync global|pairwise]
+//	sst -system system.json [-par N] [-sync global|pairwise|speculative|adaptive]
 //	    [-snapshot-every 100us] [-snapshot-out run.snap] [-restore run.snap]
 //	    [-trace-out run.json] [-metrics-out m.json]
 //
@@ -21,10 +21,15 @@
 //
 // -par N partitions a -system run over N parallel ranks (the network
 // fabric becomes internal/dnoc, bit-identical to the sequential run);
-// -sync selects the conservative synchronization mode, pairwise
-// (topology-aware lookahead, the default) or global (single minimum
-// window). With -par, -trace-out writes one file per rank: the path gains
-// a ".rankN" suffix before its extension (run.json -> run.rank0.json ...).
+// -sync selects the synchronization mode: the conservative pairwise
+// (topology-aware lookahead, the default) and global (single minimum
+// window) modes, the optimistic speculative mode (ranks run past their
+// conservative horizon, checkpoint through the snapshot codec, and roll
+// back and replay when a straggler arrives), or adaptive (speculative
+// with a governor that falls back to conservative windows per rank while
+// its rollback rate spikes). All modes produce bit-identical results.
+// With -par, -trace-out writes one file per rank: the path gains a
+// ".rankN" suffix before its extension (run.json -> run.rank0.json ...).
 //
 // -snapshot-every T writes a consistent snapshot of the whole -system
 // simulation to -snapshot-out every T of simulated time (atomic
@@ -81,7 +86,7 @@ func main() {
 		traceCap   = flag.Int("trace-cap", 0, "trace ring capacity in spans (0 = default 65536; keeps the run's tail)")
 		metricsOut = flag.String("metrics-out", "", "write run metrics JSON to this file")
 		parFlag    = flag.Int("par", 1, "partition a -system run over N parallel ranks")
-		syncFlag   = flag.String("sync", "pairwise", "parallel sync mode: global or pairwise")
+		syncFlag   = flag.String("sync", "pairwise", "parallel sync mode: "+strings.Join(par.SyncModeNames(), ", "))
 		snapEvery  = flag.String("snapshot-every", "", "write a snapshot every this much simulated time (e.g. 100us; -system only)")
 		snapOut    = flag.String("snapshot-out", "sst.snap", "snapshot file for -snapshot-every")
 		restore    = flag.String("restore", "", "resume a -system run from this snapshot file")
@@ -267,9 +272,11 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 		return err
 	}
 	runner.SetSyncMode(mode)
-	if snap.active() {
+	if snap.active() || mode.Speculative() {
 		// Must precede model construction: components register their
-		// checkpoint state as they are built.
+		// checkpoint state as they are built. The optimistic sync modes
+		// need it even without -snapshot-every: rollback restores engine
+		// checkpoints taken through the same codec.
 		runner.EnableSnapshots()
 	}
 	d, err := dnoc.New(runner, topo, netCfg, nil)
@@ -372,6 +379,10 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 	fmt.Printf("mean msg latency: %.2f us\n", d.MeanLatencyPs()/1e6)
 	fmt.Printf("sync windows:    %d (%d fast-forwards, lookahead %v, imbalance %.2f)\n",
 		m.Windows, m.FastForwards, m.Lookahead, m.Imbalance)
+	if mode.Speculative() {
+		fmt.Printf("rollbacks:       %d (%d events replayed, %d fallbacks, %d promotions)\n",
+			m.Rollbacks, m.Replayed, m.Fallbacks, m.Promotions)
+	}
 	return nil
 }
 

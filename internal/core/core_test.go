@@ -226,6 +226,20 @@ func TestParallelScalingStudyRuns(t *testing.T) {
 		t.Errorf("pairwise dispatched %d windows vs global %d; topology-aware horizons are not engaging",
 			res.Windows[4], res.WindowsGlobal[4])
 	}
+	// The per-mode maps must cover all four sync modes at every rank count
+	// (the study errors internally if any mode's event count diverges), and
+	// the legacy fields must alias the pairwise/global entries exactly.
+	for _, mode := range []string{"global", "pairwise", "speculative", "adaptive"} {
+		if len(res.WallSecondsMode[mode]) != 2 || len(res.WindowsMode[mode]) != 2 {
+			t.Fatalf("mode %q missing from per-mode maps: %v", mode, res.WallSecondsMode[mode])
+		}
+	}
+	if res.Windows[4] != res.WindowsMode["pairwise"][4] || res.WindowsGlobal[4] != res.WindowsMode["global"][4] {
+		t.Errorf("legacy window fields diverge from per-mode maps")
+	}
+	if res.WindowsMode["speculative"][4] == 0 {
+		t.Errorf("speculative cells dispatched no windows")
+	}
 }
 
 func TestRunMachineErrors(t *testing.T) {

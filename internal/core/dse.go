@@ -104,7 +104,16 @@ func RunMachineCtx(ctx context.Context, cfg *config.MachineConfig) (*NodeResult,
 	}
 	stop := context.AfterFunc(ctx, n.Sim.Engine().Interrupt)
 	defer stop()
-	return n.Run()
+	res, err := n.Run()
+	// The interrupt lands on a separate goroutine, so a run can finish in
+	// the gap between its deadline expiring and the interrupt arriving.
+	// The deadline is the contract: a run that crossed it counts as timed
+	// out either way. Plain cancellation keeps its drain semantics — a
+	// run that completes before the interrupt lands stays a success.
+	if err == nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return nil, fmt.Errorf("core: machine run exceeded its deadline: %w", context.DeadlineExceeded)
+	}
+	return res, err
 }
 
 // DSEPoint is one (app, tech, width) sample of the design space.

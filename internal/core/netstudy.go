@@ -107,6 +107,13 @@ func RunNetPointCtx(ctx context.Context, p workload.CommProfile, nodes, steps in
 		}
 		return 0, nil, fmt.Errorf("core: net study %s deadlocked", p.Name)
 	}
+	// Same race as RunMachineCtx: a point that finishes between its
+	// deadline expiring and the interrupt landing still counts as timed
+	// out; completion under plain cancellation stays a success (drain).
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return 0, nil, fmt.Errorf("core: net study %s exceeded its deadline: %w",
+			p.Name, context.DeadlineExceeded)
+	}
 	return app.Elapsed(), net, nil
 }
 

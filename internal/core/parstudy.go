@@ -11,15 +11,17 @@ import (
 
 // The parallel-simulation study exercises the poster's scalability claim:
 // the same multi-node model is partitioned over 1..N ranks and the host
-// wall-clock time per simulated event is measured, under both conservative
-// synchronization modes. On a multi-core host the windows execute
-// concurrently; on any host the study also verifies that neither the
-// partitioning nor the sync mode changes the event count (bit-level
-// determinism is covered by internal/par's tests).
+// wall-clock time per simulated event is measured, under every registered
+// synchronization mode — conservative global and pairwise windows plus the
+// optimistic speculative and adaptive modes. On a multi-core host the
+// windows execute concurrently; on any host the study also verifies that
+// neither the partitioning nor the sync mode changes the event count
+// (bit-level determinism is covered by internal/par's tests).
 
 // latticeNode is a self-driving model node: it burns host CPU per event
 // (standing in for component model code) and exchanges messages with its
-// ring neighbor.
+// ring neighbor. It is checkpointable so the optimistic sync modes, which
+// roll ranks back through engine snapshots, can run the lattice.
 type latticeNode struct {
 	name     string
 	out      *sim.Port
@@ -28,6 +30,17 @@ type latticeNode struct {
 }
 
 func (l *latticeNode) Name() string { return l.name }
+
+func (l *latticeNode) SaveState(enc *sim.Encoder) {
+	enc.U64(l.received)
+	enc.F64(l.sink)
+}
+
+func (l *latticeNode) LoadState(dec *sim.Decoder) error {
+	l.received = dec.U64()
+	l.sink = dec.F64()
+	return dec.Err()
+}
 
 func (l *latticeNode) recv(payload any) {
 	l.received++
@@ -138,69 +151,118 @@ func BuildLatticeHetero(r *par.Runner, nodes int) ([]*latticeNode, error) {
 	// out-port, so the chat stays on the 250ns path. The quiet stretch is
 	// what the pairwise horizons exploit: the pair's next events sit a
 	// whole period ahead, so it stops capping everyone else's windows.
+	// Both drivers are checkpoint-owned components (their event chains live
+	// in EventSets, their counters in SaveState) rather than raw closures,
+	// so an optimistic rank can snapshot and roll the lattice back.
 	halves[0].a.SetHandler(out[0].recv) // node 1 -> node 0 replies
-	chat := func(i int, port *sim.Port, start sim.Time) {
-		node := out[i]
-		eng := r.Rank(i % nranks).Engine()
-		per := int(hetTightLat / hetChatStep)
-		count := 0
-		var work sim.Handler
-		work = func(any) {
-			node.burn()
-			count++
-			if count%per == 0 {
-				port.Send(node.received)
-			}
-			if phase := eng.Now() % hetChatPeriod; phase+hetChatStep >= hetChatOn {
-				eng.Schedule(hetChatPeriod-phase, work, nil)
-				return
-			}
-			eng.Schedule(hetChatStep, work, nil)
+	for i, cfg := range []struct {
+		port  *sim.Port
+		start sim.Time
+	}{{halves[0].a, 0}, {halves[0].b, sim.Nanosecond}} {
+		rk := r.Rank(i % nranks)
+		c := &hetChat{
+			name: fmt.Sprintf("chat%d", i), node: out[i], port: cfg.port,
+			eng: rk.Engine(), per: int(hetTightLat / hetChatStep),
 		}
-		eng.Schedule(start, work, nil)
+		c.set = sim.NewEventSet(c.eng, c.name, c.work)
+		rk.Add(c)
+		c.set.ScheduleAt(cfg.start, sim.PrioLink, 0)
 	}
-	chat(0, halves[0].a, 0)
-	chat(1, halves[0].b, sim.Nanosecond)
 	// The periphery: hetBurstLen events spaced hetBurstStep, one ring
 	// message at the end of each burst, then silence until the next burst.
 	for i := 2; i < nodes; i++ {
-		node := out[i]
-		eng := r.Rank(i % nranks).Engine()
-		k := 0
-		var burst sim.Handler
-		burst = func(any) {
-			node.burn()
-			k++
-			if k%hetBurstLen == 0 {
-				node.out.Send(node.received)
-				eng.Schedule(hetBurstGap-sim.Time(hetBurstLen-1)*hetBurstStep, burst, nil)
-				return
-			}
-			eng.Schedule(hetBurstStep, burst, nil)
-		}
-		eng.Schedule(sim.Time(i%7)*sim.Nanosecond, burst, nil)
+		rk := r.Rank(i % nranks)
+		p := &hetBurst{name: fmt.Sprintf("burst%d", i), node: out[i], eng: rk.Engine()}
+		p.set = sim.NewEventSet(p.eng, p.name, p.work)
+		rk.Add(p)
+		p.set.ScheduleAt(sim.Time(i%7)*sim.Nanosecond, sim.PrioLink, 0)
 	}
 	return out, nil
+}
+
+// hetChat drives one side of the chatty pair as a checkpointable component:
+// the pending tick lives in its EventSet and the duty-cycle counter rides
+// in its saved state.
+type hetChat struct {
+	name  string
+	node  *latticeNode
+	port  *sim.Port
+	eng   *sim.Engine
+	set   *sim.EventSet
+	per   int
+	count int
+}
+
+func (c *hetChat) Name() string                     { return c.name }
+func (c *hetChat) SaveState(enc *sim.Encoder)       { enc.I64(int64(c.count)); c.set.Save(enc) }
+func (c *hetChat) LoadState(dec *sim.Decoder) error { c.count = int(dec.I64()); return c.set.Load(dec) }
+func (c *hetChat) PendingOwned() int                { return c.set.PendingOwned() }
+
+func (c *hetChat) work(any) {
+	c.node.burn()
+	c.count++
+	if c.count%c.per == 0 {
+		c.port.Send(c.node.received)
+	}
+	now := c.eng.Now()
+	if phase := now % hetChatPeriod; phase+hetChatStep >= hetChatOn {
+		c.set.ScheduleAt(now+hetChatPeriod-phase, sim.PrioLink, 0)
+		return
+	}
+	c.set.ScheduleAt(now+hetChatStep, sim.PrioLink, 0)
+}
+
+// hetBurst drives one periphery node's duty-cycled bursts, checkpoint-owned
+// like hetChat.
+type hetBurst struct {
+	name string
+	node *latticeNode
+	eng  *sim.Engine
+	set  *sim.EventSet
+	k    int
+}
+
+func (p *hetBurst) Name() string                     { return p.name }
+func (p *hetBurst) SaveState(enc *sim.Encoder)       { enc.I64(int64(p.k)); p.set.Save(enc) }
+func (p *hetBurst) LoadState(dec *sim.Decoder) error { p.k = int(dec.I64()); return p.set.Load(dec) }
+func (p *hetBurst) PendingOwned() int                { return p.set.PendingOwned() }
+
+func (p *hetBurst) work(any) {
+	p.node.burn()
+	p.k++
+	now := p.eng.Now()
+	if p.k%hetBurstLen == 0 {
+		p.node.out.Send(p.node.received)
+		p.set.ScheduleAt(now+hetBurstGap-sim.Time(hetBurstLen-1)*hetBurstStep, sim.PrioLink, 0)
+		return
+	}
+	p.set.ScheduleAt(now+hetBurstStep, sim.PrioLink, 0)
 }
 
 // ParallelScalingResult is the parallel-scaling study's Result: the
 // rendered table plus, per rank count, the host wall time and the total
 // dispatched window count under each sync mode. WallSeconds refers to the
-// default (pairwise) mode.
+// default (pairwise) mode; the legacy Global fields alias the per-mode maps
+// for existing consumers.
 type ParallelScalingResult struct {
 	TableResult
 	WallSeconds       map[int]float64
 	WallSecondsGlobal map[int]float64
 	Windows           map[int]uint64
 	WindowsGlobal     map[int]uint64
+	// Per-sync-mode maps keyed by par.SyncMode.String() then rank count,
+	// covering the optimistic modes the legacy fields predate.
+	WallSecondsMode map[string]map[int]float64
+	WindowsMode     map[string]map[int]uint64
+	RollbacksMode   map[string]map[int]uint64
 }
 
 // ParallelScalingStudy runs the heterogeneous lattice at each rank count
-// for the given simulated horizon under both sync modes, reporting host
-// wall time, dispatched windows and simulated events. The event count must
-// be invariant across every (ranks, mode) cell, and on multi-rank runs the
-// pairwise mode must not dispatch more windows than the global mode — both
-// are checked here, not just reported.
+// for the given simulated horizon under all four sync modes, reporting
+// host wall time, dispatched windows, rollbacks and simulated events. The
+// event count must be invariant across every (ranks, mode) cell, and on
+// multi-rank runs the pairwise mode must not dispatch more windows than
+// the global mode — both are checked here, not just reported.
 //
 // Unlike the design-space sweeps this study stays sequential on purpose:
 // each point measures host wall-clock and already spawns one goroutine per
@@ -209,20 +271,48 @@ type ParallelScalingResult struct {
 // therefore ignored; opts.Context is still consulted between points so a
 // cancelled sweep stops promptly.
 func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time, opts SweepOptions) (*ParallelScalingResult, error) {
+	return ParallelScalingStudyModes(rankCounts, nodes, horizon, opts,
+		[]par.SyncMode{par.SyncGlobal, par.SyncPairwise, par.SyncSpeculative, par.SyncAdaptive})
+}
+
+// ParallelScalingStudyModes is ParallelScalingStudy restricted to a chosen
+// subset of sync modes (the sst-net -sync flag). Absent modes report zero
+// in the fixed table columns and are missing from the per-mode maps; the
+// speedup baseline is pairwise when selected, otherwise the first mode.
+func ParallelScalingStudyModes(rankCounts []int, nodes int, horizon sim.Time, opts SweepOptions, modes []par.SyncMode) (*ParallelScalingResult, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("core: parallel scaling study needs at least one sync mode")
+	}
+	baseMode := modes[0]
+	for _, m := range modes {
+		if m == par.SyncPairwise {
+			baseMode = m
+		}
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("Parallel simulation scaling: %d-node heterogeneous lattice, %v horizon", nodes, horizon),
-		"ranks", "events", "wall_ms_global", "wall_ms_pairwise", "windows_global", "windows_pairwise", "speedup_vs_1rank")
+		"ranks", "events", "wall_ms_global", "wall_ms_pairwise", "wall_ms_spec", "wall_ms_adaptive",
+		"windows_global", "windows_pairwise", "windows_spec", "rollbacks_spec", "speedup_vs_1rank")
 	ctx := opts.context()
 	res := &ParallelScalingResult{
 		WallSeconds:       map[int]float64{},
 		WallSecondsGlobal: map[int]float64{},
 		Windows:           map[int]uint64{},
 		WindowsGlobal:     map[int]uint64{},
+		WallSecondsMode:   map[string]map[int]float64{},
+		WindowsMode:       map[string]map[int]uint64{},
+		RollbacksMode:     map[string]map[int]uint64{},
+	}
+	for _, m := range modes {
+		res.WallSecondsMode[m.String()] = map[int]float64{}
+		res.WindowsMode[m.String()] = map[int]uint64{}
+		res.RollbacksMode[m.String()] = map[int]uint64{}
 	}
 	type cell struct {
-		wall    float64
-		windows uint64
-		events  uint64
+		wall      float64
+		windows   uint64
+		events    uint64
+		rollbacks uint64
 	}
 	run := func(nr int, mode par.SyncMode) (cell, error) {
 		r, err := par.NewRunner(nr)
@@ -230,6 +320,12 @@ func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time, opts Sw
 			return cell{}, err
 		}
 		r.SetSyncMode(mode)
+		if mode.Speculative() {
+			// Optimistic execution rolls ranks back through engine
+			// snapshots, so these cells run with checkpoint tracking on —
+			// its bookkeeping cost is part of the mode's measured price.
+			r.EnableSnapshots()
+		}
 		if _, err := BuildLatticeHetero(r, nodes); err != nil {
 			return cell{}, err
 		}
@@ -239,11 +335,12 @@ func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time, opts Sw
 			return cell{}, err
 		}
 		w := time.Since(start).Seconds()
+		m := r.Metrics()
 		var dispatched uint64
-		for _, rk := range r.Metrics().Ranks {
+		for _, rk := range m.Ranks {
 			dispatched += rk.Windows
 		}
-		return cell{wall: w, windows: dispatched, events: events}, nil
+		return cell{wall: w, windows: dispatched, events: events, rollbacks: m.Rollbacks}, nil
 	}
 	var base float64
 	var baseEvents uint64
@@ -251,31 +348,47 @@ func ParallelScalingStudy(rankCounts []int, nodes int, horizon sim.Time, opts Sw
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: parallel scaling study cancelled: %w", err)
 		}
-		g, err := run(nr, par.SyncGlobal)
-		if err != nil {
-			return nil, err
+		cells := map[par.SyncMode]cell{}
+		has := func(m par.SyncMode) bool { _, ok := cells[m]; return ok }
+		for _, mode := range modes {
+			c, err := run(nr, mode)
+			if err != nil {
+				return nil, fmt.Errorf("core: %v sync at %d ranks: %w", mode, nr, err)
+			}
+			cells[mode] = c
 		}
-		p, err := run(nr, par.SyncPairwise)
-		if err != nil {
-			return nil, err
-		}
+		g, p := cells[par.SyncGlobal], cells[par.SyncPairwise]
+		bc := cells[baseMode]
 		if nr == rankCounts[0] {
-			base = p.wall
-			baseEvents = p.events
+			base = bc.wall
+			baseEvents = bc.events
 		}
-		if g.events != baseEvents || p.events != baseEvents {
-			return nil, fmt.Errorf("core: partitioning or sync mode changed event count at %d ranks: global %d, pairwise %d, reference %d",
-				nr, g.events, p.events, baseEvents)
+		for _, mode := range modes {
+			if ev := cells[mode].events; ev != baseEvents {
+				return nil, fmt.Errorf("core: partitioning or sync mode changed event count at %d ranks: %v %d, reference %d",
+					nr, mode, ev, baseEvents)
+			}
 		}
-		if nr > 1 && p.windows > g.windows {
+		if nr > 1 && has(par.SyncGlobal) && has(par.SyncPairwise) && p.windows > g.windows {
 			return nil, fmt.Errorf("core: pairwise sync dispatched more windows than global at %d ranks: %d vs %d",
 				nr, p.windows, g.windows)
 		}
-		res.WallSeconds[nr] = p.wall
-		res.WallSecondsGlobal[nr] = g.wall
-		res.Windows[nr] = p.windows
-		res.WindowsGlobal[nr] = g.windows
-		t.AddRow(nr, p.events, g.wall*1e3, p.wall*1e3, g.windows, p.windows, base/p.wall)
+		if has(par.SyncPairwise) {
+			res.WallSeconds[nr] = p.wall
+			res.Windows[nr] = p.windows
+		}
+		if has(par.SyncGlobal) {
+			res.WallSecondsGlobal[nr] = g.wall
+			res.WindowsGlobal[nr] = g.windows
+		}
+		for _, mode := range modes {
+			res.WallSecondsMode[mode.String()][nr] = cells[mode].wall
+			res.WindowsMode[mode.String()][nr] = cells[mode].windows
+			res.RollbacksMode[mode.String()][nr] = cells[mode].rollbacks
+		}
+		s, a := cells[par.SyncSpeculative], cells[par.SyncAdaptive]
+		t.AddRow(nr, bc.events, g.wall*1e3, p.wall*1e3, s.wall*1e3, a.wall*1e3,
+			g.windows, p.windows, s.windows, s.rollbacks, base/bc.wall)
 	}
 	res.TableResult = TableResult{Tab: t}
 	return res, nil

@@ -240,7 +240,9 @@ func TestCollectorWithRunner(t *testing.T) {
 	if err := tab.WriteCSV(&buf2); err != nil {
 		t.Fatal(err)
 	}
-	for _, row := range []string{"par.mode", "par.fast_forwards", "par.rank0.skipped_windows", "par.rank1.lookahead_ps"} {
+	for _, row := range []string{"par.mode", "par.fast_forwards", "par.rollbacks",
+		"par.replayed_events", "par.fallbacks", "par.promotions",
+		"par.rank0.skipped_windows", "par.rank0.rollbacks", "par.rank1.lookahead_ps"} {
 		if !strings.Contains(buf2.String(), row) {
 			t.Fatalf("report table missing %q:\n%s", row, buf2.String())
 		}

@@ -10,10 +10,11 @@ import (
 // The randomized-topology determinism harness: property-based tests that
 // generate seeded random machine graphs (random fan-outs, latencies, think
 // times, and deterministic node-kill "fault injections"), partition them
-// over 1/2/4/8 ranks, run them under both sync modes, and assert the
-// results are bit-identical to the sequential reference. Every random draw
-// happens before partitioning and depends only on the seed, never on the
-// rank count, the sync mode, or host time — so a failure is always
+// over 1/2/4/8 ranks, run them under all four sync modes — conservative
+// global and pairwise, optimistic speculative and adaptive — and assert
+// the results are bit-identical to the sequential reference. Every random
+// draw happens before partitioning and depends only on the seed, never on
+// the rank count, the sync mode, or host time — so a failure is always
 // reproducible from its seed.
 
 // detToken is the message circulated through a generated topology.
@@ -194,7 +195,10 @@ func buildDetNodes(t *testing.T, r *Runner, tp detTopo) []*detNode {
 
 // runDetTopo builds and runs one (seed, nranks, mode) configuration.
 // splitAt > 0 additionally stops the run at that time and resumes, to
-// prove window bases survive across Run calls.
+// prove window bases survive across Run calls. Speculative modes need a
+// checkpoint-owned model (rollback restores engine snapshots), so they use
+// the snapshot-safe builder, which TestSnapshotBuilderNonIntrusive proves
+// bit-equivalent to the raw one.
 func runDetTopo(t *testing.T, tp detTopo, nranks int, mode SyncMode, splitAt sim.Time) detSig {
 	t.Helper()
 	r, err := NewRunner(nranks)
@@ -202,7 +206,13 @@ func runDetTopo(t *testing.T, tp detTopo, nranks int, mode SyncMode, splitAt sim
 		t.Fatal(err)
 	}
 	r.SetSyncMode(mode)
-	nodes := buildDetTopo(t, r, tp)
+	var nodes []*detNode
+	if mode.Speculative() {
+		r.EnableSnapshots()
+		nodes = buildDetTopoSnap(t, r, tp)
+	} else {
+		nodes = buildDetTopo(t, r, tp)
+	}
 	var total uint64
 	if splitAt > 0 {
 		n, err := r.Run(splitAt)
@@ -242,10 +252,17 @@ const detSeeds = 30
 
 var detRankCounts = []int{1, 2, 4, 8}
 
+// allSyncModes is every registered mode, conservative and optimistic; the
+// harness runs each of them against the sequential reference.
+var allSyncModes = []SyncMode{SyncGlobal, SyncPairwise, SyncSpeculative, SyncAdaptive}
+
 // TestRandomTopologyDeterminism is the headline determinism property: for
-// every generated topology, every rank count and both sync modes produce
-// results bit-identical to the 1-rank sequential reference — same event
-// totals, same per-node arrival counts/checksums, same final clocks.
+// every generated topology, every rank count and all four sync modes
+// produce results bit-identical to the 1-rank sequential reference — same
+// event totals, same per-node arrival counts/checksums, same final clocks.
+// For the optimistic modes this is the end-to-end rollback correctness
+// proof: any lost, duplicated, or misordered delivery across a
+// checkpoint→straggler→rollback→replay cycle would change a node checksum.
 func TestRandomTopologyDeterminism(t *testing.T) {
 	seeds := detSeeds
 	if testing.Short() {
@@ -260,7 +277,7 @@ func TestRandomTopologyDeterminism(t *testing.T) {
 			continue
 		}
 		for _, nranks := range detRankCounts {
-			for _, mode := range []SyncMode{SyncGlobal, SyncPairwise} {
+			for _, mode := range allSyncModes {
 				if nranks == 1 && mode == SyncPairwise {
 					continue // this is the reference itself
 				}
@@ -278,14 +295,16 @@ func TestRandomTopologyDeterminism(t *testing.T) {
 // TestRandomTopologySplitRunDeterminism re-runs a slice of the topologies
 // with the run split at an arbitrary mid-simulation time, proving that
 // per-rank bases, staged events, and the fast-forward state all survive
-// across Run calls in both modes.
+// across Run calls in every mode (for the optimistic modes the split also
+// proves a Run boundary fully commits speculation: frontiers meet the
+// bound, held sends are released, and the next Run restarts cleanly).
 func TestRandomTopologySplitRunDeterminism(t *testing.T) {
 	seeds := 8
 	for s := 0; s < seeds; s++ {
 		tp := genDetTopo(int64(9000 + s))
 		ref := runDetTopo(t, tp, 1, SyncPairwise, 0)
 		for _, nranks := range detRankCounts {
-			for _, mode := range []SyncMode{SyncGlobal, SyncPairwise} {
+			for _, mode := range allSyncModes {
 				got := runDetTopo(t, tp, nranks, mode, 777*sim.Nanosecond)
 				label := "split seed " + itoa(9000+s) + " ranks " + itoa(nranks) + " sync " + mode.String()
 				diffSig(t, label, got, ref)

@@ -1,24 +1,29 @@
-// Package par is gosst's parallel discrete-event runtime: conservative,
-// barrier-synchronized PDES in the Structural Simulation Toolkit mold.
+// Package par is gosst's parallel discrete-event runtime: conservative and
+// optimistic barrier-synchronized PDES in the Structural Simulation Toolkit
+// mold.
 //
 // The model graph is partitioned into ranks, each with its own sequential
 // sim.Engine running in its own goroutine. Ranks only interact over links,
 // and every cross-rank link has a declared nonzero latency, so link
 // latencies bound how soon one rank can affect another (the lookahead).
 // The coordinator advances each rank through half-open windows bounded by
-// a conservative horizon; two synchronization modes derive that horizon
-// (see SyncMode): the classic global window equal to the single minimum
-// cross-rank latency, and the default topology-aware pairwise mode where
-// each rank's horizon is computed from the other ranks' next-event-time
-// snapshots plus a per-rank-pair lookahead matrix (all-pairs shortest
-// latency paths over the partitioned link graph). Ranks with no work below
-// their horizon are skipped without a dispatch, and when no rank has work
-// the coordinator fast-forwards every rank straight to the globally
-// earliest pending event. Remote events are staged per destination in
-// canonical (time, send time, source rank, sequence) order and only
-// scheduled once the destination's window covers them, so a parallel run
-// is bit-for-bit deterministic — independent of goroutine scheduling, rank
-// count, and sync mode.
+// a conservative horizon; the conservative synchronization modes derive
+// that horizon (see SyncMode): the classic global window equal to the
+// single minimum cross-rank latency, and the default topology-aware
+// pairwise mode where each rank's horizon is computed from the other
+// ranks' next-event-time snapshots plus a per-rank-pair lookahead matrix
+// (all-pairs shortest latency paths over the partitioned link graph).
+// Ranks with no work below their horizon are skipped without a dispatch,
+// and when no rank has work the coordinator fast-forwards every rank
+// straight to the globally earliest pending event. The speculative and
+// adaptive modes (see speculative.go) let ranks execute optimistically
+// past the pairwise horizon, checkpointing through the snapshot codec and
+// rolling back on straggler arrivals; cross-rank sends are held until
+// committed, so no anti-messages are needed. Remote events are staged per
+// destination in canonical (time, send time, source rank, sequence) order
+// and only scheduled once the destination's window covers them, so a
+// parallel run is bit-for-bit deterministic — independent of goroutine
+// scheduling, rank count, and sync mode, conservative or speculative.
 package par
 
 import (
@@ -85,6 +90,23 @@ type rank struct {
 	// err captures a panic raised by this rank's event handlers during a
 	// window; the coordinator surfaces it after the barrier.
 	err error
+
+	// Speculative-mode state (see speculative.go). target is the leg bound
+	// for the current round; spec is the per-Run rollback bookkeeping;
+	// specOn arms the replay-dedupe guard in the cross-rank intercept.
+	// rollbacks/replayed/fallbacks/promotions are cumulative counters
+	// surfaced through Metrics and persisted by Snapshot; the specPeak*
+	// fields record high-water marks for the memory-discipline tests.
+	target        sim.Time
+	spec          *specState
+	specOn        bool
+	rollbacks     uint64
+	replayed      uint64
+	fallbacks     uint64
+	promotions    uint64
+	specPeakCkpts int
+	specPeakBytes int
+	specPeakLog   int
 
 	// Snapshot fields published by the rank goroutine at each barrier
 	// arrival and read by the watchdog for stall diagnostics. Atomics so
@@ -174,6 +196,9 @@ type Runner struct {
 	interrupted  atomic.Bool
 	windows      uint64
 	fastForwards uint64
+	// Speculative-mode knobs (see SetSpecLeap / SetSpecDepth).
+	specLeap  int
+	specDepth int
 
 	// snapPorts indexes cross-rank ports by name for coordinated snapshots
 	// (staged remote events serialize their destination by port name);
@@ -188,7 +213,12 @@ func NewRunner(nranks int) (*Runner, error) {
 	if nranks <= 0 {
 		return nil, fmt.Errorf("par: need at least one rank")
 	}
-	r := &Runner{lookahead: sim.TimeInfinity, watchdog: DefaultWatchdog}
+	r := &Runner{
+		lookahead: sim.TimeInfinity,
+		watchdog:  DefaultWatchdog,
+		specLeap:  DefaultSpecLeap,
+		specDepth: DefaultSpecDepth,
+	}
 	r.minLat = make([][]sim.Time, nranks)
 	for i := range r.minLat {
 		r.minLat[i] = make([]sim.Time, nranks)
@@ -282,6 +312,16 @@ func (r *Runner) Connect(name string, latency sim.Time, rankA, rankB int) (*sim.
 		}
 		src.sendSeq++
 		now := src.sim.Engine().Now()
+		if src.specOn && now < src.base {
+			// Replay below the committed base regenerates sends the
+			// committed timeline already released. The prefix replays
+			// deterministically — same events, same sends, and the send
+			// counter was restored from the rollback checkpoint — so
+			// dropping here (after consuming the sequence number) discards
+			// exactly the duplicates. Conservative legs never execute
+			// below base, so the guard is speculative-only by construction.
+			return
+		}
 		src.outboxes[dstRank] = append(src.outboxes[dstRank], remoteEvent{
 			time:    now + delay,
 			sent:    now,
@@ -390,6 +430,9 @@ func (r *Runner) Run(until sim.Time) (uint64, error) {
 	}
 	if r.crossLinks > 0 && (r.lookahead == 0 || r.lookahead == sim.TimeInfinity) {
 		return 0, fmt.Errorf("par: no usable lookahead")
+	}
+	if r.mode.Speculative() && r.crossLinks > 0 {
+		return r.runSpeculative(until)
 	}
 	la := r.lookaheadMatrix()
 	// Persistent workers for this Run call: one goroutine per rank,
@@ -677,6 +720,19 @@ type RankMetrics struct {
 	Lookahead sim.Time `json:"lookahead_ps"`
 	// Clock is the rank engine's clock at its last barrier arrival.
 	Clock sim.Time `json:"clock_ps"`
+	// Rollbacks counts speculative-mode rollbacks: straggler arrivals that
+	// forced this rank back to its last committed checkpoint.
+	Rollbacks uint64 `json:"rollbacks"`
+	// Replayed counts events this rank re-executed during rollback
+	// recovery (already-committed prefix replays plus discarded
+	// speculation). Zero in conservative modes.
+	Replayed uint64 `json:"replayed_events"`
+	// Fallbacks counts adaptive-mode demotions: episodes where the rank's
+	// rollback rate crossed the governor threshold and it was pinned to
+	// its pairwise-conservative horizon for a cooldown.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Promotions counts adaptive-mode re-promotions after a cooldown.
+	Promotions uint64 `json:"promotions"`
 }
 
 // RunnerMetrics summarizes a parallel run for the observability layer.
@@ -698,6 +754,13 @@ type RunnerMetrics struct {
 	// balanced partition, larger means some rank dominates the critical
 	// path. Zero when no events ran.
 	Imbalance float64 `json:"imbalance"`
+	// Rollbacks / Replayed / Fallbacks / Promotions are the speculative-
+	// mode totals over all ranks (see RankMetrics for the per-rank
+	// meaning). All zero in conservative modes.
+	Rollbacks  uint64 `json:"rollbacks"`
+	Replayed   uint64 `json:"replayed_events"`
+	Fallbacks  uint64 `json:"fallbacks"`
+	Promotions uint64 `json:"promotions"`
 	// Ranks holds the per-rank breakdown, indexed by rank.
 	Ranks []RankMetrics `json:"ranks"`
 }
@@ -728,7 +791,15 @@ func (r *Runner) Metrics() RunnerMetrics {
 			SkippedWindows: rk.skipped,
 			Lookahead:      inbound,
 			Clock:          sim.Time(rk.pubClock.Load()),
+			Rollbacks:      rk.rollbacks,
+			Replayed:       rk.replayed,
+			Fallbacks:      rk.fallbacks,
+			Promotions:     rk.promotions,
 		}
+		m.Rollbacks += rk.rollbacks
+		m.Replayed += rk.replayed
+		m.Fallbacks += rk.fallbacks
+		m.Promotions += rk.promotions
 		total += rk.events
 		if rk.events > max {
 			max = rk.events

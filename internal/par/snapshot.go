@@ -19,7 +19,10 @@ import (
 )
 
 // snapVersion guards the runner-level body layout inside the sim container.
-const snapVersion = 1
+// v2 added the speculative-mode counters (rollbacks, replayed events,
+// fallbacks, promotions), which must survive a kill-and-restore so a
+// resumed run's summary matches an uninterrupted one byte for byte.
+const snapVersion = 2
 
 // EnableSnapshots opts every rank engine into checkpoint tracking and
 // begins recording cross-rank port names (staged events are serialized by
@@ -103,6 +106,10 @@ func (r *Runner) Snapshot(enc *sim.Encoder) error {
 		enc.U64(rk.events)
 		enc.U64(rk.idleWindows)
 		enc.U64(rk.skipped)
+		enc.U64(rk.rollbacks)
+		enc.U64(rk.replayed)
+		enc.U64(rk.fallbacks)
+		enc.U64(rk.promotions)
 		// Staging heap, serialized in canonical order (the heap's own pop
 		// order) so identical states write identical bytes.
 		staged := append(remoteHeap(nil), rk.staging...)
@@ -161,8 +168,14 @@ func (r *Runner) Restore(dec *sim.Decoder) error {
 		rk.events = dec.U64()
 		rk.idleWindows = dec.U64()
 		rk.skipped = dec.U64()
+		rk.rollbacks = dec.U64()
+		rk.replayed = dec.U64()
+		rk.fallbacks = dec.U64()
+		rk.promotions = dec.U64()
 		rk.err = nil
 		rk.handled = 0
+		rk.spec = nil
+		rk.specOn = false
 		for dst := range rk.outboxes {
 			rk.outboxes[dst] = rk.outboxes[dst][:0]
 		}

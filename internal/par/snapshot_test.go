@@ -4,8 +4,11 @@ package par
 // topologies are run with snapshots enabled, "crashed" at a seed-derived
 // barrier, restored into a freshly built runner, and continued — and every
 // signature must be bit-identical to the uninterrupted sequential
-// reference, at 1/2/4/8 ranks, under both sync modes, and across a
-// mode switch between snapshot and restore.
+// reference, at 1/2/4/8 ranks, under all four sync modes, and across a
+// mode switch between snapshot and restore. For the optimistic modes the
+// barrier is also a commit proof: Run(barrier) must leave no speculative
+// state behind (frontiers at the bound, held sends released), or the
+// snapshot itself would be rejected or diverge.
 
 import (
 	"bytes"
@@ -137,7 +140,7 @@ func runDetTopoKillRestore(t *testing.T, tp detTopo, nranks int, snapMode, resto
 
 // TestKillRestoreDeterminism is the headline crash-safety property: kill at
 // a barrier, restore, continue — bit-identical to the uninterrupted
-// sequential reference at every rank count under both sync modes.
+// sequential reference at every rank count under all four sync modes.
 func TestKillRestoreDeterminism(t *testing.T) {
 	seeds := 6
 	if testing.Short() {
@@ -149,7 +152,7 @@ func TestKillRestoreDeterminism(t *testing.T) {
 		ref := runDetTopo(t, tp, 1, SyncPairwise, 0)
 		barrier := detBarrier(seed)
 		for _, nranks := range detRankCounts {
-			for _, mode := range []SyncMode{SyncGlobal, SyncPairwise} {
+			for _, mode := range allSyncModes {
 				got := runDetTopoKillRestore(t, tp, nranks, mode, mode, barrier)
 				label := "kill-restore seed " + itoa(seed) + " ranks " + itoa(nranks) + " sync " + mode.String()
 				diffSig(t, label, got, ref)
@@ -159,7 +162,11 @@ func TestKillRestoreDeterminism(t *testing.T) {
 }
 
 // TestKillRestoreCrossMode snapshots under one sync mode and restores under
-// the other: window boundaries differ but the continuation must not.
+// another: window boundaries — and, for the optimistic modes, rollback
+// histories — differ, but the continuation must not. The speculative
+// pairings prove a snapshot taken by an optimistic run carries nothing
+// speculative, and that an optimistic run can adopt a conservative
+// snapshot cold.
 func TestKillRestoreCrossMode(t *testing.T) {
 	for s := 0; s < 3; s++ {
 		seed := 9100 + s
@@ -171,6 +178,12 @@ func TestKillRestoreCrossMode(t *testing.T) {
 			diffSig(t, "global→pairwise seed "+itoa(seed)+" ranks "+itoa(nranks), g2p, ref)
 			p2g := runDetTopoKillRestore(t, tp, nranks, SyncPairwise, SyncGlobal, barrier)
 			diffSig(t, "pairwise→global seed "+itoa(seed)+" ranks "+itoa(nranks), p2g, ref)
+			s2p := runDetTopoKillRestore(t, tp, nranks, SyncSpeculative, SyncPairwise, barrier)
+			diffSig(t, "speculative→pairwise seed "+itoa(seed)+" ranks "+itoa(nranks), s2p, ref)
+			p2s := runDetTopoKillRestore(t, tp, nranks, SyncPairwise, SyncSpeculative, barrier)
+			diffSig(t, "pairwise→speculative seed "+itoa(seed)+" ranks "+itoa(nranks), p2s, ref)
+			a2g := runDetTopoKillRestore(t, tp, nranks, SyncAdaptive, SyncGlobal, barrier)
+			diffSig(t, "adaptive→global seed "+itoa(seed)+" ranks "+itoa(nranks), a2g, ref)
 		}
 	}
 }

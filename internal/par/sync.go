@@ -2,6 +2,7 @@ package par
 
 import (
 	"fmt"
+	"strings"
 
 	"sst/internal/sim"
 )
@@ -21,34 +22,68 @@ const (
 	// through one shared window equal to the single minimum cross-rank
 	// link latency. Kept as the comparison baseline (`-sync global`).
 	SyncGlobal
+	// SyncSpeculative lets ranks execute optimistically past their pairwise
+	// horizon, checkpointing engine state through the snapshot codec at leg
+	// boundaries. A straggler cross-rank event triggers a rollback to the
+	// last checkpoint at or below the committed frontier and a deterministic
+	// replay; only committed events are ever released to other ranks, so no
+	// anti-messages exist. Requires EnableSnapshots and a fully
+	// checkpointable model when cross-rank links are present.
+	SyncSpeculative
+	// SyncAdaptive is SyncSpeculative with a per-rank governor: a rank whose
+	// rollback rate spikes is demoted to its pairwise-conservative horizon
+	// for a cooldown, then re-promoted. The demotion decision depends only
+	// on simulation content, never host timing, so results stay
+	// bit-identical to every other mode.
+	SyncAdaptive
 )
+
+// syncModeNames is the registry of mode spellings, indexed by SyncMode.
+// String, ParseSyncMode and SyncModeNames all derive from it, so the CLI
+// flag help, the parser and its error message can never drift apart.
+var syncModeNames = [...]string{
+	SyncPairwise:    "pairwise",
+	SyncGlobal:      "global",
+	SyncSpeculative: "speculative",
+	SyncAdaptive:    "adaptive",
+}
+
+// SyncModeNames returns the flag spellings of every registered mode, in
+// declaration order. CLI flag help should be built from this list.
+func SyncModeNames() []string {
+	return append([]string(nil), syncModeNames[:]...)
+}
+
+// Speculative reports whether the mode executes optimistically (and thus
+// needs snapshots enabled before the model is built).
+func (m SyncMode) Speculative() bool {
+	return m == SyncSpeculative || m == SyncAdaptive
+}
 
 // String returns the flag spelling of the mode.
 func (m SyncMode) String() string {
-	switch m {
-	case SyncPairwise:
-		return "pairwise"
-	case SyncGlobal:
-		return "global"
+	if int(m) >= 0 && int(m) < len(syncModeNames) {
+		return syncModeNames[m]
 	}
 	return fmt.Sprintf("SyncMode(%d)", int(m))
 }
 
-// ParseSyncMode parses a -sync flag value.
+// ParseSyncMode parses a -sync flag value. The error lists every valid
+// spelling so a typo on the command line is self-correcting.
 func ParseSyncMode(s string) (SyncMode, error) {
-	switch s {
-	case "pairwise":
-		return SyncPairwise, nil
-	case "global":
-		return SyncGlobal, nil
+	for m, name := range syncModeNames {
+		if s == name {
+			return SyncMode(m), nil
+		}
 	}
-	return 0, fmt.Errorf("par: unknown sync mode %q (want global or pairwise)", s)
+	return 0, fmt.Errorf("par: unknown sync mode %q (want %s)", s, strings.Join(syncModeNames[:], ", "))
 }
 
 // SetSyncMode selects the synchronization mode for subsequent Run calls.
-// Both modes produce bit-identical simulation results; they differ only in
-// how far each rank may run between barriers. Must not be called while a
-// Run is in flight.
+// All modes produce bit-identical simulation results; they differ only in
+// how far each rank may run between barriers and whether that execution is
+// provisional (speculative/adaptive) or final (global/pairwise). Must not
+// be called while a Run is in flight.
 func (r *Runner) SetSyncMode(m SyncMode) { r.mode = m }
 
 // SyncMode returns the active synchronization mode.

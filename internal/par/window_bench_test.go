@@ -47,4 +47,72 @@ func BenchmarkParallelWindow(b *testing.B) {
 			}
 		})
 	}
+	for _, mode := range []SyncMode{SyncPairwise, SyncSpeculative} {
+		mode := mode
+		b.Run("topo=lowlat/sync="+mode.String(), func(b *testing.B) {
+			benchLowLat(b, mode)
+		})
+	}
+}
+
+// lowlatTick is the workload for the low-lookahead variant: a dense local
+// tick (one event per nanosecond, checkpoint-owned so the speculative mode
+// can snapshot it) with a sparse cross-rank send every 64 ticks.
+type lowlatTick struct {
+	name string
+	set  *sim.EventSet
+	out  *sim.Port
+	n    uint64
+}
+
+func (lt *lowlatTick) Name() string                     { return lt.name }
+func (lt *lowlatTick) SaveState(enc *sim.Encoder)       { enc.U64(lt.n); lt.set.Save(enc) }
+func (lt *lowlatTick) LoadState(dec *sim.Decoder) error { lt.n = dec.U64(); return lt.set.Load(dec) }
+func (lt *lowlatTick) PendingOwned() int                { return lt.set.PendingOwned() }
+
+// benchLowLat measures the case conservative windowing is worst at: a
+// 4-rank ring with 1ns cross latency (so a pairwise window advances about
+// one event spacing per barrier) where each rank's work is dominated by
+// local events and cross traffic is sparse. One op is 100ns of simulated
+// time — roughly 100 barrier rounds conservatively, but only a handful of
+// speculative legs at the default leap, which is exactly the gap the
+// optimistic mode exists to close. The committed baseline must show
+// sync=speculative beating sync=pairwise here.
+func benchLowLat(b *testing.B, mode SyncMode) {
+	r, err := NewRunner(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.SetSyncMode(mode)
+	if mode.Speculative() {
+		r.EnableSnapshots()
+	}
+	outs := make([]*sim.Port, 4)
+	for i := 0; i < 4; i++ {
+		a, pb, err := r.Connect("lowlat"+itoa(i), 1*sim.Nanosecond, i, (i+1)%4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.SetHandler(func(any) {})
+		pb.SetHandler(func(any) {})
+		outs[i] = a
+	}
+	for i := 0; i < 4; i++ {
+		eng := r.Rank(i).Engine()
+		lt := &lowlatTick{name: "tick" + itoa(i), out: outs[i]}
+		lt.set = sim.NewEventSet(eng, lt.name, func(any) {
+			lt.n++
+			if lt.n%64 == 0 {
+				lt.out.Send(0)
+			}
+			lt.set.ScheduleAt(eng.Now()+1*sim.Nanosecond, sim.PrioLink, 0)
+		})
+		r.Rank(i).Add(lt)
+		lt.set.ScheduleAt(1*sim.Nanosecond, sim.PrioLink, 0)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	if _, err := r.Run(sim.Time(b.N) * 100 * sim.Nanosecond); err != nil {
+		b.Fatal(err)
+	}
 }
