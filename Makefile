@@ -30,6 +30,14 @@
 #                     -cache-file; the second invocation must serve every
 #                     point from the cache (misses=0) and print an
 #                     identical grid
+#   make crash-smoke — the crash-point gate: enumerate every host-storage
+#                     operation (write, fsync, rename, dir-fsync) of the
+#                     four persistence surfaces — journaled sweep, cache
+#                     warm-start file, serve job lifecycle, snapshot save —
+#                     crash after each under every retention the iofault
+#                     model distinguishes, and require recovery to converge
+#                     byte-identically (or fail typed). Runs inside
+#                     `make check`
 #   make serve-smoke — the service gate: against real sst-serve processes,
 #                     require a SIGTERM drain to exit 0, a kill -9 restart
 #                     to converge on byte-identical results, and a full
@@ -60,7 +68,7 @@ BENCHES = $(GO) test -run='^$$' -bench='^BenchmarkEngineHotLoop$$' -benchmem ./i
 BENCH_CEILINGS = -max-bytes 'BenchmarkSweepWorkers/workers=1=9000000,BenchmarkSweepWorkers/workers=2=9000000,BenchmarkSweepWorkers/workers=4=9000000,BenchmarkSweepWorkers/workers=8=9000000,BenchmarkSweepCacheMiss=60000000' \
                  -max-allocs 'BenchmarkSweepWorkers/workers=1=32000,BenchmarkSweepWorkers/workers=2=32000,BenchmarkSweepWorkers/workers=4=32000,BenchmarkSweepWorkers/workers=8=32000,BenchmarkSweepCacheMiss=36000'
 
-.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke spec-smoke soak soak-short
+.PHONY: build test vet race check bench bench-baseline tables fuzz-short resume-smoke cache-smoke serve-smoke spec-smoke crash-smoke soak soak-short
 
 build:
 	$(GO) build ./...
@@ -76,11 +84,13 @@ vet:
 # The sweep scheduler (internal/core), the PDES runtime (internal/par), the
 # event kernel they drive (internal/sim), the fault injectors that hook
 # all three (internal/fault), the shared result cache the sweep workers
-# probe concurrently (internal/cache) and the sweep service's worker pool
-# and admission queue (internal/serve) are the only places goroutines touch
-# shared structures; the race detector must stay clean there.
+# probe concurrently (internal/cache), the sweep service's worker pool
+# and admission queue (internal/serve) and the storage fault model every
+# sweep worker writes its journal through (internal/iofault) are the only
+# places goroutines touch shared structures; the race detector must stay
+# clean there.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/... ./internal/cache/... ./internal/serve/...
+	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/core/... ./internal/fault/... ./internal/cache/... ./internal/serve/... ./internal/iofault/...
 
 # Coverage-guided fuzzing of the AMM JSON loaders (arbitrary input must
 # produce a validated config or an error, never a panic or a NaN/Inf/zero
@@ -93,7 +103,16 @@ fuzz-short:
 	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzPartitionLookahead -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/par -run='^$$' -fuzz=FuzzSpeculativeReplay -fuzztime=$(FUZZTIME)
 
-check: build vet test race fuzz-short soak-short serve-smoke spec-smoke
+check: build vet test race fuzz-short crash-smoke soak-short serve-smoke spec-smoke
+
+# The crash-point gate: every test named TestCrashPoints* drives the
+# internal/iofault exploration harness over one persistence surface —
+# the atomic-replace helper itself, the journaled sweep, the cache
+# warm-start file, the serve job lifecycle and the snapshot save — and
+# asserts recovery converges at every enumerated crash, under every
+# retention variant.
+crash-smoke:
+	$(GO) test -run='^TestCrashPoints' -count=1 ./internal/iofault/ ./internal/core/ ./internal/cache/ ./internal/serve/ ./cmd/sst/
 
 # End-to-end crash-safety check of the resumable sweep path: run the grid
 # once clean for reference, kill a journaled single-worker run mid-flight

@@ -42,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -140,7 +139,7 @@ func run(ctx context.Context, addr string, cfg serve.Config, drainBudget time.Du
 		return err
 	}
 	srv.Start()
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := serve.NewHTTPServer(srv.Handler(), 0)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "sst-serve: listening on %s (state %s)\n", ln.Addr(), cfg.StateDir)

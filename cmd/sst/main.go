@@ -46,6 +46,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,6 +59,7 @@ import (
 	"sst/internal/config"
 	"sst/internal/core"
 	"sst/internal/dnoc"
+	"sst/internal/iofault"
 	"sst/internal/noc"
 	"sst/internal/obs"
 	"sst/internal/par"
@@ -127,14 +130,24 @@ func main() {
 
 // snapCfg carries the crash-safety options of a -system run.
 type snapCfg struct {
-	every   sim.Time // snapshot interval in simulated time (0 = off)
-	out     string   // snapshot file written at each interval
-	restore string   // snapshot file to resume from ("" = fresh run)
+	every   sim.Time   // snapshot interval in simulated time (0 = off)
+	out     string     // snapshot file written at each interval
+	restore string     // snapshot file to resume from ("" = fresh run)
+	fs      iofault.FS // host-storage seam; nil = the real disk
 }
 
 // active reports whether the run needs the snapshot-capable execution
 // path.
 func (s snapCfg) active() bool { return s.every > 0 || s.restore != "" }
+
+// fsys resolves the snapshot storage seam: the crash-point harness
+// substitutes an iofault.MemFS, production runs use the disk.
+func (s snapCfg) fsys() iofault.FS {
+	if s.fs != nil {
+		return s.fs
+	}
+	return iofault.Disk
+}
 
 // attachTracer installs a ring tracer on the engine when requested.
 func (ob obsFlags) attachTracer(engine *sim.Engine) *obs.Tracer {
@@ -323,13 +336,11 @@ func runSystemPar(name string, topo noc.Topology, netCfg noc.NetConfig,
 		col.AttachTracer(tracers[0])
 	}
 	if snap.restore != "" {
-		f, err := os.Open(snap.restore)
+		raw, err := snap.fsys().ReadFile(snap.restore)
 		if err != nil {
 			return err
 		}
-		err = runner.LoadFrom(f)
-		f.Close()
-		if err != nil {
+		if err := runner.LoadFrom(bytes.NewReader(raw)); err != nil {
 			return fmt.Errorf("restoring %s: %w", snap.restore, err)
 		}
 		// Restored apps resume mid-script; Start would re-launch them.
@@ -398,38 +409,36 @@ func rankPath(path string, rank int) string {
 }
 
 // runSliced advances the run one snapshot interval at a time, writing a
-// consistent snapshot at each barrier. The write is atomic (temp file then
-// rename), so a kill at any instant leaves either the previous snapshot or
-// the new one, never a torn file.
+// consistent snapshot at each barrier. The write is atomic and durable
+// (temp file, fsync, rename, parent-dir fsync — the shared iofault
+// discipline), so a kill at any instant leaves either the previous
+// complete snapshot or the new one, never a torn file and never a
+// snapshot that evaporates with the page cache.
 func runSliced(runner *par.Runner, snap snapCfg) error {
 	for runner.NextEventTime() != sim.TimeInfinity {
 		if _, err := runner.Run(runner.Now() + snap.every); err != nil {
 			return err
 		}
-		if err := writeSnapshot(runner, snap.out); err != nil {
+		if err := writeSnapshot(runner, snap); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeSnapshot saves the runner's state to path via write-then-rename.
-func writeSnapshot(runner *par.Runner, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := runner.SaveTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+// writeSnapshot saves the runner's state to snap.out via the shared
+// atomic-replace helper. The encoder's many small writes are batched
+// through one buffer so the storage sees a handful of large writes —
+// which is also what keeps the crash-point count of a snapshot save
+// independent of model size.
+func writeSnapshot(runner *par.Runner, snap snapCfg) error {
+	return iofault.WriteFileAtomicFunc(snap.fsys(), snap.out, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := runner.SaveTo(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
 }
 
 // resultTable renders a NodeResult as a metric/value table (the csv/table

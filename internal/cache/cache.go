@@ -22,6 +22,13 @@
 // JSONL file (the same crash-tolerant encoding the sweep journal uses,
 // including torn-tail truncation on load), so a cache survives process
 // restarts and a new invocation warm-starts from disk.
+//
+// The persistent tier is an accelerator, not a ledger: when the host
+// storage under it starts failing mid-run (ENOSPC, fsync errors), the
+// cache degrades to in-memory-only — the failing file is dropped, every
+// Put keeps succeeding against RAM, and the degradation is visible in
+// Stats (Degraded, AppendFailures) rather than in sweep errors. Sweep
+// results are identical either way; only the next warm-start is poorer.
 package cache
 
 import (
@@ -29,7 +36,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+
+	"sst/internal/iofault"
 )
 
 // MigrationStrategy controls how the key order is transferred when the
@@ -86,6 +96,10 @@ type Options struct {
 	// Codec serializes values for the persistent tier; also used to size
 	// entries whose Put passes size <= 0.
 	Codec Codec
+	// FS, when non-nil, is the host-storage seam the persistent tier reads
+	// and writes through; nil means the real filesystem (iofault.Disk).
+	// The crash-point harness substitutes an iofault.MemFS here.
+	FS iofault.FS
 }
 
 // Stats is a point-in-time snapshot of cache behavior, including the
@@ -104,6 +118,12 @@ type Stats struct {
 	HitRate    float64       `json:"hit_rate"`
 	Migrating  string        `json:"migrating_from,omitempty"`
 	Shadows    []ShadowStats `json:"shadows,omitempty"`
+
+	// AppendFailures counts persistent-tier appends that failed (short
+	// write, ENOSPC, fsync error); Degraded reports that the file tier has
+	// been dropped because of one and the cache now runs in-memory-only.
+	AppendFailures int64 `json:"append_failures,omitempty"`
+	Degraded       bool  `json:"degraded,omitempty"`
 }
 
 // ShadowStats is one shadow sensor's would-be hit/miss tally.
@@ -175,15 +195,18 @@ type Cache struct {
 	shadows  []*shadow
 	codec    Codec
 
-	f    *os.File
+	fsys iofault.FS
+	f    iofault.File
 	path string
 
-	bytes      int64
-	hits       int64
-	misses     int64
-	evictions  int64
-	rejected   int64
-	warmStarts int64
+	bytes          int64
+	hits           int64
+	misses         int64
+	evictions      int64
+	rejected       int64
+	warmStarts     int64
+	appendFailures int64
+	degraded       bool
 }
 
 // fileEntry is one persistent-tier JSONL record.
@@ -207,6 +230,10 @@ func New(opts Options) (*Cache, error) {
 		values:   make(map[string]entry, capacity),
 		codec:    opts.Codec,
 		path:     opts.Path,
+		fsys:     opts.FS,
+	}
+	if c.fsys == nil {
+		c.fsys = iofault.Disk
 	}
 	for _, st := range opts.Shadows {
 		c.shadows = append(c.shadows, &shadow{typ: st, capacity: capacity, pol: newEvictor(st, capacity)})
@@ -225,7 +252,7 @@ func New(opts Options) (*Cache, error) {
 // openFile loads the persistent tier (truncating a torn tail, exactly like
 // the sweep journal) and reopens it for append.
 func (c *Cache) openFile() error {
-	raw, err := os.ReadFile(c.path)
+	raw, err := c.fsys.ReadFile(c.path)
 	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("cache: file tier: %w", err)
 	}
@@ -254,13 +281,19 @@ func (c *Cache) openFile() error {
 		valid = off
 	}
 	if valid < len(raw) {
-		if err := os.Truncate(c.path, int64(valid)); err != nil {
+		if err := c.fsys.Truncate(c.path, int64(valid)); err != nil {
 			return fmt.Errorf("cache: file tier: truncating torn tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := c.fsys.OpenAppend(c.path)
 	if err != nil {
 		return fmt.Errorf("cache: file tier: %w", err)
+	}
+	// The warm-start file is only worth its fsyncs if its directory entry is
+	// durable too; one parent-dir fsync at open covers the file's lifetime.
+	if err := c.fsys.SyncDir(filepath.Dir(c.path)); err != nil {
+		f.Close()
+		return fmt.Errorf("cache: file tier: parent dir fsync: %w", err)
 	}
 	c.f = f
 	return nil
@@ -296,7 +329,9 @@ func (c *Cache) Get(key string) (any, bool) {
 
 // Put stores a deep-copy-owned value under key. size is the caller's
 // resident-footprint estimate; <= 0 falls back to the codec's encoded
-// length (or 1). The only error source is the persistent tier's append.
+// length (or 1). The only error source is the codec: a persistent-tier
+// append failure does not fail the Put — the value stays resident, the
+// cache degrades to in-memory-only and the failure is counted in Stats.
 func (c *Cache) Put(key string, v any, size int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -331,7 +366,7 @@ func (c *Cache) Put(key string, v any, size int64) error {
 	c.insertLocked(key, v, size)
 	c.drainOne()
 	if c.f != nil {
-		return c.appendLocked(key, encoded, size)
+		c.appendLocked(key, encoded, size)
 	}
 	return nil
 }
@@ -396,20 +431,37 @@ func (c *Cache) drainOne() {
 }
 
 // appendLocked writes one persistent-tier record and fsyncs it, mirroring
-// the sweep journal's durability contract.
-func (c *Cache) appendLocked(key string, encoded []byte, size int64) error {
+// the sweep journal's durability contract — except that a failure does not
+// propagate: the tier degrades. The cache is a memoizer, so a sweep must
+// never fail because its accelerator's disk filled up; the torn-tail load
+// already makes a partially-appended record harmless on the next start.
+func (c *Cache) appendLocked(key string, encoded []byte, size int64) {
 	line, err := json.Marshal(fileEntry{Key: key, Size: size, Val: encoded})
 	if err != nil {
-		return fmt.Errorf("cache: file tier: %w", err)
+		c.degradeLocked()
+		return
 	}
 	line = append(line, '\n')
 	if _, err := c.f.Write(line); err != nil {
-		return fmt.Errorf("cache: file tier: %w", err)
+		c.degradeLocked()
+		return
 	}
 	if err := c.f.Sync(); err != nil {
-		return fmt.Errorf("cache: file tier: %w", err)
+		c.degradeLocked()
+		return
 	}
-	return nil
+}
+
+// degradeLocked drops the persistent tier after an append failure: close
+// the failing file (best effort — the storage is already suspect) and run
+// in-memory-only from here on. Counted, and surfaced through Stats.
+func (c *Cache) degradeLocked() {
+	c.appendFailures++
+	c.degraded = true
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
 }
 
 // Migrate switches the active eviction policy. Warm and gradual migrations
@@ -474,6 +526,9 @@ func (c *Cache) Stats() Stats {
 		Evictions:  c.evictions,
 		Rejected:   c.rejected,
 		WarmStarts: c.warmStarts,
+
+		AppendFailures: c.appendFailures,
+		Degraded:       c.degraded,
 	}
 	if total := c.hits + c.misses; total > 0 {
 		s.HitRate = float64(c.hits) / float64(total)

@@ -1,0 +1,141 @@
+package cache
+
+// Crash consistency and graceful degradation of the persistent tier,
+// driven by internal/iofault. The file tier is an accelerator: every
+// host-storage failure under it must leave the in-memory cache fully
+// functional (visible only in Stats), and a crash at any point during a
+// run of appends must leave a file the next New() warm-starts from —
+// some prefix of the appended entries, each decoding to exactly the
+// value that was put.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sst/internal/iofault"
+)
+
+// memOpts is the standard persistent-tier config on a fault model.
+func memOpts(m *iofault.MemFS) Options {
+	return Options{Capacity: 16, Path: "cache.jsonl", Codec: jsonCodec, FS: m}
+}
+
+// TestCacheDegradesOnAppendFailure: ENOSPC (with a short write) and fsync
+// failure on the append path must not fail the Put — the entry stays
+// resident, later Puts keep working, and Stats reports the degradation.
+func TestCacheDegradesOnAppendFailure(t *testing.T) {
+	for _, inject := range []error{iofault.ErrNoSpace, iofault.ErrSyncFailed} {
+		t.Run(inject.Error(), func(t *testing.T) {
+			m := iofault.NewMemFS(3)
+			c := mustCache(t, memOpts(m))
+			put(t, c, "a") // survives to the file tier
+
+			// Fault every op from here on: the next append must fail
+			// whichever of its ops (write, fsync) runs first.
+			for op := m.Ops() + 1; op < m.Ops()+10; op++ {
+				m.FailOp(op, inject)
+			}
+			if err := c.Put("b", "v:b", 8); err != nil {
+				t.Fatalf("Put over failing storage returned error: %v", err)
+			}
+			if v, ok := c.Get("b"); !ok || v != "v:b" {
+				t.Fatalf("entry lost on degradation: %v, %v", v, ok)
+			}
+			st := c.Stats()
+			if !st.Degraded || st.AppendFailures == 0 {
+				t.Fatalf("degradation invisible in stats: %+v", st)
+			}
+			// The tier is dropped: further Puts are memory-only and silent.
+			before := m.Ops()
+			put(t, c, "c")
+			if m.Ops() != before {
+				t.Fatal("degraded cache still touches the filesystem")
+			}
+			if v, ok := c.Get("c"); !ok || v != "v:c" {
+				t.Fatalf("post-degradation entry lost: %v, %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestCacheWarmStartAfterDegradation: entries appended before the fault
+// warm-start the next cache; the file holds no trace of the failed append
+// beyond at most a torn tail, which the loader cuts.
+func TestCacheWarmStartAfterDegradation(t *testing.T) {
+	m := iofault.NewMemFS(9)
+	c := mustCache(t, memOpts(m))
+	put(t, c, "a")
+	put(t, c, "b")
+	m.FailOp(m.Ops()+1, iofault.ErrNoSpace) // tear the next append's write
+	put(t, c, "torn")
+	c.Close()
+
+	c2 := mustCache(t, memOpts(m))
+	for _, k := range []string{"a", "b"} {
+		if v, ok := c2.Get(k); !ok || v != "v:"+k {
+			t.Fatalf("warm start lost %q: %v, %v", k, v, ok)
+		}
+	}
+	if _, ok := c2.Get("torn"); ok {
+		t.Fatal("torn append warm-started as a complete entry")
+	}
+	if st := c2.Stats(); st.WarmStarts != 2 {
+		t.Fatalf("warm_starts = %d, want 2", st.WarmStarts)
+	}
+}
+
+// TestCrashPointsCacheWarmStart crashes a run of fsync'd appends after
+// every storage operation and requires the surviving file to warm-start
+// cleanly: New() must succeed, and every recovered entry must decode to
+// the exact value that was put — a prefix of the append order, never a
+// torn or corrupt record.
+func TestCrashPointsCacheWarmStart(t *testing.T) {
+	const puts = 3
+	n, err := iofault.Explore(
+		func() (*iofault.MemFS, error) { return iofault.NewMemFS(13), nil },
+		func(m *iofault.MemFS) error {
+			c, err := New(memOpts(m))
+			if err != nil {
+				return err
+			}
+			for i := 0; i < puts; i++ {
+				if err := c.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), 8); err != nil {
+					return err
+				}
+			}
+			return c.Close()
+		},
+		func(cp iofault.CrashPoint) error {
+			if cp.WorkloadErr != nil && !errors.Is(cp.WorkloadErr, iofault.ErrCrashed) {
+				return fmt.Errorf("crashed workload error is untyped: %v", cp.WorkloadErr)
+			}
+			c, err := New(memOpts(cp.Image))
+			if err != nil {
+				return fmt.Errorf("warm start on crash image failed: %v\n%s", err, cp.Image.Dump())
+			}
+			defer c.Close()
+			recovered := 0
+			for i := 0; i < puts; i++ {
+				v, ok := c.Get(fmt.Sprintf("k%d", i))
+				if !ok {
+					continue
+				}
+				if want := fmt.Sprintf("v%d", i); v != want {
+					return fmt.Errorf("recovered k%d = %q, want %q", i, v, want)
+				}
+				recovered++
+			}
+			if recovered > puts {
+				return fmt.Errorf("recovered %d entries from %d puts", recovered, puts)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// open (create+syncdir) + per put (write+fsync): at least 8 ops.
+	if n < 8 {
+		t.Fatalf("explored only %d ops for %d appends", n, puts)
+	}
+}

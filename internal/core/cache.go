@@ -93,8 +93,10 @@ func NewSweepCache(capacity int, policy cache.PolicyType, shadows []cache.Policy
 // miss simulates, stores a copy, and returns the fresh result. A nil cache
 // degrades to a plain RunMachineCtx. Config hashing failures are real
 // errors (the config would not simulate either); cache file-tier failures
-// are returned rather than swallowed, because a broken warm-start file
-// should be loud.
+// never reach here — the cache degrades itself to in-memory-only and
+// reports the fault through its Stats (a sweep must not fail because its
+// accelerator's disk did). Put can still error on codec failures, which
+// are propagated: they mean the result type itself cannot round-trip.
 func RunMachineCached(ctx context.Context, c *cache.Cache, cfg *config.MachineConfig) (*NodeResult, bool, error) {
 	if c == nil {
 		res, err := RunMachineCtx(ctx, cfg)

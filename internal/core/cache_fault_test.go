@@ -1,0 +1,76 @@
+package core
+
+// ISSUE acceptance: host-storage faults under the cache's warm-start file
+// must be invisible to sweep results. A sweep whose cache file tier eats
+// ENOSPC or fsync errors mid-run produces a grid field-for-field identical
+// to a cache-less sweep, with the degradation visible only in the cache's
+// stats — the memoization layer may lose durability, never correctness.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sst/internal/cache"
+	"sst/internal/iofault"
+)
+
+func TestCachedSweepSurvivesFileTierFaults(t *testing.T) {
+	apps, techs, widths := []string{"stream"}, []string{"ddr3-1333"}, []int{1, 2}
+	ref, err := MemTechWidthSweep(apps, techs, widths, Small, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := csvOf(t, ref)
+
+	// failAt picks which op of the first file-tier append dies: +1 is its
+	// write (short, then ENOSPC), +2 its fsync.
+	for _, tc := range []struct {
+		name   string
+		inject error
+		failAt int
+	}{
+		{"enospc-on-write", iofault.ErrNoSpace, 1},
+		{"efail-on-fsync", iofault.ErrSyncFailed, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := iofault.NewMemFS(17)
+			c, err := cache.New(cache.Options{
+				Capacity: 64, Path: "cache.jsonl", Codec: ResultCodec(), FS: m,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			m.FailOp(m.Ops()+tc.failAt, tc.inject)
+
+			got, err := MemTechWidthSweep(apps, techs, widths, Small,
+				SweepOptions{Workers: 1, Cache: c})
+			if err != nil {
+				t.Fatalf("sweep failed because its cache's disk did: %v", err)
+			}
+			if gotCSV := csvOf(t, got); !bytes.Equal(gotCSV, refCSV) {
+				t.Errorf("faulted-cache grid CSV differs from cache-less run\n got %s\nwant %s", gotCSV, refCSV)
+			}
+			for i := range got.Points {
+				g, r := *got.Points[i].Result, *ref.Points[i].Result
+				g.HostSeconds, r.HostSeconds = 0, 0
+				if !reflect.DeepEqual(g, r) {
+					t.Errorf("point %d diverged\n got %+v\nwant %+v", i, g, r)
+				}
+			}
+			st := c.Stats()
+			if !st.Degraded || st.AppendFailures == 0 {
+				t.Fatalf("degradation invisible in stats: %+v", st)
+			}
+			// Both points still memoized in RAM: a second pass is all hits.
+			if _, err := MemTechWidthSweep(apps, techs, widths, Small,
+				SweepOptions{Workers: 1, Cache: c}); err != nil {
+				t.Fatal(err)
+			}
+			if st := c.Stats(); st.Hits != int64(len(widths)) {
+				t.Fatalf("degraded cache no longer serves hits: %+v", st)
+			}
+		})
+	}
+}

@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
+
+	"sst/internal/iofault"
 )
 
 // ErrJournal marks a failure to open or durably write the sweep journal.
@@ -57,21 +60,41 @@ type Journal struct {
 	done map[string]journalEntry
 }
 
-// OpenJournal opens (creating if absent) the journal at path. When resume
-// is true, every complete record already in the file is loaded and a
-// truncated final line — the signature of a crash mid-append — is cut off;
-// when false the file is started fresh.
+// OpenJournal opens (creating if absent) the journal at path on the real
+// filesystem. See OpenJournalFS.
 func OpenJournal(path string, resume bool) (*Journal, error) {
+	return OpenJournalFS(iofault.Disk, path, resume)
+}
+
+// OpenJournalFS opens (creating if absent) the journal at path on fsys —
+// the host-storage seam the crash-point harness substitutes a fault
+// model for. When resume is true, every complete record already in the
+// file is loaded and a truncated final line — the signature of a crash
+// mid-append — is cut off; when false the file is started fresh.
+func OpenJournalFS(fsys iofault.FS, path string, resume bool) (*Journal, error) {
 	j := &Journal{done: make(map[string]journalEntry)}
+	// The journal's crash promise ("loses at most the line being written")
+	// needs the file's directory entry durable, not just its bytes: fsync
+	// the parent directory once at open, after the file exists.
+	syncParent := func() error {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("core: journal: parent dir fsync: %w: %w", ErrJournal, err)
+		}
+		return nil
+	}
 	if !resume {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		f, err := fsys.Create(path)
 		if err != nil {
 			return nil, fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
+		}
+		if err := syncParent(); err != nil {
+			f.Close()
+			return nil, err
 		}
 		j.f = f
 		return j, nil
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
 	}
@@ -97,13 +120,17 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 		valid = off
 	}
 	if valid < len(raw) {
-		if err := os.Truncate(path, int64(valid)); err != nil {
+		if err := fsys.Truncate(path, int64(valid)); err != nil {
 			return nil, fmt.Errorf("core: journal: truncating torn tail: %w: %w", ErrJournal, err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: journal: %w: %w", ErrJournal, err)
+	}
+	if err := syncParent(); err != nil {
+		f.Close()
+		return nil, err
 	}
 	j.f = f
 	return j, nil
@@ -178,9 +205,9 @@ type pointIO struct {
 	load func(i int, raw json.RawMessage) error
 }
 
-// journalOpen is OpenJournal behind a test seam: journal fault-injection
+// journalOpen is OpenJournalFS behind a test seam: journal fault-injection
 // tests substitute an opener whose file fails writes or fsyncs.
-var journalOpen = OpenJournal
+var journalOpen = OpenJournalFS
 
 // runPointsJournaled is runPointsDetailed plus the crash-safety layer:
 // with opts.Journal set, every finished point is durably recorded —
@@ -194,7 +221,7 @@ func runPointsJournaled(opts SweepOptions, n int, pio pointIO, fn func(ctx conte
 	if opts.Journal == "" {
 		return runPointsDetailed(opts, n, fn)
 	}
-	j, err := journalOpen(opts.Journal, opts.Resume)
+	j, err := journalOpen(opts.fs(), opts.Journal, opts.Resume)
 	if err != nil {
 		return make([]error, n), err
 	}

@@ -1,0 +1,171 @@
+package core
+
+// Crash-consistency for the resumable-sweep surface, driven by the
+// internal/iofault harness: a journaled sweep is crashed after every
+// write/sync the journal performs (under every retention the fault model
+// distinguishes), then resumed off the post-crash filesystem — and the
+// resumed grid must render byte-identical to an uninterrupted run. The
+// crashed run itself must fail loudly with ErrJournal, never wedge or
+// pretend its records are durable.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sst/internal/iofault"
+)
+
+// crashSweepAxes is the small journaled grid every crash-point test
+// drives: two design points, single worker, so the journal's operation
+// sequence is deterministic.
+var crashSweepAxes = struct {
+	apps, techs []string
+	widths      []int
+}{[]string{"stream"}, []string{"ddr3-1333"}, []int{1, 2}}
+
+func crashSweepCSV(t *testing.T, opts SweepOptions) ([]byte, error) {
+	t.Helper()
+	a := crashSweepAxes
+	g, err := MemTechWidthSweep(a.apps, a.techs, a.widths, Small, opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if werr := g.WriteCSV(&buf); werr != nil {
+		t.Fatal(werr)
+	}
+	return buf.Bytes(), nil
+}
+
+// TestCrashPointsJournaledSweep enumerates every crash point of a
+// journaled sweep and requires resume-from-the-wreckage to converge.
+func TestCrashPointsJournaledSweep(t *testing.T) {
+	ref, err := crashSweepCSV(t, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := iofault.Explore(
+		func() (*iofault.MemFS, error) { return iofault.NewMemFS(5), nil },
+		func(m *iofault.MemFS) error {
+			_, err := crashSweepCSV(t, SweepOptions{Workers: 1, Journal: "sweep.jsonl", FS: m})
+			return err
+		},
+		func(cp iofault.CrashPoint) error {
+			// The crashed run must have failed loudly and typed: every
+			// journal I/O failure wraps ErrJournal.
+			if cp.WorkloadErr == nil {
+				return errors.New("crashed sweep reported success")
+			}
+			if !errors.Is(cp.WorkloadErr, ErrJournal) {
+				return errors.New("crashed sweep error does not wrap ErrJournal: " + cp.WorkloadErr.Error())
+			}
+			// Recovery: resume off the post-crash filesystem. Whatever
+			// subset of records survived — none, some, a torn tail — the
+			// resumed grid must be byte-identical to the uninterrupted run.
+			got, err := crashSweepCSV(t, SweepOptions{
+				Workers: 1, Journal: "sweep.jsonl", Resume: true, FS: cp.Image,
+			})
+			if err != nil {
+				return errors.New("resume after crash failed: " + err.Error())
+			}
+			if !bytes.Equal(got, ref) {
+				return errors.New("resumed grid differs from uninterrupted run\n got: " +
+					string(got) + "\nwant: " + string(ref) + "\nsurviving files:\n" + cp.Image.Dump())
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One create + (write, fsync) per record: the two-point sweep must
+	// expose at least five crash points, or the harness missed the surface.
+	if n < 5 {
+		t.Fatalf("explored only %d journal ops, want >= 5", n)
+	}
+}
+
+// TestCrashPointsJournaledSweepInjectedFaults: non-crash I/O failures —
+// a short write followed by ENOSPC, and an fsync error — at every
+// journal operation in turn. Each must surface as a typed ErrJournal
+// sweep failure (the operator has to fix the disk), and a subsequent
+// resume on the same filesystem must still converge byte-identically.
+func TestCrashPointsJournaledSweepInjectedFaults(t *testing.T) {
+	ref, err := crashSweepCSV(t, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the ops of a clean journaled run first.
+	clean := iofault.NewMemFS(5)
+	if _, err := crashSweepCSV(t, SweepOptions{Workers: 1, Journal: "sweep.jsonl", FS: clean}); err != nil {
+		t.Fatal(err)
+	}
+	for _, inject := range []error{iofault.ErrNoSpace, iofault.ErrSyncFailed} {
+		for op := 1; op <= clean.Ops(); op++ {
+			m := iofault.NewMemFS(5)
+			m.FailOp(op, inject)
+			_, err := crashSweepCSV(t, SweepOptions{Workers: 1, Journal: "sweep.jsonl", FS: m})
+			if err == nil {
+				t.Fatalf("%v at op %d: sweep reported success", inject, op)
+			}
+			if !errors.Is(err, ErrJournal) {
+				t.Fatalf("%v at op %d: sweep error does not wrap ErrJournal: %v", inject, op, err)
+			}
+			got, err := crashSweepCSV(t, SweepOptions{Workers: 1, Journal: "sweep.jsonl", Resume: true, FS: m})
+			if err != nil {
+				t.Fatalf("%v at op %d: resume failed: %v", inject, op, err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("%v at op %d: resumed grid differs from reference", inject, op)
+			}
+		}
+	}
+}
+
+// TestJournalTornTailEveryByteOffset is the exhaustive version of the
+// hand-written torn-tail cases: a real journaled sweep's file is
+// truncated at *every* byte offset inside its final record — every
+// possible kill-mid-append — and each truncation must resume to a grid
+// CSV byte-identical to an uninterrupted run.
+func TestJournalTornTailEveryByteOffset(t *testing.T) {
+	ref, err := crashSweepCSV(t, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	if _, err := crashSweepCSV(t, SweepOptions{Workers: 1, Journal: full}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.TrimSuffix(string(raw), "\n")
+	lastStart := strings.LastIndexByte(body, '\n') + 1 // 0 when single-record
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	resumed := 0
+	for off := lastStart; off < len(raw); off += stride {
+		torn := filepath.Join(dir, "torn.jsonl")
+		if err := os.WriteFile(torn, raw[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := crashSweepCSV(t, SweepOptions{Workers: 1, Journal: torn, Resume: true})
+		if err != nil {
+			t.Fatalf("resume with tail torn at byte %d/%d failed: %v", off, len(raw), err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("grid resumed from tail torn at byte %d/%d differs from uninterrupted run", off, len(raw))
+		}
+		resumed++
+	}
+	if resumed < 10 {
+		t.Fatalf("only %d truncation offsets exercised — the final record should be hundreds of bytes", resumed)
+	}
+}

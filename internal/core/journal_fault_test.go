@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"testing"
 
+	"sst/internal/iofault"
 	"sst/internal/leakcheck"
 )
 
@@ -45,7 +46,7 @@ func (f *faultFile) Close() error { return nil }
 func withFaultyJournal(t *testing.T, ff *faultFile) {
 	t.Helper()
 	orig := journalOpen
-	journalOpen = func(string, bool) (*Journal, error) {
+	journalOpen = func(iofault.FS, string, bool) (*Journal, error) {
 		return &Journal{f: ff, done: make(map[string]journalEntry)}, nil
 	}
 	t.Cleanup(func() { journalOpen = orig })

@@ -12,6 +12,7 @@ import (
 
 	"sst/internal/cache"
 	"sst/internal/config"
+	"sst/internal/iofault"
 	"sst/internal/sim"
 )
 
@@ -86,6 +87,13 @@ type SweepOptions struct {
 	// ErrQuarantined. The zero value disables retry. See RetryPolicy.
 	Retry RetryPolicy
 
+	// FS, when non-nil, is the host-storage seam every durable artifact of
+	// the sweep (today: the journal) is written through; nil means the
+	// real filesystem (iofault.Disk). The crash-point harness substitutes
+	// an iofault.MemFS to enumerate crashes and inject I/O faults at every
+	// write, fsync and rename.
+	FS iofault.FS
+
 	// Arena, when non-nil, gives each sweep worker a reusable PointArena
 	// for the duration of the sweep: consecutive design points on a worker
 	// share one event free list, cache backing pool and kernel batch-buffer
@@ -138,6 +146,14 @@ func (o SweepOptions) context() context.Context {
 		return o.Context
 	}
 	return context.Background()
+}
+
+// fs resolves the host-storage seam: explicit option or the real disk.
+func (o SweepOptions) fs() iofault.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return iofault.Disk
 }
 
 // errSkipped marks a point that never ran because the sweep context was

@@ -1,0 +1,76 @@
+package iofault
+
+// The crash-point exploration harness (ALICE/CrashMonkey-style): run a
+// persistence workload once to learn its operation count, then replay it
+// once per operation with a crash scheduled right after that operation,
+// materialize every legal post-crash filesystem the model distinguishes,
+// and hand each to a per-surface verifier that runs recovery and asserts
+// the codebase's one invariant — recovery converges to the uninterrupted
+// outcome or fails with a typed error; never a wedge, never silent
+// corruption.
+
+import "fmt"
+
+// CrashPoint is one enumerated crash: the filesystem image a restarted
+// process would find after the workload's first Op operations, under one
+// retention variant, plus whatever error the crashed run itself saw.
+type CrashPoint struct {
+	// Op is how many of the workload's mutating operations completed
+	// before the crash (0 = the workload never reached the disk). The
+	// setup's operations are not enumerated; setups that mean to establish
+	// durable prior state must fsync it like any other writer.
+	Op int
+	// Retention is which legal post-crash state Image holds.
+	Retention CrashRetention
+	// Image is the post-crash filesystem; run recovery against it.
+	Image *MemFS
+	// WorkloadErr is what the crashed workload returned. Surfaces that
+	// fail loudly return an error chaining ErrCrashed; surfaces that
+	// degrade gracefully (the cache's in-memory-only mode) may return nil.
+	WorkloadErr error
+}
+
+func (cp CrashPoint) String() string {
+	return fmt.Sprintf("crash after op %d (%s)", cp.Op, cp.Retention)
+}
+
+// Explore enumerates every crash point of workload. setup builds the
+// starting filesystem (usually empty, sometimes pre-populated with prior
+// state); workload drives the persistence code under test; verify runs
+// recovery against one post-crash image and returns an error if the
+// invariant does not hold. The workload must be deterministic in its
+// operation sequence — single sweep worker, fixed seeds — so that "crash
+// after op N" names the same state on every run.
+//
+// Explore returns the number of workload operations enumerated (setup's
+// own operations are established state, not crash points — so tests can
+// assert the surface was actually exercised) and the first violation.
+func Explore(setup func() (*MemFS, error), workload func(m *MemFS) error, verify func(cp CrashPoint) error) (int, error) {
+	m, err := setup()
+	if err != nil {
+		return 0, fmt.Errorf("iofault: explore setup: %w", err)
+	}
+	base := m.Ops() // setup's own operations are established state, not crash points
+	if err := workload(m); err != nil {
+		return 0, fmt.Errorf("iofault: fault-free reference run failed: %w", err)
+	}
+	n := m.Ops()
+	if n == base {
+		return 0, fmt.Errorf("iofault: workload performed no mutating operations — nothing to explore")
+	}
+	for i := base; i < n; i++ {
+		m, err := setup()
+		if err != nil {
+			return i, fmt.Errorf("iofault: explore setup (op %d): %w", i, err)
+		}
+		m.CrashAfter(i)
+		werr := workload(m)
+		for _, r := range Retentions {
+			cp := CrashPoint{Op: i - base, Retention: r, Image: m.CrashImage(r), WorkloadErr: werr}
+			if err := verify(cp); err != nil {
+				return i, fmt.Errorf("iofault: %v: %w", cp, err)
+			}
+		}
+	}
+	return n - base, nil
+}

@@ -1,0 +1,509 @@
+package iofault
+
+// MemFS: the deterministic host-storage fault model. It is a small
+// in-memory filesystem that tracks, separately, what the process sees
+// (the live namespace: every write, rename and mkdir immediately) and
+// what the disk guarantees (the durable view: only fsync'd bytes, only
+// dir-fsync'd entries). Every mutating operation is numbered, and a
+// fault schedule can make operation N fail — a short write followed by
+// ENOSPC, an fsync error — or declare a crash after operation N, after
+// which every call fails with ErrCrashed and CrashImage materializes
+// the filesystem a restarted process would find.
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sst/internal/fault"
+	"sst/internal/sim"
+)
+
+// ErrCrashed is returned by every MemFS operation past the scheduled
+// crash point: the modeled process is dead, nothing more reaches disk.
+var ErrCrashed = fmt.Errorf("iofault: crashed")
+
+// ErrNoSpace is the canned ENOSPC tests schedule with FailOp.
+var ErrNoSpace = fmt.Errorf("iofault: no space left on device")
+
+// ErrSyncFailed is the canned fsync failure tests schedule with FailOp.
+var ErrSyncFailed = fmt.Errorf("iofault: fsync failed")
+
+// CrashRetention selects which of the legal post-crash states CrashImage
+// materializes. The durability rules (package comment) define a space of
+// outcomes; these are its corners plus one torn midpoint.
+type CrashRetention int
+
+const (
+	// DropUnsynced is the adversarial corner: only fsync'd bytes and
+	// dir-fsync'd entries survive. Code that recovers from this state
+	// recovers from any legal state weaker than "everything flushed".
+	DropUnsynced CrashRetention = iota
+	// TornTail keeps every live entry but tears each file mid-way through
+	// its un-fsync'd tail — the classic kill-mid-append shape.
+	TornTail
+	// RetainAll is the lucky corner: every write and every entry made it.
+	RetainAll
+)
+
+// Retentions lists every variant, in the order harnesses iterate them.
+var Retentions = []CrashRetention{DropUnsynced, TornTail, RetainAll}
+
+func (r CrashRetention) String() string {
+	switch r {
+	case DropUnsynced:
+		return "drop-unsynced"
+	case TornTail:
+		return "torn-tail"
+	default:
+		return "retain-all"
+	}
+}
+
+// memFile is one inode: open handles and namespace entries share it.
+type memFile struct {
+	data   []byte
+	synced int // durable prefix length (bytes guaranteed after a crash)
+}
+
+// MemFS implements FS in memory with explicit durability modeling. Safe
+// for concurrent use; the fault schedule is deterministic because op
+// numbering is serialized under the same lock as the operations.
+type MemFS struct {
+	mu   sync.Mutex
+	dirs map[string]bool     // live directories ("." is the ever-present root)
+	live map[string]*memFile // live namespace: path → inode
+	dur  map[string]*memFile // durable namespace: entries whose parent was SyncDir'd
+	ddir map[string]bool     // durable directories
+
+	ops        int // mutating operations performed so far
+	crashAt    int // crash after this many ops; -1 = never
+	failures   map[int]error
+	shortWrite *sim.RNG // lengths of the partial write landed before a scheduled write error
+}
+
+// NewMemFS returns an empty filesystem with no faults scheduled. seed
+// feeds the deterministic short-write stream (how much of a failing
+// write still lands); the same seed reproduces the same torn prefixes.
+func NewMemFS(seed uint64) *MemFS {
+	return &MemFS{
+		dirs:       map[string]bool{".": true},
+		live:       map[string]*memFile{},
+		dur:        map[string]*memFile{},
+		ddir:       map[string]bool{".": true},
+		crashAt:    -1,
+		failures:   map[int]error{},
+		shortWrite: sim.NewRNG(fault.StreamSeed(seed, "iofault/short-write")),
+	}
+}
+
+// CrashAfter schedules a crash: the first n mutating operations succeed,
+// every operation after them fails with ErrCrashed. n = 0 crashes before
+// anything reaches the filesystem.
+func (m *MemFS) CrashAfter(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAt = n
+}
+
+// FailOp schedules mutating operation n (1-based) to fail with err. A
+// failing write first lands a seeded prefix of its buffer — a short
+// write — so the torn state ENOSPC leaves behind is part of the test. A
+// failing sync leaves durability exactly where it was.
+func (m *MemFS) FailOp(n int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failures[n] = err
+}
+
+// Ops reports how many mutating operations have been performed — the
+// domain a crash-point exploration enumerates.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// op accounts one mutating operation and resolves its scheduled fate:
+// crashed, failing with a scheduled error, or proceeding. Caller holds mu.
+func (m *MemFS) op() error {
+	if m.crashAt >= 0 && m.ops >= m.crashAt {
+		return ErrCrashed
+	}
+	m.ops++
+	if err, ok := m.failures[m.ops]; ok {
+		return err
+	}
+	return nil
+}
+
+// crashed reports whether the modeled process is past its crash point —
+// read operations refuse too, the process is gone. Caller holds mu.
+func (m *MemFS) crashed() bool { return m.crashAt >= 0 && m.ops >= m.crashAt }
+
+func clean(p string) string {
+	p = path.Clean(strings.ReplaceAll(p, "\\", "/"))
+	if p == "/" || p == "" {
+		return "."
+	}
+	return strings.TrimPrefix(p, "/")
+}
+
+func parent(p string) string { return path.Dir(p) }
+
+func notExist(op, p string) error {
+	return &fs.PathError{Op: op, Path: p, Err: fs.ErrNotExist}
+}
+
+// Create opens path for writing, truncating any existing file. The new
+// (empty) inode replaces the old in the live namespace only; until the
+// parent directory is fsync'd, a crash still shows the old binding.
+func (m *MemFS) Create(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return nil, err
+	}
+	p = clean(p)
+	if !m.dirs[parent(p)] {
+		return nil, notExist("create", p)
+	}
+	f := &memFile{}
+	m.live[p] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// OpenAppend opens path for appending, creating it if absent.
+func (m *MemFS) OpenAppend(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return nil, err
+	}
+	p = clean(p)
+	if !m.dirs[parent(p)] {
+		return nil, notExist("open", p)
+	}
+	f, ok := m.live[p]
+	if !ok {
+		f = &memFile{}
+		m.live[p] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed() {
+		return nil, ErrCrashed
+	}
+	f, ok := m.live[clean(p)]
+	if !ok {
+		return nil, notExist("read", p)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) ReadDir(p string) ([]os.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed() {
+		return nil, ErrCrashed
+	}
+	p = clean(p)
+	if !m.dirs[p] {
+		return nil, notExist("readdir", p)
+	}
+	var out []os.DirEntry
+	for d := range m.dirs {
+		if d != "." && parent(d) == p {
+			out = append(out, memDirEntry{name: path.Base(d), dir: true})
+		}
+	}
+	for f := range m.live {
+		if parent(f) == p {
+			out = append(out, memDirEntry{name: path.Base(f)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (m *MemFS) Truncate(p string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	f, ok := m.live[clean(p)]
+	if !ok {
+		return notExist("truncate", p)
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// Rename atomically rebinds newpath. Like the real thing, the new
+// binding is volatile until the parent directory is fsync'd: a crash
+// before SyncDir may show the old names.
+func (m *MemFS) Rename(oldp, newp string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	oldp, newp = clean(oldp), clean(newp)
+	f, ok := m.live[oldp]
+	if !ok {
+		return notExist("rename", oldp)
+	}
+	if !m.dirs[parent(newp)] {
+		return notExist("rename", newp)
+	}
+	delete(m.live, oldp)
+	m.live[newp] = f
+	return nil
+}
+
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	p = clean(p)
+	if _, ok := m.live[p]; !ok {
+		return notExist("remove", p)
+	}
+	delete(m.live, p)
+	return nil
+}
+
+func (m *MemFS) RemoveAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	p = clean(p)
+	under := func(q string) bool { return q == p || strings.HasPrefix(q, p+"/") }
+	for f := range m.live {
+		if under(f) {
+			delete(m.live, f)
+		}
+	}
+	for d := range m.dirs {
+		if d != "." && under(d) {
+			delete(m.dirs, d)
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) MkdirAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	p = clean(p)
+	for p != "." && p != "/" {
+		m.dirs[p] = true
+		p = parent(p)
+	}
+	return nil
+}
+
+// SyncDir makes the directory's current entries durable: files and
+// subdirectories gain (or lose, if removed) their crash-surviving
+// bindings. File *contents* still obey their own fsync marks.
+func (m *MemFS) SyncDir(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.op(); err != nil {
+		return err
+	}
+	p = clean(p)
+	if !m.dirs[p] {
+		return notExist("syncdir", p)
+	}
+	for q := range m.dur {
+		if parent(q) == p {
+			if _, ok := m.live[q]; !ok {
+				delete(m.dur, q)
+			}
+		}
+	}
+	for q, f := range m.live {
+		if parent(q) == p {
+			m.dur[q] = f
+		}
+	}
+	for d := range m.ddir {
+		if d != "." && parent(d) == p && !m.dirs[d] {
+			delete(m.ddir, d)
+		}
+	}
+	for d := range m.dirs {
+		if d != "." && parent(d) == p {
+			m.ddir[d] = true
+		}
+	}
+	return nil
+}
+
+// CrashImage materializes the filesystem a process restarted after the
+// crash would find, under the given retention. The image is a fresh,
+// fault-free MemFS (deep copies; op counter at zero) so recovery code
+// can run against it directly.
+func (m *MemFS) CrashImage(r CrashRetention) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMemFS(1)
+	dirs, files := m.ddir, m.dur
+	if r != DropUnsynced {
+		dirs, files = m.dirs, m.live
+	}
+	for d := range dirs {
+		img.dirs[d] = true
+		img.ddir[d] = true
+	}
+	// An entry survives only if every ancestor directory did.
+	reachable := func(p string) bool {
+		for q := parent(p); q != "."; q = parent(q) {
+			if !img.dirs[q] {
+				return false
+			}
+		}
+		return true
+	}
+	for p, f := range files {
+		if !reachable(p) {
+			continue
+		}
+		keep := len(f.data)
+		switch r {
+		case DropUnsynced:
+			keep = f.synced
+		case TornTail:
+			// Tear halfway through the un-fsync'd tail.
+			keep = f.synced + (len(f.data)-f.synced+1)/2
+		}
+		g := &memFile{data: append([]byte(nil), f.data[:keep]...), synced: keep}
+		img.live[p] = g
+		img.dur[p] = g
+	}
+	return img
+}
+
+// Dump renders every live file for test diagnostics: path, size, durable
+// prefix.
+func (m *MemFS) Dump() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var paths []string
+	for p := range m.live {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		f := m.live[p]
+		fmt.Fprintf(&b, "%s: %d bytes (%d durable)\n", p, len(f.data), f.synced)
+	}
+	return b.String()
+}
+
+// memHandle is an open File over one inode.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if err := h.fs.op(); err != nil {
+		if err != ErrCrashed && len(p) > 0 {
+			// A failing write is a short write: a seeded prefix lands first,
+			// so ENOSPC mid-record leaves exactly the torn shape recovery
+			// must tolerate. A crash lands nothing — the op never started.
+			n := h.fs.shortWrite.Intn(len(p))
+			h.f.data = append(h.f.data, p[:n]...)
+			return n, err
+		}
+		return 0, err
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if err := h.fs.op(); err != nil {
+		return err
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+// Close releases the handle. It is not a durability point: bytes not
+// fsync'd stay volatile.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// memDirEntry implements os.DirEntry for ReadDir.
+type memDirEntry struct {
+	name string
+	dir  bool
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return fs.FileMode(0)
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) {
+	return memFileInfo{name: e.name, dir: e.dir}, nil
+}
+
+type memFileInfo struct {
+	name string
+	dir  bool
+}
+
+func (i memFileInfo) Name() string       { return i.name }
+func (i memFileInfo) Size() int64        { return 0 }
+func (i memFileInfo) Mode() fs.FileMode  { return fs.FileMode(0o644) }
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.dir }
+func (i memFileInfo) Sys() any           { return nil }

@@ -96,6 +96,12 @@ func (r *RunReport) Table() *stats.Table {
 		t.AddRow("cache.evictions", cs.Evictions)
 		t.AddRow("cache.rejected", cs.Rejected)
 		t.AddRow("cache.warm_starts", cs.WarmStarts)
+		if cs.Degraded {
+			// Storage under the warm-start file failed mid-run; the cache
+			// dropped it and served the sweep from memory alone.
+			t.AddRow("cache.degraded", true)
+			t.AddRow("cache.append_failures", cs.AppendFailures)
+		}
 		for _, ss := range cs.Shadows {
 			prefix := "cache.shadow." + ss.Policy + "."
 			t.AddRow(prefix+"hits", ss.Hits)

@@ -87,6 +87,10 @@ func (r *ServiceReport) Table() *stats.Table {
 		t.AddRow("cache.misses", cs.Misses)
 		t.AddRow("cache.hit_rate", cs.HitRate)
 		t.AddRow("cache.evictions", cs.Evictions)
+		if cs.Degraded {
+			t.AddRow("cache.degraded", true)
+			t.AddRow("cache.append_failures", cs.AppendFailures)
+		}
 	}
 	return t
 }

@@ -1,0 +1,257 @@
+package serve
+
+// Crash consistency for the whole job lifecycle, and the front-door
+// hardening that keeps a half-submitted job from ever existing. The
+// iofault harness crashes a server after every single storage operation
+// — state-dir creation, spec.json's atomic write, every journal append,
+// result.csv, status.json — and a fresh server over the wreckage must
+// recover to the exact same result bytes an uninterrupted run produces.
+// The admission contract under test: a 202 (Submit returning nil) means
+// the job survives any crash; a storage failure means nothing was
+// admitted at all.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sst/internal/core"
+	"sst/internal/iofault"
+)
+
+// crashSpec is the 2-point grid the lifecycle exploration runs; one
+// worker everywhere keeps the storage-op sequence deterministic.
+func crashSpec() core.JobSpec {
+	return core.JobSpec{
+		Kind: "dse",
+		Apps: []string{"stream"}, Techs: []string{"ddr3-1333"},
+		Widths: []int{1, 2},
+	}
+}
+
+func memConfig(m *iofault.MemFS) Config {
+	return Config{StateDir: "state", JobWorkers: 1, PointWorkers: 1, FS: m}
+}
+
+// runLifecycle is the workload: bring a server up, submit one job, wait
+// for it to finish, drain. Returns whether the submission was accepted —
+// the moment the durability promise attaches.
+func runLifecycle(m *iofault.MemFS) (accepted bool, err error) {
+	s, err := New(memConfig(m))
+	if err != nil {
+		return false, err
+	}
+	s.Start()
+	defer s.Drain(10 * time.Second)
+	st, err := s.Submit("t", crashSpec(), 0)
+	if err != nil {
+		return false, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = s.Wait(ctx, st.ID)
+	return true, err
+}
+
+func TestCrashPointsJobLifecycle(t *testing.T) {
+	refCSV := directCSV(t, crashSpec())
+	var accepted bool
+	n, err := iofault.Explore(
+		func() (*iofault.MemFS, error) { return iofault.NewMemFS(21), nil },
+		func(m *iofault.MemFS) error {
+			var err error
+			accepted, err = runLifecycle(m)
+			return err
+		},
+		func(cp iofault.CrashPoint) error {
+			if cp.WorkloadErr != nil && !errors.Is(cp.WorkloadErr, iofault.ErrCrashed) {
+				return fmt.Errorf("crashed lifecycle error is untyped: %v", cp.WorkloadErr)
+			}
+			// Recovery: a fresh server over the post-crash state directory.
+			s, err := New(memConfig(cp.Image))
+			if err != nil {
+				return fmt.Errorf("recovery server failed to start: %v\n%s", err, cp.Image.Dump())
+			}
+			s.Start()
+			defer s.Drain(10 * time.Second)
+			jobs := s.Jobs()
+			if accepted && len(jobs) == 0 {
+				return fmt.Errorf("accepted job lost in crash (202 was a lie)\n%s", cp.Image.Dump())
+			}
+			// Whatever survived — the accepted job, or one from a submission
+			// the client saw fail (at-least-once is fine; silent loss is
+			// not) — must converge to the uninterrupted run's exact bytes.
+			for _, j := range jobs {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				st, err := s.Wait(ctx, j.ID)
+				cancel()
+				if err != nil {
+					return fmt.Errorf("recovered job %s never finished: %v", j.ID, err)
+				}
+				if st.State != StateDone {
+					return fmt.Errorf("recovered job %s ended %s: %s\n%s", j.ID, st.State, st.Err, cp.Image.Dump())
+				}
+				got, err := cp.Image.ReadFile(filepath.Join("state", "jobs", j.ID, "result.csv"))
+				if err != nil {
+					return fmt.Errorf("recovered job %s has no result.csv: %v", j.ID, err)
+				}
+				if !bytes.Equal(got, refCSV) {
+					return fmt.Errorf("job %s result differs from uninterrupted run\n got: %s\nwant: %s", j.ID, got, refCSV)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State tree + spec chain + journal open + 2 records + result.csv +
+	// status.json is well over 20 storage ops; fewer means the seam leaks.
+	if n < 20 {
+		t.Fatalf("explored only %d storage ops for a full job lifecycle", n)
+	}
+}
+
+// TestSubmitStorageFailureAdmitsNothing: every op of the admission chain
+// failing in turn must yield a typed ErrStorage, an empty server, and —
+// where the filesystem still allows it — no debris under jobs/.
+func TestSubmitStorageFailureAdmitsNothing(t *testing.T) {
+	clean := iofault.NewMemFS(23)
+	s0, err := New(memConfig(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := clean.Ops()
+	if _, err := s0.Submit("t", crashSpec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	chain := clean.Ops() - base // ops Submit's durability chain performs
+
+	for op := 1; op <= chain; op++ {
+		m := iofault.NewMemFS(23)
+		s, err := New(memConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.FailOp(m.Ops()+op, iofault.ErrNoSpace)
+		_, err = s.Submit("t", crashSpec(), 0)
+		if err == nil {
+			// The faulted op was absorbed (e.g. it hit the temp-file
+			// cleanup of an already-failed write); an accepted submission
+			// must then be fully durable — covered by the harness above.
+			continue
+		}
+		if !errors.Is(err, ErrStorage) {
+			t.Fatalf("op %d: submit error is not ErrStorage: %v", op, err)
+		}
+		if got := s.Jobs(); len(got) != 0 {
+			t.Fatalf("op %d: failed submit left a job: %+v", op, got)
+		}
+		if ents, rerr := m.ReadDir(filepath.Join("state", "jobs")); rerr == nil && len(ents) != 0 {
+			var names []string
+			for _, e := range ents {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("op %d: failed submit left debris: %v", op, names)
+		}
+	}
+	if chain < 5 {
+		t.Fatalf("admission chain is only %d ops; the durability chain is missing steps", chain)
+	}
+}
+
+// TestHTTPSubmitStorageFailure500: the HTTP face of the same contract —
+// a storage failure during admission is a 500, and the job list stays
+// empty.
+func TestHTTPSubmitStorageFailure500(t *testing.T) {
+	m := iofault.NewMemFS(29)
+	s, err := New(memConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	m.FailOp(m.Ops()+1, iofault.ErrNoSpace) // first op of the admission chain
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"tenant":"t","spec":{"kind":"dse","apps":["stream"],"techs":["ddr3-1333"],"widths":[1]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if got := s.Jobs(); len(got) != 0 {
+		t.Fatalf("500'd submit admitted a job: %+v", got)
+	}
+}
+
+// TestHTTPSubmitOversizedBody413: a body over the submission cap is cut
+// off with 413 and admits nothing.
+func TestHTTPSubmitOversizedBody413(t *testing.T) {
+	m := iofault.NewMemFS(31)
+	s, err := New(memConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	huge := `{"tenant":"` + strings.Repeat("x", maxSubmitBytes+1024) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if got := s.Jobs(); len(got) != 0 {
+		t.Fatalf("oversized submit admitted a job: %+v", got)
+	}
+}
+
+// TestHTTPSlowLorisCut: a client that dribbles headers and never finishes
+// them is disconnected by ReadHeaderTimeout without tying up the server
+// or admitting anything.
+func TestHTTPSlowLorisCut(t *testing.T) {
+	m := iofault.NewMemFS(37)
+	s, err := New(memConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer(s.Handler(), 150*time.Millisecond)
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Headers started, never finished: no terminating blank line.
+	if _, err := conn.Write([]byte("POST /v1/jobs HTTP/1.1\r\nHost: sst\r\nContent-Length: 100\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a request whose headers never completed")
+	}
+	if waited := time.Since(start); waited > 4*time.Second {
+		t.Fatalf("connection survived %v; ReadHeaderTimeout did not cut it", waited)
+	}
+	if got := s.Jobs(); len(got) != 0 {
+		t.Fatalf("slow-loris admitted a job: %+v", got)
+	}
+}

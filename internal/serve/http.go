@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"time"
 
 	"sst/internal/core"
@@ -66,6 +65,25 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// NewHTTPServer wraps a handler in an http.Server hardened against slow
+// and hostile clients: ReadHeaderTimeout cuts a slow-loris connection
+// that trickles header bytes, IdleTimeout reaps abandoned keep-alives,
+// and MaxHeaderBytes bounds header memory. readHeaderTimeout <= 0 means
+// the 5s default (tests pass a short one to provoke the cut). Write
+// timeouts are deliberately absent: /v1/jobs/{id}/events streams for the
+// life of a job.
+func NewHTTPServer(h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = 5 * time.Second
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       60 * time.Second,
+		MaxHeaderBytes:    64 << 10,
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -78,9 +96,20 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// maxSubmitBytes bounds the POST /v1/jobs body. A legitimate spec is a
+// few hundred bytes; anything near the cap is hostile or broken, and
+// MaxBytesReader both cuts it off and closes the connection.
+const maxSubmitBytes = 1 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -94,6 +123,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrStorage):
+		// The server's disk, not the client's request: 500, and Submit
+		// guarantees nothing was admitted or left behind.
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -137,7 +171,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	path := s.jobs[id].resultPath()
 	s.mu.Unlock()
-	raw, err := os.ReadFile(path)
+	raw, err := s.fs.ReadFile(path)
 	if err != nil {
 		writeError(w, http.StatusNotFound,
 			fmt.Errorf("no result for job %s (state %s)", id, st.State))
@@ -166,7 +200,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	var offset int64
 	emit := func() bool {
-		raw, err := os.ReadFile(j.journalPath())
+		raw, err := s.fs.ReadFile(j.journalPath())
 		if err != nil || int64(len(raw)) <= offset {
 			return false
 		}

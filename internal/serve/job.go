@@ -3,12 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"sst/internal/core"
+	"sst/internal/iofault"
 	"sst/internal/obs"
 )
 
@@ -121,8 +121,11 @@ func (j *job) statusPath() string { return filepath.Join(j.dir, "status.json") }
 
 func (j *job) specPath() string { return filepath.Join(j.dir, "spec.json") }
 
-// persistSpec durably writes spec.json: temp file, fsync, rename.
-func (j *job) persistSpec() error {
+// persistSpec durably writes spec.json via the shared atomic-replace
+// helper: temp file, fsync, rename, parent-dir fsync. (The old local
+// writer skipped the directory fsync, so a freshly renamed marker could
+// vanish in a crash even though its bytes were on disk.)
+func (j *job) persistSpec(fsys iofault.FS) error {
 	data, err := json.MarshalIndent(jobSpecFile{
 		ID: j.id, Tenant: j.tenant, Spec: j.spec,
 		DeadlineMS: j.deadline.Milliseconds(),
@@ -130,21 +133,21 @@ func (j *job) persistSpec() error {
 	if err != nil {
 		return err
 	}
-	return writeDurable(j.specPath(), data)
+	return iofault.WriteFileAtomic(fsys, j.specPath(), data)
 }
 
 // persistStatus durably writes the terminal status.json marker.
-func (j *job) persistStatus(st JobStatus) error {
+func (j *job) persistStatus(fsys iofault.FS, st JobStatus) error {
 	data, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeDurable(j.statusPath(), data)
+	return iofault.WriteFileAtomic(fsys, j.statusPath(), data)
 }
 
 // readStatus loads a status.json marker.
-func readStatus(path string) (JobStatus, error) {
-	raw, err := os.ReadFile(path)
+func readStatus(fsys iofault.FS, path string) (JobStatus, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -153,26 +156,4 @@ func readStatus(path string) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	return st, nil
-}
-
-// writeDurable writes data to path via a temp file, fsync and rename, so
-// a crash never leaves a torn file where a marker should be.
-func writeDurable(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -27,7 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -36,6 +36,7 @@ import (
 	"sst/internal/cache"
 	"sst/internal/core"
 	"sst/internal/fault"
+	"sst/internal/iofault"
 	"sst/internal/obs"
 	"sst/internal/sim"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// Cache, when non-nil, is shared by all jobs: overlapping grids
 	// re-simulate only what is new. The caller owns its lifecycle.
 	Cache *cache.Cache
+	// FS, when non-nil, is the host-storage seam all durable job state —
+	// spec.json, journal, result.csv, status.json — goes through; nil
+	// means the real filesystem (iofault.Disk). The crash-point harness
+	// substitutes an iofault.MemFS to crash a whole job lifecycle at
+	// every individual write, fsync and rename.
+	FS iofault.FS
 }
 
 // ErrDraining rejects submissions while the server is shutting down.
@@ -72,6 +79,12 @@ var ErrQueueFull = errors.New("serve: queue full")
 // ErrUnknownJob reports a job ID the server has no record of.
 var ErrUnknownJob = errors.New("serve: unknown job")
 
+// ErrStorage marks a submission the server could not make durable: the
+// job was NOT admitted, nothing will run, and HTTP maps it to 500. The
+// admission contract is all-or-nothing — a 202 means spec.json is on
+// disk and fsync'd; a storage failure means no trace of the job remains.
+var ErrStorage = errors.New("serve: storage failure")
+
 // runSpec is the job execution seam: tests substitute controllable fakes
 // (blocking jobs, instant jobs) without simulating anything.
 var runSpec = func(spec core.JobSpec, opts core.SweepOptions) (core.Result, error) {
@@ -82,6 +95,7 @@ var runSpec = func(spec core.JobSpec, opts core.SweepOptions) (core.Result, erro
 // job state, and the metrics roll-up.
 type Server struct {
 	cfg   Config
+	fs    iofault.FS
 	start time.Time
 
 	// baseCtx parents every job's sweep context; drain cancels it, which
@@ -123,12 +137,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCapacity <= 0 {
 		cfg.QueueCapacity = 16
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = iofault.Disk
+	}
+	if err := fsys.MkdirAll(filepath.Join(cfg.StateDir, "jobs")); err != nil {
 		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	// Make the state tree itself durable: the jobs/ entry needs the state
+	// dir fsync'd, and the state dir's own entry needs its parent fsync'd.
+	for _, d := range []string{cfg.StateDir, filepath.Dir(cfg.StateDir)} {
+		if err := fsys.SyncDir(d); err != nil {
+			return nil, fmt.Errorf("serve: state dir fsync: %w", err)
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg: cfg, start: time.Now(),
+		cfg: cfg, fs: fsys, start: time.Now(),
 		baseCtx: ctx, baseCancel: cancel,
 		wake:   make(chan struct{}, 1),
 		queue:  newTenantQueue(cfg.QueueCapacity),
@@ -147,7 +172,7 @@ func New(cfg Config) (*Server, error) {
 // status.json) are re-queued with Resume semantics. Runs before the
 // worker pool starts, so no locking subtleties.
 func (s *Server) recover() error {
-	entries, err := os.ReadDir(filepath.Join(s.cfg.StateDir, "jobs"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.cfg.StateDir, "jobs"))
 	if err != nil {
 		return fmt.Errorf("serve: recovery scan: %w", err)
 	}
@@ -160,7 +185,7 @@ func (s *Server) recover() error {
 	sort.Strings(ids) // job IDs are time-sortable: re-queue in submission order
 	for _, id := range ids {
 		dir := filepath.Join(s.cfg.StateDir, "jobs", id)
-		raw, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		raw, err := s.fs.ReadFile(filepath.Join(dir, "spec.json"))
 		if err != nil {
 			continue // admission never finished; nothing durable was promised
 		}
@@ -174,7 +199,7 @@ func (s *Server) recover() error {
 			dir:      dir, points: sf.Spec.Points(),
 			done: make(chan struct{}),
 		}
-		if st, err := readStatus(j.statusPath()); err == nil && terminal(st.State) {
+		if st, err := readStatus(s.fs, j.statusPath()); err == nil && terminal(st.State) {
 			// Finished in a previous life: load for queryability only.
 			j.state = st.State
 			j.errText = st.Err
@@ -237,30 +262,47 @@ func (s *Server) Submit(tenant string, spec core.JobSpec, deadline time.Duration
 	}
 	s.mu.Unlock()
 
-	// Persist outside the lock — it is an fsync — then re-check admission:
-	// the queue may have filled (or the drain begun) while we wrote.
-	if err := os.MkdirAll(j.dir, 0o755); err != nil {
-		return JobStatus{}, fmt.Errorf("serve: job dir: %w", err)
-	}
-	if err := j.persistSpec(); err != nil {
-		return JobStatus{}, fmt.Errorf("serve: persisting spec: %w", err)
+	// Persist outside the lock — it is several fsyncs — then re-check
+	// admission: the queue may have filled (or the drain begun) while we
+	// wrote. The chain is: job dir created; spec.json atomically in place
+	// (file fsync'd, job dir fsync'd by the atomic writer); jobs/ fsync'd
+	// so the job dir's own entry is durable. Only then is a 202 honest.
+	// Any failure along it un-admits the job completely (wrapping
+	// ErrStorage, which HTTP maps to 500) and removes the debris.
+	if err := s.persistJob(j); err != nil {
+		s.fs.RemoveAll(j.dir)
+		return JobStatus{}, err
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		os.RemoveAll(j.dir)
+		s.fs.RemoveAll(j.dir)
 		return JobStatus{}, ErrDraining
 	}
 	if !s.queue.push(j) {
 		s.shed++
-		os.RemoveAll(j.dir)
+		s.fs.RemoveAll(j.dir)
 		return JobStatus{}, ErrQueueFull
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.poke()
 	return j.status(), nil
+}
+
+// persistJob runs Submit's durability chain for j.
+func (s *Server) persistJob(j *job) error {
+	if err := s.fs.MkdirAll(j.dir); err != nil {
+		return fmt.Errorf("serve: job dir: %w: %w", ErrStorage, err)
+	}
+	if err := j.persistSpec(s.fs); err != nil {
+		return fmt.Errorf("serve: persisting spec: %w: %w", ErrStorage, err)
+	}
+	if err := s.fs.SyncDir(filepath.Dir(j.dir)); err != nil {
+		return fmt.Errorf("serve: jobs dir fsync: %w: %w", ErrStorage, err)
+	}
+	return nil
 }
 
 // Status returns a job's current snapshot.
@@ -434,9 +476,10 @@ func (s *Server) runJob(j *job) {
 		Retry:        pol,
 		Metrics:      &jobMetrics{s: s, j: j},
 		Arena:        s.arenas,
+		FS:           s.fs,
 	})
 	if res != nil {
-		if werr := writeResultCSV(j.resultPath(), res); werr != nil && err == nil {
+		if werr := writeResultCSV(s.fs, j.resultPath(), res); werr != nil && err == nil {
 			err = werr
 		}
 	}
@@ -479,7 +522,7 @@ func (s *Server) finishLocked(j *job, state, errText string) {
 		s.jobsInterrupted++
 	}
 	if terminal(state) {
-		if err := j.persistStatus(j.status()); err != nil && j.errText == "" {
+		if err := j.persistStatus(s.fs, j.status()); err != nil && j.errText == "" {
 			j.state = StateFailed
 			j.errText = fmt.Sprintf("persisting status: %v", err)
 		}
@@ -557,23 +600,11 @@ func (m *jobMetrics) PointDone(r core.PointReport) {
 	}
 }
 
-// writeResultCSV renders res durably at path.
-func writeResultCSV(path string, res core.Result) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := core.WriteResults(f, core.FormatCSV, res); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+// writeResultCSV renders res durably at path: temp file, fsync, rename,
+// parent-dir fsync — the shared atomic-replace discipline, so a crash at
+// any instant leaves either no result.csv or a complete one.
+func writeResultCSV(fsys iofault.FS, path string, res core.Result) error {
+	return iofault.WriteFileAtomicFunc(fsys, path, func(w io.Writer) error {
+		return core.WriteResults(w, core.FormatCSV, res)
+	})
 }
